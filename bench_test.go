@@ -1,0 +1,436 @@
+// Benchmarks regenerating every experiment in DESIGN.md's index: the
+// paper's examples (EX1–EX5), the lemma machinery (L1–L7, Definition 4),
+// the theorem campaigns (T1–T3 and necessity), the performance studies
+// (PERF1–PERF3), and the setwise-serializability baseline (BASE1). Run
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for recorded outputs and their interpretation.
+package pwsr_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pwsr/internal/constraint"
+	"pwsr/internal/core"
+	"pwsr/internal/exec"
+	"pwsr/internal/experiments"
+	"pwsr/internal/gen"
+	"pwsr/internal/mdbs"
+	"pwsr/internal/paper"
+	"pwsr/internal/program"
+	"pwsr/internal/sched"
+	"pwsr/internal/setwise"
+	"pwsr/internal/sim"
+	"pwsr/internal/state"
+	"pwsr/internal/txn"
+)
+
+// ---------------------------------------------------------------------
+// EX1–EX5: the paper's worked examples.
+// ---------------------------------------------------------------------
+
+func BenchmarkExample1Notation(b *testing.B) {
+	e := paper.Example1()
+	d := state.NewItemSet("a", "c")
+	for i := 0; i < b.N; i++ {
+		t1 := e.Schedule.Txn(1)
+		_ = t1.RS()
+		_ = t1.WS()
+		_ = t1.ReadState()
+		_ = t1.WriteState()
+		_ = t1.Struct()
+		_ = e.Schedule.Restrict(d)
+		_ = e.Schedule.FinalState(e.Initial)
+	}
+}
+
+func BenchmarkExample2Violation(b *testing.B) {
+	e := paper.Example2()
+	sys := core.NewSystem(e.IC, e.Schema)
+	programs := map[int]*program.Program{1: e.Programs[0], 2: e.Programs[1]}
+	for i := 0; i < b.N; i++ {
+		res, err := exec.Run(exec.Config{
+			Programs: programs,
+			Initial:  e.Initial,
+			Policy:   sched.NewScript(e.Script...),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sys.CheckPWSR(res.Schedule).PWSR {
+			b.Fatal("not PWSR")
+		}
+		sc, err := sys.CheckStrongCorrectness(res.Schedule, e.Initial)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sc.StronglyCorrect {
+			b.Fatal("Example 2 must violate strong correctness")
+		}
+	}
+}
+
+func BenchmarkExample3Lemma3Failure(b *testing.B) {
+	e := paper.Example3()
+	sys := core.NewSystem(e.IC, e.Schema)
+	d := state.NewItemSet("a", "b")
+	t1 := e.Schedule.Txn(1)
+	p := paper.Example3P(e)
+	ds2 := e.Schedule.FinalState(e.Initial)
+	for i := 0; i < b.N; i++ {
+		vac, holds, err := sys.Lemma3Claim(t1, p, d, e.Initial, ds2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if vac || holds {
+			b.Fatal("Example 3 must fail the Lemma 3 conclusion non-vacuously")
+		}
+	}
+}
+
+func BenchmarkExample4UnionInconsistency(b *testing.B) {
+	e := paper.Example4()
+	sys := core.NewSystem(e.IC, e.Schema)
+	d := paper.Example4D()
+	t1 := e.Schedule.Txn(1)
+	for i := 0; i < b.N; i++ {
+		okD, _ := sys.Consistent(e.Initial.Restrict(d))
+		okR, _ := sys.Consistent(t1.ReadState())
+		okU, _ := sys.Consistent(e.Initial.Restrict(d).MustUnion(t1.ReadState()))
+		if !okD || !okR || okU {
+			b.Fatal("Example 4 invariants broken")
+		}
+	}
+}
+
+func BenchmarkExample5NonDisjoint(b *testing.B) {
+	e := paper.Example5()
+	sys := core.NewSystem(e.IC, e.Schema)
+	for i := 0; i < b.N; i++ {
+		if !sys.CheckPWSR(e.Schedule).PWSR {
+			b.Fatal("Example 5 is PWSR")
+		}
+		if !e.Schedule.IsDelayedRead() {
+			b.Fatal("Example 5 is DR")
+		}
+		if !sys.DataAccessGraph(e.Schedule).Acyclic() {
+			b.Fatal("Example 5's DAG is acyclic")
+		}
+		sc, err := sys.CheckStrongCorrectness(e.Schedule, e.Initial)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sc.StronglyCorrect {
+			b.Fatal("Example 5 must fail")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// L1–L7 and Definition 4: the lemma machinery.
+// ---------------------------------------------------------------------
+
+func BenchmarkLemma1Composition(b *testing.B) {
+	ic, _ := constraint.ParseICFromConjuncts("x1 = y1", "x2 > 0 -> y2 > 0", "y3 > 0")
+	schema := state.UniformInts(-8, 8, "x1", "y1", "x2", "y2", "y3")
+	checker := constraint.NewChecker(ic, schema)
+	db := state.Ints(map[string]int64{"x1": 3, "y2": 2, "y3": 1})
+
+	b.Run("decomposed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ok, err := checker.Consistent(db); err != nil || !ok {
+				b.Fatal(ok, err)
+			}
+		}
+	})
+	// Ablation: solving the whole conjunction at once — the cost the
+	// Lemma 1 decomposition saves.
+	b.Run("whole", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ok, err := checker.ConsistentWhole(db); err != nil || !ok {
+				b.Fatal(ok, err)
+			}
+		}
+	})
+}
+
+func BenchmarkLemma2ViewSet(b *testing.B) {
+	e := paper.Example5()
+	d := e.IC.Partition()[0]
+	for i := 0; i < b.N; i++ {
+		if err := core.Lemma2Check(e.Schedule, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLemma6DRViewSet(b *testing.B) {
+	e := paper.Example5()
+	d := e.IC.Partition()[1]
+	for i := 0; i < b.N; i++ {
+		if err := core.Lemma6Check(e.Schedule, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLemma7WholeTxn(b *testing.B) {
+	e := paper.Example2()
+	sys := core.NewSystem(e.IC, e.Schema)
+	in := program.NewInterp()
+	init := state.Ints(map[string]int64{"a": 2, "b": 3, "c": 1})
+	t1, ds2, err := in.RunInIsolation(e.Programs[0], init, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := e.IC.Partition()[0]
+	for i := 0; i < b.N; i++ {
+		vac, holds, err := sys.Lemma7Claim(t1, d, init, ds2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !vac && !holds {
+			b.Fatal("Lemma 7 failed")
+		}
+	}
+}
+
+func BenchmarkDef4State(b *testing.B) {
+	e := paper.Example1()
+	d := state.NewItemSet("a", "b", "c", "d")
+	for i := 0; i < b.N; i++ {
+		if err := core.Def4Check(e.Schedule, d, e.Initial); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// T1–T3: theorem validation and necessity campaigns (small instances
+// per iteration; the full campaigns run in cmd/pwsrbench).
+// ---------------------------------------------------------------------
+
+func benchValidation(b *testing.B, th experiments.Theorem) {
+	for i := 0; i < b.N; i++ {
+		c, err := experiments.RunValidation(th, 10, int64(i)*10+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.Violations != 0 {
+			b.Fatalf("theorem %d violated on seeds %v", th, c.ViolationSeeds)
+		}
+	}
+}
+
+func BenchmarkTheorem1Validation(b *testing.B) { benchValidation(b, experiments.Theorem1) }
+func BenchmarkTheorem2Validation(b *testing.B) { benchValidation(b, experiments.Theorem2) }
+func BenchmarkTheorem3Validation(b *testing.B) { benchValidation(b, experiments.Theorem3) }
+
+func BenchmarkNecessityExample2Family(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunNecessity(experiments.Theorem1, 10, int64(i)*10+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBalanceRepair(b *testing.B) {
+	tp1 := paper.Example2().Programs[0]
+	for i := 0; i < b.N; i++ {
+		if _, err := program.Balance(tp1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFixedStructureCheck(b *testing.B) {
+	e := paper.Example2()
+	b.Run("exhaustive", func(b *testing.B) {
+		schema := state.UniformInts(-2, 2, "a", "b", "c")
+		for i := 0; i < b.N; i++ {
+			rep, err := program.CheckFixedStructure(e.Programs[0], schema, 0, 1)
+			if err != nil || rep.Fixed {
+				b.Fatal(err, rep.Fixed)
+			}
+		}
+	})
+	b.Run("sampled", func(b *testing.B) {
+		schema := state.UniformInts(-1000, 1000, "a", "b", "c")
+		for i := 0; i < b.N; i++ {
+			rep, err := program.CheckFixedStructure(e.Programs[0], schema, 64, 1)
+			if err != nil || rep.Fixed {
+				b.Fatal(err, rep.Fixed)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------
+// PERF1: CAD/CAM long transactions.
+// ---------------------------------------------------------------------
+
+func benchCAD(b *testing.B, mk func() exec.Policy) {
+	w, longIDs, shortIDs, err := sim.CADWorkload(sim.CADConfig{
+		Designs: 4, LongTxns: 2, LongSpan: 4, ShortTxns: 6, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunCAD(w, longIDs, shortIDs, mk()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCAD2PL(b *testing.B) {
+	benchCAD(b, func() exec.Policy { return sched.NewC2PL() })
+}
+
+func BenchmarkCADPW2PL(b *testing.B) {
+	benchCAD(b, func() exec.Policy { return sched.NewPW2PL() })
+}
+
+// ---------------------------------------------------------------------
+// PERF2: multidatabase local serializability.
+// ---------------------------------------------------------------------
+
+func benchMDBS(b *testing.B, mk func() exec.Policy) {
+	w, gIDs, lIDs, err := mdbs.Workload(mdbs.Config{Sites: 4, GlobalTxns: 2, LocalTxns: 6, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mdbs.Run(w, gIDs, lIDs, mk()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMDBSLocal(b *testing.B) {
+	benchMDBS(b, func() exec.Policy { return sched.NewPW2PL() })
+}
+
+func BenchmarkMDBSGlobal2PL(b *testing.B) {
+	benchMDBS(b, func() exec.Policy { return sched.NewC2PL() })
+}
+
+// ---------------------------------------------------------------------
+// PERF3: checker scaling.
+// ---------------------------------------------------------------------
+
+func BenchmarkCheckerScaling(b *testing.B) {
+	for _, designs := range []int{2, 4, 8} {
+		w, _, _, err := sim.CADWorkload(sim.CADConfig{
+			Designs: designs, LongTxns: 2, LongSpan: designs,
+			ShortTxns: 2 * designs, Seed: 5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := exec.Run(exec.Config{
+			Programs: w.Programs,
+			Initial:  w.Initial,
+			Policy:   sched.NewPW2PL(),
+			DataSets: w.DataSets,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys := core.NewSystem(w.IC, w.Schema)
+
+		b.Run(fmt.Sprintf("pwsr/designs=%d/ops=%d", designs, res.Schedule.Len()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !core.CheckPWSR(res.Schedule, w.DataSets).PWSR {
+					b.Fatal("not PWSR")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("strongcorrect/designs=%d/ops=%d", designs, res.Schedule.Len()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sc, err := sys.CheckStrongCorrectness(res.Schedule, w.Initial)
+				if err != nil || !sc.StronglyCorrect {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// BASE1: setwise serializability baseline.
+// ---------------------------------------------------------------------
+
+func BenchmarkSetwiseVsPWSR(b *testing.B) {
+	w := gen.MustGenerate(gen.Config{Conjuncts: 3, Programs: 3, Style: gen.StyleFixed, Seed: 9})
+	res, err := exec.Run(exec.Config{
+		Programs: w.Programs,
+		Initial:  w.Initial,
+		Policy:   sched.NewRandom(9),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := setwise.NewDecomposition(w.DataSets...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw := setwise.IsSetwiseSerializable(res.Schedule, dec)
+		pw := core.CheckPWSR(res.Schedule, w.DataSets).PWSR
+		if sw != pw {
+			b.Fatal("setwise and PWSR disagree")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Engine and solver microbenchmarks.
+// ---------------------------------------------------------------------
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	w, _, _, err := sim.CADWorkload(sim.CADConfig{Designs: 4, LongTxns: 2, ShortTxns: 8, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exec.Run(exec.Config{
+			Programs: w.Programs,
+			Initial:  w.Initial,
+			Policy:   sched.NewRandom(int64(i)),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+func BenchmarkSolverExtension(b *testing.B) {
+	ic, _ := constraint.ParseICFromConjuncts("x1 + y1 = z1 & y1 > x1")
+	schema := state.UniformInts(0, 20, "x1", "y1", "z1")
+	checker := constraint.NewChecker(ic, schema)
+	partial := state.Ints(map[string]int64{"z1": 17})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := checker.Consistent(partial)
+		if err != nil || !ok {
+			b.Fatal(ok, err)
+		}
+	}
+}
+
+func BenchmarkScheduleParse(b *testing.B) {
+	src := "r2(a, 0), r1(a, 0), w2(d, 0), r1(c, 5), w1(b, 5)"
+	for i := 0; i < b.N; i++ {
+		if _, err := txn.ParseSchedule(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Command pwsrbench regenerates every table and figure of the
+// reproduction's experiment index (see DESIGN.md and EXPERIMENTS.md):
+//
+//   - EX      — the paper's worked examples, measured,
+//   - T1–T3   — randomized theorem validation and necessity campaigns,
+//   - FIG1–7  — worked illustrations of the paper's figures,
+//   - PERF1   — CAD/CAM long-transaction study (C2PL vs PW2PL),
+//   - PERF2   — multidatabase local-serializability study,
+//   - PERF3   — checker-cost scaling.
+//
+// Usage:
+//
+//	pwsrbench [-trials 200] [-seed 1] [-quick] [-figures] [-section all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pwsr/internal/experiments"
+	"pwsr/internal/mdbs"
+	"pwsr/internal/sim"
+)
+
+func main() {
+	var (
+		trials  = flag.Int("trials", 200, "trials per randomized campaign")
+		seed    = flag.Int64("seed", 1, "base seed")
+		quick   = flag.Bool("quick", false, "smaller sweeps and campaigns")
+		figures = flag.Bool("figures", true, "print the worked figure illustrations")
+		section = flag.String("section", "all", "one of: all, examples, theorems, exhaustive, figures, perf")
+	)
+	flag.Parse()
+
+	if *quick {
+		*trials = 40
+	}
+	if err := run(*trials, *seed, *figures, *section, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "pwsrbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(trials int, seed int64, withFigures bool, section string, quick bool) error {
+	all := section == "all"
+
+	if all || section == "examples" {
+		tab, _, err := experiments.ExamplesTable()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+	}
+
+	if all || section == "theorems" {
+		var campaigns []*experiments.Campaign
+		for _, th := range []experiments.Theorem{experiments.Theorem1, experiments.Theorem2, experiments.Theorem3} {
+			c, err := experiments.RunValidation(th, trials, seed)
+			if err != nil {
+				return err
+			}
+			campaigns = append(campaigns, c)
+		}
+		for _, th := range []experiments.Theorem{experiments.Theorem1, experiments.Theorem2, experiments.Theorem3} {
+			c, err := experiments.RunNecessity(th, trials, seed+1000)
+			if err != nil {
+				return err
+			}
+			campaigns = append(campaigns, c)
+		}
+		repaired, err := experiments.RunRepairedNecessity(trials, seed+2000)
+		if err != nil {
+			return err
+		}
+		campaigns = append(campaigns, repaired)
+		fmt.Println(experiments.CampaignTable(
+			"T1–T3 — randomized theorem validation and necessity", campaigns...).Render())
+
+		d2, err := experiments.RunDegree2VsPWSR(trials, seed+3000)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Degree2Table(d2).Render())
+	}
+
+	if all || section == "exhaustive" {
+		ex2, err := experiments.ExhaustiveExample2()
+		if err != nil {
+			return err
+		}
+		ex2b, err := experiments.ExhaustiveExample2Balanced()
+		if err != nil {
+			return err
+		}
+		ord, err := experiments.ExhaustiveOrdered(1)
+		if err != nil {
+			return err
+		}
+		ex5, err := experiments.ExhaustiveExample5()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.ExhaustiveTable(
+			"EXH — exhaustive interleaving censuses (every schedule of each system)",
+			ex2, ex2b, ord, ex5).Render())
+	}
+
+	if withFigures && (all || section == "figures") {
+		for _, f := range experiments.Figures() {
+			fmt.Println(f)
+		}
+	}
+
+	if all || section == "perf" {
+		spans := []int{2, 4, 6, 8}
+		reps := 5
+		sites := []int{2, 4, 8, 12}
+		scaling := []int{2, 4, 8, 12}
+		if quick {
+			spans = []int{2, 4}
+			reps = 2
+			sites = []int{2, 4}
+			scaling = []int{2, 4}
+		}
+		cad, err := sim.CADSweep(spans, reps, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(cad.Render())
+
+		md, err := mdbs.Sweep(sites, reps, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(md.Render())
+
+		sc, err := experiments.CheckerScaling(scaling, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sc.Render())
+	}
+	return nil
+}

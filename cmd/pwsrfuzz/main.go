@@ -1,0 +1,163 @@
+// Command pwsrfuzz searches randomized workloads for strong-correctness
+// violations, reproducing the paper's necessity arguments at scale and
+// serving as a regression fuzzer for the checkers and schedulers.
+//
+// Modes:
+//
+//	example2   the Example 2 family under raw random interleavings:
+//	           PWSR violations are EXPECTED (Theorem 1/2/3 necessity);
+//	fixed      fixed-structure workloads: every PWSR schedule must be
+//	           strongly correct (a found violation is a bug);
+//	dr         Example 2 family behind the delayed-read gate: no
+//	           violations may appear (Theorem 2);
+//	ordered    ordered-access workloads: no violations may appear
+//	           (Theorem 3).
+//
+// Usage:
+//
+//	pwsrfuzz -mode example2 -trials 500 -seed 7 [-v]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"pwsr/internal/core"
+	"pwsr/internal/exec"
+	"pwsr/internal/gen"
+	"pwsr/internal/sched"
+	"pwsr/internal/serial"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "example2", "example2 | fixed | dr | ordered")
+		trials  = flag.Int("trials", 500, "number of seeded trials")
+		seed    = flag.Int64("seed", 7, "base seed")
+		verbose = flag.Bool("v", false, "print each violation's schedule and programs")
+	)
+	flag.Parse()
+
+	found, err := run(*mode, *trials, *seed, *verbose)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pwsrfuzz:", err)
+		os.Exit(1)
+	}
+	expectViolations := *mode == "example2"
+	switch {
+	case expectViolations && found == 0:
+		fmt.Println("UNEXPECTED: no violations found in the necessity population")
+		os.Exit(1)
+	case !expectViolations && found > 0:
+		fmt.Printf("BUG: %d violations in a population a theorem guarantees\n", found)
+		os.Exit(1)
+	default:
+		fmt.Printf("ok: %d violations in %d trials (expected %s)\n",
+			found, *trials, map[bool]string{true: "> 0", false: "= 0"}[expectViolations])
+	}
+}
+
+func run(mode string, trials int, baseSeed int64, verbose bool) (int, error) {
+	found := 0
+	for i := 0; i < trials; i++ {
+		seed := baseSeed + int64(i)
+		var (
+			w      *gen.Workload
+			policy exec.Policy
+			err    error
+			// guard is the extra hypothesis a trial must satisfy for a
+			// violation to count against (or for) a theorem.
+			guard func(o *outcome) bool
+		)
+		switch mode {
+		case "example2":
+			w, err = gen.Example2Family(1, seed)
+			policy = sched.NewRandom(seed)
+			guard = func(o *outcome) bool { return o.pwsr }
+		case "fixed":
+			w, err = gen.Generate(gen.Config{
+				Conjuncts: 3, Programs: 3, MovesPerProgram: 2,
+				Style: gen.StyleFixed, Seed: seed,
+			})
+			policy = sched.NewRandom(seed)
+			guard = func(o *outcome) bool { return o.pwsr }
+		case "dr":
+			w, err = gen.Example2Family(1, seed)
+			policy = &sched.DelayedRead{Inner: sched.NewRandom(seed)}
+			guard = func(o *outcome) bool { return o.pwsr && o.dr }
+		case "ordered":
+			w, err = gen.Generate(gen.Config{
+				Conjuncts: 3, Programs: 3, MovesPerProgram: 3,
+				Style: gen.StyleOrdered, Seed: seed,
+			})
+			policy = sched.NewRandom(seed)
+			guard = func(o *outcome) bool { return o.pwsr && o.dagAcyclic }
+		default:
+			return 0, fmt.Errorf("unknown mode %q", mode)
+		}
+		if err != nil {
+			return 0, err
+		}
+
+		o, err := trial(w, policy)
+		if err != nil {
+			return 0, err
+		}
+		if o == nil { // stalled
+			continue
+		}
+		if guard(o) && !o.stronglyCorrect {
+			found++
+			if verbose {
+				fmt.Printf("violation at seed %d:\n  IC: %s\n  initial: %s\n  schedule: %s\n",
+					seed, w.IC, w.Initial, o.schedule)
+				for id, p := range w.Programs {
+					fmt.Printf("  TP%d:\n%s", id, p)
+				}
+				for _, v := range o.violations {
+					fmt.Printf("  %s\n", v)
+				}
+			}
+		}
+	}
+	return found, nil
+}
+
+type outcome struct {
+	pwsr, dr, dagAcyclic, serializable, stronglyCorrect bool
+
+	schedule   fmt.Stringer
+	violations []string
+}
+
+func trial(w *gen.Workload, policy exec.Policy) (*outcome, error) {
+	res, err := exec.Run(exec.Config{
+		Programs: w.Programs,
+		Initial:  w.Initial,
+		Policy:   policy,
+		DataSets: w.DataSets,
+	})
+	if err != nil {
+		if errors.Is(err, exec.ErrStall) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	sys := core.NewSystem(w.IC, w.Schema)
+	o := &outcome{
+		pwsr:         core.CheckPWSR(res.Schedule, w.DataSets).PWSR,
+		dr:           res.Schedule.IsDelayedRead(),
+		dagAcyclic:   sys.DataAccessGraph(res.Schedule).Acyclic(),
+		serializable: serial.IsCSR(res.Schedule),
+		schedule:     res.Schedule,
+	}
+	sc, err := sys.CheckStrongCorrectness(res.Schedule, w.Initial)
+	if err != nil {
+		return nil, err
+	}
+	o.stronglyCorrect = sc.StronglyCorrect
+	o.violations = sc.Violations()
+	return o, nil
+}

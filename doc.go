@@ -1,0 +1,52 @@
+// Package pwsr is a library implementation of
+//
+//	Rastogi, Mehrotra, Breitbart, Korth, Silberschatz.
+//	"On Correctness of Nonserializable Executions."
+//	PODS 1993; JCSS 56, 68–82 (1998).
+//
+// The paper studies predicate-wise serializability (PWSR): a schedule is
+// PWSR when its restriction to each conjunct of the database integrity
+// constraint IC = C1 ∧ … ∧ Cl (the conjuncts defined over disjoint data
+// sets) is conflict serializable. PWSR schedules are generally NOT
+// serializable and may violate consistency; the paper identifies three
+// sufficient conditions under which they are nonetheless *strongly
+// correct* — the final state is consistent and every transaction reads
+// consistent data:
+//
+//	Theorem 1  all transaction programs are fixed-structure,
+//	Theorem 2  the schedule is delayed-read (DR; implied by ACA),
+//	Theorem 3  the data access graph DAG(S, IC) is acyclic.
+//
+// This package is the public facade over the implementation:
+//
+//   - database states, finite domains, and the ⊎ union (internal/state),
+//   - the quantifier-free constraint language with a finite-domain
+//     solver deciding consistency of *restricted* states
+//     (internal/constraint),
+//   - value-carrying transactions and schedules with the paper's
+//     notation — RS, WS, read, write, struct, before, after, depth
+//     (internal/txn),
+//   - conflict serializability and the data access graph
+//     (internal/serial, internal/dag),
+//   - the TPL transaction-program language, interpreter, fixed-structure
+//     analysis, and the TP → TP' balancing transformation
+//     (internal/program),
+//   - a concurrent execution engine with pluggable policies: scripted,
+//     random, conservative strict 2PL, predicate-wise 2PL, and a
+//     delayed-read gate (internal/exec, internal/sched),
+//   - the PWSR/strong-correctness checkers, view sets, transaction
+//     states, and theorem appliers (internal/core).
+//
+// # Quick start
+//
+//	sys := pwsr.NewSystem(pwsr.MustParseICFromConjuncts("a > 0 -> b > 0", "c > 0"),
+//	    pwsr.UniformInts(-20, 20, "a", "b", "c"))
+//	s := pwsr.MustParseSchedule("w1(a, 1), r2(a, 1), r2(b, -1), w2(c, -1), r1(c, -1)")
+//	fmt.Println(sys.CheckPWSR(s).PWSR)                  // true
+//	rep, _ := sys.CheckStrongCorrectness(s, pwsr.Ints(map[string]int64{"a": -1, "b": -1, "c": 1}))
+//	fmt.Println(rep.StronglyCorrect)                    // false — the paper's Example 2
+//
+// See examples/ for runnable programs: a quickstart, the CAD/CAM
+// long-transaction study, the multidatabase (local serializability)
+// study, and the university registration scenario of Section 2.3.
+package pwsr

@@ -1,0 +1,176 @@
+package constraint
+
+import (
+	"errors"
+	"testing"
+
+	"pwsr/internal/state"
+)
+
+func stateSet(items ...string) state.ItemSet { return state.NewItemSet(items...) }
+
+func evalF(t *testing.T, src string, db state.DB) bool {
+	t.Helper()
+	f := mustFormula(t, src)
+	got, err := Sat(f, db)
+	if err != nil {
+		t.Fatalf("Sat(%q, %v): %v", src, db, err)
+	}
+	return got
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	db := state.Ints(map[string]int64{"a": 7, "b": -3})
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"a + b", 4},
+		{"a - b", 10},
+		{"a * b", -21},
+		{"a / 2", 3},
+		{"a % 2", 1},
+		{"-b", 3},
+		{"abs(b)", 3},
+		{"min(a, b)", -3},
+		{"max(a, b)", 7},
+		{"min(abs(b), a) + 1", 4},
+	}
+	for _, c := range cases {
+		e := mustExpr(t, c.src)
+		v, err := EvalExpr(e, DBLookup(db))
+		if err != nil {
+			t.Fatalf("EvalExpr(%q): %v", c.src, err)
+		}
+		if !v.Equal(state.Int(c.want)) {
+			t.Errorf("EvalExpr(%q) = %v, want %d", c.src, v, c.want)
+		}
+	}
+}
+
+func TestEvalDivModByZero(t *testing.T) {
+	db := state.Ints(map[string]int64{"a": 1, "z": 0})
+	for _, src := range []string{"a / z", "a % z"} {
+		e := mustExpr(t, src)
+		if _, err := EvalExpr(e, DBLookup(db)); !errors.Is(err, ErrDivZero) {
+			t.Errorf("EvalExpr(%q) err = %v, want ErrDivZero", src, err)
+		}
+	}
+}
+
+func TestEvalUnbound(t *testing.T) {
+	e := mustExpr(t, "a + 1")
+	if _, err := EvalExpr(e, DBLookup(state.NewDB())); !errors.Is(err, ErrUnbound) {
+		t.Fatalf("err = %v, want ErrUnbound", err)
+	}
+}
+
+func TestEvalTypeErrors(t *testing.T) {
+	db := state.NewDB()
+	db.Set("s", state.Str("x"))
+	db.Set("a", state.Int(1))
+	for _, src := range []string{"s + 1", "-s", "abs(s)", "min(s, a)"} {
+		e := mustExpr(t, src)
+		if _, err := EvalExpr(e, DBLookup(db)); !errors.Is(err, ErrType) {
+			t.Errorf("EvalExpr(%q) err = %v, want ErrType", src, err)
+		}
+	}
+	// ordering across sorts is a type error
+	f := mustFormula(t, "s < a")
+	if _, err := Sat(f, db); !errors.Is(err, ErrType) {
+		t.Errorf("Sat(s < a) err = %v, want ErrType", err)
+	}
+}
+
+func TestEvalCrossSortEquality(t *testing.T) {
+	db := state.NewDB()
+	db.Set("s", state.Str("1"))
+	db.Set("a", state.Int(1))
+	if evalF(t, "s = a", db) {
+		t.Error("cross-sort equality should be false")
+	}
+	if !evalF(t, "s != a", db) {
+		t.Error("cross-sort inequality should be true")
+	}
+}
+
+func TestEvalComparisons(t *testing.T) {
+	db := state.Ints(map[string]int64{"a": 5, "b": 6})
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"a = 5", true}, {"a = b", false}, {"a != b", true},
+		{"a < b", true}, {"a <= 5", true}, {"a > b", false}, {"a >= 5", true},
+	}
+	for _, c := range cases {
+		if got := evalF(t, c.src, db); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalStringComparisons(t *testing.T) {
+	db := state.NewDB()
+	db.Set("x", state.Str("ann"))
+	db.Set("y", state.Str("jim"))
+	if !evalF(t, `x < y`, db) || !evalF(t, `x = "ann"`, db) || evalF(t, `x = y`, db) {
+		t.Error("string comparisons wrong")
+	}
+}
+
+func TestEvalConnectives(t *testing.T) {
+	db := state.Ints(map[string]int64{"t": 1, "f": 0})
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"t = 1 & f = 0", true},
+		{"t = 1 & f = 1", false},
+		{"t = 0 | f = 0", true},
+		{"t = 0 | f = 1", false},
+		{"!(t = 0)", true},
+		{"t = 0 -> f = 9", true},  // vacuous
+		{"t = 1 -> f = 0", true},  // both
+		{"t = 1 -> f = 1", false}, // failed consequent
+		{"t = 1 <-> f = 0", true},
+		{"t = 1 <-> f = 1", false},
+		{"t = 0 <-> f = 1", true},
+		{"true", true},
+		{"false", false},
+	}
+	for _, c := range cases {
+		if got := evalF(t, c.src, db); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalShortCircuit(t *testing.T) {
+	// b is unbound, but short-circuiting must avoid evaluating it.
+	db := state.Ints(map[string]int64{"a": 1})
+	if !evalF(t, "a = 1 | b = 1", db) {
+		t.Error("| did not short-circuit")
+	}
+	if evalF(t, "a = 0 & b = 1", db) {
+		t.Error("& did not short-circuit")
+	}
+	if !evalF(t, "a = 0 -> b = 1", db) {
+		t.Error("-> did not short-circuit")
+	}
+}
+
+func TestPaperSection21Example(t *testing.T) {
+	// "consider a database consisting of data items a, b, and an
+	// integrity constraint IC = (a = b). DS1 = {(a,5),(b,5)} is
+	// consistent... DS2 = {(a,5),(b,6)} is not."
+	ic := mustFormula(t, "a = b")
+	ds1 := state.Ints(map[string]int64{"a": 5, "b": 5})
+	ds2 := state.Ints(map[string]int64{"a": 5, "b": 6})
+	if ok, _ := Sat(ic, ds1); !ok {
+		t.Error("DS1 should satisfy IC")
+	}
+	if ok, _ := Sat(ic, ds2); ok {
+		t.Error("DS2 should violate IC")
+	}
+}

@@ -1,0 +1,59 @@
+package constraint
+
+import (
+	"testing"
+)
+
+// FuzzParseFormula checks the parser never panics and that successfully
+// parsed formulas round-trip through their printed form.
+func FuzzParseFormula(f *testing.F) {
+	for _, seed := range []string{
+		"a = b",
+		"(a > 0 -> b > 0) & (c > 0)",
+		"!(a = b) | min(a, b) < max(a, b)",
+		"abs(a - b) <= 1 <-> c != d",
+		`name = "jim" & a % 2 = 0`,
+		"-a * (b + 1) / 2 >= -3",
+		"true & false",
+		"a = 5 -> b = 5 -> c = 5",
+		"((((a = 1))))",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		formula, err := ParseFormula(src)
+		if err != nil {
+			return
+		}
+		printed := formula.String()
+		re, err := ParseFormula(printed)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", printed, src, err)
+		}
+		if re.String() != printed {
+			t.Fatalf("unstable print: %q -> %q", printed, re.String())
+		}
+	})
+}
+
+// FuzzTokenize checks the lexer never panics and terminates.
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"a := 1;",
+		`"str \" esc"`,
+		"if (a > 0) { b := 1; } else { c := 2; }",
+		"<-> -> <= >= != := && || ==",
+		"# comment\n// another\nx",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Tokenize(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatalf("token stream not EOF-terminated for %q", src)
+		}
+	})
+}

@@ -1,0 +1,188 @@
+package constraint
+
+import (
+	"fmt"
+	"strings"
+
+	"pwsr/internal/state"
+)
+
+// Conjunct is one Ce of the integrity constraint IC = C1 ∧ C2 ∧ … ∧ Cl,
+// together with the data set de over which it is defined.
+type Conjunct struct {
+	// Name is a display name (C1, C2, …).
+	Name string
+	// F is the conjunct's formula.
+	F Formula
+	// Items is de: the set of data items appearing in F.
+	Items state.ItemSet
+}
+
+// String renders the conjunct.
+func (c Conjunct) String() string {
+	return fmt.Sprintf("%s: %s over %s", c.Name, c.F.String(), c.Items)
+}
+
+// IC is an integrity constraint decomposed into its top-level conjuncts.
+// The paper's results assume the conjuncts' data sets are pairwise
+// disjoint; Disjoint reports whether that holds, and the consistency
+// machinery exploits it when it does (Lemma 1).
+type IC struct {
+	conjuncts []Conjunct
+}
+
+// ParseIC parses src as a formula and decomposes its top-level
+// conjunction into conjuncts.
+func ParseIC(src string) (*IC, error) {
+	f, err := ParseFormula(src)
+	if err != nil {
+		return nil, err
+	}
+	return NewIC(f), nil
+}
+
+// NewIC decomposes the given formula into an IC by splitting its
+// top-level conjunction.
+func NewIC(f Formula) *IC {
+	parts := SplitConjuncts(f)
+	ic := &IC{conjuncts: make([]Conjunct, len(parts))}
+	for i, p := range parts {
+		ic.conjuncts[i] = Conjunct{
+			Name:  fmt.Sprintf("C%d", i+1),
+			F:     p,
+			Items: FormulaVars(p),
+		}
+	}
+	return ic
+}
+
+// NewICFromConjuncts builds an IC from explicitly separated conjuncts,
+// preserving the given grouping (no further splitting). Use when the
+// logical partition is coarser than the syntactic conjunction, e.g. the
+// paper's C1 = (a = b ∧ b = c) in Example 4.
+func NewICFromConjuncts(fs ...Formula) *IC {
+	ic := &IC{conjuncts: make([]Conjunct, len(fs))}
+	for i, f := range fs {
+		ic.conjuncts[i] = Conjunct{
+			Name:  fmt.Sprintf("C%d", i+1),
+			F:     f,
+			Items: FormulaVars(f),
+		}
+	}
+	return ic
+}
+
+// ParseICFromConjuncts parses each source string as one conjunct.
+func ParseICFromConjuncts(srcs ...string) (*IC, error) {
+	fs := make([]Formula, len(srcs))
+	for i, s := range srcs {
+		f, err := ParseFormula(s)
+		if err != nil {
+			return nil, fmt.Errorf("conjunct %d: %w", i+1, err)
+		}
+		fs[i] = f
+	}
+	return NewICFromConjuncts(fs...), nil
+}
+
+// Conjuncts returns the conjuncts C1, …, Cl.
+func (ic *IC) Conjuncts() []Conjunct { return ic.conjuncts }
+
+// Len returns l, the number of conjuncts.
+func (ic *IC) Len() int { return len(ic.conjuncts) }
+
+// Formula reconstructs the conjunction C1 ∧ … ∧ Cl.
+func (ic *IC) Formula() Formula {
+	fs := make([]Formula, len(ic.conjuncts))
+	for i, c := range ic.conjuncts {
+		fs[i] = c.F
+	}
+	return Conjoin(fs...)
+}
+
+// Items returns the union of all conjunct data sets: the constrained
+// part of the database.
+func (ic *IC) Items() state.ItemSet {
+	u := state.NewItemSet()
+	for _, c := range ic.conjuncts {
+		u.AddAll(c.Items)
+	}
+	return u
+}
+
+// Disjoint reports whether the conjunct data sets are pairwise disjoint
+// (de ∩ df = ∅ for e ≠ f), the standing assumption of the paper's
+// theorems.
+func (ic *IC) Disjoint() bool {
+	seen := state.NewItemSet()
+	for _, c := range ic.conjuncts {
+		for it := range c.Items {
+			if seen.Contains(it) {
+				return false
+			}
+		}
+		seen.AddAll(c.Items)
+	}
+	return true
+}
+
+// SharedItems returns the items that appear in more than one conjunct
+// (empty exactly when Disjoint holds).
+func (ic *IC) SharedItems() state.ItemSet {
+	seen := state.NewItemSet()
+	shared := state.NewItemSet()
+	for _, c := range ic.conjuncts {
+		for it := range c.Items {
+			if seen.Contains(it) {
+				shared.Add(it)
+			}
+			seen.Add(it)
+		}
+	}
+	return shared
+}
+
+// Partition returns the data sets d1, …, dl in conjunct order.
+func (ic *IC) Partition() []state.ItemSet {
+	out := make([]state.ItemSet, len(ic.conjuncts))
+	for i, c := range ic.conjuncts {
+		out[i] = c.Items
+	}
+	return out
+}
+
+// ConjunctOf returns the index of the conjunct whose data set contains
+// item, or -1 if no conjunct mentions it. With non-disjoint conjuncts
+// the lowest-numbered match is returned.
+func (ic *IC) ConjunctOf(item string) int {
+	for i, c := range ic.conjuncts {
+		if c.Items.Contains(item) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Eval decides whether the (complete) database state satisfies the
+// constraint: DS ⊨ IC.
+func (ic *IC) Eval(db state.DB) (bool, error) {
+	for _, c := range ic.conjuncts {
+		ok, err := Sat(c.F, db)
+		if err != nil {
+			return false, fmt.Errorf("%s: %w", c.Name, err)
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// String renders the constraint as its conjunction.
+func (ic *IC) String() string {
+	parts := make([]string, len(ic.conjuncts))
+	for i, c := range ic.conjuncts {
+		parts[i] = "(" + c.F.String() + ")"
+	}
+	return strings.Join(parts, " & ")
+}

@@ -1,0 +1,107 @@
+package constraint
+
+import (
+	"testing"
+
+	"pwsr/internal/state"
+)
+
+func TestParseICSplitsConjuncts(t *testing.T) {
+	ic, err := ParseIC("(a > 0 -> b > 0) & (c > 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ic.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ic.Len())
+	}
+	cs := ic.Conjuncts()
+	if !cs[0].Items.Equal(stateSet("a", "b")) {
+		t.Errorf("d1 = %v", cs[0].Items)
+	}
+	if !cs[1].Items.Equal(stateSet("c")) {
+		t.Errorf("d2 = %v", cs[1].Items)
+	}
+	if cs[0].Name != "C1" || cs[1].Name != "C2" {
+		t.Errorf("names = %q, %q", cs[0].Name, cs[1].Name)
+	}
+	if !ic.Disjoint() {
+		t.Error("Example 2's IC should be disjoint")
+	}
+}
+
+func TestICFromConjunctsPreservesGrouping(t *testing.T) {
+	// Example 4: IC = (a = b & b = c) is ONE conjunct over {a,b,c}.
+	ic, err := ParseICFromConjuncts("a = b & b = c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ic.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ic.Len())
+	}
+	if !ic.Conjuncts()[0].Items.Equal(stateSet("a", "b", "c")) {
+		t.Fatalf("items = %v", ic.Conjuncts()[0].Items)
+	}
+	// Contrast with ParseIC which splits on the top-level &.
+	split, _ := ParseIC("a = b & b = c")
+	if split.Len() != 2 {
+		t.Fatalf("ParseIC split Len = %d, want 2", split.Len())
+	}
+	if split.Disjoint() {
+		t.Error("split (a=b) & (b=c) shares b; should not be disjoint")
+	}
+}
+
+func TestICNonDisjointDetection(t *testing.T) {
+	// Example 5: IC = (a > b) & (a = c) & (d > 0) shares a.
+	ic, err := ParseIC("(a > b) & (a = c) & (d > 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ic.Disjoint() {
+		t.Error("Example 5's IC should NOT be disjoint")
+	}
+	if !ic.SharedItems().Equal(stateSet("a")) {
+		t.Errorf("SharedItems = %v, want {a}", ic.SharedItems())
+	}
+}
+
+func TestICPartitionAndConjunctOf(t *testing.T) {
+	ic, _ := ParseIC("(a > 0 -> b > 0) & (c > 0)")
+	parts := ic.Partition()
+	if len(parts) != 2 || !parts[0].Equal(stateSet("a", "b")) || !parts[1].Equal(stateSet("c")) {
+		t.Fatalf("Partition = %v", parts)
+	}
+	if ic.ConjunctOf("a") != 0 || ic.ConjunctOf("b") != 0 || ic.ConjunctOf("c") != 1 {
+		t.Error("ConjunctOf wrong")
+	}
+	if ic.ConjunctOf("zz") != -1 {
+		t.Error("ConjunctOf missing item should be -1")
+	}
+	if !ic.Items().Equal(stateSet("a", "b", "c")) {
+		t.Errorf("Items = %v", ic.Items())
+	}
+}
+
+func TestICEval(t *testing.T) {
+	ic, _ := ParseIC("(a > 0 -> b > 0) & (c > 0)")
+	good := state.Ints(map[string]int64{"a": 1, "b": 2, "c": 3})
+	bad := state.Ints(map[string]int64{"a": 1, "b": -2, "c": 3})
+	if ok, err := ic.Eval(good); err != nil || !ok {
+		t.Fatalf("Eval(good) = %v, %v", ok, err)
+	}
+	if ok, err := ic.Eval(bad); err != nil || ok {
+		t.Fatalf("Eval(bad) = %v, %v", ok, err)
+	}
+}
+
+func TestICFormulaRoundTrip(t *testing.T) {
+	ic, _ := ParseIC("(a = 1) & (b = 2) & (c = 3)")
+	f := ic.Formula()
+	re := NewIC(f)
+	if re.Len() != ic.Len() {
+		t.Fatalf("round trip Len = %d, want %d", re.Len(), ic.Len())
+	}
+	if ic.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,230 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustFormula(t *testing.T, src string) Formula {
+	t.Helper()
+	f, err := ParseFormula(src)
+	if err != nil {
+		t.Fatalf("ParseFormula(%q): %v", src, err)
+	}
+	return f
+}
+
+func mustExpr(t *testing.T, src string) Expr {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	return e
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	e := mustExpr(t, "1 + 2 * 3")
+	a, ok := e.(*Arith)
+	if !ok || a.Op != OpAdd {
+		t.Fatalf("top = %T %v", e, e)
+	}
+	if r, ok := a.R.(*Arith); !ok || r.Op != OpMul {
+		t.Fatalf("right of + is %v, want 2 * 3", a.R)
+	}
+}
+
+func TestParseExprParens(t *testing.T) {
+	e := mustExpr(t, "(1 + 2) * 3")
+	a, ok := e.(*Arith)
+	if !ok || a.Op != OpMul {
+		t.Fatalf("top = %v", e)
+	}
+}
+
+func TestParseExprLeftAssoc(t *testing.T) {
+	e := mustExpr(t, "10 - 3 - 2")
+	a := e.(*Arith)
+	if a.Op != OpSub {
+		t.Fatal("top not -")
+	}
+	if l, ok := a.L.(*Arith); !ok || l.Op != OpSub {
+		t.Fatalf("not left associative: %v", e)
+	}
+}
+
+func TestParseCalls(t *testing.T) {
+	e := mustExpr(t, "min(abs(a), max(b, 2))")
+	c := e.(*Call)
+	if c.Fn != "min" || len(c.Args) != 2 {
+		t.Fatalf("call = %v", e)
+	}
+}
+
+func TestParseCallArityAndName(t *testing.T) {
+	for _, src := range []string{"abs(a, b)", "min(a)", "max()", "sqrt(a)"} {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q) succeeded, want arity/name error", src)
+		}
+	}
+}
+
+func TestParseUnaryMinus(t *testing.T) {
+	e := mustExpr(t, "-a + -3")
+	a := e.(*Arith)
+	if _, ok := a.L.(*Neg); !ok {
+		t.Fatalf("left = %v, want negation", a.L)
+	}
+}
+
+func TestParseFormulaPrecedence(t *testing.T) {
+	// & binds tighter than |, | tighter than ->, -> tighter than <->.
+	f := mustFormula(t, "a = 1 & b = 2 | c = 3 -> d = 4 <-> e = 5")
+	iff, ok := f.(*Iff)
+	if !ok {
+		t.Fatalf("top = %T", f)
+	}
+	imp, ok := iff.L.(*Implies)
+	if !ok {
+		t.Fatalf("left of <-> = %T", iff.L)
+	}
+	or, ok := imp.L.(*Or)
+	if !ok {
+		t.Fatalf("left of -> = %T", imp.L)
+	}
+	if _, ok := or.L.(*And); !ok {
+		t.Fatalf("left of | = %T", or.L)
+	}
+}
+
+func TestParseImpliesRightAssoc(t *testing.T) {
+	f := mustFormula(t, "a = 1 -> b = 2 -> c = 3")
+	top := f.(*Implies)
+	if _, ok := top.R.(*Implies); !ok {
+		t.Fatalf("-> not right associative: %v", f)
+	}
+}
+
+func TestParseNot(t *testing.T) {
+	f := mustFormula(t, "!(a = 1) & !b = 2")
+	and := f.(*And)
+	if _, ok := and.L.(*Not); !ok {
+		t.Fatalf("left = %T", and.L)
+	}
+	if _, ok := and.R.(*Not); !ok {
+		t.Fatalf("right = %T", and.R)
+	}
+}
+
+func TestParseGroupedFormulaVsExpr(t *testing.T) {
+	// (a + b) = c must parse as a comparison with parenthesized term.
+	f := mustFormula(t, "(a + b) = c")
+	cmp, ok := f.(*Cmp)
+	if !ok {
+		t.Fatalf("got %T", f)
+	}
+	if cmp.Op != CmpEq {
+		t.Fatal("wrong op")
+	}
+	// (a = b) & (c = d) must parse as grouped formulas.
+	f2 := mustFormula(t, "(a = b) & (c = d)")
+	if _, ok := f2.(*And); !ok {
+		t.Fatalf("got %T", f2)
+	}
+}
+
+func TestParsePaperICs(t *testing.T) {
+	// The constraints appearing in the paper's examples.
+	for _, src := range []string{
+		"a = b",
+		"(a > 0 -> b > 0) & (c > 0)",
+		"(a = b & b = c)",
+		"(a > b) & (a = c) & (d > 0)",
+		"(a = 5 -> b = 5) & (c = 5 -> b = 6)",
+	} {
+		mustFormula(t, src)
+	}
+}
+
+func TestParseBoolLiterals(t *testing.T) {
+	f := mustFormula(t, "true & !false")
+	and := f.(*And)
+	if b, ok := and.L.(*BoolLit); !ok || !b.Value {
+		t.Fatalf("left = %v", and.L)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"a =",
+		"a ! b",
+		"(a = b",
+		"a = b extra",
+		"1 + ",
+		"-> a = b",
+		"a = b & ",
+	} {
+		if _, err := ParseFormula(src); err == nil {
+			t.Errorf("ParseFormula(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseExprRejectsTrailing(t *testing.T) {
+	if _, err := ParseExpr("1 + 2 = 3"); err == nil {
+		t.Fatal("ParseExpr accepted a formula")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"a = 1",
+		"(a > 0 -> b > 0) & c > 0",
+		"!(a = b) | min(a, b) < max(a, b)",
+		"abs(a - b) <= 1 <-> c != d",
+		`name = "jim" & a % 2 = 0`,
+		"-a * (b + 1) / 2 >= -3",
+	}
+	for _, src := range srcs {
+		f1 := mustFormula(t, src)
+		printed := f1.String()
+		f2, err := ParseFormula(printed)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", printed, src, err)
+		}
+		if f2.String() != printed {
+			t.Errorf("round trip unstable: %q -> %q", printed, f2.String())
+		}
+	}
+}
+
+func TestFormulaVars(t *testing.T) {
+	f := mustFormula(t, "(a > 0 -> b > 0) & min(c, d) = abs(-e)")
+	vars := FormulaVars(f)
+	if !vars.Equal(stateSet("a", "b", "c", "d", "e")) {
+		t.Fatalf("vars = %v", vars)
+	}
+}
+
+func TestSplitConjunctsAndConjoin(t *testing.T) {
+	f := mustFormula(t, "a = 1 & b = 2 & c = 3")
+	parts := SplitConjuncts(f)
+	if len(parts) != 3 {
+		t.Fatalf("split into %d parts", len(parts))
+	}
+	// Conjoin is right-leaning while the parser is left-leaning, so
+	// compare the conjunct lists, which must agree.
+	reparts := SplitConjuncts(Conjoin(parts...))
+	if len(reparts) != len(parts) {
+		t.Fatalf("Split(Conjoin) has %d parts, want %d", len(reparts), len(parts))
+	}
+	for i := range parts {
+		if reparts[i].String() != parts[i].String() {
+			t.Fatalf("conjunct %d = %q, want %q", i, reparts[i].String(), parts[i].String())
+		}
+	}
+	if got := Conjoin(); !strings.Contains(got.String(), "true") {
+		t.Fatalf("empty Conjoin = %q", got.String())
+	}
+}

@@ -1,0 +1,174 @@
+package constraint
+
+import (
+	"errors"
+
+	"pwsr/internal/state"
+)
+
+// Tri is a three-valued truth value used by the partial evaluator that
+// prunes the solver's search: a formula over a partial assignment is
+// True, False, or Unknown (its value depends on unassigned variables).
+type Tri uint8
+
+// Three-valued truth constants.
+const (
+	Unknown Tri = iota
+	True
+	False
+)
+
+// String renders the truth value.
+func (t Tri) String() string {
+	switch t {
+	case True:
+		return "true"
+	case False:
+		return "false"
+	default:
+		return "unknown"
+	}
+}
+
+func triOf(b bool) Tri {
+	if b {
+		return True
+	}
+	return False
+}
+
+func triNot(t Tri) Tri {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+// evalExprPartial evaluates a term over a partial assignment. The second
+// result is false when the value depends on an unassigned variable. Other
+// evaluation errors (type errors, division by zero) are returned.
+func evalExprPartial(e Expr, db state.DB) (state.Value, bool, error) {
+	v, err := EvalExpr(e, DBLookup(db))
+	if err != nil {
+		if errors.Is(err, ErrUnbound) {
+			return state.Value{}, false, nil
+		}
+		return state.Value{}, false, err
+	}
+	return v, true, nil
+}
+
+// EvalPartial evaluates a formula over a partial assignment db,
+// returning True or False when the formula's value is already determined
+// and Unknown otherwise. Runtime errors under a *complete* reading of a
+// subterm (e.g. division by zero with all variables bound) propagate.
+//
+// The evaluator is sound: if EvalPartial returns True (False), then every
+// total extension of db satisfies (falsifies) the formula. It is not
+// complete — e.g. x = x over unassigned x reports Unknown — which only
+// costs search effort, never correctness.
+func EvalPartial(f Formula, db state.DB) (Tri, error) {
+	switch n := f.(type) {
+	case *BoolLit:
+		return triOf(n.Value), nil
+	case *Cmp:
+		l, okL, err := evalExprPartial(n.L, db)
+		if err != nil {
+			return Unknown, err
+		}
+		r, okR, err := evalExprPartial(n.R, db)
+		if err != nil {
+			return Unknown, err
+		}
+		if !okL || !okR {
+			return Unknown, nil
+		}
+		b, err := applyCmp(n.Op, l, r)
+		if err != nil {
+			return Unknown, err
+		}
+		return triOf(b), nil
+	case *Not:
+		t, err := EvalPartial(n.X, db)
+		if err != nil {
+			return Unknown, err
+		}
+		return triNot(t), nil
+	case *And:
+		l, err := EvalPartial(n.L, db)
+		if err != nil {
+			return Unknown, err
+		}
+		if l == False {
+			return False, nil
+		}
+		r, err := EvalPartial(n.R, db)
+		if err != nil {
+			return Unknown, err
+		}
+		if r == False {
+			return False, nil
+		}
+		if l == True && r == True {
+			return True, nil
+		}
+		return Unknown, nil
+	case *Or:
+		l, err := EvalPartial(n.L, db)
+		if err != nil {
+			return Unknown, err
+		}
+		if l == True {
+			return True, nil
+		}
+		r, err := EvalPartial(n.R, db)
+		if err != nil {
+			return Unknown, err
+		}
+		if r == True {
+			return True, nil
+		}
+		if l == False && r == False {
+			return False, nil
+		}
+		return Unknown, nil
+	case *Implies:
+		l, err := EvalPartial(n.L, db)
+		if err != nil {
+			return Unknown, err
+		}
+		if l == False {
+			return True, nil
+		}
+		r, err := EvalPartial(n.R, db)
+		if err != nil {
+			return Unknown, err
+		}
+		if r == True {
+			return True, nil
+		}
+		if l == True && r == False {
+			return False, nil
+		}
+		return Unknown, nil
+	case *Iff:
+		l, err := EvalPartial(n.L, db)
+		if err != nil {
+			return Unknown, err
+		}
+		r, err := EvalPartial(n.R, db)
+		if err != nil {
+			return Unknown, err
+		}
+		if l == Unknown || r == Unknown {
+			return Unknown, nil
+		}
+		return triOf(l == r), nil
+	default:
+		return Unknown, nil
+	}
+}

@@ -1,0 +1,120 @@
+package constraint
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pwsr/internal/state"
+)
+
+func triOfFormula(t *testing.T, src string, db state.DB) Tri {
+	t.Helper()
+	f := mustFormula(t, src)
+	tri, err := EvalPartial(f, db)
+	if err != nil {
+		t.Fatalf("EvalPartial(%q): %v", src, err)
+	}
+	return tri
+}
+
+func TestEvalPartialDetermined(t *testing.T) {
+	db := state.Ints(map[string]int64{"a": 1})
+	cases := []struct {
+		src  string
+		want Tri
+	}{
+		{"a = 1", True},
+		{"a = 2", False},
+		{"b = 1", Unknown},
+		{"a = 1 & b = 2", Unknown},
+		{"a = 2 & b = 2", False},    // short-circuit on determined False
+		{"a = 1 | b = 2", True},     // short-circuit on determined True
+		{"b = 2 | a = 1", True},     // True from the right side too
+		{"b = 2 & a = 2", False},    // False from the right side
+		{"a = 2 -> b = 9", True},    // vacuous regardless of b
+		{"a = 1 -> b = 9", Unknown}, // depends on b
+		{"b = 9 -> a = 1", True},    // consequent already true
+		{"!(b = 1)", Unknown},
+		{"!(a = 1)", False},
+		{"a = 1 <-> b = 1", Unknown},
+		{"a = 1 <-> a = 1", True},
+		{"true", True},
+		{"false", False},
+	}
+	for _, c := range cases {
+		if got := triOfFormula(t, c.src, db); got != c.want {
+			t.Errorf("EvalPartial(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalPartialSoundness(t *testing.T) {
+	// If partial evaluation over a sub-assignment says True/False, full
+	// evaluation over any extension must agree.
+	schema := state.UniformInts(-2, 2, "a", "b", "c")
+	srcs := []string{
+		"a = b",
+		"(a > 0 -> b > 0) & c > 0",
+		"a + b <= c | a = 2",
+		"!(a = b) <-> c != 0",
+		"min(a, b) < max(b, c)",
+	}
+	f := func(av, bv, cv int8, hideA, hideB, hideC bool) bool {
+		full := state.DB{
+			"a": state.Int(int64(av%3) - 0),
+			"b": state.Int(int64(bv % 3)),
+			"c": state.Int(int64(cv % 3)),
+		}
+		if err := schema.Validate(full); err != nil {
+			return true // outside domain; skip
+		}
+		partial := full.Clone()
+		if hideA {
+			delete(partial, "a")
+		}
+		if hideB {
+			delete(partial, "b")
+		}
+		if hideC {
+			delete(partial, "c")
+		}
+		for _, src := range srcs {
+			form, err := ParseFormula(src)
+			if err != nil {
+				return false
+			}
+			tri, err := EvalPartial(form, partial)
+			if err != nil {
+				return false
+			}
+			fullVal, err := Sat(form, full)
+			if err != nil {
+				return false
+			}
+			if tri == True && !fullVal {
+				return false
+			}
+			if tri == False && fullVal {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalPartialErrorPropagation(t *testing.T) {
+	db := state.Ints(map[string]int64{"a": 1, "z": 0})
+	f := mustFormula(t, "a / z = 1")
+	if _, err := EvalPartial(f, db); err == nil {
+		t.Fatal("division by zero not reported")
+	}
+}
+
+func TestTriString(t *testing.T) {
+	if True.String() != "true" || False.String() != "false" || Unknown.String() != "unknown" {
+		t.Fatal("Tri names wrong")
+	}
+}

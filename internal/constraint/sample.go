@@ -1,0 +1,77 @@
+package constraint
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pwsr/internal/state"
+)
+
+// SampleConsistent returns a random full database state satisfying the
+// IC. For each conjunct it fixes one randomly chosen item to a random
+// domain value and asks the solver to extend; if the pinned value is
+// infeasible it falls back to an unpinned solve. Items outside every
+// conjunct get uniform random domain values. Returns an error if some
+// conjunct is unsatisfiable within the schema's domains.
+//
+// Sampling is not uniform over models — it is a cheap diversifier for
+// correctness checks and workload generation, not a statistical tool.
+func (c *Checker) SampleConsistent(rng *rand.Rand) (state.DB, error) {
+	out := state.NewDB()
+	if c.IC.Disjoint() {
+		for _, conj := range c.IC.Conjuncts() {
+			w, err := c.sampleFormula(conj.F, conj.Items, rng)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", conj.Name, err)
+			}
+			out = out.Overwrite(w)
+		}
+	} else {
+		f := c.IC.Formula()
+		w, err := c.sampleFormula(f, FormulaVars(f), rng)
+		if err != nil {
+			return nil, err
+		}
+		out = w
+	}
+	// Unconstrained items get uniform values.
+	for it, dom := range c.Schema {
+		if _, ok := out.Get(it); ok {
+			continue
+		}
+		vals := dom.Values()
+		if len(vals) == 0 {
+			return nil, fmt.Errorf("constraint: empty domain for %q", it)
+		}
+		out.Set(it, vals[rng.Intn(len(vals))])
+	}
+	return out, nil
+}
+
+func (c *Checker) sampleFormula(f Formula, items state.ItemSet, rng *rand.Rand) (state.DB, error) {
+	sorted := items.Sorted()
+	if len(sorted) > 0 {
+		// Pin one random item to a random domain value and extend.
+		pin := sorted[rng.Intn(len(sorted))]
+		if dom := c.Schema.Domain(pin); dom != nil && dom.Size() > 0 {
+			vals := dom.Values()
+			fixed := state.NewDB()
+			fixed.Set(pin, vals[rng.Intn(len(vals))])
+			w, err := c.solver.Extend(f, fixed)
+			if err != nil {
+				return nil, err
+			}
+			if w != nil {
+				return w, nil
+			}
+		}
+	}
+	w, err := c.solver.Extend(f, state.NewDB())
+	if err != nil {
+		return nil, err
+	}
+	if w == nil {
+		return nil, fmt.Errorf("constraint: unsatisfiable within schema domains")
+	}
+	return w, nil
+}

@@ -1,0 +1,81 @@
+package constraint
+
+import (
+	"math/rand"
+	"testing"
+
+	"pwsr/internal/state"
+)
+
+func TestSampleConsistentSatisfies(t *testing.T) {
+	ic, err := ParseICFromConjuncts("x1 = y1", "x2 > 0 -> y2 > 0", "y3 > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := state.UniformInts(-64, 64, "x1", "y1", "x2", "y2", "y3", "free")
+	c := NewChecker(ic, schema)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		db, err := c.SampleConsistent(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := ic.Eval(db)
+		if err != nil || !ok {
+			t.Fatalf("sample %v does not satisfy %s: %v %v", db, ic, ok, err)
+		}
+		if !schema.Complete(db) {
+			t.Fatalf("sample %v incomplete (unconstrained items must be filled)", db)
+		}
+		if err := schema.Validate(db); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSampleConsistentDiversity(t *testing.T) {
+	// The equality constraint has 129 models over [-64,64]; sampling 40
+	// times should hit well more than one.
+	ic, _ := ParseICFromConjuncts("x1 = y1")
+	schema := state.UniformInts(-64, 64, "x1", "y1")
+	c := NewChecker(ic, schema)
+	rng := rand.New(rand.NewSource(5))
+	seen := map[string]bool{}
+	for i := 0; i < 40; i++ {
+		db, err := c.SampleConsistent(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[db.String()] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("only %d distinct samples", len(seen))
+	}
+}
+
+func TestSampleConsistentNonDisjoint(t *testing.T) {
+	// Non-disjoint conjuncts are solved whole.
+	ic, err := ParseIC("(a = b) & (b = c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := state.UniformInts(-5, 5, "a", "b", "c")
+	c := NewChecker(ic, schema)
+	rng := rand.New(rand.NewSource(6))
+	db, err := c.SampleConsistent(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := ic.Eval(db)
+	if err != nil || !ok {
+		t.Fatalf("sample %v inconsistent", db)
+	}
+}
+
+func TestSampleConsistentUnsat(t *testing.T) {
+	ic, _ := ParseICFromConjuncts("a != a")
+	c := NewChecker(ic, state.UniformInts(0, 3, "a"))
+	if _, err := c.SampleConsistent(rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("unsatisfiable IC sampled successfully")
+	}
+}

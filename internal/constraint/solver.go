@@ -1,0 +1,214 @@
+package constraint
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pwsr/internal/state"
+)
+
+// ErrBudget is returned when the solver's node budget is exhausted
+// before the search is decided.
+var ErrBudget = errors.New("constraint: solver node budget exhausted")
+
+// Solver decides satisfiability of formulas over the finite domains of a
+// schema by backtracking search with partial-evaluation pruning. It
+// implements the paper's notion of consistency for restricted database
+// states: DS^d is consistent iff there exist values for the items not in
+// d extending DS^d to a consistent state (Section 2.1).
+type Solver struct {
+	// Schema supplies the domain of every data item.
+	Schema state.Schema
+	// MaxNodes bounds the number of assignments explored; 0 means the
+	// default of 1<<20. Exceeding the budget returns ErrBudget.
+	MaxNodes int
+}
+
+// NewSolver returns a Solver over the given schema.
+func NewSolver(schema state.Schema) *Solver {
+	return &Solver{Schema: schema}
+}
+
+func (s *Solver) budget() int {
+	if s.MaxNodes > 0 {
+		return s.MaxNodes
+	}
+	return 1 << 20
+}
+
+// Satisfiable reports whether f has a model that extends the partial
+// assignment fixed, drawing unassigned variables of f from their schema
+// domains. Variables of f already assigned by fixed keep their values.
+func (s *Solver) Satisfiable(f Formula, fixed state.DB) (bool, error) {
+	witness, err := s.Extend(f, fixed)
+	if err != nil {
+		return false, err
+	}
+	return witness != nil, nil
+}
+
+// Extend returns a model of f extending fixed (fixed plus values for
+// f's unassigned variables), or nil if none exists.
+func (s *Solver) Extend(f Formula, fixed state.DB) (state.DB, error) {
+	vars := FormulaVars(f)
+	var free []string
+	for _, it := range vars.Sorted() {
+		if _, ok := fixed.Get(it); !ok {
+			free = append(free, it)
+		}
+	}
+	// Validate domains exist for all free variables.
+	for _, it := range free {
+		if s.Schema.Domain(it) == nil {
+			return nil, fmt.Errorf("constraint: no domain for item %q", it)
+		}
+	}
+	// Order free variables by ascending domain size (fail-first on the
+	// most constrained choice points).
+	sort.SliceStable(free, func(i, j int) bool {
+		return s.Schema.Domain(free[i]).Size() < s.Schema.Domain(free[j]).Size()
+	})
+
+	assign := fixed.Clone()
+	nodes := s.budget()
+	found, err := s.search(f, assign, free, &nodes)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, nil
+	}
+	return assign, nil
+}
+
+// search assigns free variables depth-first. assign is mutated in place;
+// on success it holds the witness.
+func (s *Solver) search(f Formula, assign state.DB, free []string, nodes *int) (bool, error) {
+	if *nodes <= 0 {
+		return false, ErrBudget
+	}
+	*nodes--
+
+	switch t, err := EvalPartial(f, assign); {
+	case err != nil:
+		// A runtime error (e.g. division by zero) under this partial
+		// assignment: the assignment cannot be part of a model, since
+		// the formula is undefined on it. Prune.
+		return false, nil
+	case t == True:
+		// Sound acceptance: every extension satisfies f. Fill remaining
+		// variables with the first domain value so the witness is total
+		// over f's variables.
+		for _, it := range free {
+			vals := s.Schema.Domain(it).Values()
+			if len(vals) == 0 {
+				return false, nil
+			}
+			assign.Set(it, vals[0])
+		}
+		return true, nil
+	case t == False:
+		return false, nil
+	}
+	if len(free) == 0 {
+		// All variables assigned yet Unknown: cannot happen for
+		// well-formed formulas, but treat conservatively as unsat.
+		return false, nil
+	}
+
+	it := free[0]
+	rest := free[1:]
+	for _, v := range s.Schema.Domain(it).Values() {
+		assign.Set(it, v)
+		ok, err := s.search(f, assign, rest, nodes)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	delete(assign, it)
+	return false, nil
+}
+
+// Checker decides the paper's consistency judgments for an IC over a
+// schema: full-state satisfaction and restricted-state (∃-extension)
+// consistency, with the per-conjunct decomposition licensed by Lemma 1
+// applied automatically when the conjunct data sets are disjoint.
+type Checker struct {
+	IC     *IC
+	Schema state.Schema
+	solver *Solver
+}
+
+// NewChecker builds a Checker; the solver's node budget can be adjusted
+// through Solver().
+func NewChecker(ic *IC, schema state.Schema) *Checker {
+	return &Checker{IC: ic, Schema: schema, solver: NewSolver(schema)}
+}
+
+// Solver exposes the underlying solver for budget configuration.
+func (c *Checker) Solver() *Solver { return c.solver }
+
+// Consistent reports whether the (possibly partial) database state db is
+// consistent: whether there exists a consistent full state DS1 with
+// DS1^d = db, where d = db.Items(). When the IC's conjuncts are
+// disjoint this decomposes per conjunct (Lemma 1); otherwise the whole
+// formula is solved at once.
+func (c *Checker) Consistent(db state.DB) (bool, error) {
+	if c.IC.Disjoint() {
+		for _, conj := range c.IC.Conjuncts() {
+			ok, err := c.consistentConjunct(conj, db)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	return c.ConsistentWhole(db)
+}
+
+// ConsistentConjunct reports whether db's restriction to conjunct e's
+// data set extends to a state satisfying Ce.
+func (c *Checker) ConsistentConjunct(e int, db state.DB) (bool, error) {
+	if e < 0 || e >= c.IC.Len() {
+		return false, fmt.Errorf("constraint: conjunct index %d out of range", e)
+	}
+	return c.consistentConjunct(c.IC.Conjuncts()[e], db)
+}
+
+func (c *Checker) consistentConjunct(conj Conjunct, db state.DB) (bool, error) {
+	fixed := db.Restrict(conj.Items)
+	ok, err := c.solver.Satisfiable(conj.F, fixed)
+	if err != nil {
+		return false, fmt.Errorf("%s: %w", conj.Name, err)
+	}
+	return ok, nil
+}
+
+// ConsistentWhole decides restricted-state consistency against the whole
+// conjunction without the Lemma 1 decomposition. It is exponentially
+// more expensive but correct for non-disjoint conjuncts, and serves as
+// the oracle against which Lemma 1 is property-tested.
+func (c *Checker) ConsistentWhole(db state.DB) (bool, error) {
+	f := c.IC.Formula()
+	fixed := db.Restrict(FormulaVars(f))
+	return c.solver.Satisfiable(f, fixed)
+}
+
+// SatisfiedBy reports whether the full state db satisfies the IC
+// directly (no search). Every constrained item must be assigned.
+func (c *Checker) SatisfiedBy(db state.DB) (bool, error) {
+	return c.IC.Eval(db)
+}
+
+// ConsistentRestriction is a convenience: restricts db to d and decides
+// consistency of the restriction.
+func (c *Checker) ConsistentRestriction(db state.DB, d state.ItemSet) (bool, error) {
+	return c.Consistent(db.Restrict(d))
+}

@@ -1,0 +1,225 @@
+package constraint
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pwsr/internal/state"
+)
+
+func TestSolverSatisfiableSimple(t *testing.T) {
+	schema := state.UniformInts(-5, 5, "a", "b")
+	s := NewSolver(schema)
+	f := mustFormula(t, "a = b")
+
+	// With a fixed, b free: always extendable.
+	ok, err := s.Satisfiable(f, state.Ints(map[string]int64{"a": 3}))
+	if err != nil || !ok {
+		t.Fatalf("Satisfiable = %v, %v", ok, err)
+	}
+	// Fixed outside any model.
+	f2 := mustFormula(t, "a = b & a != a")
+	ok, err = s.Satisfiable(f2, state.NewDB())
+	if err != nil || ok {
+		t.Fatalf("unsat formula reported sat: %v, %v", ok, err)
+	}
+}
+
+func TestSolverExtendWitness(t *testing.T) {
+	schema := state.UniformInts(0, 10, "a", "b", "c")
+	s := NewSolver(schema)
+	f := mustFormula(t, "a + b = c & b > a")
+	fixed := state.Ints(map[string]int64{"c": 7})
+	w, err := s.Extend(f, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == nil {
+		t.Fatal("no witness found")
+	}
+	ok, err := Sat(f, w)
+	if err != nil || !ok {
+		t.Fatalf("witness %v does not satisfy formula: %v, %v", w, ok, err)
+	}
+	if !w.MustGet("c").Equal(state.Int(7)) {
+		t.Fatal("witness changed the fixed part")
+	}
+}
+
+func TestSolverRespectsDomains(t *testing.T) {
+	schema := state.Schema{
+		"a": state.IntRange{Lo: 1, Hi: 3},
+		"b": state.IntRange{Lo: 10, Hi: 12},
+	}
+	s := NewSolver(schema)
+	// a = b is unsatisfiable within these domains.
+	ok, err := s.Satisfiable(mustFormula(t, "a = b"), state.NewDB())
+	if err != nil || ok {
+		t.Fatalf("domain-infeasible formula reported sat: %v, %v", ok, err)
+	}
+}
+
+func TestSolverMissingDomain(t *testing.T) {
+	s := NewSolver(state.UniformInts(0, 1, "a"))
+	if _, err := s.Satisfiable(mustFormula(t, "zz = 1"), state.NewDB()); err == nil {
+		t.Fatal("missing domain not reported")
+	}
+}
+
+func TestSolverBudget(t *testing.T) {
+	// 6 variables over 21 values with an unsatisfiable constraint forces
+	// exhaustive search; a tiny budget must trip ErrBudget.
+	items := []string{"a", "b", "c", "d", "e", "f"}
+	schema := state.UniformInts(-10, 10, items...)
+	s := NewSolver(schema)
+	s.MaxNodes = 10
+	f := mustFormula(t, "a + b + c + d + e + f = 100")
+	if _, err := s.Satisfiable(f, state.NewDB()); !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestSolverStringDomains(t *testing.T) {
+	schema := state.Schema{
+		"who": state.Strings("ann", "jim"),
+	}
+	s := NewSolver(schema)
+	ok, err := s.Satisfiable(mustFormula(t, `who = "jim"`), state.NewDB())
+	if err != nil || !ok {
+		t.Fatalf("string-domain sat failed: %v, %v", ok, err)
+	}
+	ok, err = s.Satisfiable(mustFormula(t, `who = "bob"`), state.NewDB())
+	if err != nil || ok {
+		t.Fatalf("string-domain unsat wrong: %v, %v", ok, err)
+	}
+}
+
+func TestCheckerRestrictionConsistency(t *testing.T) {
+	// §2.1: DS2 = {(a,5),(b,6)} is inconsistent under a = b, but both
+	// restrictions {(a,5)} and {(b,6)} are consistent.
+	ic, _ := ParseIC("a = b")
+	schema := state.UniformInts(0, 10, "a", "b")
+	c := NewChecker(ic, schema)
+
+	ds2 := state.Ints(map[string]int64{"a": 5, "b": 6})
+	if ok, _ := c.Consistent(ds2); ok {
+		t.Error("DS2 should be inconsistent")
+	}
+	if ok, _ := c.Consistent(ds2.Restrict(stateSet("a"))); !ok {
+		t.Error("DS2^{a} should be consistent")
+	}
+	if ok, _ := c.Consistent(ds2.Restrict(stateSet("b"))); !ok {
+		t.Error("DS2^{b} should be consistent")
+	}
+	if ok, _ := c.ConsistentRestriction(ds2, stateSet("b")); !ok {
+		t.Error("ConsistentRestriction wrapper disagrees")
+	}
+}
+
+func TestCheckerLemma1CounterexampleNonDisjoint(t *testing.T) {
+	// The remark after Lemma 1: IC = (a=5 -> b=5) & (c=5 -> b=6) with
+	// shared item b. DS^{a} = {(a,5)} and DS^{c} = {(c,5)} are each
+	// consistent, but their union is not.
+	ic, err := ParseIC("(a = 5 -> b = 5) & (c = 5 -> b = 6)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ic.Disjoint() {
+		t.Fatal("conjuncts share b; should not be disjoint")
+	}
+	schema := state.UniformInts(0, 10, "a", "b", "c")
+	c := NewChecker(ic, schema)
+
+	da := state.Ints(map[string]int64{"a": 5})
+	dc := state.Ints(map[string]int64{"c": 5})
+	if ok, err := c.Consistent(da); err != nil || !ok {
+		t.Fatalf("DS^{a}: %v, %v", ok, err)
+	}
+	if ok, err := c.Consistent(dc); err != nil || !ok {
+		t.Fatalf("DS^{c}: %v, %v", ok, err)
+	}
+	union := da.MustUnion(dc)
+	if ok, err := c.Consistent(union); err != nil || ok {
+		t.Fatalf("union should be inconsistent: %v, %v", ok, err)
+	}
+}
+
+func TestCheckerConjunctIndexBounds(t *testing.T) {
+	ic, _ := ParseIC("a = 1")
+	c := NewChecker(ic, state.UniformInts(0, 2, "a"))
+	if _, err := c.ConsistentConjunct(5, state.NewDB()); err == nil {
+		t.Fatal("out-of-range conjunct accepted")
+	}
+	if ok, err := c.ConsistentConjunct(0, state.Ints(map[string]int64{"a": 1})); err != nil || !ok {
+		t.Fatalf("conjunct 0: %v, %v", ok, err)
+	}
+}
+
+// randomDisjointIC builds an IC with disjoint conjuncts over distinct
+// items for the Lemma 1 property test.
+func randomDisjointIC(rng *rand.Rand) (*IC, state.Schema) {
+	templates := []func(x, y string) string{
+		func(x, y string) string { return "(" + x + " > 0 -> " + y + " > 0)" },
+		func(x, y string) string { return "(" + x + " = " + y + ")" },
+		func(x, y string) string { return "(" + x + " <= " + y + ")" },
+		func(x, y string) string { return "(" + x + " + " + y + " >= 0)" },
+	}
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	n := 2 + rng.Intn(2) // 2 or 3 conjuncts, 2 items each
+	var srcs []string
+	var items []string
+	for i := 0; i < n; i++ {
+		x, y := names[2*i], names[2*i+1]
+		items = append(items, x, y)
+		srcs = append(srcs, templates[rng.Intn(len(templates))](x, y))
+	}
+	ic, err := ParseICFromConjuncts(srcs...)
+	if err != nil {
+		panic(err)
+	}
+	return ic, state.UniformInts(-3, 3, items...)
+}
+
+func TestLemma1DecompositionEquivalence(t *testing.T) {
+	// Lemma 1: for disjoint conjuncts, the union of restrictions is
+	// consistent iff each restriction is consistent. Operationally: the
+	// per-conjunct decomposition (Consistent) agrees with whole-formula
+	// solving (ConsistentWhole) on every partial state.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		ic, schema := randomDisjointIC(rng)
+		c := NewChecker(ic, schema)
+
+		// Random partial state over the schema's items.
+		partial := state.NewDB()
+		for _, it := range schema.Items().Sorted() {
+			switch rng.Intn(3) {
+			case 0: // unassigned
+			default:
+				partial.Set(it, state.Int(int64(rng.Intn(7)-3)))
+			}
+		}
+
+		dec, err := c.Consistent(partial)
+		if err != nil {
+			t.Fatalf("trial %d: Consistent: %v", trial, err)
+		}
+		whole, err := c.ConsistentWhole(partial)
+		if err != nil {
+			t.Fatalf("trial %d: ConsistentWhole: %v", trial, err)
+		}
+		if dec != whole {
+			t.Fatalf("trial %d: Lemma 1 violated: decomposed=%v whole=%v for %v under %s",
+				trial, dec, whole, partial, ic)
+		}
+	}
+}
+
+func TestCheckerSatisfiedBy(t *testing.T) {
+	ic, _ := ParseIC("(a > 0 -> b > 0) & (c > 0)")
+	c := NewChecker(ic, state.UniformInts(-5, 5, "a", "b", "c"))
+	if ok, err := c.SatisfiedBy(state.Ints(map[string]int64{"a": 1, "b": 1, "c": 1})); err != nil || !ok {
+		t.Fatalf("SatisfiedBy = %v, %v", ok, err)
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"pwsr/internal/program"
+	"pwsr/internal/serial"
+	"pwsr/internal/txn"
+)
+
+// AnalyzeOptions configures Analyze.
+type AnalyzeOptions struct {
+	// Programs optionally maps transaction ids to the programs that
+	// produced them, enabling the fixed-structure (Theorem 1) check.
+	Programs map[int]*program.Program
+	// FixedStructureSamples is the sample budget for the dynamic
+	// fixed-structure check (0 = default).
+	FixedStructureSamples int
+	// Seed seeds the dynamic fixed-structure check.
+	Seed int64
+}
+
+// Verdict is the result of applying the paper's three theorems to a
+// schedule: which hypotheses hold and whether strong correctness is
+// guaranteed by one of them.
+type Verdict struct {
+	// PWSR reports Definition 2.
+	PWSR bool
+	// PWSRReport carries the per-conjunct detail.
+	PWSRReport *PWSRReport
+	// Disjoint reports whether the conjunct data sets are pairwise
+	// disjoint — required by every theorem (Example 5).
+	Disjoint bool
+	// DR reports Definition 5.
+	DR bool
+	// DAGAcyclic reports acyclicity of DAG(S, IC).
+	DAGAcyclic bool
+	// FixedStructure reports Definition 3 for all supplied programs;
+	// false when no programs were supplied.
+	FixedStructure bool
+	// FixedStructureKnown is true when programs were supplied and the
+	// check ran.
+	FixedStructureKnown bool
+	// Serializable reports plain conflict serializability of the whole
+	// schedule (for context: serializable ⟹ strongly correct).
+	Serializable bool
+
+	// Theorem1 is PWSR ∧ Disjoint ∧ FixedStructure.
+	Theorem1 bool
+	// Theorem2 is PWSR ∧ Disjoint ∧ DR.
+	Theorem2 bool
+	// Theorem3 is PWSR ∧ Disjoint ∧ DAGAcyclic.
+	Theorem3 bool
+	// Guaranteed reports that at least one sufficient condition holds,
+	// so the schedule is strongly correct by the paper's results.
+	Guaranteed bool
+	// Reasons explains the verdict.
+	Reasons []string
+}
+
+// Analyze applies the paper's theorems to schedule s under this
+// system's integrity constraint.
+func (sys *System) Analyze(s *txn.Schedule, opts AnalyzeOptions) (*Verdict, error) {
+	v := &Verdict{}
+
+	v.PWSRReport = sys.CheckPWSR(s)
+	v.PWSR = v.PWSRReport.PWSR
+	v.Disjoint = sys.IC.Disjoint()
+	v.DR = s.IsDelayedRead()
+	v.DAGAcyclic = sys.DataAccessGraph(s).Acyclic()
+	v.Serializable = serial.IsCSR(s)
+
+	if len(opts.Programs) > 0 {
+		v.FixedStructureKnown = true
+		v.FixedStructure = true
+		for id, p := range opts.Programs {
+			rep, err := program.CheckFixedStructure(p, sys.Schema, opts.FixedStructureSamples, opts.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("core: fixed-structure check for T%d: %w", id, err)
+			}
+			if !rep.Fixed {
+				v.FixedStructure = false
+				v.Reasons = append(v.Reasons,
+					fmt.Sprintf("program of T%d is not fixed-structure (%s vs %s)",
+						id, rep.StructA, rep.StructB))
+			}
+		}
+	}
+
+	v.Theorem1 = v.PWSR && v.Disjoint && v.FixedStructureKnown && v.FixedStructure
+	v.Theorem2 = v.PWSR && v.Disjoint && v.DR
+	v.Theorem3 = v.PWSR && v.Disjoint && v.DAGAcyclic
+	v.Guaranteed = v.Theorem1 || v.Theorem2 || v.Theorem3
+
+	if !v.PWSR {
+		v.Reasons = append(v.Reasons, "schedule is not PWSR")
+	}
+	if !v.Disjoint {
+		v.Reasons = append(v.Reasons, "conjunct data sets are not disjoint (Example 5 territory)")
+	}
+	switch {
+	case v.Theorem1:
+		v.Reasons = append(v.Reasons, "Theorem 1 applies: PWSR + fixed-structure programs")
+	case v.Theorem2:
+		v.Reasons = append(v.Reasons, "Theorem 2 applies: PWSR + delayed-read schedule")
+	case v.Theorem3:
+		v.Reasons = append(v.Reasons, "Theorem 3 applies: PWSR + acyclic data access graph")
+	default:
+		v.Reasons = append(v.Reasons, "no sufficient condition holds; strong correctness not guaranteed")
+	}
+	if v.Serializable {
+		v.Reasons = append(v.Reasons, "schedule is conflict serializable (strongly correct classically)")
+	}
+	return v, nil
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+
+	"pwsr/internal/serial"
+	"pwsr/internal/state"
+	"pwsr/internal/txn"
+)
+
+// maxOrders bounds how many serialization orders the lemma checkers
+// quantify over per projection (transaction states depend on the chosen
+// order, so the lemmas are checked against each).
+const maxOrders = 24
+
+// Lemma2Check verifies the view-set containment of Lemma 2 on schedule
+// s for data set d: for every serialization order of S^d, every
+// operation p of S, and every position i,
+//
+//	RS(before(T^d_i, p, S)) ⊆ VS(Ti, p, d, S).
+//
+// It returns nil when the containment holds everywhere, or a descriptive
+// error for the first violation. S^d must be serializable.
+func Lemma2Check(s *txn.Schedule, d state.ItemSet) error {
+	proj := s.Restrict(d)
+	orders := serial.AllSerializationOrders(proj, maxOrders)
+	if orders == nil {
+		return fmt.Errorf("core: S^%v is not serializable", d)
+	}
+	for _, order := range orders {
+		for _, p := range s.Ops() {
+			for i, id := range order {
+				ti := s.Txn(id).Restrict(d)
+				rs := s.Before(ti.Ops, p).RS()
+				vs := ViewSet(s, d, order, i, p)
+				if !rs.Subset(vs) {
+					return fmt.Errorf(
+						"core: Lemma 2 violated: order %v, p=%s, T%d: RS(before)=%v ⊄ VS=%v",
+						order, p, id, rs, vs)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Lemma6Check verifies the delayed-read view-set containment of Lemma 6
+// on schedule s for data set d; s must be DR and S^d serializable.
+func Lemma6Check(s *txn.Schedule, d state.ItemSet) error {
+	if !s.IsDelayedRead() {
+		return fmt.Errorf("core: schedule is not DR")
+	}
+	proj := s.Restrict(d)
+	orders := serial.AllSerializationOrders(proj, maxOrders)
+	if orders == nil {
+		return fmt.Errorf("core: S^%v is not serializable", d)
+	}
+	for _, order := range orders {
+		for _, p := range s.Ops() {
+			for i, id := range order {
+				ti := s.Txn(id).Restrict(d)
+				rs := s.Before(ti.Ops, p).RS()
+				vs := ViewSetDR(s, d, order, i, p)
+				if !rs.Subset(vs) {
+					return fmt.Errorf(
+						"core: Lemma 6 violated: order %v, p=%s, T%d: RS(before)=%v ⊄ VS=%v",
+						order, p, id, rs, vs)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Def4Check verifies the two remarks below Definition 4 on schedule s
+// for data set d and initial state: for every serialization order of
+// S^d,
+//
+//	read(T^d_i) ⊆ state(Ti, d, S, DS), and
+//	applying T^d_n to state(Tn, d, S, DS) yields DS2^d.
+func Def4Check(s *txn.Schedule, d state.ItemSet, initial state.DB) error {
+	proj := s.Restrict(d)
+	orders := serial.AllSerializationOrders(proj, maxOrders)
+	if orders == nil {
+		return fmt.Errorf("core: S^%v is not serializable", d)
+	}
+	want := s.FinalState(initial).Restrict(d)
+	for _, order := range orders {
+		for i, id := range order {
+			ti := s.Txn(id).Restrict(d)
+			st := TxnState(s, d, order, i, initial)
+			reads := ti.ReadState()
+			for it, v := range reads {
+				sv, ok := st.Get(it)
+				if !ok || !sv.Equal(v) {
+					return fmt.Errorf(
+						"core: Definition 4 remark violated: order %v, T%d reads (%s,%s) but state has %v",
+						order, id, it, v, st)
+				}
+			}
+		}
+		got := FinalTxnState(s, d, order, initial)
+		if !got.Equal(want) {
+			return fmt.Errorf(
+				"core: Definition 4 final-state remark violated: order %v gives %v, want %v",
+				order, got, want)
+		}
+	}
+	return nil
+}
+
+// Lemma5Check verifies the conclusion of Lemma 5 (and Lemma 9)
+// operationally on schedule s from initial state: for every operation p
+// and every transaction Ti, read(before(Ti, p, S)) is consistent. This
+// is exactly the induction invariant of the paper's proofs, so checking
+// it on concrete schedules exercises Lemmas 4, 5, 8, and 9.
+func (sys *System) Lemma5Check(s *txn.Schedule, initial state.DB) error {
+	for _, p := range s.Ops() {
+		for _, t := range s.Transactions() {
+			reads := s.Before(t.Ops, p).ReadState()
+			ok, err := sys.checker.Consistent(reads)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf(
+					"core: read(before(T%d, %s, S)) = %v is inconsistent",
+					t.ID, p, reads)
+			}
+		}
+	}
+	return nil
+}
+
+// Lemma3Claim checks the conclusion of Lemma 3 for one isolated
+// transaction execution: given [DS1] Ti [DS2] (Ti = the whole schedule)
+// and an operation p of Ti, if DS1^d ∪ read(before(Ti, p, S)) is
+// consistent then DS2^{d − WS(after(Ti, p, S))} must be consistent. It
+// returns (vacuous, holds, error): vacuous is true when the hypothesis
+// union is inconsistent or undefined.
+func (sys *System) Lemma3Claim(ti txn.Transaction, p txn.Op, d state.ItemSet, ds1, ds2 state.DB) (vacuous, holds bool, err error) {
+	s := txn.FromSeq(ti.Ops)
+	// Re-locate p in the rebuilt schedule by position within the
+	// transaction.
+	var pp txn.Op
+	found := false
+	for _, o := range s.Ops() {
+		if o.Txn == p.Txn && o.Action == p.Action && o.Entity == p.Entity && o.Value.Equal(p.Value) {
+			pp = o
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false, false, fmt.Errorf("core: p=%s not in transaction", p)
+	}
+	t := s.Txn(ti.ID)
+
+	hyp, uerr := ds1.Restrict(d).Union(s.Before(t.Ops, pp).ReadState())
+	if uerr != nil {
+		return true, false, nil
+	}
+	ok, err := sys.checker.Consistent(hyp)
+	if err != nil {
+		return false, false, err
+	}
+	if !ok {
+		return true, false, nil
+	}
+	target := d.Diff(s.After(t.Ops, pp).WS())
+	ok, err = sys.checker.Consistent(ds2.Restrict(target))
+	if err != nil {
+		return false, false, err
+	}
+	return false, ok, nil
+}
+
+// TauW returns τw(d, S): the set of transactions in S that have at
+// least one write operation on some data item in d (Section 3.3).
+func TauW(s *txn.Schedule, d state.ItemSet) []int {
+	var out []int
+	for _, t := range s.Transactions() {
+		if !t.WS().Intersect(d).Empty() {
+			out = append(out, t.ID)
+		}
+	}
+	return out
+}
+
+// Lemma10Check verifies Lemma 10 on a schedule: if S^d is serializable
+// and every d-writing transaction's state-plus-reads stays consistent
+// whenever its state is consistent, then every transaction state and
+// the final restriction DS2^d are consistent. The per-transaction
+// hypothesis is checked operationally; orders whose hypothesis fails
+// are skipped (vacuous). Returns the number of orders fully verified.
+func (sys *System) Lemma10Check(s *txn.Schedule, d state.ItemSet, initial state.DB) (verified int, err error) {
+	proj := s.Restrict(d)
+	orders := serial.AllSerializationOrders(proj, maxOrders)
+	if orders == nil {
+		return 0, fmt.Errorf("core: S^%v is not serializable", d)
+	}
+	writers := map[int]bool{}
+	for _, id := range TauW(s, d) {
+		writers[id] = true
+	}
+	final := s.FinalState(initial).Restrict(d)
+
+	for _, order := range orders {
+		hypothesisHolds := true
+		for i, id := range order {
+			if !writers[id] {
+				continue
+			}
+			st := TxnState(s, d, order, i, initial)
+			stOK, err := sys.checker.Consistent(st)
+			if err != nil {
+				return verified, err
+			}
+			if !stOK {
+				continue
+			}
+			union, uerr := st.Union(s.Txn(id).ReadState())
+			if uerr != nil {
+				hypothesisHolds = false
+				break
+			}
+			ok, err := sys.checker.Consistent(union)
+			if err != nil {
+				return verified, err
+			}
+			if !ok {
+				hypothesisHolds = false
+				break
+			}
+		}
+		if !hypothesisHolds {
+			continue
+		}
+		// Conclusions: every transaction state consistent, and DS2^d
+		// consistent.
+		for i := range order {
+			st := TxnState(s, d, order, i, initial)
+			ok, err := sys.checker.Consistent(st)
+			if err != nil {
+				return verified, err
+			}
+			if !ok {
+				return verified, fmt.Errorf(
+					"core: Lemma 10 violated: order %v, state(T%d)=%v inconsistent",
+					order, order[i], st)
+			}
+		}
+		ok, err := sys.checker.Consistent(final)
+		if err != nil {
+			return verified, err
+		}
+		if !ok {
+			return verified, fmt.Errorf(
+				"core: Lemma 10 violated: order %v, DS2^%v=%v inconsistent", order, d, final)
+		}
+		verified++
+	}
+	return verified, nil
+}
+
+// Lemma7Claim checks the conclusion of Lemma 7 for one isolated
+// transaction execution: if DS1^d ∪ read(Ti) is consistent then
+// DS2^{d ∪ WS(Ti)} must be consistent. Returns (vacuous, holds, error).
+func (sys *System) Lemma7Claim(ti txn.Transaction, d state.ItemSet, ds1, ds2 state.DB) (vacuous, holds bool, err error) {
+	hyp, uerr := ds1.Restrict(d).Union(ti.ReadState())
+	if uerr != nil {
+		return true, false, nil
+	}
+	ok, err := sys.checker.Consistent(hyp)
+	if err != nil {
+		return false, false, err
+	}
+	if !ok {
+		return true, false, nil
+	}
+	target := d.Union(ti.WS())
+	ok, err = sys.checker.Consistent(ds2.Restrict(target))
+	if err != nil {
+		return false, false, err
+	}
+	return false, ok, nil
+}

@@ -1,0 +1,306 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"pwsr/internal/core"
+	"pwsr/internal/paper"
+	"pwsr/internal/program"
+	"pwsr/internal/state"
+	"pwsr/internal/txn"
+)
+
+func TestViewSetLemma2Recurrence(t *testing.T) {
+	// Hand-checked scenario: d = {x, y}; order T1, T2, T3; p early.
+	// T1 writes x after p, T2 writes y after p.
+	s := txn.NewSchedule(
+		txn.R(1, "x", 0), // pos 0
+		txn.R(2, "y", 0), // pos 1 — p here
+		txn.W(1, "x", 1), // pos 2 (after p)
+		txn.W(2, "y", 1), // pos 3 (after p)
+		txn.R(3, "x", 1), // pos 4
+	)
+	d := state.NewItemSet("x", "y")
+	p := s.Op(1)
+	order := []int{1, 2, 3}
+
+	if got := core.ViewSet(s, d, order, 0, p); !got.Equal(d) {
+		t.Fatalf("VS(T1) = %v, want d", got)
+	}
+	// VS(T2) = d − WS(after(T1^d, p, S)) = d − {x}.
+	if got := core.ViewSet(s, d, order, 1, p); !got.Equal(state.NewItemSet("y")) {
+		t.Fatalf("VS(T2) = %v, want {y}", got)
+	}
+	// VS(T3) = VS(T2) − {y} = ∅.
+	if got := core.ViewSet(s, d, order, 2, p); !got.Empty() {
+		t.Fatalf("VS(T3) = %v, want empty", got)
+	}
+}
+
+func TestViewSetDRReincludesCompletedWriters(t *testing.T) {
+	// T1 writes x and completes before p; Lemma 6's recurrence puts x
+	// back into the view set of later transactions.
+	s := txn.NewSchedule(
+		txn.W(1, "x", 1), // pos 0: T1 writes and is complete
+		txn.R(2, "x", 1), // pos 1
+		txn.W(2, "y", 2), // pos 2 — p here
+		txn.R(3, "y", 2), // pos 3
+	)
+	d := state.NewItemSet("x", "y")
+	p := s.Op(2)
+	order := []int{1, 2, 3}
+
+	// after(T1, p, S) = ε so VS(T2) = d ∪ WS(T1^d) = d.
+	if got := core.ViewSetDR(s, d, order, 1, p); !got.Equal(d) {
+		t.Fatalf("VS_DR(T2) = %v, want d", got)
+	}
+	// after(T2, p, S) includes p itself? before includes p (p ∈ T2), so
+	// after(T2, p, S) = ε too: VS(T3) = d ∪ WS(T2^d) = d.
+	if got := core.ViewSetDR(s, d, order, 2, p); !got.Equal(d) {
+		t.Fatalf("VS_DR(T3) = %v, want d", got)
+	}
+	// With p at position 1 instead, T2's write of y is after p:
+	// VS(T3) = VS(T2) − {y}.
+	p1 := s.Op(1)
+	if got := core.ViewSetDR(s, d, order, 2, p1); !got.Equal(state.NewItemSet("x")) {
+		t.Fatalf("VS_DR(T3) at p1 = %v, want {x}", got)
+	}
+}
+
+func TestLemma2OnPaperExamples(t *testing.T) {
+	for _, e := range []*paper.Example{paper.Example1(), paper.Example2(), paper.Example5()} {
+		partition := []state.ItemSet{}
+		if e.IC != nil {
+			partition = e.IC.Partition()
+		} else {
+			partition = []state.ItemSet{state.NewItemSet("a", "b", "c", "d")}
+		}
+		for _, d := range partition {
+			if err := core.Lemma2Check(e.Schedule, d); err != nil {
+				t.Errorf("%s, d=%v: %v", e.Name, d, err)
+			}
+		}
+	}
+}
+
+func TestLemma6OnDRSchedules(t *testing.T) {
+	// Example 5's schedule is DR.
+	e := paper.Example5()
+	for _, d := range e.IC.Partition() {
+		if err := core.Lemma6Check(e.Schedule, d); err != nil {
+			t.Errorf("d=%v: %v", d, err)
+		}
+	}
+	// Lemma6Check refuses non-DR schedules.
+	e2 := paper.Example2()
+	if err := core.Lemma6Check(e2.Schedule, state.NewItemSet("a", "b")); err == nil {
+		t.Error("non-DR schedule accepted")
+	}
+}
+
+func TestDef4OnExample1(t *testing.T) {
+	// The paper computes state(T2, {a,b,c}, S, DS1) under both orders:
+	// T1T2 gives {(a,0),(b,5),(c,5)}; T2T1 gives {(a,0),(b,10),(c,5)}.
+	e := paper.Example1()
+	d := state.NewItemSet("a", "b", "c")
+	s := e.Schedule
+
+	st12 := core.TxnState(s, d, []int{1, 2}, 1, e.Initial)
+	if !st12.Equal(state.Ints(map[string]int64{"a": 0, "b": 5, "c": 5})) {
+		t.Fatalf("state(T2) under T1,T2 = %v", st12)
+	}
+	st21 := core.TxnState(s, d, []int{2, 1}, 1, e.Initial)
+	if !st21.Equal(state.Ints(map[string]int64{"a": 0, "b": 10, "c": 5})) {
+		t.Fatalf("state(T1)… wait, state at index 1 under order T2,T1 = %v", st21)
+	}
+
+	if err := core.Def4Check(s, d, e.Initial); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Def4Check(s, state.NewItemSet("a", "b", "c", "d"), e.Initial); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDef4OnProjections(t *testing.T) {
+	e := paper.Example2()
+	for _, d := range e.IC.Partition() {
+		if err := core.Def4Check(e.Schedule, d, e.Initial); err != nil {
+			t.Errorf("d=%v: %v", d, err)
+		}
+	}
+}
+
+func TestFinalTxnStateEmptyOrder(t *testing.T) {
+	s := txn.NewSchedule(txn.R(1, "a", 0))
+	d := state.NewItemSet("z")
+	got := core.FinalTxnState(s.Restrict(d), d, nil, state.Ints(map[string]int64{"z": 9}))
+	if !got.Equal(state.Ints(map[string]int64{"z": 9})) {
+		t.Fatalf("FinalTxnState = %v", got)
+	}
+}
+
+func TestLemma5OnStronglyCorrectSchedule(t *testing.T) {
+	// Example 2 with TP1' run to completion yields a schedule whose
+	// every prefix read is consistent (Theorem 1's machinery): but the
+	// printed Example 2 schedule must FAIL Lemma 5's conclusion.
+	e := paper.Example2()
+	sys := sysOf(e)
+	err := sys.Lemma5Check(e.Schedule, e.Initial)
+	if err == nil {
+		t.Fatal("Example 2's schedule should violate the Lemma 5 invariant")
+	}
+	if !strings.Contains(err.Error(), "inconsistent") {
+		t.Fatalf("err = %v", err)
+	}
+
+	// A serializable schedule of correct programs satisfies it.
+	e5 := paper.Example5()
+	sys5 := sysOf(e5)
+	serialSched := txn.MustParseSchedule(
+		"r1(c, 10), w1(b, 5), r3(a, 10), r3(b, 5), w3(d, 5), r2(c, 10), w2(a, 30), w2(c, 30)")
+	// (T1, T3, T2 serially from Example 5's initial state — final state
+	// violates a=c? a=30, c=30 fine; a>b: 30>5 fine; d=5>0 fine.)
+	if err := sys5.Lemma5Check(serialSched, e5.Initial); err != nil {
+		t.Fatalf("serial schedule: %v", err)
+	}
+}
+
+func TestLemma3OnExample3(t *testing.T) {
+	// Example 3: p = w1(a,1), d = d1 = {a,b}: hypothesis holds but the
+	// conclusion fails because TP1 is not fixed-structure.
+	e := paper.Example3()
+	sys := sysOf(e)
+	d := state.NewItemSet("a", "b")
+	t1 := e.Schedule.Txn(1)
+	p := paper.Example3P(e) // w1(a, 1)
+	ds2 := e.Schedule.FinalState(e.Initial)
+
+	vac, holds, err := sys.Lemma3Claim(t1, p, d, e.Initial, ds2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vac {
+		t.Fatal("hypothesis should hold (DS1^d ∪ read(before) consistent)")
+	}
+	if holds {
+		t.Fatal("conclusion should FAIL for the non-fixed-structure TP1")
+	}
+}
+
+func TestLemma3HoldsForFixedStructureIsolation(t *testing.T) {
+	// For a fixed-structure program executed in isolation from a
+	// consistent state, the Lemma 3 conclusion holds at every p and
+	// every conjunct data set.
+	e := paper.Example2Fixed()
+	sys := sysOf(e)
+	in := program.NewInterp()
+	t1, ds2, err := in.RunInIsolation(e.Programs[0], e.Initial, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range e.IC.Partition() {
+		for _, p := range t1.Ops {
+			vac, holds, err := sys.Lemma3Claim(t1, p, d, e.Initial, ds2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !vac && !holds {
+				t.Errorf("Lemma 3 failed at p=%s, d=%v", p, d)
+			}
+		}
+	}
+}
+
+func TestLemma7HoldsForIsolatedRuns(t *testing.T) {
+	// Lemma 7 needs no fixed structure: whole-transaction executions of
+	// correct programs preserve consistency when the hypothesis union
+	// is consistent.
+	e := paper.Example2()
+	sys := sysOf(e)
+	in := program.NewInterp()
+	// From a consistent initial state.
+	init := state.Ints(map[string]int64{"a": 2, "b": 3, "c": 1})
+	for i, p := range e.Programs {
+		t1, ds2, err := in.RunInIsolation(p, init, i+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range e.IC.Partition() {
+			vac, holds, err := sys.Lemma7Claim(t1, d, init, ds2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !vac && !holds {
+				t.Errorf("Lemma 7 failed for TP%d, d=%v", i+1, d)
+			}
+		}
+	}
+}
+
+func TestCheckOrderIsSerialization(t *testing.T) {
+	s := txn.NewSchedule(txn.R(1, "a", 0), txn.R(2, "a", 0))
+	if err := core.CheckOrderIsSerialization(s, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.CheckOrderIsSerialization(s, []int{1}); err == nil {
+		t.Fatal("short order accepted")
+	}
+	if err := core.CheckOrderIsSerialization(s, []int{1, 3}); err == nil {
+		t.Fatal("wrong ids accepted")
+	}
+}
+
+func TestDepthHelper(t *testing.T) {
+	e := paper.Example1()
+	if core.Depth(e.Schedule, e.Schedule.Op(2)) != 2 {
+		t.Fatal("Depth helper wrong")
+	}
+}
+
+func TestTauW(t *testing.T) {
+	// Example 1: τw({a, b}, S) = {T1}.
+	e := paper.Example1()
+	got := core.TauW(e.Schedule, state.NewItemSet("a", "b"))
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("TauW = %v, want [1]", got)
+	}
+	// τw({d}, S) = {T2}.
+	got = core.TauW(e.Schedule, state.NewItemSet("d"))
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("TauW = %v, want [2]", got)
+	}
+	if core.TauW(e.Schedule, state.NewItemSet("zz")) != nil {
+		t.Fatal("TauW of untouched items should be empty")
+	}
+}
+
+func TestLemma10OnExample5Projections(t *testing.T) {
+	// Example 5's per-conjunct projections are serializable and the
+	// ordered-access hypothesis of Lemma 10 holds per conjunct (the
+	// violation there comes from non-disjointness across conjuncts, not
+	// from any single projection).
+	e := paper.Example5()
+	sys := sysOf(e)
+	verifiedTotal := 0
+	for _, d := range e.IC.Partition() {
+		n, err := sys.Lemma10Check(e.Schedule, d, e.Initial)
+		if err != nil {
+			t.Fatalf("d=%v: %v", d, err)
+		}
+		verifiedTotal += n
+	}
+	if verifiedTotal == 0 {
+		t.Fatal("no orders verified; Lemma 10 check vacuous")
+	}
+}
+
+func TestLemma10RejectsNonSerializable(t *testing.T) {
+	e := paper.Example2()
+	sys := sysOf(e)
+	full := state.NewItemSet("a", "b", "c")
+	if _, err := sys.Lemma10Check(e.Schedule, full, e.Initial); err == nil {
+		t.Fatal("non-serializable projection accepted")
+	}
+}

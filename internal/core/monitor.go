@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+
+	"pwsr/internal/state"
+	"pwsr/internal/txn"
+)
+
+// Violation reports the first PWSR violation an online Monitor
+// observes.
+type Violation struct {
+	// Conjunct is the 0-based index of the conjunct whose projection
+	// became non-serializable.
+	Conjunct int
+	// Op is the operation that closed the cycle.
+	Op txn.Op
+	// Cycle is the conflict cycle (first == last transaction id).
+	Cycle []int
+}
+
+// Error implements the error interface.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("core: PWSR violated at %s: conjunct C%d has conflict cycle %v",
+		v.Op, v.Conjunct+1, v.Cycle)
+}
+
+// Monitor checks PWSR online: feed it the schedule one operation at a
+// time and it reports the first operation whose admission makes some
+// conjunct's projection non-serializable. This is the certifier a
+// PWSR scheduler would consult before granting an operation — the
+// admission-control counterpart of the batch CheckPWSR.
+//
+// Per conjunct it maintains an incremental conflict graph (readers and
+// writers per item); each new conflict edge triggers a reachability
+// check, so admitting an operation costs O(V+E) in the projection's
+// conflict graph.
+type Monitor struct {
+	partition []state.ItemSet
+	graphs    []*incGraph
+	violation *Violation
+	ops       int
+}
+
+// incGraph is one conjunct's incremental conflict graph.
+type incGraph struct {
+	adj     map[int]map[int]bool
+	readers map[string]map[int]bool
+	writers map[string]map[int]bool
+}
+
+func newIncGraph() *incGraph {
+	return &incGraph{
+		adj:     make(map[int]map[int]bool),
+		readers: make(map[string]map[int]bool),
+		writers: make(map[string]map[int]bool),
+	}
+}
+
+// NewMonitor builds a monitor over the conjunct partition.
+func NewMonitor(partition []state.ItemSet) *Monitor {
+	m := &Monitor{partition: partition}
+	for range partition {
+		m.graphs = append(m.graphs, newIncGraph())
+	}
+	return m
+}
+
+// NewMonitorFor builds a monitor for a system's partition.
+func (sys *System) NewMonitor() *Monitor {
+	return NewMonitor(sys.Partition())
+}
+
+// Ops returns the number of operations observed.
+func (m *Monitor) Ops() int { return m.ops }
+
+// PWSR reports whether everything observed so far is PWSR.
+func (m *Monitor) PWSR() bool { return m.violation == nil }
+
+// Violation returns the first violation, or nil.
+func (m *Monitor) Violation() *Violation { return m.violation }
+
+// Observe admits one operation. It returns nil while the observed
+// prefix stays PWSR, and the (first) *Violation once some conjunct's
+// projection acquires a conflict cycle. After a violation every further
+// Observe returns the same violation. Operations on items outside every
+// conjunct are ignored, mirroring Definition 2.
+func (m *Monitor) Observe(o txn.Op) *Violation {
+	m.ops++
+	if m.violation != nil {
+		return m.violation
+	}
+	for e, d := range m.partition {
+		if !d.Contains(o.Entity) {
+			continue
+		}
+		if cycle := m.graphs[e].add(o); cycle != nil {
+			m.violation = &Violation{Conjunct: e, Op: o, Cycle: cycle}
+			return m.violation
+		}
+	}
+	return nil
+}
+
+// ObserveAll feeds a whole schedule; it returns the first violation or
+// nil.
+func (m *Monitor) ObserveAll(s *txn.Schedule) *Violation {
+	for _, o := range s.Ops() {
+		if v := m.Observe(o); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// add records the operation's conflicts and returns a cycle if one
+// appears.
+func (g *incGraph) add(o txn.Op) []int {
+	var sources map[int]bool
+	switch o.Action {
+	case txn.ActionRead:
+		// Edges from every prior writer of the item.
+		sources = g.writers[o.Entity]
+	case txn.ActionWrite:
+		// Edges from every prior reader and writer of the item.
+		sources = make(map[int]bool, len(g.readers[o.Entity])+len(g.writers[o.Entity]))
+		for t := range g.readers[o.Entity] {
+			sources[t] = true
+		}
+		for t := range g.writers[o.Entity] {
+			sources[t] = true
+		}
+	}
+	for from := range sources {
+		if from == o.Txn {
+			continue
+		}
+		if g.adj[from] == nil {
+			g.adj[from] = make(map[int]bool)
+		}
+		if !g.adj[from][o.Txn] {
+			g.adj[from][o.Txn] = true
+			// The new edge from → o.Txn closes a cycle iff from is
+			// reachable from o.Txn.
+			if path := g.path(o.Txn, from); path != nil {
+				return append(path, o.Txn)
+			}
+		}
+	}
+	// Record the access after conflict edges are drawn.
+	switch o.Action {
+	case txn.ActionRead:
+		if g.readers[o.Entity] == nil {
+			g.readers[o.Entity] = make(map[int]bool)
+		}
+		g.readers[o.Entity][o.Txn] = true
+	case txn.ActionWrite:
+		if g.writers[o.Entity] == nil {
+			g.writers[o.Entity] = make(map[int]bool)
+		}
+		g.writers[o.Entity][o.Txn] = true
+	}
+	return nil
+}
+
+// path returns a path from src to dst in the conflict graph (inclusive
+// of both ends), or nil.
+func (g *incGraph) path(src, dst int) []int {
+	parent := map[int]int{src: src}
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == dst {
+			var rev []int
+			for x := dst; ; x = parent[x] {
+				rev = append(rev, x)
+				if x == src {
+					break
+				}
+			}
+			out := make([]int, len(rev))
+			for i, x := range rev {
+				out[len(rev)-1-i] = x
+			}
+			return out
+		}
+		for v := range g.adj[u] {
+			if _, seen := parent[v]; !seen {
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return nil
+}

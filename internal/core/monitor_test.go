@@ -1,0 +1,131 @@
+package core_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pwsr/internal/core"
+	"pwsr/internal/exec"
+	"pwsr/internal/gen"
+	"pwsr/internal/paper"
+	"pwsr/internal/sched"
+	"pwsr/internal/state"
+	"pwsr/internal/txn"
+)
+
+func TestMonitorAcceptsExample2(t *testing.T) {
+	// Example 2's schedule IS PWSR: the monitor must admit every op.
+	e := paper.Example2()
+	m := core.NewMonitor(e.IC.Partition())
+	if v := m.ObserveAll(e.Schedule); v != nil {
+		t.Fatalf("violation on a PWSR schedule: %v", v)
+	}
+	if !m.PWSR() || m.Violation() != nil {
+		t.Fatal("monitor state inconsistent")
+	}
+	if m.Ops() != e.Schedule.Len() {
+		t.Fatalf("Ops = %d", m.Ops())
+	}
+}
+
+func TestMonitorFlagsLostUpdate(t *testing.T) {
+	m := core.NewMonitor([]state.ItemSet{state.NewItemSet("a")})
+	ops := []txn.Op{
+		txn.R(1, "a", 0),
+		txn.R(2, "a", 0),
+		txn.W(1, "a", 1), // edge T2 → T1 (r2 before w1), and T1 → ... none yet
+		txn.W(2, "a", 2), // edges T1 → T2: closes the cycle
+	}
+	var v *core.Violation
+	for i, o := range ops {
+		v = m.Observe(o)
+		if v != nil {
+			if i != 3 {
+				t.Fatalf("violation at op %d, want 3", i)
+			}
+			break
+		}
+	}
+	if v == nil {
+		t.Fatal("lost update not flagged")
+	}
+	if v.Conjunct != 0 || len(v.Cycle) < 3 {
+		t.Fatalf("violation = %+v", v)
+	}
+	if !strings.Contains(v.Error(), "cycle") {
+		t.Fatalf("Error = %q", v.Error())
+	}
+	// Sticky after the first violation.
+	if again := m.Observe(txn.R(3, "a", 2)); again != v {
+		t.Fatal("violation not sticky")
+	}
+	if m.PWSR() {
+		t.Fatal("PWSR should be false")
+	}
+}
+
+func TestMonitorIgnoresUnconstrainedItems(t *testing.T) {
+	m := core.NewMonitor([]state.ItemSet{state.NewItemSet("a")})
+	// A raging cycle on z, which belongs to no conjunct.
+	for _, o := range []txn.Op{
+		txn.R(1, "z", 0), txn.R(2, "z", 0), txn.W(1, "z", 1), txn.W(2, "z", 2),
+	} {
+		if v := m.Observe(o); v != nil {
+			t.Fatalf("violation on unconstrained item: %v", v)
+		}
+	}
+}
+
+func TestMonitorAgreesWithBatchChecker(t *testing.T) {
+	// On random executions the online monitor and the batch CheckPWSR
+	// must agree, and the monitor must flag the violation at the
+	// earliest non-PWSR prefix.
+	rng := rand.New(rand.NewSource(31))
+	agreeChecked, violationChecked := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		w := gen.MustGenerate(gen.Config{
+			Conjuncts: 2, Programs: 3, Style: gen.StyleFixed, Seed: rng.Int63(),
+		})
+		res, err := exec.Run(exec.Config{
+			Programs: w.Programs,
+			Initial:  w.Initial,
+			Policy:   sched.NewRandom(rng.Int63()),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := core.CheckPWSR(res.Schedule, w.DataSets).PWSR
+		m := core.NewMonitor(w.DataSets)
+		v := m.ObserveAll(res.Schedule)
+		if (v == nil) != batch {
+			t.Fatalf("trial %d: monitor %v vs batch %v on %s", trial, v, batch, res.Schedule)
+		}
+		agreeChecked++
+		if v != nil {
+			violationChecked++
+			// The prefix up to (excluding) the flagged op must be PWSR.
+			prefix := txn.FromSeq(res.Schedule.Ops()[:m.Ops()-1])
+			if !core.CheckPWSR(prefix, w.DataSets).PWSR {
+				t.Fatalf("trial %d: flagged op was not the earliest violation", trial)
+			}
+			// Including it, not PWSR.
+			upto := txn.FromSeq(res.Schedule.Ops()[:m.Ops()])
+			if core.CheckPWSR(upto, w.DataSets).PWSR {
+				t.Fatalf("trial %d: flagged prefix is still PWSR", trial)
+			}
+		}
+	}
+	if agreeChecked == 0 || violationChecked == 0 {
+		t.Fatalf("vacuous: %d trials, %d violations", agreeChecked, violationChecked)
+	}
+}
+
+func TestSystemNewMonitor(t *testing.T) {
+	e := paper.Example2()
+	sys := core.NewSystem(e.IC, e.Schema)
+	m := sys.NewMonitor()
+	if v := m.ObserveAll(e.Schedule); v != nil {
+		t.Fatal(v)
+	}
+}

@@ -1,0 +1,182 @@
+// Package core implements the paper's contribution: the predicate-wise
+// serializability (PWSR) correctness criterion and the machinery for
+// deciding when PWSR schedules are strongly correct — view sets (Lemmas
+// 2 and 6), transaction states (Definition 4), the delayed-read class
+// (Definition 5), the data access graph (Section 3.3), and the three
+// theorems' sufficient conditions with checkable certificates.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pwsr/internal/constraint"
+	"pwsr/internal/dag"
+	"pwsr/internal/serial"
+	"pwsr/internal/state"
+	"pwsr/internal/txn"
+)
+
+// System bundles an integrity constraint with the schema of the
+// database it constrains, and exposes the paper's consistency and
+// correctness judgments.
+type System struct {
+	// IC is the integrity constraint IC = C1 ∧ … ∧ Cl.
+	IC *constraint.IC
+	// Schema declares the domain of every data item.
+	Schema state.Schema
+
+	checker *constraint.Checker
+}
+
+// NewSystem builds a System.
+func NewSystem(ic *constraint.IC, schema state.Schema) *System {
+	return &System{IC: ic, Schema: schema, checker: constraint.NewChecker(ic, schema)}
+}
+
+// Checker exposes the underlying consistency checker.
+func (sys *System) Checker() *constraint.Checker { return sys.checker }
+
+// Consistent decides consistency of a (possibly partial) database
+// state: whether it extends to a full state satisfying IC.
+func (sys *System) Consistent(db state.DB) (bool, error) {
+	return sys.checker.Consistent(db)
+}
+
+// Partition returns the conjunct data sets d1, …, dl.
+func (sys *System) Partition() []state.ItemSet { return sys.IC.Partition() }
+
+// SetReport is the per-conjunct component of a PWSR check.
+type SetReport struct {
+	// Conjunct is the 0-based conjunct index.
+	Conjunct int
+	// Items is the conjunct's data set de.
+	Items state.ItemSet
+	// Serializable reports whether S^de is conflict serializable.
+	Serializable bool
+	// Order is one serialization order when Serializable.
+	Order []int
+	// Cycle is a conflict-graph cycle when !Serializable.
+	Cycle []int
+}
+
+// PWSRReport is the result of a PWSR check (Definition 2).
+type PWSRReport struct {
+	// PWSR is the verdict: every projection serializable.
+	PWSR bool
+	// PerSet holds the per-conjunct verdicts.
+	PerSet []SetReport
+}
+
+// String summarizes the report.
+func (r *PWSRReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PWSR: %v", r.PWSR)
+	for _, s := range r.PerSet {
+		if s.Serializable {
+			fmt.Fprintf(&b, "; C%d serializable %v", s.Conjunct+1, s.Order)
+		} else {
+			fmt.Fprintf(&b, "; C%d NOT serializable (cycle %v)", s.Conjunct+1, s.Cycle)
+		}
+	}
+	return b.String()
+}
+
+// CheckPWSR decides Definition 2 for s: the restriction of s to every
+// conjunct's data set must be conflict serializable.
+func (sys *System) CheckPWSR(s *txn.Schedule) *PWSRReport {
+	return CheckPWSR(s, sys.Partition())
+}
+
+// CheckPWSR decides Definition 2 against an explicit partition.
+func CheckPWSR(s *txn.Schedule, partition []state.ItemSet) *PWSRReport {
+	report := &PWSRReport{PWSR: true}
+	for e, d := range partition {
+		proj := s.Restrict(d)
+		g := serial.BuildGraph(proj)
+		sr := SetReport{Conjunct: e, Items: d}
+		if order := g.TopoOrder(); order != nil {
+			sr.Serializable = true
+			sr.Order = order
+		} else {
+			sr.Cycle = g.Cycle()
+			report.PWSR = false
+		}
+		report.PerSet = append(report.PerSet, sr)
+	}
+	return report
+}
+
+// ReadReport is the per-transaction component of a strong-correctness
+// check.
+type ReadReport struct {
+	// Txn is the transaction id.
+	Txn int
+	// Reads is read(Ti).
+	Reads state.DB
+	// Consistent reports whether read(Ti) is a consistent restriction.
+	Consistent bool
+}
+
+// StrongCorrectnessReport is the result of checking Definition 1.
+type StrongCorrectnessReport struct {
+	// StronglyCorrect is the verdict.
+	StronglyCorrect bool
+	// FinalConsistent reports whether [DS1] S [DS2] gives consistent
+	// DS2.
+	FinalConsistent bool
+	// Final is DS2.
+	Final state.DB
+	// PerTxn holds each transaction's read-consistency verdict.
+	PerTxn []ReadReport
+}
+
+// Violations lists human-readable reasons when not strongly correct.
+func (r *StrongCorrectnessReport) Violations() []string {
+	var out []string
+	if !r.FinalConsistent {
+		out = append(out, fmt.Sprintf("final state %v violates the integrity constraint", r.Final))
+	}
+	for _, t := range r.PerTxn {
+		if !t.Consistent {
+			out = append(out, fmt.Sprintf("T%d read inconsistent data %v", t.Txn, t.Reads))
+		}
+	}
+	return out
+}
+
+// CheckStrongCorrectness decides Definition 1 for schedule s executed
+// from the consistent state initial: the resulting state must be
+// consistent, and every transaction's read(Ti) must be consistent.
+func (sys *System) CheckStrongCorrectness(s *txn.Schedule, initial state.DB) (*StrongCorrectnessReport, error) {
+	report := &StrongCorrectnessReport{StronglyCorrect: true}
+
+	report.Final = s.FinalState(initial)
+	ok, err := sys.checker.Consistent(report.Final)
+	if err != nil {
+		return nil, fmt.Errorf("core: final state: %w", err)
+	}
+	report.FinalConsistent = ok
+	if !ok {
+		report.StronglyCorrect = false
+	}
+
+	for _, t := range s.Transactions() {
+		reads := t.ReadState()
+		ok, err := sys.checker.Consistent(reads)
+		if err != nil {
+			return nil, fmt.Errorf("core: read(T%d): %w", t.ID, err)
+		}
+		report.PerTxn = append(report.PerTxn, ReadReport{Txn: t.ID, Reads: reads, Consistent: ok})
+		if !ok {
+			report.StronglyCorrect = false
+		}
+	}
+	return report, nil
+}
+
+// DataAccessGraph builds DAG(S, IC) for s under this system's
+// partition.
+func (sys *System) DataAccessGraph(s *txn.Schedule) *dag.Graph {
+	return dag.Build(s, sys.Partition())
+}

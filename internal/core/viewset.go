@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"pwsr/internal/state"
+	"pwsr/internal/txn"
+)
+
+// ViewSet computes VS(Ti, p, d, S) of Lemma 2: the set of data items in
+// d that transaction Ti could possibly have read before operation p,
+// given a serialization order of S^d. The recurrence is
+//
+//	VS(T1, p, d, S)  = d
+//	VS(Ti, p, d, S)  = VS(Ti−1, p, d, S) − WS(after(T^d_{i−1}, p, S))
+//
+// order lists the transaction ids of S^d in serialization order; i is a
+// 0-based index into order.
+func ViewSet(s *txn.Schedule, d state.ItemSet, order []int, i int, p txn.Op) state.ItemSet {
+	vs := d.Clone()
+	for j := 1; j <= i; j++ {
+		prev := s.Txn(order[j-1]).Restrict(d)
+		vs = vs.Diff(s.After(prev.Ops, p).WS())
+	}
+	return vs
+}
+
+// ViewSetDR computes VS(Ti, p, d, S) of Lemma 6, the delayed-read
+// variant: items written by incomplete transactions serialized before
+// Ti are excluded, items written by completed ones are (re)included:
+//
+//	VS(T1)  = d
+//	VS(Ti)  = VS(Ti−1) − WS(T^d_{i−1})   if after(Ti−1, p, S) ≠ ε
+//	VS(Ti)  = VS(Ti−1) ∪ WS(T^d_{i−1})   if after(Ti−1, p, S) = ε
+//
+// Note the completion test is on the whole transaction Ti−1, not its
+// restriction to d.
+func ViewSetDR(s *txn.Schedule, d state.ItemSet, order []int, i int, p txn.Op) state.ItemSet {
+	vs := d.Clone()
+	for j := 1; j <= i; j++ {
+		prev := s.Txn(order[j-1])
+		ws := prev.Restrict(d).WS()
+		if s.After(prev.Ops, p).Empty() {
+			vs = vs.Union(ws)
+		} else {
+			vs = vs.Diff(ws)
+		}
+	}
+	return vs
+}
+
+// TxnState computes state(Ti, d, S, DS1) of Definition 4: the abstract
+// database state, with respect to the items in d, "seen" by Ti under the
+// given serialization order of S^d:
+//
+//	state(T1, d, S, DS1) = DS1^d
+//	state(Ti, d, S, DS1) = state(Ti−1, …)^{d − WS(T^d_{i−1})} ∪ write(T^d_{i−1})
+//
+// The state depends on the serialization order chosen and need not be
+// unique, nor ever physically realized in the schedule.
+func TxnState(s *txn.Schedule, d state.ItemSet, order []int, i int, initial state.DB) state.DB {
+	st := initial.Restrict(d)
+	for j := 1; j <= i; j++ {
+		prev := s.Txn(order[j-1]).Restrict(d)
+		st = st.Without(prev.WS()).Overwrite(prev.WriteState())
+	}
+	return st
+}
+
+// FinalTxnState computes state(Tn, d, S, DS1) for the last transaction
+// of the order plus the effect of Tn itself — by Definition 4's remark
+// this equals DS2^d where [DS1] S [DS2].
+func FinalTxnState(s *txn.Schedule, d state.ItemSet, order []int, initial state.DB) state.DB {
+	if len(order) == 0 {
+		return initial.Restrict(d)
+	}
+	st := TxnState(s, d, order, len(order)-1, initial)
+	last := s.Txn(order[len(order)-1]).Restrict(d)
+	return st.Without(last.WS()).Overwrite(last.WriteState())
+}
+
+// Depth re-exports depth(p, S) for convenience alongside the other
+// notation helpers.
+func Depth(s *txn.Schedule, p txn.Op) int { return s.Depth(p) }
+
+// CheckOrderIsSerialization verifies that order is a permutation of the
+// transactions of s (callers typically pass a projection S^d) — a guard
+// for the Lemma checkers.
+func CheckOrderIsSerialization(s *txn.Schedule, order []int) error {
+	ids := s.TxnIDs()
+	if len(ids) != len(order) {
+		return fmt.Errorf("core: order has %d txns, schedule has %d", len(order), len(ids))
+	}
+	seen := map[int]bool{}
+	for _, id := range order {
+		seen[id] = true
+	}
+	for _, id := range ids {
+		if !seen[id] {
+			return fmt.Errorf("core: order %v missing T%d", order, id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+// Package dag implements the data access graph DAG(S, IC) of Section
+// 3.3: one node per integrity-constraint conjunct, and a directed edge
+// (Ci, Cj), i ≠ j, whenever some transaction in S reads a data item in
+// di and writes a data item in dj. Theorem 3 shows PWSR schedules with
+// acyclic data access graphs are strongly correct.
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pwsr/internal/state"
+	"pwsr/internal/txn"
+)
+
+// Edge is a data-access-graph edge from conjunct From to conjunct To
+// (0-based conjunct indices) with a witnessing transaction.
+type Edge struct {
+	From, To   int
+	WitnessTxn int
+}
+
+// String renders the edge with 1-based conjunct names.
+func (e Edge) String() string {
+	return fmt.Sprintf("C%d -> C%d (T%d)", e.From+1, e.To+1, e.WitnessTxn)
+}
+
+// Graph is DAG(S, IC).
+type Graph struct {
+	n   int
+	adj map[int]map[int]Edge
+}
+
+// Build constructs DAG(S, IC) for a schedule and the partition d1, …,
+// dl of conjunct data sets. Items outside every conjunct contribute no
+// edges. With non-disjoint partitions an item may belong to several
+// conjuncts; every (read-conjunct, write-conjunct) pair contributes.
+func Build(s *txn.Schedule, partition []state.ItemSet) *Graph {
+	g := &Graph{n: len(partition), adj: make(map[int]map[int]Edge)}
+	for i := 0; i < g.n; i++ {
+		g.adj[i] = make(map[int]Edge)
+	}
+	conjunctsOf := func(item string) []int {
+		var out []int
+		for i, d := range partition {
+			if d.Contains(item) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for _, t := range s.Transactions() {
+		readConjs := map[int]bool{}
+		writeConjs := map[int]bool{}
+		for _, o := range t.Ops {
+			for _, c := range conjunctsOf(o.Entity) {
+				if o.Action == txn.ActionRead {
+					readConjs[c] = true
+				} else {
+					writeConjs[c] = true
+				}
+			}
+		}
+		for rc := range readConjs {
+			for wc := range writeConjs {
+				if rc == wc {
+					continue
+				}
+				if _, dup := g.adj[rc][wc]; !dup {
+					g.adj[rc][wc] = Edge{From: rc, To: wc, WitnessTxn: t.ID}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Len returns the number of conjunct nodes.
+func (g *Graph) Len() int { return g.n }
+
+// HasEdge reports whether the edge from → to exists.
+func (g *Graph) HasEdge(from, to int) bool {
+	_, ok := g.adj[from][to]
+	return ok
+}
+
+// Edges returns all edges sorted by (From, To).
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for from := 0; from < g.n; from++ {
+		tos := make([]int, 0, len(g.adj[from]))
+		for to := range g.adj[from] {
+			tos = append(tos, to)
+		}
+		sort.Ints(tos)
+		for _, to := range tos {
+			out = append(out, g.adj[from][to])
+		}
+	}
+	return out
+}
+
+// Cycle returns a cycle of conjunct indices (first == last), or nil if
+// the graph is acyclic.
+func (g *Graph) Cycle() []int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, g.n)
+	parent := make([]int, g.n)
+	var cycle []int
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		tos := make([]int, 0, len(g.adj[u]))
+		for to := range g.adj[u] {
+			tos = append(tos, to)
+		}
+		sort.Ints(tos)
+		for _, v := range tos {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				cycle = []int{v}
+				for x := u; x != v; x = parent[x] {
+					cycle = append(cycle, x)
+				}
+				cycle = append(cycle, v)
+				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		if color[u] == white && dfs(u) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// Acyclic reports whether DAG(S, IC) is acyclic (Theorem 3's
+// hypothesis).
+func (g *Graph) Acyclic() bool { return g.Cycle() == nil }
+
+// TopoOrder returns a topological ordering of the conjuncts (the C1, …,
+// Cl relabeling in the proof of Theorem 3), or nil for cyclic graphs.
+// Among ready nodes the smallest index goes first.
+func (g *Graph) TopoOrder() []int {
+	indeg := make([]int, g.n)
+	for u := 0; u < g.n; u++ {
+		for v := range g.adj[u] {
+			indeg[v]++
+		}
+	}
+	var ready []int
+	for u := 0; u < g.n; u++ {
+		if indeg[u] == 0 {
+			ready = append(ready, u)
+		}
+	}
+	order := make([]int, 0, g.n)
+	for len(ready) > 0 {
+		u := ready[0]
+		ready = ready[1:]
+		order = append(order, u)
+		var newly []int
+		for v := range g.adj[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				newly = append(newly, v)
+			}
+		}
+		sort.Ints(newly)
+		ready = append(ready, newly...)
+		sort.Ints(ready)
+	}
+	if len(order) != g.n {
+		return nil
+	}
+	return order
+}
+
+// String renders the edge list.
+func (g *Graph) String() string {
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return "(no edges)"
+	}
+	parts := make([]string, len(edges))
+	for i, e := range edges {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,132 @@
+package dag
+
+import (
+	"testing"
+
+	"pwsr/internal/state"
+	"pwsr/internal/txn"
+)
+
+func partition2() []state.ItemSet {
+	return []state.ItemSet{
+		state.NewItemSet("a", "b"), // d1
+		state.NewItemSet("c"),      // d2
+	}
+}
+
+func TestExample2DataAccessGraphCyclic(t *testing.T) {
+	// §3.3 on Example 2: T1 reads c ∈ d2 and writes a ∈ d1; T2 reads
+	// a ∈ d1 and writes c ∈ d2 — a cycle C1 ⇄ C2.
+	s := txn.MustParseSchedule("w1(a, 1), r2(a, 1), r2(b, -1), w2(c, -1), r1(c, -1)")
+	g := Build(s, partition2())
+	if !g.HasEdge(1, 0) { // T1: reads d2 (c), writes d1 (a) → C2->C1
+		t.Error("missing edge C2 -> C1")
+	}
+	if !g.HasEdge(0, 1) { // T2: reads d1 (a,b), writes d2 (c) → C1->C2
+		t.Error("missing edge C1 -> C2")
+	}
+	if g.Acyclic() {
+		t.Fatal("Example 2's DAG should be cyclic")
+	}
+	cyc := g.Cycle()
+	if len(cyc) < 3 || cyc[0] != cyc[len(cyc)-1] {
+		t.Fatalf("Cycle = %v", cyc)
+	}
+	if g.TopoOrder() != nil {
+		t.Fatal("TopoOrder on cyclic graph should be nil")
+	}
+}
+
+func TestAcyclicDAGAndTopoOrder(t *testing.T) {
+	// T1 reads d1 and writes d2 only: single edge C1 -> C2.
+	s := txn.NewSchedule(
+		txn.R(1, "a", 1),
+		txn.W(1, "c", 1),
+	)
+	g := Build(s, partition2())
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Fatalf("edges = %v", g.Edges())
+	}
+	if !g.Acyclic() {
+		t.Fatal("single-edge graph should be acyclic")
+	}
+	order := g.TopoOrder()
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("TopoOrder = %v", order)
+	}
+}
+
+func TestNoSelfEdges(t *testing.T) {
+	// Reading and writing within the same conjunct contributes no edge.
+	s := txn.NewSchedule(txn.R(1, "a", 0), txn.W(1, "b", 1))
+	g := Build(s, partition2())
+	if len(g.Edges()) != 0 {
+		t.Fatalf("edges = %v, want none", g.Edges())
+	}
+	if !g.Acyclic() {
+		t.Fatal("edge-free graph should be acyclic")
+	}
+}
+
+func TestUnconstrainedItemsIgnored(t *testing.T) {
+	// Item z belongs to no conjunct: accessing it adds no edges.
+	s := txn.NewSchedule(txn.R(1, "z", 0), txn.W(1, "a", 1))
+	g := Build(s, partition2())
+	if len(g.Edges()) != 0 {
+		t.Fatalf("edges = %v", g.Edges())
+	}
+}
+
+func TestNonDisjointPartitionEdges(t *testing.T) {
+	// Example 5's partition shares item a between C1 = (a>b) and
+	// C2 = (a=c). A txn reading a reads both conjuncts.
+	part := []state.ItemSet{
+		state.NewItemSet("a", "b"),
+		state.NewItemSet("a", "c"),
+		state.NewItemSet("d"),
+	}
+	// T3: d := a - b reads a (C1, C2), b (C1), writes d (C3).
+	s := txn.NewSchedule(
+		txn.R(3, "a", 30), txn.R(3, "b", 25), txn.W(3, "d", 5),
+	)
+	g := Build(s, part)
+	if !g.HasEdge(0, 2) || !g.HasEdge(1, 2) {
+		t.Fatalf("edges = %v", g.Edges())
+	}
+	if g.HasEdge(2, 0) || g.HasEdge(2, 1) {
+		t.Fatalf("unexpected reverse edges: %v", g.Edges())
+	}
+}
+
+func TestEdgeAndGraphString(t *testing.T) {
+	s := txn.NewSchedule(txn.R(1, "a", 1), txn.W(1, "c", 1))
+	g := Build(s, partition2())
+	if g.String() != "C1 -> C2 (T1)" {
+		t.Fatalf("String = %q", g.String())
+	}
+	empty := Build(txn.NewSchedule(txn.R(1, "a", 0)), partition2())
+	if empty.String() != "(no edges)" {
+		t.Fatalf("empty String = %q", empty.String())
+	}
+	if empty.Len() != 2 {
+		t.Fatalf("Len = %d", empty.Len())
+	}
+}
+
+func TestLongerTopoOrder(t *testing.T) {
+	part := []state.ItemSet{
+		state.NewItemSet("a"),
+		state.NewItemSet("b"),
+		state.NewItemSet("c"),
+	}
+	// C1 -> C2 -> C3 chain via two transactions.
+	s := txn.NewSchedule(
+		txn.R(1, "a", 0), txn.W(1, "b", 1),
+		txn.R(2, "b", 1), txn.W(2, "c", 2),
+	)
+	g := Build(s, part)
+	order := g.TopoOrder()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("TopoOrder = %v", order)
+	}
+}

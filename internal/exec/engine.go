@@ -1,0 +1,396 @@
+// Package exec implements the concurrent execution engine: a set of
+// transaction programs run as coroutines against a shared store, with a
+// pluggable interleaving policy deciding which program's next operation
+// is granted at each step. The engine records the resulting schedule
+// with values — the object the paper's theory studies — along with
+// virtual-clock metrics (waits, turnaround) used by the performance
+// experiments.
+//
+// Every program goroutine blocks after requesting an operation until the
+// engine grants it, and the engine waits until every live program has a
+// pending request before asking the policy to pick. Execution is
+// therefore deterministic for deterministic policies.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pwsr/internal/program"
+	"pwsr/internal/state"
+	"pwsr/internal/txn"
+)
+
+// ErrStall is returned when the policy cannot grant any pending request
+// (a deadlock under blocking policies such as the delayed-read gate).
+var ErrStall = errors.New("exec: no grantable request (stall)")
+
+// errAborted is delivered to program goroutines whose run is being
+// cancelled after a stall or a failure elsewhere.
+var errAborted = errors.New("exec: transaction aborted")
+
+// Request is a pending operation request from a program.
+type Request struct {
+	TxnID  int
+	Action txn.Action
+	Entity string
+	Value  state.Value // proposed value, for writes
+	reply  chan replyMsg
+}
+
+// String renders the request like an operation without a value for
+// reads.
+func (r *Request) String() string {
+	if r.Action == txn.ActionRead {
+		return fmt.Sprintf("r%d(%s, ?)", r.TxnID, r.Entity)
+	}
+	return fmt.Sprintf("w%d(%s, %s)", r.TxnID, r.Entity, r.Value)
+}
+
+type replyMsg struct {
+	value state.Value
+	err   error
+}
+
+// AccessDecl declares the items a transaction may read and write, used
+// by conservative locking policies. Writes are implicitly readable.
+type AccessDecl struct {
+	Reads  state.ItemSet
+	Writes state.ItemSet
+}
+
+// DeclareAccess derives a conservative access declaration from a
+// program: assignment targets are writes, every other mentioned item a
+// read.
+func DeclareAccess(p *program.Program) AccessDecl {
+	all := p.DataItems()
+	writes := writeTargets(p)
+	return AccessDecl{Reads: all.Diff(writes), Writes: writes}
+}
+
+func writeTargets(p *program.Program) state.ItemSet {
+	writes := state.NewItemSet()
+	locals := state.NewItemSet()
+	var visit func(stmts []program.Stmt)
+	visit = func(stmts []program.Stmt) {
+		for _, s := range stmts {
+			switch n := s.(type) {
+			case *program.Let:
+				locals.Add(n.Name)
+			case *program.Assign:
+				if !locals.Contains(n.Target) {
+					writes.Add(n.Target)
+				}
+			case *program.If:
+				visit(n.Then)
+				visit(n.Else)
+			case *program.While:
+				visit(n.Body)
+			}
+		}
+	}
+	visit(p.Body)
+	return writes
+}
+
+// View is the engine state a policy may consult when picking.
+type View struct {
+	// Store is the current database state. Policies must not mutate it.
+	Store state.DB
+	// Ops is the schedule recorded so far.
+	Ops txn.Seq
+	// Live reports transactions still executing.
+	Live map[int]bool
+	// Finished reports transactions that have completed.
+	Finished map[int]bool
+	// LastWriter maps each item to the transaction that last wrote it
+	// (0 = initial state). Used by the delayed-read gate.
+	LastWriter map[string]int
+	// Access is the declared access set per transaction (may be empty
+	// for policies that do not need it).
+	Access map[int]AccessDecl
+	// DataSets is the conjunct partition d1, …, dl (for predicate-wise
+	// policies; may be nil).
+	DataSets []state.ItemSet
+	// Clock is the number of operations granted so far.
+	Clock int
+}
+
+// PassTick may be returned by Policy.Pick to let one clock tick elapse
+// without granting any operation — modelling coordination latency (e.g.
+// a global lock manager's cross-site round trips). All pending
+// transactions accrue wait time during a passed tick.
+const PassTick = -2
+
+// maxConsecutivePasses bounds runaway PassTick loops.
+const maxConsecutivePasses = 1 << 20
+
+// Policy decides the interleaving: given the pending requests (one per
+// live transaction, sorted by transaction id), it returns the index of
+// the request to grant, -1 if none can be granted now (a stall), or
+// PassTick to burn one clock tick.
+type Policy interface {
+	// Pick selects the next request. Lock-based policies acquire their
+	// locks inside Pick.
+	Pick(pending []*Request, v *View) int
+	// TxnFinished notifies that a transaction completed (for lock
+	// release).
+	TxnFinished(id int, v *View)
+}
+
+// Metrics aggregates virtual-clock measurements of a run. The clock
+// ticks once per granted operation.
+type Metrics struct {
+	// Ticks is the total number of clock ticks (granted operations).
+	Ticks int
+	// Waits is the total number of (transaction, tick) pairs where a
+	// transaction had a request pending but another was granted.
+	Waits int
+	// PerTxn maps transaction id to its metrics.
+	PerTxn map[int]*TxnMetrics
+}
+
+// TxnMetrics is per-transaction timing.
+type TxnMetrics struct {
+	// Start is the clock value when the transaction's first operation
+	// was granted.
+	Start int
+	// End is the clock value after the transaction's last operation.
+	End int
+	// Waits is the number of ticks this transaction spent with a
+	// pending but ungranted request.
+	Waits int
+	// Ops is the number of operations granted.
+	Ops int
+}
+
+// Turnaround is End - Start: the transaction's makespan in ticks.
+func (m *TxnMetrics) Turnaround() int { return m.End - m.Start }
+
+// Config configures a concurrent run.
+type Config struct {
+	// Programs maps transaction ids to the programs to execute.
+	Programs map[int]*program.Program
+	// Initial is the starting database state.
+	Initial state.DB
+	// Policy picks the interleaving.
+	Policy Policy
+	// Interp configures program execution; nil means NewInterp().
+	Interp *program.Interp
+	// DataSets optionally supplies the conjunct partition to policies.
+	DataSets []state.ItemSet
+	// Access optionally overrides the per-transaction access
+	// declarations; missing entries are derived with DeclareAccess.
+	Access map[int]AccessDecl
+}
+
+// Result is the outcome of a concurrent run.
+type Result struct {
+	// Schedule is the recorded schedule.
+	Schedule *txn.Schedule
+	// Final is the database state after the run.
+	Final state.DB
+	// Metrics are the virtual-clock measurements.
+	Metrics Metrics
+}
+
+type event struct {
+	req  *Request
+	done bool
+	id   int
+	err  error
+}
+
+// chanAccessor adapts the engine's request channel to the program
+// Accessor interface.
+type chanAccessor struct {
+	id     int
+	events chan<- event
+}
+
+// Read implements program.Accessor.
+func (c *chanAccessor) Read(item string) (state.Value, error) {
+	r := &Request{TxnID: c.id, Action: txn.ActionRead, Entity: item, reply: make(chan replyMsg)}
+	c.events <- event{req: r}
+	rep := <-r.reply
+	return rep.value, rep.err
+}
+
+// Write implements program.Accessor.
+func (c *chanAccessor) Write(item string, v state.Value) error {
+	r := &Request{TxnID: c.id, Action: txn.ActionWrite, Entity: item, Value: v, reply: make(chan replyMsg)}
+	c.events <- event{req: r}
+	rep := <-r.reply
+	return rep.err
+}
+
+// Run executes the configured programs concurrently and returns the
+// recorded schedule, final state, and metrics.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Programs) == 0 {
+		return nil, errors.New("exec: no programs")
+	}
+	interp := cfg.Interp
+	if interp == nil {
+		interp = program.NewInterp()
+	}
+
+	access := make(map[int]AccessDecl, len(cfg.Programs))
+	for id, p := range cfg.Programs {
+		if a, ok := cfg.Access[id]; ok {
+			access[id] = a
+		} else {
+			access[id] = DeclareAccess(p)
+		}
+	}
+
+	v := &View{
+		Store:      cfg.Initial.Clone(),
+		Live:       make(map[int]bool, len(cfg.Programs)),
+		Finished:   make(map[int]bool, len(cfg.Programs)),
+		LastWriter: make(map[string]int),
+		Access:     access,
+		DataSets:   cfg.DataSets,
+	}
+
+	events := make(chan event)
+	ids := make([]int, 0, len(cfg.Programs))
+	for id := range cfg.Programs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		v.Live[id] = true
+		go func(id int, p *program.Program) {
+			err := interp.Run(p, &chanAccessor{id: id, events: events})
+			events <- event{done: true, id: id, err: err}
+		}(id, cfg.Programs[id])
+	}
+
+	metrics := Metrics{PerTxn: make(map[int]*TxnMetrics, len(ids))}
+	for _, id := range ids {
+		metrics.PerTxn[id] = &TxnMetrics{Start: -1}
+	}
+	pending := make(map[int]*Request, len(ids))
+	var ops []txn.Op
+	var runErr error
+
+	// abort cancels all outstanding work after an error: pending
+	// requests get error replies; remaining events are drained until
+	// every live transaction reports done.
+	abort := func() {
+		for len(v.Live) > 0 {
+			for id, r := range pending {
+				r.reply <- replyMsg{err: errAborted}
+				delete(pending, id)
+			}
+			ev := <-events
+			if ev.done {
+				delete(v.Live, ev.id)
+				continue
+			}
+			pending[ev.req.TxnID] = ev.req
+		}
+	}
+
+	for len(v.Live) > 0 {
+		// Gather one request per live transaction.
+		for len(pending) < len(v.Live) {
+			ev := <-events
+			if ev.done {
+				if ev.err != nil {
+					runErr = fmt.Errorf("exec: T%d: %w", ev.id, ev.err)
+					delete(v.Live, ev.id)
+					abort()
+					return nil, runErr
+				}
+				delete(v.Live, ev.id)
+				v.Finished[ev.id] = true
+				metrics.PerTxn[ev.id].End = v.Clock
+				cfg.Policy.TxnFinished(ev.id, v)
+				continue
+			}
+			pending[ev.req.TxnID] = ev.req
+		}
+		if len(v.Live) == 0 {
+			break
+		}
+
+		list := make([]*Request, 0, len(pending))
+		pids := make([]int, 0, len(pending))
+		for id := range pending {
+			pids = append(pids, id)
+		}
+		sort.Ints(pids)
+		for _, id := range pids {
+			list = append(list, pending[id])
+		}
+
+		v.Ops = ops
+		passes := 0
+		choice := cfg.Policy.Pick(list, v)
+		for choice == PassTick {
+			v.Clock++
+			metrics.Ticks++
+			for id := range pending {
+				metrics.PerTxn[id].Waits++
+				metrics.Waits++
+			}
+			passes++
+			if passes > maxConsecutivePasses {
+				runErr = fmt.Errorf("%w: policy passed %d consecutive ticks", ErrStall, passes)
+				abort()
+				return nil, runErr
+			}
+			choice = cfg.Policy.Pick(list, v)
+		}
+		if choice < 0 || choice >= len(list) {
+			runErr = fmt.Errorf("%w: pending %v", ErrStall, list)
+			abort()
+			return nil, runErr
+		}
+		granted := list[choice]
+		delete(pending, granted.TxnID)
+
+		// Apply the operation.
+		tm := metrics.PerTxn[granted.TxnID]
+		if tm.Start < 0 {
+			tm.Start = v.Clock
+		}
+		tm.Ops++
+		var rep replyMsg
+		op := txn.Op{Txn: granted.TxnID, Action: granted.Action, Entity: granted.Entity, Pos: len(ops)}
+		switch granted.Action {
+		case txn.ActionRead:
+			val, ok := v.Store.Get(granted.Entity)
+			if !ok {
+				rep.err = fmt.Errorf("exec: data item %q has no value", granted.Entity)
+				granted.reply <- rep
+				runErr = rep.err
+				abort()
+				return nil, runErr
+			}
+			op.Value = val
+			rep.value = val
+		case txn.ActionWrite:
+			v.Store.Set(granted.Entity, granted.Value)
+			v.LastWriter[granted.Entity] = granted.TxnID
+			op.Value = granted.Value
+		}
+		ops = append(ops, op)
+		v.Clock++
+		metrics.Ticks++
+		for id := range pending {
+			metrics.PerTxn[id].Waits++
+			metrics.Waits++
+		}
+		granted.reply <- rep
+	}
+
+	return &Result{
+		Schedule: txn.NewSchedule(ops...),
+		Final:    v.Store,
+		Metrics:  metrics,
+	}, nil
+}

@@ -1,0 +1,304 @@
+package exec_test
+
+import (
+	"errors"
+	"testing"
+
+	"pwsr/internal/exec"
+	"pwsr/internal/paper"
+	"pwsr/internal/program"
+	"pwsr/internal/sched"
+	"pwsr/internal/state"
+)
+
+// runExample executes a paper example's programs under its script and
+// returns the result.
+func runExample(t *testing.T, e *paper.Example) *exec.Result {
+	t.Helper()
+	programs := make(map[int]*program.Program, len(e.Programs))
+	for i, p := range e.Programs {
+		programs[i+1] = p
+	}
+	res, err := exec.Run(exec.Config{
+		Programs: programs,
+		Initial:  e.Initial,
+		Policy:   sched.NewScript(e.Script...),
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", e.Name, err)
+	}
+	return res
+}
+
+func TestEngineReproducesExample1(t *testing.T) {
+	e := paper.Example1()
+	res := runExample(t, e)
+	if res.Schedule.Ops().String() != e.Schedule.Ops().String() {
+		t.Fatalf("schedule = %s\nwant %s", res.Schedule, e.Schedule)
+	}
+	if !res.Final.Equal(e.Final) {
+		t.Fatalf("final = %v, want %v", res.Final, e.Final)
+	}
+}
+
+func TestEngineReproducesExample2(t *testing.T) {
+	e := paper.Example2()
+	res := runExample(t, e)
+	if res.Schedule.Ops().String() != e.Schedule.Ops().String() {
+		t.Fatalf("schedule = %s\nwant %s", res.Schedule, e.Schedule)
+	}
+	if !res.Final.Equal(e.Final) {
+		t.Fatalf("final = %v, want %v", res.Final, e.Final)
+	}
+}
+
+func TestEngineReproducesExample5(t *testing.T) {
+	e := paper.Example5()
+	res := runExample(t, e)
+	if res.Schedule.Ops().String() != e.Schedule.Ops().String() {
+		t.Fatalf("schedule = %s\nwant %s", res.Schedule, e.Schedule)
+	}
+	if !res.Final.Equal(e.Final) {
+		t.Fatalf("final = %v, want %v", res.Final, e.Final)
+	}
+}
+
+func TestEngineExample2FixedDiverges(t *testing.T) {
+	// Under TP1' the same grant prefix produces a different schedule:
+	// the else branch still accesses b.
+	e := paper.Example2Fixed()
+	res := runExample(t, e)
+	// TP1' emits r1(b, …) and w1(b, …) after reading c < 0.
+	last := res.Schedule.Op(res.Schedule.Len() - 1)
+	if last.Entity != "b" || last.Txn != 1 {
+		t.Fatalf("schedule = %s", res.Schedule)
+	}
+}
+
+func TestEngineDeterministic(t *testing.T) {
+	e := paper.Example2()
+	a := runExample(t, e).Schedule.Ops().String()
+	b := runExample(t, e).Schedule.Ops().String()
+	if a != b {
+		t.Fatalf("nondeterministic: %s vs %s", a, b)
+	}
+}
+
+func TestEngineRoundRobin(t *testing.T) {
+	programs := map[int]*program.Program{
+		1: program.MustParse(`program A { x := x + 1; }`),
+		2: program.MustParse(`program B { y := y + 1; }`),
+	}
+	res, err := exec.Run(exec.Config{
+		Programs: programs,
+		Initial:  state.Ints(map[string]int64{"x": 0, "y": 0}),
+		Policy:   &sched.RoundRobin{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alternating grants: r1(x), r2(y), w1(x), w2(y).
+	if res.Schedule.Ops().String() != "r1(x, 0), r2(y, 0), w1(x, 1), w2(y, 1)" {
+		t.Fatalf("schedule = %s", res.Schedule)
+	}
+}
+
+func TestEngineRandomSeeded(t *testing.T) {
+	programs := map[int]*program.Program{
+		1: program.MustParse(`program A { x := x + 1; }`),
+		2: program.MustParse(`program B { y := y + 1; }`),
+	}
+	run := func(seed int64) string {
+		res, err := exec.Run(exec.Config{
+			Programs: programs,
+			Initial:  state.Ints(map[string]int64{"x": 0, "y": 0}),
+			Policy:   sched.NewRandom(seed),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Schedule.Ops().String()
+	}
+	if run(1) != run(1) {
+		t.Fatal("same seed produced different schedules")
+	}
+}
+
+func TestEngineSerialPolicy(t *testing.T) {
+	programs := map[int]*program.Program{
+		1: program.MustParse(`program A { x := y; }`),
+		2: program.MustParse(`program B { y := x; }`),
+	}
+	res, err := exec.Run(exec.Config{
+		Programs: programs,
+		Initial:  state.Ints(map[string]int64{"x": 1, "y": 2}),
+		Policy:   &sched.Serial{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Ops().String() != "r1(y, 2), w1(x, 2), r2(x, 2), w2(y, 2)" {
+		t.Fatalf("schedule = %s", res.Schedule)
+	}
+}
+
+func TestEngineStallIsError(t *testing.T) {
+	programs := map[int]*program.Program{
+		1: program.MustParse(`program A { x := 1; }`),
+	}
+	res, err := exec.Run(exec.Config{
+		Programs: programs,
+		Initial:  state.Ints(map[string]int64{"x": 0}),
+		Policy:   sched.NewScript(2, 2), // wrong ids: nothing grantable
+	})
+	if !errors.Is(err, exec.ErrStall) {
+		t.Fatalf("err = %v (res %v), want ErrStall", err, res)
+	}
+}
+
+func TestEngineMissingItem(t *testing.T) {
+	programs := map[int]*program.Program{
+		1: program.MustParse(`program A { x := zz; }`),
+	}
+	_, err := exec.Run(exec.Config{
+		Programs: programs,
+		Initial:  state.NewDB(),
+		Policy:   &sched.RoundRobin{},
+	})
+	if err == nil {
+		t.Fatal("missing item accepted")
+	}
+}
+
+func TestEngineProgramError(t *testing.T) {
+	// One program fails (double write); the other must be cleanly
+	// aborted and Run must return the error.
+	programs := map[int]*program.Program{
+		1: program.MustParse(`program A { x := 1; x := 2; }`),
+		2: program.MustParse(`program B { y := 1; }`),
+	}
+	_, err := exec.Run(exec.Config{
+		Programs: programs,
+		Initial:  state.Ints(map[string]int64{"x": 0, "y": 0}),
+		Policy:   &sched.RoundRobin{},
+	})
+	if err == nil {
+		t.Fatal("program error not surfaced")
+	}
+}
+
+func TestEngineNoPrograms(t *testing.T) {
+	if _, err := exec.Run(exec.Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestEngineMetrics(t *testing.T) {
+	e := paper.Example2()
+	res := runExample(t, e)
+	m := res.Metrics
+	if m.Ticks != res.Schedule.Len() {
+		t.Fatalf("Ticks = %d, want %d", m.Ticks, res.Schedule.Len())
+	}
+	if len(m.PerTxn) != 2 {
+		t.Fatalf("PerTxn = %v", m.PerTxn)
+	}
+	t1 := m.PerTxn[1]
+	if t1.Ops != 3 { // w1(a), r1(c) … wait: w1(a,1), r1(c,-1) = 2 ops
+		// TP1 emits w1(a,1) and r1(c,-1): 2 operations.
+		if t1.Ops != 2 {
+			t.Fatalf("T1 ops = %d", t1.Ops)
+		}
+	}
+	if t1.Turnaround() <= 0 {
+		t.Fatalf("T1 turnaround = %d", t1.Turnaround())
+	}
+	total := 0
+	for _, tm := range m.PerTxn {
+		total += tm.Waits
+	}
+	if total != m.Waits {
+		t.Fatalf("wait accounting: %d vs %d", total, m.Waits)
+	}
+}
+
+func TestEngineValuesConsistent(t *testing.T) {
+	// Whatever the interleaving, the recorded schedule's values must
+	// replay against the initial state.
+	for seed := int64(0); seed < 10; seed++ {
+		programs := map[int]*program.Program{
+			1: program.MustParse(`program A { x := y + 1; }`),
+			2: program.MustParse(`program B { y := x + 1; }`),
+			3: program.MustParse(`program C { z := x + y; }`),
+		}
+		res, err := exec.Run(exec.Config{
+			Programs: programs,
+			Initial:  state.Ints(map[string]int64{"x": 0, "y": 0, "z": 0}),
+			Policy:   sched.NewRandom(seed),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Schedule.ConsistentValues(state.Ints(map[string]int64{"x": 0, "y": 0, "z": 0})); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := res.Schedule.ValidateOrderEmbedding(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestDeclareAccess(t *testing.T) {
+	p := program.MustParse(`program T {
+		let temp := c;
+		a := temp + b;
+		if (d > 0) { e := 1; }
+	}`)
+	a := exec.DeclareAccess(p)
+	if !a.Writes.Equal(state.NewItemSet("a", "e")) {
+		t.Fatalf("writes = %v", a.Writes)
+	}
+	if !a.Reads.Equal(state.NewItemSet("b", "c", "d")) {
+		t.Fatalf("reads = %v", a.Reads)
+	}
+}
+
+// passingPolicy burns n ticks before granting anything, exercising the
+// PassTick mechanism directly.
+type passingPolicy struct {
+	passes int
+}
+
+func (p *passingPolicy) Pick(pending []*exec.Request, v *exec.View) int {
+	if p.passes > 0 {
+		p.passes--
+		return exec.PassTick
+	}
+	return 0
+}
+
+func (p *passingPolicy) TxnFinished(int, *exec.View) {}
+
+func TestEnginePassTick(t *testing.T) {
+	programs := map[int]*program.Program{
+		1: program.MustParse(`program A { x := 1; }`),
+	}
+	res, err := exec.Run(exec.Config{
+		Programs: programs,
+		Initial:  state.Ints(map[string]int64{"x": 0}),
+		Policy:   &passingPolicy{passes: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One op, plus 5 passed ticks at the first decision point.
+	if res.Metrics.Ticks != 6 {
+		t.Fatalf("Ticks = %d, want 6", res.Metrics.Ticks)
+	}
+	if res.Metrics.PerTxn[1].Waits != 5 {
+		t.Fatalf("Waits = %d, want 5 (pending through every passed tick)", res.Metrics.PerTxn[1].Waits)
+	}
+	if res.Schedule.Len() != 1 {
+		t.Fatalf("ops = %d", res.Schedule.Len())
+	}
+}

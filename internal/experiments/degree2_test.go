@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDegree2VsPWSR(t *testing.T) {
+	rep, err := RunDegree2VsPWSR(150, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials != 150 {
+		t.Fatalf("trials = %d", rep.Trials)
+	}
+	// Degree-2 schedules are ACA, hence DR, on every run.
+	if rep.DRCount < rep.Trials-rep.NonPWSR-rep.DRCount && rep.DRCount == 0 {
+		t.Fatalf("no DR degree-2 schedules: %+v", rep)
+	}
+	// The point of the experiment: degree 2 destroys consistency on
+	// some workloads (lost updates within a conjunct)…
+	if rep.Degree2Violations == 0 {
+		t.Fatalf("degree-2 never violated; experiment vacuous: %+v", rep)
+	}
+	// …and those violating schedules are exactly the non-PWSR ones.
+	if rep.NonPWSR == 0 {
+		t.Fatalf("degree-2 schedules all PWSR: %+v", rep)
+	}
+	// PW2PL on the same workloads never violates (Theorem 1).
+	if rep.PW2PLViolations != 0 {
+		t.Fatalf("PW2PL violated: %+v", rep)
+	}
+}
+
+func TestDegree2SchedulesAreDR(t *testing.T) {
+	rep, err := RunDegree2VsPWSR(40, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DRCount != rep.Trials {
+		t.Fatalf("only %d/%d degree-2 schedules were DR", rep.DRCount, rep.Trials)
+	}
+}
+
+func TestDegree2TableRender(t *testing.T) {
+	rep, err := RunDegree2VsPWSR(10, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Degree2Table(rep).Render()
+	if !strings.Contains(out, "degree-2") && !strings.Contains(out, "degree2") {
+		t.Fatalf("Render:\n%s", out)
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pwsr/internal/core"
+	"pwsr/internal/paper"
+	"pwsr/internal/program"
+	"pwsr/internal/serial"
+	"pwsr/internal/sim"
+	"pwsr/internal/state"
+)
+
+// ExampleVerdict is the measured classification of one paper example.
+type ExampleVerdict struct {
+	Name            string
+	PWSR            bool
+	Serializable    bool
+	DR              bool
+	DAGAcyclic      bool
+	Disjoint        bool
+	FixedStructure  bool
+	StronglyCorrect bool
+}
+
+// ExamplesTable reproduces the paper's worked examples end to end and
+// tabulates their measured properties — the reproduction's "Table 1".
+func ExamplesTable() (*sim.Table, []ExampleVerdict, error) {
+	t := &sim.Table{
+		Title: "EX — the paper's worked examples, measured",
+		Columns: []string{
+			"example", "pwsr", "csr", "dr", "dag-acyclic",
+			"disjoint", "fixed-struct", "strongly-correct",
+		},
+		Notes: []string{
+			"Example 2: PWSR but not strongly correct — TP1 not fixed-structure",
+			"Example 4: single-conjunct isolation run; union remark of Lemma 7",
+			"Example 5: every hypothesis except disjointness; still fails",
+		},
+	}
+	var verdicts []ExampleVerdict
+	for _, e := range []*paper.Example{paper.Example1(), paper.Example2(), paper.Example4(), paper.Example5()} {
+		v := ExampleVerdict{Name: e.Name}
+
+		partition := []state.ItemSet{}
+		if e.IC != nil {
+			partition = e.IC.Partition()
+			v.Disjoint = e.IC.Disjoint()
+		} else {
+			partition = []state.ItemSet{e.Schedule.Ops().Items()}
+			v.Disjoint = true
+		}
+		v.PWSR = core.CheckPWSR(e.Schedule, partition).PWSR
+		v.Serializable = serial.IsCSR(e.Schedule)
+		v.DR = e.Schedule.IsDelayedRead()
+
+		v.FixedStructure = true
+		for _, p := range e.Programs {
+			rep, err := program.CheckFixedStructure(p, e.Schema, 64, 1)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", e.Name, err)
+			}
+			if !rep.Fixed {
+				v.FixedStructure = false
+			}
+		}
+
+		if e.IC != nil {
+			sys := core.NewSystem(e.IC, e.Schema)
+			v.DAGAcyclic = sys.DataAccessGraph(e.Schedule).Acyclic()
+			sc, err := sys.CheckStrongCorrectness(e.Schedule, e.Initial)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", e.Name, err)
+			}
+			v.StronglyCorrect = sc.StronglyCorrect
+		} else {
+			v.DAGAcyclic = true
+			v.StronglyCorrect = true
+		}
+
+		verdicts = append(verdicts, v)
+		t.AddRow(v.Name,
+			yn(v.PWSR), yn(v.Serializable), yn(v.DR), yn(v.DAGAcyclic),
+			yn(v.Disjoint), yn(v.FixedStructure), yn(v.StronglyCorrect))
+	}
+	return t, verdicts, nil
+}
+
+func yn(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pwsr/internal/core"
+	"pwsr/internal/exec"
+	"pwsr/internal/gen"
+	"pwsr/internal/paper"
+	"pwsr/internal/program"
+	"pwsr/internal/serial"
+	"pwsr/internal/sim"
+	"pwsr/internal/state"
+)
+
+// Exhaustive is the census of EVERY interleaving of a small system:
+// the exhaustive companion to the randomized campaigns (no sampling
+// error, complete coverage of the schedule space).
+type Exhaustive struct {
+	// Name describes the system.
+	Name string
+	// Interleavings is the total number of complete interleavings.
+	Interleavings int
+	// PWSR counts Definition 2 schedules.
+	PWSR int
+	// PWSRNotSR counts PWSR schedules that are not serializable.
+	PWSRNotSR int
+	// PWSRDR counts schedules that are both PWSR and delayed-read.
+	PWSRDR int
+	// PWSRAcyclic counts PWSR schedules with acyclic DAG(S, IC).
+	PWSRAcyclic int
+	// Violations counts PWSR schedules that are NOT strongly correct.
+	Violations int
+	// GuardedViolations counts violations among schedules satisfying
+	// the theorem guard the census was run with (must be 0 when a
+	// theorem applies).
+	GuardedViolations int
+	// Guard names the theorem hypothesis applied.
+	Guard string
+}
+
+// censusConfig bundles one exhaustive run.
+type censusConfig struct {
+	name     string
+	programs map[int]*program.Program
+	initial  state.DB
+	sys      *core.System
+	sets     []state.ItemSet
+	guard    func(pwsr, dr, acyclic bool) bool
+	guardDoc string
+	limit    int
+}
+
+func census(cfg censusConfig) (*Exhaustive, error) {
+	out := &Exhaustive{Name: cfg.name, Guard: cfg.guardDoc}
+	n, err := exec.Enumerate(exec.Config{
+		Programs: cfg.programs,
+		Initial:  cfg.initial,
+		DataSets: cfg.sets,
+	}, cfg.limit, func(script []int, res *exec.Result) error {
+		isPWSR := core.CheckPWSR(res.Schedule, cfg.sets).PWSR
+		dr := res.Schedule.IsDelayedRead()
+		acyclic := cfg.sys.DataAccessGraph(res.Schedule).Acyclic()
+		if !isPWSR {
+			return nil
+		}
+		out.PWSR++
+		if !serial.IsCSR(res.Schedule) {
+			out.PWSRNotSR++
+		}
+		if dr {
+			out.PWSRDR++
+		}
+		if acyclic {
+			out.PWSRAcyclic++
+		}
+		sc, err := cfg.sys.CheckStrongCorrectness(res.Schedule, cfg.initial)
+		if err != nil {
+			return err
+		}
+		if !sc.StronglyCorrect {
+			out.Violations++
+			if cfg.guard(true, dr, acyclic) {
+				out.GuardedViolations++
+			}
+		}
+		return nil
+	})
+	out.Interleavings = n
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ExhaustiveExample2 enumerates every interleaving of Example 2's
+// programs. Expected: violations exist among PWSR schedules (the
+// paper's counterexample), but NONE among PWSR ∧ DR schedules —
+// Theorem 2 verified over the complete schedule space.
+func ExhaustiveExample2() (*Exhaustive, error) {
+	e := paper.Example2()
+	return census(censusConfig{
+		name:     "Example 2 (all interleavings; guard: DR — Theorem 2)",
+		programs: map[int]*program.Program{1: e.Programs[0], 2: e.Programs[1]},
+		initial:  e.Initial,
+		sys:      core.NewSystem(e.IC, e.Schema),
+		sets:     e.IC.Partition(),
+		guard:    func(pwsr, dr, acyclic bool) bool { return pwsr && dr },
+		guardDoc: "PWSR ∧ DR",
+		limit:    20000,
+	})
+}
+
+// ExhaustiveExample2Balanced enumerates every interleaving of Example 2
+// after the Balance repair. Expected: zero violations among PWSR
+// schedules — Theorem 1 verified over the complete schedule space.
+func ExhaustiveExample2Balanced() (*Exhaustive, error) {
+	e := paper.Example2()
+	tp1p, err := program.Balance(e.Programs[0])
+	if err != nil {
+		return nil, err
+	}
+	tp2p, err := program.Balance(e.Programs[1])
+	if err != nil {
+		return nil, err
+	}
+	return census(censusConfig{
+		name:     "Example 2 balanced (all interleavings; guard: fixed-structure — Theorem 1)",
+		programs: map[int]*program.Program{1: tp1p, 2: tp2p},
+		initial:  e.Initial,
+		sys:      core.NewSystem(e.IC, e.Schema),
+		sets:     e.IC.Partition(),
+		guard:    func(pwsr, dr, acyclic bool) bool { return pwsr },
+		guardDoc: "PWSR (programs fixed-structure)",
+		limit:    20000,
+	})
+}
+
+// ExhaustiveOrdered enumerates every interleaving of a small ordered-
+// access workload. Expected: zero violations among PWSR ∧ acyclic-DAG
+// schedules — Theorem 3 verified over the complete schedule space.
+func ExhaustiveOrdered(seed int64) (*Exhaustive, error) {
+	w, err := gen.Generate(gen.Config{
+		Conjuncts: 2, Programs: 2, MovesPerProgram: 2,
+		Style: gen.StyleOrdered, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return census(censusConfig{
+		name:     fmt.Sprintf("ordered workload seed=%d (all interleavings; guard: acyclic DAG — Theorem 3)", seed),
+		programs: w.Programs,
+		initial:  w.Initial,
+		sys:      core.NewSystem(w.IC, w.Schema),
+		sets:     w.DataSets,
+		guard:    func(pwsr, dr, acyclic bool) bool { return pwsr && acyclic },
+		guardDoc: "PWSR ∧ acyclic DAG",
+		limit:    20000,
+	})
+}
+
+// ExhaustiveExample5 enumerates every interleaving of Example 5's
+// programs. The conjuncts share an item, so no theorem applies;
+// violations among PWSR ∧ DR ∧ acyclic schedules are expected (the
+// printed schedule is one).
+func ExhaustiveExample5() (*Exhaustive, error) {
+	e := paper.Example5()
+	return census(censusConfig{
+		name: "Example 5 (all interleavings; conjuncts NOT disjoint)",
+		programs: map[int]*program.Program{
+			1: e.Programs[0], 2: e.Programs[1], 3: e.Programs[2],
+		},
+		initial:  e.Initial,
+		sys:      core.NewSystem(e.IC, e.Schema),
+		sets:     e.IC.Partition(),
+		guard:    func(pwsr, dr, acyclic bool) bool { return false },
+		guardDoc: "(none applies)",
+		limit:    60000,
+	})
+}
+
+// ExhaustiveTable renders census results.
+func ExhaustiveTable(title string, cs ...*Exhaustive) *sim.Table {
+	t := &sim.Table{
+		Title: title,
+		Columns: []string{
+			"system", "interleavings", "pwsr", "pwsr-not-sr",
+			"pwsr+dr", "pwsr+acyclic", "violations", "guarded-violations",
+		},
+		Notes: []string{
+			"guarded-violations counts violations among schedules meeting the named theorem hypothesis — must be 0",
+		},
+	}
+	for _, c := range cs {
+		t.AddRow(
+			c.Name,
+			fmt.Sprintf("%d", c.Interleavings),
+			fmt.Sprintf("%d", c.PWSR),
+			fmt.Sprintf("%d", c.PWSRNotSR),
+			fmt.Sprintf("%d", c.PWSRDR),
+			fmt.Sprintf("%d", c.PWSRAcyclic),
+			fmt.Sprintf("%d", c.Violations),
+			fmt.Sprintf("%d", c.GuardedViolations),
+		)
+	}
+	return t
+}

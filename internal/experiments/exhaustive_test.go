@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExhaustiveExample2(t *testing.T) {
+	c, err := ExhaustiveExample2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Interleavings == 0 || c.PWSR == 0 {
+		t.Fatalf("census = %+v", c)
+	}
+	// The paper's counterexample exists in the complete space…
+	if c.Violations == 0 {
+		t.Fatal("no PWSR violations found — Example 2's schedule is one")
+	}
+	// …and Theorem 2 holds over the complete space.
+	if c.GuardedViolations != 0 {
+		t.Fatalf("Theorem 2 violated exhaustively: %+v", c)
+	}
+	if c.PWSRDR == 0 {
+		t.Fatal("guard population empty; exhaustive check vacuous")
+	}
+}
+
+func TestExhaustiveExample2Balanced(t *testing.T) {
+	c, err := ExhaustiveExample2Balanced()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Theorem 1 over the complete schedule space: PWSR ⇒ strongly
+	// correct, with no violations at all among PWSR schedules.
+	if c.Violations != 0 {
+		t.Fatalf("Theorem 1 violated exhaustively: %+v", c)
+	}
+	if c.PWSR == 0 {
+		t.Fatal("vacuous census")
+	}
+	// The balanced programs genuinely produce nonserializable PWSR
+	// schedules — the interesting class is covered.
+	if c.PWSRNotSR == 0 {
+		t.Fatal("no nonserializable PWSR interleavings in the census")
+	}
+}
+
+func TestExhaustiveOrderedTheorem3(t *testing.T) {
+	checked := 0
+	for seed := int64(0); seed < 6; seed++ {
+		c, err := ExhaustiveOrdered(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.GuardedViolations != 0 {
+			t.Fatalf("Theorem 3 violated exhaustively at seed %d: %+v", seed, c)
+		}
+		if c.PWSRAcyclic > 0 {
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("every census was vacuous")
+	}
+}
+
+func TestExhaustiveExample5(t *testing.T) {
+	c, err := ExhaustiveExample5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Violations == 0 {
+		t.Fatal("Example 5's violation must appear in the census")
+	}
+	// Non-disjoint conjuncts: violations occur even among PWSR ∧ DR ∧
+	// acyclic schedules — measured here over the full space, which is
+	// precisely why every theorem requires disjointness.
+	if c.PWSR == 0 || c.PWSRDR == 0 {
+		t.Fatalf("census = %+v", c)
+	}
+}
+
+func TestExhaustiveTableRender(t *testing.T) {
+	c, err := ExhaustiveExample2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ExhaustiveTable("exhaustive", c).Render()
+	if !strings.Contains(out, "Example 2") || !strings.Contains(out, "guarded-violations") {
+		t.Fatalf("Render:\n%s", out)
+	}
+}

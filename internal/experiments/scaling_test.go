@@ -1,0 +1,20 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckerScaling(t *testing.T) {
+	tab, err := CheckerScaling([]int{2, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "PERF3") || !strings.Contains(out, "pwsr-check") {
+		t.Fatalf("Render:\n%s", out)
+	}
+}

@@ -1,0 +1,122 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pwsr/internal/constraint"
+	"pwsr/internal/program"
+	"pwsr/internal/state"
+)
+
+// Example2Family builds the randomized Example 2 workload used for the
+// necessity experiments: `pairs` independent copies of the paper's
+// Example 2, each over its own conjunct pair
+//
+//	C(2p−1) = (xp > 0 -> yp > 0)    over {xp, yp}
+//	C(2p)   = (zp > 0)              over {zp}
+//
+// with programs
+//
+//	TP(2p−1) = xp := 1; if (zp > 0) { yp := abs(yp) + 1; }
+//	TP(2p)   = if (xp > 0) { zp := yp; }
+//
+// Both programs are correct in isolation (Section 2.3's assumption) and
+// TP(2p−1) is not fixed-structure. Interleavings where TP(2p) reads the
+// freshly written xp and copies a still-negative yp reproduce the
+// paper's consistency violation while remaining PWSR.
+//
+// Initial states are randomized over consistent shapes; the violating
+// shape (xp ≤ 0 with yp ≤ 0) occurs for a random subset of pairs.
+func Example2Family(pairs int, seed int64) (*Workload, error) {
+	if pairs <= 0 {
+		pairs = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	var srcs []string
+	var items []string
+	initial := state.NewDB()
+	programs := make(map[int]*program.Program, 2*pairs)
+
+	for p := 1; p <= pairs; p++ {
+		x := fmt.Sprintf("x%d", p)
+		y := fmt.Sprintf("y%d", p)
+		z := fmt.Sprintf("z%d", p)
+		srcs = append(srcs, fmt.Sprintf("%s > 0 -> %s > 0", x, y), fmt.Sprintf("%s > 0", z))
+		items = append(items, x, y, z)
+
+		// Consistent initial shapes; shape 0 is the paper's (-1, -1, 1)
+		// from which the violation is reachable. The first pair always
+		// uses it so every seed can exhibit the Example 2 failure.
+		shape := 0
+		if p > 1 {
+			shape = rng.Intn(3)
+		}
+		switch shape {
+		case 0:
+			initial.Set(x, state.Int(-1))
+			initial.Set(y, state.Int(-int64(1+rng.Intn(3))))
+		case 1:
+			initial.Set(x, state.Int(int64(1+rng.Intn(3))))
+			initial.Set(y, state.Int(int64(1+rng.Intn(3))))
+		default:
+			initial.Set(x, state.Int(-1))
+			initial.Set(y, state.Int(int64(rng.Intn(3))+1))
+		}
+		initial.Set(z, state.Int(int64(1+rng.Intn(3))))
+
+		tp1, err := program.Parse(fmt.Sprintf(
+			"program TP%d { %s := 1; if (%s > 0) { %s := abs(%s) + 1; } }",
+			2*p-1, x, z, y, y))
+		if err != nil {
+			return nil, err
+		}
+		tp2, err := program.Parse(fmt.Sprintf(
+			"program TP%d { if (%s > 0) { %s := %s; } }",
+			2*p, x, z, y))
+		if err != nil {
+			return nil, err
+		}
+		programs[2*p-1] = tp1
+		programs[2*p] = tp2
+	}
+
+	ic, err := constraint.ParseICFromConjuncts(srcs...)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{
+		IC:       ic,
+		Schema:   state.UniformInts(-64, 64, items...),
+		Initial:  initial,
+		Programs: programs,
+		DataSets: ic.Partition(),
+	}, nil
+}
+
+// BalanceAll returns a copy of the workload with every program passed
+// through the fixed-structure Balance transformation (the Theorem 1
+// repair of Section 3.1). Programs that are already fixed-structure are
+// left intact; an error is returned if any program cannot be balanced.
+func (w *Workload) BalanceAll() (*Workload, error) {
+	out := &Workload{
+		IC:       w.IC,
+		Schema:   w.Schema,
+		Initial:  w.Initial.Clone(),
+		Programs: make(map[int]*program.Program, len(w.Programs)),
+		DataSets: w.DataSets,
+	}
+	for id, p := range w.Programs {
+		if _, err := program.StaticTrace(p); err == nil {
+			out.Programs[id] = p
+			continue
+		}
+		b, err := program.Balance(p)
+		if err != nil {
+			return nil, fmt.Errorf("gen: balancing %s: %w", p.Name, err)
+		}
+		out.Programs[id] = b
+	}
+	return out, nil
+}

@@ -1,0 +1,323 @@
+// Package gen generates randomized workloads — integrity constraints
+// with disjoint conjuncts, correct-by-construction transaction programs,
+// and consistent initial states — for validating the paper's theorems at
+// scale and for searching for strong-correctness violations when a
+// hypothesis is dropped (the paper's Examples 2–5, randomized).
+//
+// Programs are assembled from "moves" that provably preserve their
+// conjunct's constraint from ANY consistent state, so every generated
+// program is correct in isolation (the standing assumption of Section
+// 2.3); correctness is additionally spot-checked in tests via
+// program.CheckCorrectness.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pwsr/internal/constraint"
+	"pwsr/internal/program"
+	"pwsr/internal/state"
+)
+
+// Workload is a generated system: constraint, schema, a consistent
+// initial state, and numbered transaction programs.
+type Workload struct {
+	// IC is the integrity constraint with disjoint conjuncts.
+	IC *constraint.IC
+	// Schema declares item domains.
+	Schema state.Schema
+	// Initial is a consistent full database state.
+	Initial state.DB
+	// Programs maps transaction ids (1..n) to programs.
+	Programs map[int]*program.Program
+	// DataSets is IC.Partition(), cached for schedulers.
+	DataSets []state.ItemSet
+}
+
+// conjunctKind is the template of one generated conjunct.
+type conjunctKind uint8
+
+const (
+	// kindImplies is (x > 0 -> y > 0), the Example 2 template.
+	kindImplies conjunctKind = iota
+	// kindEqual is (x = y).
+	kindEqual
+	// kindPositive is (y > 0), a singleton conjunct.
+	kindPositive
+)
+
+// conjunct describes one generated conjunct and its items.
+type conjunct struct {
+	kind conjunctKind
+	x, y string // kindPositive uses only y
+}
+
+func (c conjunct) source() string {
+	switch c.kind {
+	case kindImplies:
+		return fmt.Sprintf("%s > 0 -> %s > 0", c.x, c.y)
+	case kindEqual:
+		return fmt.Sprintf("%s = %s", c.x, c.y)
+	default:
+		return fmt.Sprintf("%s > 0", c.y)
+	}
+}
+
+// items returns the conjunct's data set.
+func (c conjunct) items() []string {
+	if c.kind == kindPositive {
+		return []string{c.y}
+	}
+	return []string{c.x, c.y}
+}
+
+// initialValues returns a consistent assignment for the conjunct,
+// randomized over a few known-consistent shapes.
+func (c conjunct) initialValues(rng *rand.Rand) map[string]int64 {
+	switch c.kind {
+	case kindImplies:
+		switch rng.Intn(3) {
+		case 0: // antecedent false
+			return map[string]int64{c.x: -int64(1 + rng.Intn(3)), c.y: int64(rng.Intn(7) - 3)}
+		case 1: // both positive
+			return map[string]int64{c.x: int64(1 + rng.Intn(3)), c.y: int64(1 + rng.Intn(3))}
+		default: // consequent positive, antecedent negative
+			return map[string]int64{c.x: -1, c.y: int64(1 + rng.Intn(3))}
+		}
+	case kindEqual:
+		v := int64(rng.Intn(7) - 3)
+		return map[string]int64{c.x: v, c.y: v}
+	default:
+		return map[string]int64{c.y: int64(1 + rng.Intn(3))}
+	}
+}
+
+// Style selects the program-generation regime.
+type Style uint8
+
+const (
+	// StyleFixed generates only fixed-structure programs (straight-line
+	// moves and balanced conditionals) — Theorem 1's hypothesis.
+	StyleFixed Style = iota
+	// StyleConditional additionally generates Example-2-style
+	// conditional moves whose structure depends on items of OTHER
+	// conjuncts: correct in isolation, not fixed-structure, and with
+	// cyclic cross-conjunct data flow — the Theorem 1/2/3 necessity
+	// regime.
+	StyleConditional
+	// StyleOrdered generates fixed-structure programs whose
+	// cross-conjunct data flow only goes from lower- to higher-numbered
+	// conjuncts, keeping DAG(S, IC) acyclic — Theorem 3's hypothesis
+	// (with arbitrary, here conditional, program structure permitted).
+	StyleOrdered
+)
+
+// Config parameterizes Generate.
+type Config struct {
+	// Conjuncts is the number of integrity-constraint conjuncts
+	// (default 2).
+	Conjuncts int
+	// Programs is the number of transaction programs (default 2).
+	Programs int
+	// MovesPerProgram is how many moves each program makes (default 2).
+	MovesPerProgram int
+	// Style selects the regime.
+	Style Style
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.Conjuncts <= 0 {
+		c.Conjuncts = 2
+	}
+	if c.Programs <= 0 {
+		c.Programs = 2
+	}
+	if c.MovesPerProgram <= 0 {
+		c.MovesPerProgram = 2
+	}
+}
+
+// Generate builds a workload per the configuration.
+func Generate(cfg Config) (*Workload, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	conjs := make([]conjunct, cfg.Conjuncts)
+	srcs := make([]string, cfg.Conjuncts)
+	var items []string
+	initial := state.NewDB()
+	for e := range conjs {
+		kind := conjunctKind(rng.Intn(3))
+		c := conjunct{
+			kind: kind,
+			x:    fmt.Sprintf("x%d", e+1),
+			y:    fmt.Sprintf("y%d", e+1),
+		}
+		conjs[e] = c
+		srcs[e] = c.source()
+		items = append(items, c.items()...)
+		for it, v := range c.initialValues(rng) {
+			initial.Set(it, state.Int(v))
+		}
+	}
+	ic, err := constraint.ParseICFromConjuncts(srcs...)
+	if err != nil {
+		return nil, err
+	}
+	schema := state.UniformInts(-64, 64, items...)
+
+	w := &Workload{
+		IC:       ic,
+		Schema:   schema,
+		Initial:  initial,
+		Programs: make(map[int]*program.Program, cfg.Programs),
+		DataSets: ic.Partition(),
+	}
+	for i := 1; i <= cfg.Programs; i++ {
+		p, err := genProgram(fmt.Sprintf("TP%d", i), conjs, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		w.Programs[i] = p
+	}
+	return w, nil
+}
+
+// MustGenerate is Generate that panics on error, for benchmarks and
+// fixtures.
+func MustGenerate(cfg Config) *Workload {
+	w, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// genProgram assembles a program from moves. To keep the §2.2 access
+// discipline (one write per item) each conjunct is used at most once
+// per program; conjuncts are visited in ascending order so the
+// predicate-wise lockers stay deadlock free.
+func genProgram(name string, conjs []conjunct, cfg Config, rng *rand.Rand) (*program.Program, error) {
+	n := cfg.MovesPerProgram
+	if n > len(conjs) {
+		n = len(conjs)
+	}
+	chosen := rng.Perm(len(conjs))[:n]
+	// Ascending conjunct order.
+	for i := 0; i < len(chosen); i++ {
+		for j := i + 1; j < len(chosen); j++ {
+			if chosen[j] < chosen[i] {
+				chosen[i], chosen[j] = chosen[j], chosen[i]
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s {\n", name)
+	if cfg.Style == StyleOrdered {
+		// Theorem 3 discipline: DAG(S, IC) edges must all go from
+		// lower- to higher-numbered conjuncts. A transaction writing
+		// set w while reading set r creates the edge r → w, so every
+		// read set must precede every distinct write set: all sets but
+		// the last are read-only, and only the last is written.
+		for pos, e := range chosen[:len(chosen)-1] {
+			fmt.Fprintf(&b, "let o%d := %s;\n", pos, conjs[e].y)
+		}
+		last := chosen[len(chosen)-1]
+		var lower *conjunct
+		if len(chosen) > 1 {
+			lc := conjs[chosen[rng.Intn(len(chosen)-1)]]
+			lower = &lc
+		}
+		b.WriteString(orderedWrite(conjs[last], lower, rng))
+	} else {
+		for pos, e := range chosen {
+			move := pickMove(conjs, e, pos, chosen, cfg.Style, rng)
+			b.WriteString(move)
+		}
+	}
+	b.WriteString("}\n")
+	return program.Parse(b.String())
+}
+
+// orderedWrite emits the single writing move of a StyleOrdered program:
+// it may read the lower conjunct's item but writes only its own set.
+// Every variant preserves its conjunct from any consistent state.
+func orderedWrite(c conjunct, lower *conjunct, rng *rand.Rand) string {
+	k := int64(1 + rng.Intn(3))
+	switch c.kind {
+	case kindEqual:
+		if lower != nil && rng.Intn(2) == 0 {
+			// Both sides set to the same expression: establishes x = y.
+			return fmt.Sprintf("%s := abs(%s) + %d;\n%s := abs(%s) + %d;\n",
+				c.x, lower.y, k, c.y, lower.y, k)
+		}
+		return fmt.Sprintf("%s := %s + %d;\n%s := %s + %d;\n", c.x, c.x, k, c.y, c.y, k)
+	case kindPositive:
+		switch {
+		case lower != nil && rng.Intn(3) == 0:
+			// Positive whatever the lower value is.
+			return fmt.Sprintf("%s := abs(%s) + %d;\n", c.y, lower.y, k)
+		case lower != nil && rng.Intn(2) == 0:
+			// Conditional on the lower set: correct either way (the
+			// skipped branch leaves a consistent y), not fixed
+			// structure — Theorem 3 permits arbitrary programs.
+			return fmt.Sprintf("if (%s > 0) { %s := abs(%s) + %d; }\n", lower.y, c.y, c.y, k)
+		default:
+			return fmt.Sprintf("%s := abs(%s) + %d;\n", c.y, c.y, k)
+		}
+	default: // kindImplies
+		return fmt.Sprintf("%s := abs(%s) + %d;\n%s := abs(%s) + %d;\n",
+			c.x, c.x, k, c.y, c.y, k)
+	}
+}
+
+// pickMove emits one constraint-preserving move for conjunct e.
+// Correctness argument per move is in the accompanying comment.
+func pickMove(conjs []conjunct, e, pos int, chosen []int, style Style, rng *rand.Rand) string {
+	c := conjs[e]
+	k := int64(1 + rng.Intn(3))
+
+	// Cross-conjunct source: a conjunct earlier in this program's
+	// ascending visit order (so data flow is lower → higher).
+	var lower *conjunct
+	if pos > 0 {
+		lc := conjs[chosen[rng.Intn(pos)]]
+		lower = &lc
+	}
+
+	switch c.kind {
+	case kindEqual:
+		// x := x + k; y := y + k preserves x = y from any state where
+		// it holds.
+		return fmt.Sprintf("%s := %s + %d;\n%s := %s + %d;\n", c.x, c.x, k, c.y, c.y, k)
+
+	case kindPositive:
+		switch {
+		case style == StyleOrdered && lower != nil && rng.Intn(2) == 0:
+			// y := abs(z) + k with z from a lower conjunct: the write
+			// is positive whatever z is, so (y > 0) is preserved; the
+			// DAG edge goes lower → higher.
+			return fmt.Sprintf("%s := abs(%s) + %d;\n", c.y, lower.y, k)
+		case (style == StyleOrdered || style == StyleConditional) && lower != nil:
+			// A guarded self-fix: from any consistent state, skipping
+			// the branch leaves y's consistent value in place, taking
+			// it writes a positive value — correct either way, but the
+			// structure depends on the guard (not fixed-structure).
+			// Data flow reads lower → writes this set: DAG ascending.
+			return fmt.Sprintf("if (%s > 0) { %s := abs(%s) + %d; }\n", lower.y, c.y, c.y, k)
+		default:
+			// y := abs(y) + k > 0 always.
+			return fmt.Sprintf("%s := abs(%s) + %d;\n", c.y, c.y, k)
+		}
+
+	default: // kindImplies
+		// Make both sides positive: preserves the implication from any
+		// state. Straight line, fixed structure.
+		return fmt.Sprintf("%s := abs(%s) + %d;\n%s := abs(%s) + %d;\n",
+			c.x, c.x, k, c.y, c.y, k)
+	}
+}

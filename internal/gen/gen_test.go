@@ -1,0 +1,157 @@
+package gen
+
+import (
+	"testing"
+
+	"pwsr/internal/constraint"
+	"pwsr/internal/program"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	for _, style := range []Style{StyleFixed, StyleConditional, StyleOrdered} {
+		w, err := Generate(Config{Conjuncts: 3, Programs: 4, MovesPerProgram: 2, Style: style, Seed: 7})
+		if err != nil {
+			t.Fatalf("style %d: %v", style, err)
+		}
+		if w.IC.Len() != 3 {
+			t.Fatalf("conjuncts = %d", w.IC.Len())
+		}
+		if !w.IC.Disjoint() {
+			t.Fatalf("style %d: conjuncts not disjoint", style)
+		}
+		if len(w.Programs) != 4 {
+			t.Fatalf("programs = %d", len(w.Programs))
+		}
+		if len(w.DataSets) != 3 {
+			t.Fatalf("datasets = %d", len(w.DataSets))
+		}
+	}
+}
+
+func TestGenerateInitialConsistent(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		for _, style := range []Style{StyleFixed, StyleConditional, StyleOrdered} {
+			w := MustGenerate(Config{Conjuncts: 3, Programs: 3, Style: style, Seed: seed})
+			ok, err := w.IC.Eval(w.Initial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("seed %d style %d: initial %v inconsistent under %s",
+					seed, style, w.Initial, w.IC)
+			}
+			if err := w.Schema.Validate(w.Initial); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+	}
+}
+
+func TestGeneratedProgramsAreCorrect(t *testing.T) {
+	// The standing assumption of §2.3: every program maps consistent
+	// states to consistent states in isolation.
+	for seed := int64(0); seed < 15; seed++ {
+		for _, style := range []Style{StyleFixed, StyleConditional, StyleOrdered} {
+			w := MustGenerate(Config{Conjuncts: 2, Programs: 3, Style: style, Seed: seed})
+			checker := constraint.NewChecker(w.IC, w.Schema)
+			for id, p := range w.Programs {
+				rep, err := program.CheckCorrectness(p, checker, 25, seed)
+				if err != nil {
+					t.Fatalf("seed %d style %d TP%d: %v", seed, style, id, err)
+				}
+				if !rep.Correct {
+					t.Fatalf("seed %d style %d TP%d incorrect: %v -> %v\n%s",
+						seed, style, id, rep.Witness, rep.Final, p)
+				}
+			}
+		}
+	}
+}
+
+func TestStyleFixedProgramsAreFixedStructure(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		w := MustGenerate(Config{Conjuncts: 3, Programs: 3, Style: StyleFixed, Seed: seed})
+		for id, p := range w.Programs {
+			rep, err := program.CheckFixedStructure(p, w.Schema, 32, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Fixed {
+				t.Fatalf("seed %d TP%d not fixed-structure:\n%s", seed, id, p)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(Config{Conjuncts: 2, Programs: 2, Seed: 42})
+	b := MustGenerate(Config{Conjuncts: 2, Programs: 2, Seed: 42})
+	if a.IC.String() != b.IC.String() {
+		t.Fatal("IC differs for same seed")
+	}
+	for id := range a.Programs {
+		if a.Programs[id].String() != b.Programs[id].String() {
+			t.Fatal("programs differ for same seed")
+		}
+	}
+	if !a.Initial.Equal(b.Initial) {
+		t.Fatal("initial differs for same seed")
+	}
+}
+
+func TestExample2Family(t *testing.T) {
+	w, err := Example2Family(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.IC.Len() != 6 || len(w.Programs) != 6 {
+		t.Fatalf("conjuncts = %d, programs = %d", w.IC.Len(), len(w.Programs))
+	}
+	if !w.IC.Disjoint() {
+		t.Fatal("family conjuncts must be disjoint")
+	}
+	ok, err := w.IC.Eval(w.Initial)
+	if err != nil || !ok {
+		t.Fatalf("initial inconsistent: %v %v", ok, err)
+	}
+	// Programs correct in isolation.
+	checker := constraint.NewChecker(w.IC, w.Schema)
+	for id, p := range w.Programs {
+		rep, err := program.CheckCorrectness(p, checker, 25, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Correct {
+			t.Fatalf("TP%d incorrect: %v -> %v", id, rep.Witness, rep.Final)
+		}
+	}
+	// Odd programs are not fixed-structure, even ones are conditional
+	// too (if (x>0) with no else).
+	rep, err := program.CheckFixedStructure(w.Programs[1], w.Schema, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fixed {
+		t.Fatal("TP1 should not be fixed-structure")
+	}
+}
+
+func TestBalanceAll(t *testing.T) {
+	w, err := Example2Family(2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.BalanceAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, p := range b.Programs {
+		rep, err := program.CheckFixedStructure(p, b.Schema, 64, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Fixed {
+			t.Fatalf("balanced TP%d not fixed-structure:\n%s", id, p)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package mdbs
+
+import (
+	"strings"
+	"testing"
+
+	"pwsr/internal/constraint"
+	"pwsr/internal/program"
+	"pwsr/internal/sched"
+)
+
+func TestWorkloadShape(t *testing.T) {
+	w, gIDs, lIDs, err := Workload(Config{Sites: 3, GlobalTxns: 2, LocalTxns: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gIDs) != 2 || len(lIDs) != 4 {
+		t.Fatalf("ids = %v / %v", gIDs, lIDs)
+	}
+	if w.IC.Len() != 3 || !w.IC.Disjoint() {
+		t.Fatalf("IC = %s", w.IC)
+	}
+	ok, err := w.IC.Eval(w.Initial)
+	if err != nil || !ok {
+		t.Fatalf("initial inconsistent: %v %v (%v)", ok, err, w.Initial)
+	}
+}
+
+func TestWorkloadProgramsCorrect(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		w, _, _, err := Workload(Config{Sites: 2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checker := constraint.NewChecker(w.IC, w.Schema)
+		for id, p := range w.Programs {
+			rep, err := program.CheckCorrectness(p, checker, 10, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Correct {
+				t.Fatalf("seed %d TP%d incorrect: %v -> %v\n%s",
+					seed, id, rep.Witness, rep.Final, p)
+			}
+		}
+	}
+}
+
+func TestRunLocalOnlyIsLSRAndCorrect(t *testing.T) {
+	w, gIDs, lIDs, err := Workload(Config{Sites: 3, GlobalTxns: 2, LocalTxns: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := Run(w, gIDs, lIDs, sched.NewPW2PL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !local.LSR {
+		t.Fatal("local-only run must be locally serializable (PWSR)")
+	}
+	if !local.StronglyCorrect {
+		t.Fatal("local-only run must be strongly correct (Theorem 1: straight-line programs)")
+	}
+	global, err := Run(w, gIDs, lIDs, sched.NewC2PL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !global.Serializable {
+		t.Fatal("global 2PL run must be serializable")
+	}
+	if !global.StronglyCorrect {
+		t.Fatal("global 2PL run must be strongly correct")
+	}
+}
+
+func TestLocalOnlyCanBeNonSerializable(t *testing.T) {
+	// Across seeds, at least one local-only schedule should be LSR but
+	// NOT globally serializable — the autonomy the MDBS argument is
+	// about.
+	found := false
+	for seed := int64(0); seed < 40 && !found; seed++ {
+		w, gIDs, lIDs, err := Workload(Config{
+			Sites: 3, GlobalTxns: 3, SitesPerTxn: 2, LocalTxns: 3, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(w, gIDs, lIDs, sched.NewPW2PL())
+		if err != nil {
+			continue
+		}
+		if res.LSR && !res.Serializable {
+			if !res.StronglyCorrect {
+				t.Fatalf("seed %d: LSR schedule not strongly correct", seed)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no LSR-but-not-serializable execution found across seeds")
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	tab, err := Sweep([]int{2, 4}, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if !strings.Contains(tab.Render(), "PERF2") {
+		t.Fatalf("Render:\n%s", tab.Render())
+	}
+}

@@ -1,0 +1,219 @@
+// Package paper holds the worked artifacts of Rastogi et al. — the
+// transaction programs, integrity constraints, initial states, and
+// schedules of Examples 1 through 5 — as shared fixtures for tests,
+// experiments, and the command-line tools.
+//
+// Transcription notes (the source text is OCR of the JCSS'98 version;
+// "−" is frequently garbled as "&"):
+//
+//   - Example 1's displayed schedule begins "r1(a,0), r1(a,0)"; the
+//     surrounding text (T2 = r2(a,0), w2(d,0)) and the projection
+//     S^{a,c} = r2(a,0), r1(a,0), r1(c,5) show the first operation is
+//     T2's read. Example 1's TP1 condition is garbled "if(a0)"; any
+//     predicate true at a = 0 reproduces the example; we use a >= 0.
+//   - Example 5's schedule begins "r1(a,10)" and ends "w2(d,&15)"; the
+//     transactions (TP1 reads only c; TP3 = d := a − b produces
+//     d = 10 − 25 = −15) show they are r3(a,10) and w3(d,−15). TP1 is
+//     garbled "b := c&1"; the recorded write w1(b,25) after r1(c,30)
+//     fixes it as b := c − 5.
+package paper
+
+import (
+	"pwsr/internal/constraint"
+	"pwsr/internal/program"
+	"pwsr/internal/state"
+	"pwsr/internal/txn"
+)
+
+// Example is one of the paper's worked examples: programs, an integrity
+// constraint (possibly absent for Example 1), an initial state, the
+// schedule as printed, and the interleaving script (the transaction id
+// granted at each step) that regenerates the schedule through the
+// execution engine.
+type Example struct {
+	// Name identifies the example ("Example 2", …).
+	Name string
+	// Programs are the transaction programs TP1, TP2, …, indexed so
+	// Programs[i] is TP(i+1) and executes as transaction id i+1.
+	Programs []*program.Program
+	// IC is the integrity constraint with the paper's conjunct
+	// grouping, or nil for Example 1 (which has none).
+	IC *constraint.IC
+	// Schema assigns domains wide enough for the example's values.
+	Schema state.Schema
+	// Initial is the database state the schedule executes from.
+	Initial state.DB
+	// Schedule is the schedule exactly as printed (after the OCR
+	// corrections documented in the package comment).
+	Schedule *txn.Schedule
+	// Script is the per-operation transaction grant order regenerating
+	// Schedule via the execution engine.
+	Script []int
+	// Final is the resulting database state the paper reports, when it
+	// reports one.
+	Final state.DB
+}
+
+// Example1 is the notation example of Section 2.2.
+func Example1() *Example {
+	return &Example{
+		Name: "Example 1",
+		Programs: []*program.Program{
+			program.MustParse(`program TP1 {
+				if (a >= 0) { b := c; } else { c := d; }
+			}`),
+			program.MustParse(`program TP2 {
+				d := a;
+			}`),
+		},
+		IC:     nil,
+		Schema: state.UniformInts(-20, 20, "a", "b", "c", "d"),
+		Initial: state.Ints(map[string]int64{
+			"a": 0, "b": 10, "c": 5, "d": 10,
+		}),
+		Schedule: txn.MustParseSchedule(
+			"r2(a, 0), r1(a, 0), w2(d, 0), r1(c, 5), w1(b, 5)"),
+		Script: []int{2, 1, 2, 1, 1},
+		Final: state.Ints(map[string]int64{
+			"a": 0, "b": 5, "c": 5, "d": 0,
+		}),
+	}
+}
+
+// Example2 is the PWSR-but-not-strongly-correct example of Section 3:
+// TP1 is not fixed-structure and consistency is lost.
+func Example2() *Example {
+	ic, err := constraint.ParseICFromConjuncts("a > 0 -> b > 0", "c > 0")
+	if err != nil {
+		panic(err)
+	}
+	return &Example{
+		Name: "Example 2",
+		Programs: []*program.Program{
+			program.MustParse(`program TP1 {
+				a := 1;
+				if (c > 0) { b := abs(b) + 1; }
+			}`),
+			program.MustParse(`program TP2 {
+				if (a > 0) { c := b; }
+			}`),
+		},
+		IC:     ic,
+		Schema: state.UniformInts(-20, 20, "a", "b", "c"),
+		Initial: state.Ints(map[string]int64{
+			"a": -1, "b": -1, "c": 1,
+		}),
+		Schedule: txn.MustParseSchedule(
+			"w1(a, 1), r2(a, 1), r2(b, -1), w2(c, -1), r1(c, -1)"),
+		Script: []int{1, 2, 2, 2, 1},
+		Final: state.Ints(map[string]int64{
+			"a": 1, "b": -1, "c": -1,
+		}),
+	}
+}
+
+// Example2Fixed returns Example 2 with TP1 replaced by the paper's
+// fixed-structure TP1' (the "else b := b" padding). Under TP1' the
+// printed schedule is no longer PWSR — the restriction to C1's data set
+// is not serializable — so the consistency violation cannot arise.
+func Example2Fixed() *Example {
+	e := Example2()
+	e.Name = "Example 2 (TP1')"
+	e.Programs[0] = program.MustParse(`program TP1' {
+		a := 1;
+		if (c > 0) { b := abs(b) + 1; } else { b := b; }
+	}`)
+	// With TP1' the same grant order yields one extra operation at the
+	// end (TP1's else/then branch both access b).
+	e.Schedule = nil
+	e.Script = []int{1, 2, 2, 2, 1, 1, 1}
+	e.Final = nil
+	return e
+}
+
+// Example3 is Example 2 viewed through Lemma 3: the same programs and
+// schedule, with the distinguished operation p = w1(a, 1) showing the
+// partial-state consistency claim fails for non-fixed-structure
+// programs.
+func Example3() *Example {
+	e := Example2()
+	e.Name = "Example 3"
+	return e
+}
+
+// Example3P returns the distinguished operation p = w1(a, 1) of
+// Example 3 (the first operation of the schedule).
+func Example3P(e *Example) txn.Op { return e.Schedule.Op(0) }
+
+// Example4 is the Lemma 7 remark: consistency of DS1^d and read(Ti)
+// separately does not give consistency of their union. IC is the single
+// conjunct (a = b ∧ b = c); TP1 is a := c.
+func Example4() *Example {
+	ic, err := constraint.ParseICFromConjuncts("a = b & b = c")
+	if err != nil {
+		panic(err)
+	}
+	return &Example{
+		Name: "Example 4",
+		Programs: []*program.Program{
+			program.MustParse(`program TP1 {
+				a := c;
+			}`),
+		},
+		IC:     ic,
+		Schema: state.UniformInts(-20, 20, "a", "b", "c"),
+		Initial: state.Ints(map[string]int64{
+			"a": -1, "b": -1, "c": 1,
+		}),
+		Schedule: txn.MustParseSchedule("r1(c, 1), w1(a, 1)"),
+		Script:   []int{1, 1},
+		Final: state.Ints(map[string]int64{
+			"a": 1, "b": -1, "c": 1,
+		}),
+	}
+}
+
+// Example4D returns Example 4's distinguished item set d = {a, b}.
+func Example4D() state.ItemSet { return state.NewItemSet("a", "b") }
+
+// Example5 is the non-disjoint-conjuncts counterexample of Section 3.3:
+// fixed-structure programs, a DR schedule, an acyclic data access graph
+// — and still a consistency violation, because conjuncts share item a.
+func Example5() *Example {
+	ic, err := constraint.ParseICFromConjuncts("a > b", "a = c", "d > 0")
+	if err != nil {
+		panic(err)
+	}
+	return &Example{
+		Name: "Example 5",
+		Programs: []*program.Program{
+			program.MustParse(`program TP1 {
+				b := c - 5;
+			}`),
+			program.MustParse(`program TP2 {
+				let temp := c;
+				a := temp + 20;
+				c := temp + 20;
+			}`),
+			program.MustParse(`program TP3 {
+				d := a - b;
+			}`),
+		},
+		IC:     ic,
+		Schema: state.UniformInts(-40, 40, "a", "b", "c", "d"),
+		Initial: state.Ints(map[string]int64{
+			"a": 10, "b": 0, "c": 10, "d": 5,
+		}),
+		Schedule: txn.MustParseSchedule(
+			"r3(a, 10), r2(c, 10), w2(a, 30), w2(c, 30), r1(c, 30), w1(b, 25), r3(b, 25), w3(d, -15)"),
+		Script: []int{3, 2, 2, 2, 1, 1, 3, 3},
+		Final: state.Ints(map[string]int64{
+			"a": 30, "b": 25, "c": 30, "d": -15,
+		}),
+	}
+}
+
+// All returns Examples 1–5 in order.
+func All() []*Example {
+	return []*Example{Example1(), Example2(), Example3(), Example4(), Example5()}
+}

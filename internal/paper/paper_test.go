@@ -1,0 +1,128 @@
+package paper
+
+import (
+	"testing"
+
+	"pwsr/internal/constraint"
+	"pwsr/internal/program"
+)
+
+func TestFixturesInternallyConsistent(t *testing.T) {
+	for _, e := range All() {
+		if e.Schedule == nil {
+			continue
+		}
+		if err := e.Schedule.ValidateOrderEmbedding(); err != nil {
+			t.Errorf("%s: %v", e.Name, err)
+		}
+		// The printed schedule's read values must be what an execution
+		// from the printed initial state produces.
+		if err := e.Schedule.ConsistentValues(e.Initial); err != nil {
+			t.Errorf("%s: %v", e.Name, err)
+		}
+		// Final states as printed.
+		if e.Final != nil {
+			got := e.Schedule.FinalState(e.Initial)
+			if !got.Equal(e.Final) {
+				t.Errorf("%s: final = %v, want %v", e.Name, got, e.Final)
+			}
+		}
+		// Script length covers the schedule.
+		if len(e.Script) < e.Schedule.Len() {
+			t.Errorf("%s: script has %d grants for %d ops", e.Name, len(e.Script), e.Schedule.Len())
+		}
+		if err := e.Schema.Validate(e.Initial); err != nil {
+			t.Errorf("%s: %v", e.Name, err)
+		}
+	}
+}
+
+func TestInitialStatesConsistent(t *testing.T) {
+	// Examples 2, 3, and 5 start from consistent states (the premise of
+	// strong-correctness claims). Example 4 deliberately starts from an
+	// INCONSISTENT full state — only its restrictions DS1^{a,b} and
+	// {(c,1)} are consistent; that asymmetry is the point of the
+	// Lemma 7 remark.
+	for _, e := range All() {
+		if e.IC == nil || e.Name == "Example 4" {
+			continue
+		}
+		ok, err := e.IC.Eval(e.Initial)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if !ok {
+			t.Errorf("%s: initial state %v violates %s", e.Name, e.Initial, e.IC)
+		}
+	}
+}
+
+func TestProgramsCorrectInIsolation(t *testing.T) {
+	// Section 2.3's standing assumption holds for every example's
+	// programs.
+	for _, e := range All() {
+		if e.IC == nil {
+			continue
+		}
+		checker := constraint.NewChecker(e.IC, e.Schema)
+		for i, p := range e.Programs {
+			rep, err := program.CheckCorrectness(p, checker, 20, 7)
+			if err != nil {
+				t.Fatalf("%s TP%d: %v", e.Name, i+1, err)
+			}
+			if !rep.Correct {
+				t.Errorf("%s TP%d incorrect: %v -> %v", e.Name, i+1, rep.Witness, rep.Final)
+			}
+		}
+	}
+}
+
+func TestExample2FixedProgramIsFixed(t *testing.T) {
+	e := Example2Fixed()
+	rep, err := program.CheckFixedStructure(e.Programs[0], e.Schema, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Fixed {
+		t.Fatal("TP1' must be fixed-structure")
+	}
+	// And the original is not.
+	orig := Example2()
+	rep2, err := program.CheckFixedStructure(orig.Programs[0], orig.Schema, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Fixed {
+		t.Fatal("TP1 must not be fixed-structure")
+	}
+}
+
+func TestBalanceReproducesTP1Prime(t *testing.T) {
+	// The paper's §3.1 transformation, mechanized: balancing Example
+	// 2's TP1 yields a program with the same structure as the printed
+	// TP1'.
+	orig := Example2().Programs[0]
+	balanced, err := program.Balance(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := program.NewInterp()
+	e := Example2()
+	wantTrace, err := in.StructureFrom(Example2Fixed().Programs[0], e.Initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTrace, err := in.StructureFrom(balanced, e.Initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotTrace.Equal(wantTrace) {
+		t.Fatalf("balanced trace %s, want %s", gotTrace, wantTrace)
+	}
+}
+
+func TestExample4DistinguishedSet(t *testing.T) {
+	if !Example4D().Contains("a") || !Example4D().Contains("b") || Example4D().Contains("c") {
+		t.Fatal("Example4D wrong")
+	}
+}

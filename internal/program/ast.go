@@ -1,0 +1,200 @@
+// Package program implements the transaction-program language TPL: the
+// high-level programs of Section 2.2 "written in a high-level
+// programming language with assignments, loops, conditional statements".
+// Executing a program from a database state yields a transaction — a
+// sequence of read/write operations with values — and executing the same
+// program from different states may yield different transactions, the
+// observation at the heart of the paper.
+//
+// The package also provides the fixed-structure machinery of Section
+// 3.1: static and dynamic fixed-structure checks (Definition 3) and the
+// TP1 → TP1' balancing transformation that pads conditionals so the
+// emitted structure is state independent.
+package program
+
+import (
+	"fmt"
+	"strings"
+
+	"pwsr/internal/constraint"
+	"pwsr/internal/state"
+)
+
+// Stmt is a TPL statement.
+type Stmt interface {
+	stmtNode()
+	// write renders the statement at the given indent depth.
+	write(b *strings.Builder, depth int)
+}
+
+// Assign writes the value of Expr to a data item (or updates a declared
+// local of the same name).
+type Assign struct {
+	Target string
+	Expr   constraint.Expr
+}
+
+// Let declares (or re-binds) a program-local variable. Locals are not
+// data items: reading or assigning them emits no operations.
+type Let struct {
+	Name string
+	Expr constraint.Expr
+}
+
+// If is a conditional with an optional else branch.
+type If struct {
+	Cond constraint.Formula
+	Then []Stmt
+	Else []Stmt
+}
+
+// While is a loop; the interpreter bounds total steps to keep programs
+// terminating.
+type While struct {
+	Cond constraint.Formula
+	Body []Stmt
+}
+
+func (*Assign) stmtNode() {}
+func (*Let) stmtNode()    {}
+func (*If) stmtNode()     {}
+func (*While) stmtNode()  {}
+
+// Program is a named transaction program TPi.
+type Program struct {
+	Name string
+	Body []Stmt
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func (s *Assign) write(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "%s := %s;\n", s.Target, s.Expr.String())
+}
+
+func (s *Let) write(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "let %s := %s;\n", s.Name, s.Expr.String())
+}
+
+func (s *If) write(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "if (%s) {\n", s.Cond.String())
+	for _, st := range s.Then {
+		st.write(b, depth+1)
+	}
+	indent(b, depth)
+	if len(s.Else) == 0 {
+		b.WriteString("}\n")
+		return
+	}
+	b.WriteString("} else {\n")
+	for _, st := range s.Else {
+		st.write(b, depth+1)
+	}
+	indent(b, depth)
+	b.WriteString("}\n")
+}
+
+func (s *While) write(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "while (%s) {\n", s.Cond.String())
+	for _, st := range s.Body {
+		st.write(b, depth+1)
+	}
+	indent(b, depth)
+	b.WriteString("}\n")
+}
+
+// String renders the program in parseable TPL source form.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s {\n", p.Name)
+	for _, st := range p.Body {
+		st.write(&b, 1)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// DataItems returns a conservative over-approximation of the data items
+// the program may access: every variable mentioned anywhere that is not
+// shadowed by a local declaration. (A variable that is first declared
+// with let and only then used is a local, not a data item.)
+func (p *Program) DataItems() state.ItemSet {
+	items := state.NewItemSet()
+	locals := state.NewItemSet()
+	var visitStmts func(stmts []Stmt)
+	addVars := func(vars state.ItemSet) {
+		for v := range vars {
+			if !locals.Contains(v) {
+				items.Add(v)
+			}
+		}
+	}
+	visitStmts = func(stmts []Stmt) {
+		for _, st := range stmts {
+			switch n := st.(type) {
+			case *Assign:
+				addVars(constraint.ExprVars(n.Expr))
+				if !locals.Contains(n.Target) {
+					items.Add(n.Target)
+				}
+			case *Let:
+				addVars(constraint.ExprVars(n.Expr))
+				locals.Add(n.Name)
+			case *If:
+				addVars(constraint.FormulaVars(n.Cond))
+				visitStmts(n.Then)
+				visitStmts(n.Else)
+			case *While:
+				addVars(constraint.FormulaVars(n.Cond))
+				visitStmts(n.Body)
+			}
+		}
+	}
+	visitStmts(p.Body)
+	return items
+}
+
+// IsStraightLine reports whether the program contains no conditionals
+// and no loops — the "straight line" transaction programs of Sha et al.
+// [14] that Section 3.1 contrasts with fixed-structure programs.
+// Straight-line programs are trivially fixed-structure.
+func (p *Program) IsStraightLine() bool {
+	for _, st := range p.Body {
+		switch st.(type) {
+		case *If, *While:
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the program (expressions are immutable
+// and shared).
+func (p *Program) Clone() *Program {
+	return &Program{Name: p.Name, Body: cloneStmts(p.Body)}
+}
+
+func cloneStmts(stmts []Stmt) []Stmt {
+	out := make([]Stmt, len(stmts))
+	for i, st := range stmts {
+		switch n := st.(type) {
+		case *Assign:
+			out[i] = &Assign{Target: n.Target, Expr: n.Expr}
+		case *Let:
+			out[i] = &Let{Name: n.Name, Expr: n.Expr}
+		case *If:
+			out[i] = &If{Cond: n.Cond, Then: cloneStmts(n.Then), Else: cloneStmts(n.Else)}
+		case *While:
+			out[i] = &While{Cond: n.Cond, Body: cloneStmts(n.Body)}
+		}
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package program
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pwsr/internal/state"
+)
+
+func TestBalancePaperTransformation(t *testing.T) {
+	// §3.1: TP1 → TP1' by adding "else b := b".
+	tp1 := MustParse(`program TP1 {
+		a := 1;
+		if (c > 0) { b := abs(b) + 1; }
+	}`)
+	tp1p, err := Balance(tp1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := state.UniformInts(-3, 3, "a", "b", "c")
+	rep, err := CheckFixedStructure(tp1p, schema, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Fixed {
+		t.Fatalf("balanced program not fixed-structure:\n%s\n%s vs %s",
+			tp1p, rep.StructA, rep.StructB)
+	}
+}
+
+func TestBalancePreservesSemantics(t *testing.T) {
+	tp1 := MustParse(`program TP1 {
+		a := 1;
+		if (c > 0) { b := abs(b) + 1; }
+	}`)
+	tp1p, err := Balance(tp1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInterp()
+	schema := state.UniformInts(-3, 3, "a", "b", "c")
+	items := []string{"a", "b", "c"}
+	// Every state must produce the same final database under both
+	// programs.
+	_, err = func() (bool, error) {
+		return enumStates(schema, items, state.NewDB(), 0, func(ds state.DB) (bool, error) {
+			_, f1, err := in.RunInIsolation(tp1, ds, 1)
+			if err != nil {
+				return false, err
+			}
+			_, f2, err := in.RunInIsolation(tp1p, ds, 1)
+			if err != nil {
+				return false, err
+			}
+			if !f1.Equal(f2) {
+				t.Fatalf("semantics differ from %v: %v vs %v", ds, f1, f2)
+			}
+			return false, nil
+		})
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalanceIdentityOnFixedPrograms(t *testing.T) {
+	// A program with matching branch structures passes through.
+	p := MustParse(`program T {
+		if (c > 0) { b := b + 1; } else { b := b - 1; }
+	}`)
+	out, err := Balance(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckFixedStructure(out, state.UniformInts(-2, 2, "b", "c"), 0, 1)
+	if err != nil || !rep.Fixed {
+		t.Fatalf("balanced = %v, fixed = %+v", err, rep)
+	}
+}
+
+func TestBalancePadsReads(t *testing.T) {
+	// The then-branch reads d before writing b (b also read): the else
+	// must pad the read of d and identity-write b.
+	p := MustParse(`program T {
+		if (c > 0) { b := b + d; }
+	}`)
+	out, err := Balance(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckFixedStructure(out, state.UniformInts(-2, 2, "b", "c", "d"), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Fixed {
+		t.Fatalf("padded program not fixed:\n%s\n%s vs %s", out, rep.StructA, rep.StructB)
+	}
+}
+
+func TestBalanceHoistsUnreadWrite(t *testing.T) {
+	// The then-branch writes b without reading it: Balance hoists a
+	// read of b before the if so the synthesized else can restore it.
+	p := MustParse(`program T {
+		if (c > 0) { b := 1; }
+	}`)
+	out, err := Balance(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "_pre") {
+		t.Fatalf("expected a hoisted read:\n%s", out)
+	}
+	schema := state.UniformInts(-2, 2, "b", "c")
+	rep, err := CheckFixedStructure(out, schema, 0, 1)
+	if err != nil || !rep.Fixed {
+		t.Fatalf("hoisted program not fixed: %v %+v\n%s", err, rep, out)
+	}
+	// Semantics preserved on every state.
+	in := NewInterp()
+	if _, err := enumStates(schema, []string{"b", "c"}, state.NewDB(), 0, func(ds state.DB) (bool, error) {
+		_, f1, err := in.RunInIsolation(p, ds, 1)
+		if err != nil {
+			return false, err
+		}
+		_, f2, err := in.RunInIsolation(out, ds, 1)
+		if err != nil {
+			return false, err
+		}
+		if !f1.Equal(f2) {
+			t.Fatalf("semantics differ from %v: %v vs %v", ds, f1, f2)
+		}
+		return false, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalanceRejectsShortCircuitConditions(t *testing.T) {
+	// The right operand of & is skipped when the left is false, so the
+	// condition's own reads are state dependent.
+	p := MustParse(`program T {
+		if (c > 0 & d > 0) { b := b + 1; }
+	}`)
+	if _, err := Balance(p); !errors.Is(err, ErrCannotBalance) {
+		t.Fatalf("err = %v, want ErrCannotBalance", err)
+	}
+	// With both operands already cached the same condition is fine.
+	p2 := MustParse(`program T {
+		let s := c + d;
+		if (c > 0 & d > 0) { b := b + 1; }
+	}`)
+	if _, err := Balance(p2); err != nil {
+		t.Fatalf("cached-condition balance failed: %v", err)
+	}
+}
+
+func TestBalanceFailsOnLoopsAndMismatchedBranches(t *testing.T) {
+	loop := MustParse(`program T { while (a > 0) { a := a - 1; } }`)
+	if _, err := Balance(loop); !errors.Is(err, ErrCannotBalance) {
+		t.Fatalf("loop err = %v", err)
+	}
+	mismatch := MustParse(`program T {
+		if (c > 0) { a := a + 1; } else { b := b + 1; }
+	}`)
+	if _, err := Balance(mismatch); !errors.Is(err, ErrCannotBalance) {
+		t.Fatalf("mismatch err = %v", err)
+	}
+	nested := MustParse(`program T {
+		if (c > 0) { if (d > 0) { a := a + 1; } }
+	}`)
+	if _, err := Balance(nested); !errors.Is(err, ErrCannotBalance) {
+		t.Fatalf("nested err = %v", err)
+	}
+}
+
+func TestBalanceEarlierReadEnablesIdentityWrite(t *testing.T) {
+	// b is read before the if, so the identity write needs no extra
+	// read: then-trace is w(b) only, and "b := b" in the else emits
+	// exactly w(b).
+	p := MustParse(`program T {
+		a := b;
+		if (c > 0) { b := 1; }
+	}`)
+	out, err := Balance(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckFixedStructure(out, state.UniformInts(-2, 2, "a", "b", "c"), 0, 1)
+	if err != nil || !rep.Fixed {
+		t.Fatalf("err = %v, report = %+v\n%s", err, rep, out)
+	}
+}
+
+func TestBalanceKeepsName(t *testing.T) {
+	p := MustParse(`program TP1 { a := a; }`)
+	out, err := Balance(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "TP1'" {
+		t.Fatalf("name = %q", out.Name)
+	}
+}

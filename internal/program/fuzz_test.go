@@ -1,0 +1,31 @@
+package program
+
+import "testing"
+
+// FuzzParse checks the program parser never panics and that parsed
+// programs round-trip through their printed source.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"program T { a := 1; }",
+		"program TP1 { a := 1; if (c > 0) { b := abs(b) + 1; } else { b := b; } }",
+		"program L { let i := 0; while (i < 3) { i := i + 1; } }",
+		"program N { if (a > 0) b := 1; else if (a < 0) b := 2; else b := 3; }",
+		"program E { let temp := c; a := temp + 20; c := temp + 20; }",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := p.String()
+		re, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", printed, src, err)
+		}
+		if re.String() != printed {
+			t.Fatalf("unstable print: %q -> %q", printed, re.String())
+		}
+	})
+}

@@ -1,0 +1,178 @@
+package program
+
+import (
+	"errors"
+	"testing"
+
+	"pwsr/internal/state"
+	"pwsr/internal/txn"
+)
+
+func runIso(t *testing.T, src string, ds state.DB) (txn.Transaction, state.DB) {
+	t.Helper()
+	p := MustParse(src)
+	tr, final, err := NewInterp().RunInIsolation(p, ds, 1)
+	if err != nil {
+		t.Fatalf("RunInIsolation(%s): %v", p.Name, err)
+	}
+	return tr, final
+}
+
+func TestRunStraightLine(t *testing.T) {
+	tr, final := runIso(t, `program TP2 { d := a; }`,
+		state.Ints(map[string]int64{"a": 0, "d": 10}))
+	if tr.Ops.String() != "r1(a, 0), w1(d, 0)" {
+		t.Fatalf("ops = %s", tr.Ops)
+	}
+	if !final.Equal(state.Ints(map[string]int64{"a": 0, "d": 0})) {
+		t.Fatalf("final = %v", final)
+	}
+}
+
+func TestRunExample1BothBranches(t *testing.T) {
+	src := `program TP1 { if (a >= 0) { b := c; } else { c := d; } }`
+	// a = 0: then branch — reads a, c; writes b.
+	tr, _ := runIso(t, src, state.Ints(map[string]int64{"a": 0, "b": 10, "c": 5, "d": 10}))
+	if tr.Ops.String() != "r1(a, 0), r1(c, 5), w1(b, 5)" {
+		t.Fatalf("then ops = %s", tr.Ops)
+	}
+	// a < 0: else branch — different structure, the paper's point.
+	tr2, _ := runIso(t, src, state.Ints(map[string]int64{"a": -1, "b": 10, "c": 5, "d": 10}))
+	if tr2.Ops.String() != "r1(a, -1), r1(d, 10), w1(c, 10)" {
+		t.Fatalf("else ops = %s", tr2.Ops)
+	}
+	if tr.Struct().Equal(tr2.Struct()) {
+		t.Fatal("different branches produced equal structures")
+	}
+}
+
+func TestRunLocals(t *testing.T) {
+	// Example 5's TP2: temp is a local; only c is read, a and c written.
+	tr, final := runIso(t, `program TP2 {
+		let temp := c;
+		a := temp + 20;
+		c := temp + 20;
+	}`, state.Ints(map[string]int64{"a": 10, "c": 10}))
+	if tr.Ops.String() != "r1(c, 10), w1(a, 30), w1(c, 30)" {
+		t.Fatalf("ops = %s", tr.Ops)
+	}
+	if !final.Equal(state.Ints(map[string]int64{"a": 30, "c": 30})) {
+		t.Fatalf("final = %v", final)
+	}
+}
+
+func TestRunLocalReassignment(t *testing.T) {
+	tr, final := runIso(t, `program T {
+		let t := 1;
+		t := t + 1;
+		a := t;
+	}`, state.Ints(map[string]int64{"a": 0}))
+	if tr.Ops.String() != "w1(a, 2)" {
+		t.Fatalf("ops = %s", tr.Ops)
+	}
+	if final.MustGet("a") != state.Int(2) {
+		t.Fatalf("a = %v", final.MustGet("a"))
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	tr, final := runIso(t, `program T {
+		let i := 0;
+		let acc := 0;
+		while (i < 3) { acc := acc + 2; i := i + 1; }
+		a := acc;
+	}`, state.Ints(map[string]int64{"a": 0}))
+	if final.MustGet("a") != state.Int(6) {
+		t.Fatalf("a = %v", final.MustGet("a"))
+	}
+	if len(tr.Ops) != 1 {
+		t.Fatalf("ops = %s", tr.Ops)
+	}
+}
+
+func TestRunWhileStepBudget(t *testing.T) {
+	p := MustParse(`program T { let i := 1; while (i > 0) { i := i + 1; } }`)
+	in := &Interp{MaxSteps: 100, Strict: true}
+	_, _, err := in.RunInIsolation(p, state.NewDB(), 1)
+	if !errors.Is(err, ErrSteps) {
+		t.Fatalf("err = %v, want ErrSteps", err)
+	}
+}
+
+func TestDisciplineReadOnce(t *testing.T) {
+	// a is used three times but read once.
+	tr, _ := runIso(t, `program T { b := a + a; c := a; }`,
+		state.Ints(map[string]int64{"a": 2, "b": 0, "c": 0}))
+	if tr.Ops.String() != "r1(a, 2), w1(b, 4), w1(c, 2)" {
+		t.Fatalf("ops = %s", tr.Ops)
+	}
+}
+
+func TestDisciplineNoReadAfterWrite(t *testing.T) {
+	// b := b after writing b: the use sees the written value with no
+	// read op emitted.
+	tr, final := runIso(t, `program T { b := 7; c := b + 1; }`,
+		state.Ints(map[string]int64{"b": 0, "c": 0}))
+	if tr.Ops.String() != "w1(b, 7), w1(c, 8)" {
+		t.Fatalf("ops = %s", tr.Ops)
+	}
+	if final.MustGet("c") != state.Int(8) {
+		t.Fatalf("c = %v", final.MustGet("c"))
+	}
+}
+
+func TestDisciplineDoubleWriteStrict(t *testing.T) {
+	p := MustParse(`program T { a := 1; a := 2; }`)
+	_, _, err := NewInterp().RunInIsolation(p, state.Ints(map[string]int64{"a": 0}), 1)
+	if !errors.Is(err, ErrDiscipline) {
+		t.Fatalf("err = %v, want ErrDiscipline", err)
+	}
+	// Non-strict mode lets it through (validators flag it downstream).
+	in := &Interp{Strict: false}
+	tr, _, err := in.RunInIsolation(p, state.Ints(map[string]int64{"a": 0}), 1)
+	if err != nil {
+		t.Fatalf("non-strict err = %v", err)
+	}
+	if tr.Ops.String() != "w1(a, 1), w1(a, 2)" {
+		t.Fatalf("ops = %s", tr.Ops)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	// Reading an item with no value.
+	p := MustParse(`program T { a := zz; }`)
+	if _, _, err := NewInterp().RunInIsolation(p, state.NewDB(), 1); err == nil {
+		t.Error("missing item accepted")
+	}
+	// Division by zero.
+	p2 := MustParse(`program T { a := 1 / 0; }`)
+	if _, _, err := NewInterp().RunInIsolation(p2, state.NewDB(), 1); err == nil {
+		t.Error("division by zero accepted")
+	}
+	// Condition type error.
+	p3 := MustParse(`program T { if (a < "x") { b := 1; } }`)
+	ds := state.NewDB()
+	ds.Set("a", state.Int(1))
+	if _, _, err := NewInterp().RunInIsolation(p3, ds, 1); err == nil {
+		t.Error("cross-sort ordering accepted")
+	}
+}
+
+func TestStructureFrom(t *testing.T) {
+	p := MustParse(`program T { b := a; }`)
+	st, err := NewInterp().StructureFrom(p, state.Ints(map[string]int64{"a": 3, "b": 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.String() != "r1(a), w1(b)" {
+		t.Fatalf("struct = %s", st)
+	}
+}
+
+func TestRunPreservesInput(t *testing.T) {
+	ds := state.Ints(map[string]int64{"a": 1, "b": 2})
+	runIso(t, `program T { b := a; }`, ds)
+	if !ds.Equal(state.Ints(map[string]int64{"a": 1, "b": 2})) {
+		t.Fatal("RunInIsolation mutated the input state")
+	}
+}

@@ -1,0 +1,207 @@
+package program
+
+import (
+	"fmt"
+
+	"pwsr/internal/constraint"
+)
+
+// Parse parses TPL source of the form
+//
+//	program TP1 {
+//	    a := 1;
+//	    if (c > 0) { b := abs(b) + 1; } else { b := b; }
+//	    let t := c;
+//	    while (t > 0) { t := t - 1; }
+//	}
+//
+// Statement separators are semicolons; block statements need none.
+func Parse(src string) (*Program, error) {
+	toks, err := constraint.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := constraint.NewParserFromTokens(toks)
+	if _, err := p.ExpectIdent("program"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.Expect(constraint.TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.Expect(constraint.TokLBrace); err != nil {
+		return nil, err
+	}
+	body, err := parseBlockBody(p)
+	if err != nil {
+		return nil, err
+	}
+	if !p.AtEOF() {
+		t := p.Peek()
+		return nil, fmt.Errorf("%d:%d: unexpected trailing input after program body", t.Line, t.Col)
+	}
+	return &Program{Name: nameTok.Text, Body: body}, nil
+}
+
+// MustParse is Parse that panics on error, for fixtures and tests.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParseStmts parses a bare statement list (no program header), useful
+// for building fixtures.
+func ParseStmts(src string) ([]Stmt, error) {
+	toks, err := constraint.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := constraint.NewParserFromTokens(toks)
+	var out []Stmt
+	for !p.AtEOF() {
+		st, err := parseStmt(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// parseBlockBody parses statements until the closing brace, consuming
+// it.
+func parseBlockBody(p *constraint.Parser) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		t := p.Peek()
+		if t.Kind == constraint.TokRBrace {
+			p.Next()
+			return out, nil
+		}
+		if t.Kind == constraint.TokEOF {
+			return nil, fmt.Errorf("%d:%d: missing closing brace", t.Line, t.Col)
+		}
+		st, err := parseStmt(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+}
+
+func parseStmt(p *constraint.Parser) (Stmt, error) {
+	t := p.Peek()
+	if t.Kind != constraint.TokIdent {
+		return nil, fmt.Errorf("%d:%d: expected a statement", t.Line, t.Col)
+	}
+	switch t.Text {
+	case "if":
+		return parseIf(p)
+	case "while":
+		return parseWhile(p)
+	case "let":
+		p.Next()
+		name, err := p.Expect(constraint.TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.Expect(constraint.TokAssign); err != nil {
+			return nil, err
+		}
+		e, err := p.Expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.Expect(constraint.TokSemi); err != nil {
+			return nil, err
+		}
+		return &Let{Name: name.Text, Expr: e}, nil
+	default:
+		p.Next()
+		if _, err := p.Expect(constraint.TokAssign); err != nil {
+			return nil, err
+		}
+		e, err := p.Expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.Expect(constraint.TokSemi); err != nil {
+			return nil, err
+		}
+		return &Assign{Target: t.Text, Expr: e}, nil
+	}
+}
+
+func parseIf(p *constraint.Parser) (Stmt, error) {
+	if _, err := p.ExpectIdent("if"); err != nil {
+		return nil, err
+	}
+	if _, err := p.Expect(constraint.TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.Formula()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.Expect(constraint.TokRParen); err != nil {
+		return nil, err
+	}
+	thenBody, err := parseBranch(p)
+	if err != nil {
+		return nil, err
+	}
+	var elseBody []Stmt
+	if t := p.Peek(); t.Kind == constraint.TokIdent && t.Text == "else" {
+		p.Next()
+		if t2 := p.Peek(); t2.Kind == constraint.TokIdent && t2.Text == "if" {
+			nested, err := parseIf(p)
+			if err != nil {
+				return nil, err
+			}
+			elseBody = []Stmt{nested}
+		} else {
+			elseBody, err = parseBranch(p)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &If{Cond: cond, Then: thenBody, Else: elseBody}, nil
+}
+
+func parseWhile(p *constraint.Parser) (Stmt, error) {
+	if _, err := p.ExpectIdent("while"); err != nil {
+		return nil, err
+	}
+	if _, err := p.Expect(constraint.TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.Formula()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.Expect(constraint.TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := parseBranch(p)
+	if err != nil {
+		return nil, err
+	}
+	return &While{Cond: cond, Body: body}, nil
+}
+
+// parseBranch parses either a braced block or a single statement.
+func parseBranch(p *constraint.Parser) ([]Stmt, error) {
+	if p.Peek().Kind == constraint.TokLBrace {
+		p.Next()
+		return parseBlockBody(p)
+	}
+	st, err := parseStmt(p)
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{st}, nil
+}

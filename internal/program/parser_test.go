@@ -1,0 +1,179 @@
+package program
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSimpleProgram(t *testing.T) {
+	p, err := Parse(`program TP2 {
+		d := a;
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "TP2" || len(p.Body) != 1 {
+		t.Fatalf("program = %+v", p)
+	}
+	a, ok := p.Body[0].(*Assign)
+	if !ok || a.Target != "d" {
+		t.Fatalf("stmt = %#v", p.Body[0])
+	}
+}
+
+func TestParseIfElse(t *testing.T) {
+	p := MustParse(`program TP1 {
+		a := 1;
+		if (c > 0) { b := abs(b) + 1; } else { b := b; }
+	}`)
+	if len(p.Body) != 2 {
+		t.Fatalf("body = %d stmts", len(p.Body))
+	}
+	iff, ok := p.Body[1].(*If)
+	if !ok {
+		t.Fatalf("stmt = %#v", p.Body[1])
+	}
+	if len(iff.Then) != 1 || len(iff.Else) != 1 {
+		t.Fatalf("branches = %d/%d", len(iff.Then), len(iff.Else))
+	}
+}
+
+func TestParseIfWithoutElse(t *testing.T) {
+	p := MustParse(`program TP {
+		if (a > 0) { c := b; }
+	}`)
+	iff := p.Body[0].(*If)
+	if len(iff.Else) != 0 {
+		t.Fatal("else should be empty")
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	p := MustParse(`program TP {
+		if (a > 0) { b := 1; } else if (a < 0) { b := 2; } else { b := 3; }
+	}`)
+	iff := p.Body[0].(*If)
+	if len(iff.Else) != 1 {
+		t.Fatalf("else = %d stmts", len(iff.Else))
+	}
+	nested, ok := iff.Else[0].(*If)
+	if !ok || len(nested.Else) != 1 {
+		t.Fatalf("nested = %#v", iff.Else[0])
+	}
+}
+
+func TestParseUnbracedBranch(t *testing.T) {
+	p := MustParse(`program TP {
+		if (a > 0) b := 1; else b := 2;
+	}`)
+	iff := p.Body[0].(*If)
+	if len(iff.Then) != 1 || len(iff.Else) != 1 {
+		t.Fatal("unbraced branches parsed wrong")
+	}
+}
+
+func TestParseLetAndWhile(t *testing.T) {
+	p := MustParse(`program TP {
+		let i := 0;
+		while (i < 3) { i := i + 1; }
+		a := i;
+	}`)
+	if _, ok := p.Body[0].(*Let); !ok {
+		t.Fatal("let not parsed")
+	}
+	if _, ok := p.Body[1].(*While); !ok {
+		t.Fatal("while not parsed")
+	}
+}
+
+func TestParseStmtsBare(t *testing.T) {
+	stmts, err := ParseStmts(`a := 1; b := 2;`)
+	if err != nil || len(stmts) != 2 {
+		t.Fatalf("stmts = %v, %v", stmts, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		``,
+		`program {}`,
+		`program TP`,
+		`program TP {`,
+		`program TP { a = 1; }`,
+		`program TP { a := 1 }`,
+		`program TP { if a > 0 { b := 1; } }`,
+		`program TP { let := 1; }`,
+		`program TP { a := 1; } trailing`,
+		`program TP { 1 := a; }`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestProgramStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		`program TP1 {
+			a := 1;
+			if (c > 0) { b := abs(b) + 1; } else { b := b; }
+		}`,
+		`program TP2 {
+			let temp := c;
+			a := temp + 20;
+			c := temp + 20;
+		}`,
+		`program L {
+			let i := 0;
+			while (i < 3) { a := a + 1; i := i + 1; }
+		}`,
+	}
+	for _, src := range srcs {
+		p1 := MustParse(src)
+		p2, err := Parse(p1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", p1.String(), err)
+		}
+		if p1.String() != p2.String() {
+			t.Errorf("round trip unstable:\n%s\nvs\n%s", p1.String(), p2.String())
+		}
+	}
+}
+
+func TestDataItems(t *testing.T) {
+	p := MustParse(`program TP {
+		let temp := c;
+		a := temp + 20;
+		if (d > 0) { e := 1; }
+	}`)
+	items := p.DataItems()
+	for _, want := range []string{"a", "c", "d", "e"} {
+		if !items.Contains(want) {
+			t.Errorf("DataItems missing %q (got %v)", want, items)
+		}
+	}
+	if items.Contains("temp") {
+		t.Error("local counted as data item")
+	}
+}
+
+func TestIsStraightLine(t *testing.T) {
+	if !MustParse(`program T { a := 1; let x := 2; b := x; }`).IsStraightLine() {
+		t.Error("straight-line program not recognized")
+	}
+	if MustParse(`program T { if (a > 0) { b := 1; } }`).IsStraightLine() {
+		t.Error("conditional program reported straight-line")
+	}
+	if MustParse(`program T { while (a > 0) { a := a - 1; } }`).IsStraightLine() {
+		t.Error("looping program reported straight-line")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := MustParse(`program T { if (a > 0) { b := 1; } else { b := 2; } }`)
+	c := p.Clone()
+	c.Body[0].(*If).Then[0].(*Assign).Target = "zzz"
+	if strings.Contains(p.String(), "zzz") {
+		t.Fatal("Clone shares statement nodes")
+	}
+}

@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"pwsr/internal/exec"
+	"pwsr/internal/txn"
+)
+
+// Degree2 implements degree-2 consistency (cursor stability / read
+// committed): write locks are exclusive and held until the transaction
+// ends, read locks are instantaneous — a read merely waits until no
+// other transaction holds a write lock on the item. The paper's
+// conclusion cites degree 2 as the archetypal *ad-hoc, operationally
+// defined* criterion; this policy exists to measure it against PWSR.
+//
+// Degree-2 schedules are ACA (reads see only completed transactions'
+// writes), hence delayed-read — but they are NOT PWSR in general: lost
+// updates within a single conjunct are possible, so Theorem 2 does not
+// apply and consistency can be destroyed. The Degree2VsPWSR experiment
+// quantifies this: DR alone is not enough, the PWSR half of Theorem 2's
+// hypothesis is doing real work.
+type Degree2 struct {
+	// writeLocks maps items to the transaction holding the exclusive
+	// write lock.
+	writeLocks map[string]int
+	rr         int
+}
+
+// NewDegree2 returns a fresh degree-2 policy.
+func NewDegree2() *Degree2 {
+	return &Degree2{writeLocks: make(map[string]int)}
+}
+
+// Pick implements exec.Policy with rotating fairness.
+func (d *Degree2) Pick(pending []*exec.Request, v *exec.View) int {
+	defer func() { d.rr++ }()
+	n := len(pending)
+	for k := 0; k < n; k++ {
+		i := (d.rr + k) % n
+		r := pending[i]
+		holder, locked := d.writeLocks[r.Entity]
+		switch r.Action {
+		case txn.ActionRead:
+			// Instantaneous read lock: wait out foreign write locks.
+			if locked && holder != r.TxnID {
+				continue
+			}
+			return i
+		case txn.ActionWrite:
+			if locked && holder != r.TxnID {
+				continue
+			}
+			d.writeLocks[r.Entity] = r.TxnID
+			return i
+		}
+	}
+	return -1
+}
+
+// TxnFinished implements exec.Policy.
+func (d *Degree2) TxnFinished(id int, v *exec.View) {
+	for it, holder := range d.writeLocks {
+		if holder == id {
+			delete(d.writeLocks, it)
+		}
+	}
+}

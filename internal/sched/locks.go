@@ -1,0 +1,174 @@
+// Package sched implements interleaving policies for the execution
+// engine: scripted and randomized interleavings for reproducing and
+// fuzzing schedules, and concurrency-control protocols — conservative
+// strict two-phase locking (C2PL), predicate-wise conservative 2PL
+// (PW-C2PL) that releases each conjunct data set's locks as soon as the
+// transaction is done with that set, and a delayed-read (DR) gate that
+// blocks reads from transactions that have not finished (Section 3.2's
+// ACA-like restriction).
+package sched
+
+import (
+	"fmt"
+
+	"pwsr/internal/state"
+)
+
+// LockMode is shared (read) or exclusive (write).
+type LockMode uint8
+
+const (
+	// Shared is a read lock; compatible with other shared locks.
+	Shared LockMode = iota
+	// Exclusive is a write lock; compatible with nothing.
+	Exclusive
+)
+
+// String renders the mode.
+func (m LockMode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+// lockState tracks the holders of one item's lock.
+type lockState struct {
+	mode    LockMode
+	holders map[int]bool
+}
+
+// LockTable is a shared/exclusive lock table keyed by data item, with
+// atomic batch acquisition (all-or-nothing) as used by the conservative
+// protocols.
+type LockTable struct {
+	locks map[string]*lockState
+	// held tracks, per transaction, the items it holds with their mode.
+	held map[int]map[string]LockMode
+}
+
+// NewLockTable returns an empty lock table.
+func NewLockTable() *LockTable {
+	return &LockTable{
+		locks: make(map[string]*lockState),
+		held:  make(map[int]map[string]LockMode),
+	}
+}
+
+// request is one (item, mode) pair of a batch.
+type request struct {
+	item string
+	mode LockMode
+}
+
+// batchOf builds the request list for a read-set/write-set pair; items
+// in both sets lock exclusively.
+func batchOf(reads, writes state.ItemSet) []request {
+	var out []request
+	for _, it := range writes.Sorted() {
+		out = append(out, request{item: it, mode: Exclusive})
+	}
+	for _, it := range reads.Sorted() {
+		if !writes.Contains(it) {
+			out = append(out, request{item: it, mode: Shared})
+		}
+	}
+	return out
+}
+
+// available reports whether txn id could acquire (item, mode) right now.
+func (t *LockTable) available(id int, item string, mode LockMode) bool {
+	ls, ok := t.locks[item]
+	if !ok || len(ls.holders) == 0 {
+		return true
+	}
+	if ls.holders[id] {
+		// Already held; an upgrade to exclusive needs sole ownership.
+		if mode == Exclusive && (ls.mode != Exclusive) {
+			return len(ls.holders) == 1
+		}
+		return true
+	}
+	return mode == Shared && ls.mode == Shared
+}
+
+// CanAcquire reports whether the whole batch (reads shared, writes
+// exclusive) is available to txn id atomically.
+func (t *LockTable) CanAcquire(id int, reads, writes state.ItemSet) bool {
+	for _, r := range batchOf(reads, writes) {
+		if !t.available(id, r.item, r.mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// Acquire takes the whole batch for txn id. It returns an error if any
+// part is unavailable (callers should check CanAcquire first; Acquire
+// never partially applies).
+func (t *LockTable) Acquire(id int, reads, writes state.ItemSet) error {
+	if !t.CanAcquire(id, reads, writes) {
+		return fmt.Errorf("sched: lock batch unavailable for T%d", id)
+	}
+	for _, r := range batchOf(reads, writes) {
+		ls, ok := t.locks[r.item]
+		if !ok {
+			ls = &lockState{holders: make(map[int]bool)}
+			t.locks[r.item] = ls
+		}
+		ls.holders[id] = true
+		if r.mode == Exclusive || len(ls.holders) == 1 {
+			// A sole holder sets the mode; an upgrade raises it.
+			if r.mode == Exclusive {
+				ls.mode = Exclusive
+			} else if len(ls.holders) == 1 {
+				ls.mode = Shared
+			}
+		}
+		if t.held[id] == nil {
+			t.held[id] = make(map[string]LockMode)
+		}
+		if cur, ok := t.held[id][r.item]; !ok || r.mode > cur {
+			t.held[id][r.item] = r.mode
+		}
+	}
+	return nil
+}
+
+// ReleaseItems releases txn id's locks on the given items.
+func (t *LockTable) ReleaseItems(id int, items state.ItemSet) {
+	for it := range items {
+		if ls, ok := t.locks[it]; ok {
+			delete(ls.holders, id)
+			if len(ls.holders) == 0 {
+				delete(t.locks, it)
+			} else {
+				// Remaining holders of a formerly exclusive lock cannot
+				// exist; remaining holders are shared.
+				ls.mode = Shared
+			}
+		}
+		delete(t.held[id], it)
+	}
+	if len(t.held[id]) == 0 {
+		delete(t.held, id)
+	}
+}
+
+// ReleaseAll releases every lock txn id holds.
+func (t *LockTable) ReleaseAll(id int) {
+	items := state.NewItemSet()
+	for it := range t.held[id] {
+		items.Add(it)
+	}
+	t.ReleaseItems(id, items)
+}
+
+// Holds reports whether txn id holds a lock on item.
+func (t *LockTable) Holds(id int, item string) bool {
+	_, ok := t.held[id][item]
+	return ok
+}
+
+// HoldsAny reports whether txn id holds any lock.
+func (t *LockTable) HoldsAny(id int) bool { return len(t.held[id]) > 0 }

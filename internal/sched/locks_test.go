@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"testing"
+
+	"pwsr/internal/state"
+)
+
+func set(items ...string) state.ItemSet { return state.NewItemSet(items...) }
+
+func TestLockTableSharedCompatibility(t *testing.T) {
+	lt := NewLockTable()
+	if err := lt.Acquire(1, set("a"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !lt.CanAcquire(2, set("a"), nil) {
+		t.Fatal("shared locks should be compatible")
+	}
+	if err := lt.Acquire(2, set("a"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if lt.CanAcquire(3, nil, set("a")) {
+		t.Fatal("exclusive must wait for shared holders")
+	}
+	lt.ReleaseAll(1)
+	if lt.CanAcquire(3, nil, set("a")) {
+		t.Fatal("one shared holder remains")
+	}
+	lt.ReleaseAll(2)
+	if !lt.CanAcquire(3, nil, set("a")) {
+		t.Fatal("lock should be free")
+	}
+}
+
+func TestLockTableExclusive(t *testing.T) {
+	lt := NewLockTable()
+	if err := lt.Acquire(1, nil, set("a")); err != nil {
+		t.Fatal(err)
+	}
+	if lt.CanAcquire(2, set("a"), nil) || lt.CanAcquire(2, nil, set("a")) {
+		t.Fatal("exclusive blocks everything")
+	}
+	if !lt.Holds(1, "a") || lt.Holds(2, "a") {
+		t.Fatal("Holds wrong")
+	}
+	if !lt.HoldsAny(1) || lt.HoldsAny(2) {
+		t.Fatal("HoldsAny wrong")
+	}
+}
+
+func TestLockTableAtomicBatch(t *testing.T) {
+	lt := NewLockTable()
+	if err := lt.Acquire(1, nil, set("b")); err != nil {
+		t.Fatal(err)
+	}
+	// T2 wants {a, b}: unavailable as a whole; nothing may be taken.
+	if lt.CanAcquire(2, nil, set("a", "b")) {
+		t.Fatal("batch with a held item reported available")
+	}
+	if err := lt.Acquire(2, nil, set("a", "b")); err == nil {
+		t.Fatal("partial batch acquisition allowed")
+	}
+	if lt.Holds(2, "a") {
+		t.Fatal("failed batch left a lock behind")
+	}
+}
+
+func TestLockTableReadWriteOverlap(t *testing.T) {
+	// An item in both read and write sets locks exclusively.
+	lt := NewLockTable()
+	if err := lt.Acquire(1, set("a"), set("a")); err != nil {
+		t.Fatal(err)
+	}
+	if lt.CanAcquire(2, set("a"), nil) {
+		t.Fatal("read+write item must be exclusive")
+	}
+}
+
+func TestLockTableReacquireByHolder(t *testing.T) {
+	lt := NewLockTable()
+	if err := lt.Acquire(1, nil, set("a")); err != nil {
+		t.Fatal(err)
+	}
+	// The holder can re-request its own locks.
+	if !lt.CanAcquire(1, set("a"), nil) || !lt.CanAcquire(1, nil, set("a")) {
+		t.Fatal("holder blocked by its own lock")
+	}
+}
+
+func TestLockTableUpgrade(t *testing.T) {
+	lt := NewLockTable()
+	if err := lt.Acquire(1, set("a"), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Sole shared holder may upgrade.
+	if !lt.CanAcquire(1, nil, set("a")) {
+		t.Fatal("sole holder upgrade refused")
+	}
+	// With a second shared holder, the upgrade must wait.
+	if err := lt.Acquire(2, set("a"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if lt.CanAcquire(1, nil, set("a")) {
+		t.Fatal("upgrade allowed despite other shared holder")
+	}
+}
+
+func TestLockTableReleaseItems(t *testing.T) {
+	lt := NewLockTable()
+	if err := lt.Acquire(1, set("a"), set("b")); err != nil {
+		t.Fatal(err)
+	}
+	lt.ReleaseItems(1, set("b"))
+	if lt.Holds(1, "b") || !lt.Holds(1, "a") {
+		t.Fatal("ReleaseItems wrong")
+	}
+	if !lt.CanAcquire(2, nil, set("b")) {
+		t.Fatal("released item still blocked")
+	}
+	// Releasing an item not held is a no-op.
+	lt.ReleaseItems(1, set("zzz"))
+}
+
+func TestPW2PLUnconstrainedItems(t *testing.T) {
+	// With UnconstrainedAsSet=true (the default) items outside every
+	// data set are locked until the transaction ends, so the contended
+	// unconstrained counter u cannot lose updates.
+	p := NewPW2PL()
+	programs := mustPrograms(t)
+	res, err := runPW(t, p, programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.MustGet("u") != stateInt(3) {
+		t.Fatalf("u = %v, want 3 (no lost update)", res.Final.MustGet("u"))
+	}
+
+	// With UnconstrainedAsSet=false the unconstrained pseudo-set is
+	// released as soon as the transaction has spent its items (rather
+	// than held to the end); updates still serialize because the lock
+	// covers each read-write pair.
+	p2 := NewPW2PL()
+	p2.UnconstrainedAsSet = false
+	res2, err := runPW(t, p2, programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res2.Schedule.ValidateOrderEmbedding(); err != nil {
+		t.Fatal(err)
+	}
+}

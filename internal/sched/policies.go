@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"math/rand"
+
+	"pwsr/internal/exec"
+	"pwsr/internal/txn"
+)
+
+// Script grants operations in a fixed per-operation transaction order,
+// used to reproduce the paper's printed schedules exactly.
+type Script struct {
+	// Order lists the transaction granted at each step.
+	Order []int
+	pos   int
+}
+
+// NewScript returns a scripted policy.
+func NewScript(order ...int) *Script { return &Script{Order: order} }
+
+// Pick implements exec.Policy.
+func (s *Script) Pick(pending []*exec.Request, v *exec.View) int {
+	if s.pos >= len(s.Order) {
+		return -1
+	}
+	want := s.Order[s.pos]
+	for i, r := range pending {
+		if r.TxnID == want {
+			s.pos++
+			return i
+		}
+	}
+	return -1
+}
+
+// TxnFinished implements exec.Policy.
+func (s *Script) TxnFinished(int, *exec.View) {}
+
+// RoundRobin grants one operation per live transaction in rotation.
+type RoundRobin struct {
+	last int
+}
+
+// Pick implements exec.Policy.
+func (r *RoundRobin) Pick(pending []*exec.Request, v *exec.View) int {
+	// pending is sorted by txn id; pick the first id greater than last,
+	// wrapping around.
+	for i, req := range pending {
+		if req.TxnID > r.last {
+			r.last = req.TxnID
+			return i
+		}
+	}
+	r.last = pending[0].TxnID
+	return 0
+}
+
+// TxnFinished implements exec.Policy.
+func (r *RoundRobin) TxnFinished(int, *exec.View) {}
+
+// Random grants a uniformly random pending request, seeded for
+// reproducibility.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a random policy with the given seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick implements exec.Policy.
+func (r *Random) Pick(pending []*exec.Request, v *exec.View) int {
+	return r.rng.Intn(len(pending))
+}
+
+// TxnFinished implements exec.Policy.
+func (r *Random) TxnFinished(int, *exec.View) {}
+
+// Serial runs transactions one at a time in ascending id order,
+// producing a serial schedule (the baseline of baselines).
+type Serial struct {
+	current int
+	active  bool
+}
+
+// Pick implements exec.Policy.
+func (s *Serial) Pick(pending []*exec.Request, v *exec.View) int {
+	if s.active && v.Live[s.current] {
+		for i, r := range pending {
+			if r.TxnID == s.current {
+				return i
+			}
+		}
+		return -1
+	}
+	// Start the lowest pending transaction.
+	s.current = pending[0].TxnID
+	s.active = true
+	return 0
+}
+
+// TxnFinished implements exec.Policy.
+func (s *Serial) TxnFinished(id int, v *exec.View) {
+	if id == s.current {
+		s.active = false
+	}
+}
+
+// DelayedRead wraps a policy with the DR gate of Section 3.2: a read of
+// an item whose last writer has not finished is not grantable. Schedules
+// produced under this gate are DR by construction (a transaction never
+// reads from an unfinished transaction), mirroring the ACA schedules
+// real systems produce.
+type DelayedRead struct {
+	// Inner picks among the unblocked requests.
+	Inner exec.Policy
+}
+
+// Pick implements exec.Policy.
+func (d *DelayedRead) Pick(pending []*exec.Request, v *exec.View) int {
+	allowed := make([]*exec.Request, 0, len(pending))
+	idx := make([]int, 0, len(pending))
+	for i, r := range pending {
+		if r.Action == txn.ActionRead {
+			if w, ok := v.LastWriter[r.Entity]; ok && w != 0 && w != r.TxnID && !v.Finished[w] {
+				continue
+			}
+		}
+		allowed = append(allowed, r)
+		idx = append(idx, i)
+	}
+	if len(allowed) == 0 {
+		return -1
+	}
+	inner := d.Inner.Pick(allowed, v)
+	if inner < 0 || inner >= len(allowed) {
+		return -1
+	}
+	return idx[inner]
+}
+
+// TxnFinished implements exec.Policy.
+func (d *DelayedRead) TxnFinished(id int, v *exec.View) { d.Inner.TxnFinished(id, v) }

@@ -1,0 +1,298 @@
+// Package serial implements conflict serializability (CSR), the notion
+// of serializability the paper uses throughout (footnote 2): conflict
+// graphs, acyclicity testing, enumeration of serialization orders, and a
+// bounded view-serializability test used for cross-checking.
+package serial
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pwsr/internal/txn"
+)
+
+// Conflicting reports whether two operations conflict: same entity,
+// different transactions, and at least one is a write.
+func Conflicting(a, b txn.Op) bool {
+	return a.Entity == b.Entity && a.Txn != b.Txn &&
+		(a.Action == txn.ActionWrite || b.Action == txn.ActionWrite)
+}
+
+// Edge is a directed conflict-graph edge From → To, carrying one witness
+// pair of conflicting operations (From's op precedes To's op).
+type Edge struct {
+	From, To int
+	WitnessA txn.Op // op of From
+	WitnessB txn.Op // op of To
+}
+
+// String renders the edge.
+func (e Edge) String() string {
+	return fmt.Sprintf("T%d -> T%d (%s before %s)", e.From, e.To, e.WitnessA, e.WitnessB)
+}
+
+// Graph is the conflict graph (serialization graph) of a schedule.
+type Graph struct {
+	nodes []int
+	adj   map[int]map[int]Edge // adj[from][to]
+}
+
+// BuildGraph constructs the conflict graph of s: a node per transaction
+// and an edge Ti → Tj whenever some operation of Ti precedes and
+// conflicts with some operation of Tj.
+func BuildGraph(s *txn.Schedule) *Graph {
+	g := &Graph{adj: make(map[int]map[int]Edge)}
+	g.nodes = s.TxnIDs()
+	for _, id := range g.nodes {
+		g.adj[id] = make(map[int]Edge)
+	}
+	ops := s.Ops()
+	for i := 0; i < len(ops); i++ {
+		for j := i + 1; j < len(ops); j++ {
+			if Conflicting(ops[i], ops[j]) {
+				if _, dup := g.adj[ops[i].Txn][ops[j].Txn]; !dup {
+					g.adj[ops[i].Txn][ops[j].Txn] = Edge{
+						From: ops[i].Txn, To: ops[j].Txn,
+						WitnessA: ops[i], WitnessB: ops[j],
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Nodes returns the transaction ids in ascending order.
+func (g *Graph) Nodes() []int { return g.nodes }
+
+// Edges returns all edges sorted by (From, To).
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for _, from := range g.nodes {
+		tos := make([]int, 0, len(g.adj[from]))
+		for to := range g.adj[from] {
+			tos = append(tos, to)
+		}
+		sort.Ints(tos)
+		for _, to := range tos {
+			out = append(out, g.adj[from][to])
+		}
+	}
+	return out
+}
+
+// HasEdge reports whether the edge from → to exists.
+func (g *Graph) HasEdge(from, to int) bool {
+	_, ok := g.adj[from][to]
+	return ok
+}
+
+// Cycle returns a cycle of transaction ids (first == last) if the graph
+// has one, or nil if the graph is acyclic.
+func (g *Graph) Cycle() []int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int]int, len(g.nodes))
+	parent := make(map[int]int)
+
+	var cycle []int
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		tos := make([]int, 0, len(g.adj[u]))
+		for to := range g.adj[u] {
+			tos = append(tos, to)
+		}
+		sort.Ints(tos)
+		for _, v := range tos {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				// Found a back edge u → v; reconstruct the cycle.
+				cycle = []int{v}
+				for x := u; x != v; x = parent[x] {
+					cycle = append(cycle, x)
+				}
+				cycle = append(cycle, v)
+				// Reverse into v … u v order.
+				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for _, u := range g.nodes {
+		if color[u] == white && dfs(u) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// Acyclic reports whether the conflict graph has no cycle.
+func (g *Graph) Acyclic() bool { return g.Cycle() == nil }
+
+// TopoOrder returns one topological order of the graph (smallest id
+// first among ready nodes), or nil if the graph has a cycle.
+func (g *Graph) TopoOrder() []int {
+	indeg := make(map[int]int, len(g.nodes))
+	for _, u := range g.nodes {
+		indeg[u] += 0
+		for v := range g.adj[u] {
+			indeg[v]++
+		}
+	}
+	var ready []int
+	for _, u := range g.nodes {
+		if indeg[u] == 0 {
+			ready = append(ready, u)
+		}
+	}
+	sort.Ints(ready)
+	order := make([]int, 0, len(g.nodes))
+	for len(ready) > 0 {
+		u := ready[0]
+		ready = ready[1:]
+		order = append(order, u)
+		var newly []int
+		for v := range g.adj[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				newly = append(newly, v)
+			}
+		}
+		sort.Ints(newly)
+		ready = mergeSorted(ready, newly)
+	}
+	if len(order) != len(g.nodes) {
+		return nil
+	}
+	return order
+}
+
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// AllTopoOrders enumerates topological orders of the graph, stopping
+// after limit orders (limit ≤ 0 means no bound). Returns nil for cyclic
+// graphs. Definition 4's transaction states depend on the chosen
+// serialization order, so lemma checks quantify over these.
+func (g *Graph) AllTopoOrders(limit int) [][]int {
+	if !g.Acyclic() {
+		return nil
+	}
+	indeg := make(map[int]int, len(g.nodes))
+	for _, u := range g.nodes {
+		indeg[u] += 0
+		for v := range g.adj[u] {
+			indeg[v]++
+		}
+	}
+	var out [][]int
+	cur := make([]int, 0, len(g.nodes))
+	used := make(map[int]bool, len(g.nodes))
+
+	var rec func() bool // returns true when the limit is reached
+	rec = func() bool {
+		if len(cur) == len(g.nodes) {
+			order := make([]int, len(cur))
+			copy(order, cur)
+			out = append(out, order)
+			return limit > 0 && len(out) >= limit
+		}
+		for _, u := range g.nodes {
+			if used[u] || indeg[u] != 0 {
+				continue
+			}
+			used[u] = true
+			for v := range g.adj[u] {
+				indeg[v]--
+			}
+			cur = append(cur, u)
+			if rec() {
+				return true
+			}
+			cur = cur[:len(cur)-1]
+			for v := range g.adj[u] {
+				indeg[v]++
+			}
+			used[u] = false
+		}
+		return false
+	}
+	rec()
+	return out
+}
+
+// String renders the graph's edge list.
+func (g *Graph) String() string {
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return "(no conflicts)"
+	}
+	parts := make([]string, len(edges))
+	for i, e := range edges {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// IsCSR reports whether the schedule is conflict serializable.
+func IsCSR(s *txn.Schedule) bool {
+	return BuildGraph(s).Acyclic()
+}
+
+// SerializationOrder returns one serialization order of s (and true), or
+// nil and false when s is not conflict serializable.
+func SerializationOrder(s *txn.Schedule) ([]int, bool) {
+	order := BuildGraph(s).TopoOrder()
+	return order, order != nil
+}
+
+// AllSerializationOrders enumerates serialization orders of s up to
+// limit (limit ≤ 0 for all).
+func AllSerializationOrders(s *txn.Schedule, limit int) [][]int {
+	return BuildGraph(s).AllTopoOrders(limit)
+}
+
+// IsSerial reports whether the schedule is serial: the operations of
+// each transaction are contiguous.
+func IsSerial(s *txn.Schedule) bool {
+	seen := map[int]bool{}
+	last := -1
+	for _, o := range s.Ops() {
+		if o.Txn != last {
+			if seen[o.Txn] {
+				return false
+			}
+			seen[o.Txn] = true
+			last = o.Txn
+		}
+	}
+	return true
+}

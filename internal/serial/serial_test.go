@@ -1,0 +1,156 @@
+package serial
+
+import (
+	"testing"
+
+	"pwsr/internal/txn"
+)
+
+func TestConflicting(t *testing.T) {
+	cases := []struct {
+		a, b txn.Op
+		want bool
+	}{
+		{txn.R(1, "a", 0), txn.R(2, "a", 0), false},  // read-read
+		{txn.R(1, "a", 0), txn.W(2, "a", 0), true},   // read-write
+		{txn.W(1, "a", 0), txn.R(2, "a", 0), true},   // write-read
+		{txn.W(1, "a", 0), txn.W(2, "a", 0), true},   // write-write
+		{txn.W(1, "a", 0), txn.W(2, "b", 0), false},  // different items
+		{txn.W(1, "a", 0), txn.W(1, "a", 99), false}, // same txn
+	}
+	for _, c := range cases {
+		if got := Conflicting(c.a, c.b); got != c.want {
+			t.Errorf("Conflicting(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSerializableSchedule(t *testing.T) {
+	// Example 1's schedule is serializable (T1 and T2 do not conflict).
+	s := txn.MustParseSchedule("r2(a, 0), r1(a, 0), w2(d, 0), r1(c, 5), w1(b, 5)")
+	g := BuildGraph(s)
+	if len(g.Edges()) != 0 {
+		t.Fatalf("edges = %v, want none", g.Edges())
+	}
+	if !IsCSR(s) {
+		t.Fatal("conflict-free schedule not CSR")
+	}
+	// Both serialization orders are valid (the paper notes T1,T2 and
+	// T2,T1 both serialize Example 1).
+	orders := AllSerializationOrders(s, 0)
+	if len(orders) != 2 {
+		t.Fatalf("orders = %v, want both permutations", orders)
+	}
+}
+
+func TestNonSerializableSchedule(t *testing.T) {
+	// Classic lost-update cycle: r1(a) r2(a) w1(a) w2(a).
+	s := txn.NewSchedule(
+		txn.R(1, "a", 0),
+		txn.R(2, "a", 0),
+		txn.W(1, "a", 1),
+		txn.W(2, "a", 2),
+	)
+	g := BuildGraph(s)
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Fatalf("edges = %v", g.Edges())
+	}
+	if IsCSR(s) {
+		t.Fatal("cyclic schedule reported CSR")
+	}
+	cyc := g.Cycle()
+	if len(cyc) < 3 || cyc[0] != cyc[len(cyc)-1] {
+		t.Fatalf("Cycle = %v", cyc)
+	}
+	if order, ok := SerializationOrder(s); ok || order != nil {
+		t.Fatal("cyclic schedule produced serialization order")
+	}
+	if got := g.AllTopoOrders(0); got != nil {
+		t.Fatalf("AllTopoOrders on cyclic graph = %v", got)
+	}
+}
+
+func TestExample2ProjectionsSerializable(t *testing.T) {
+	// Example 2's full schedule has conflict cycle T1→T2 (on a) and
+	// T2→T1 (on c), so it is NOT serializable...
+	s := txn.MustParseSchedule("w1(a, 1), r2(a, 1), r2(b, -1), w2(c, -1), r1(c, -1)")
+	if IsCSR(s) {
+		t.Fatal("Example 2's schedule should not be CSR")
+	}
+	g := BuildGraph(s)
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Fatalf("edges = %v", g.Edges())
+	}
+}
+
+func TestSerializationOrderDirection(t *testing.T) {
+	// w1(a) then r2(a): T1 must precede T2.
+	s := txn.NewSchedule(txn.W(1, "a", 1), txn.R(2, "a", 1))
+	order, ok := SerializationOrder(s)
+	if !ok || len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v, %v", order, ok)
+	}
+	// Reverse temporal order reverses the serialization order.
+	s2 := txn.NewSchedule(txn.R(2, "a", 0), txn.W(1, "a", 1))
+	order2, ok := SerializationOrder(s2)
+	if !ok || order2[0] != 2 || order2[1] != 1 {
+		t.Fatalf("order2 = %v, %v", order2, ok)
+	}
+}
+
+func TestIsSerial(t *testing.T) {
+	serial := txn.NewSchedule(
+		txn.R(1, "a", 0), txn.W(1, "b", 1),
+		txn.R(2, "a", 0), txn.W(2, "c", 2),
+	)
+	if !IsSerial(serial) {
+		t.Error("serial schedule not recognized")
+	}
+	interleaved := txn.NewSchedule(
+		txn.R(1, "a", 0), txn.R(2, "a", 0), txn.W(1, "b", 1), txn.W(2, "c", 2),
+	)
+	if IsSerial(interleaved) {
+		t.Error("interleaved schedule reported serial")
+	}
+}
+
+func TestAllTopoOrdersLimit(t *testing.T) {
+	// Three independent transactions: 6 topological orders.
+	s := txn.NewSchedule(txn.W(1, "a", 0), txn.W(2, "b", 0), txn.W(3, "c", 0))
+	if got := len(AllSerializationOrders(s, 0)); got != 6 {
+		t.Fatalf("orders = %d, want 6", got)
+	}
+	if got := len(AllSerializationOrders(s, 4)); got != 4 {
+		t.Fatalf("limited orders = %d, want 4", got)
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	s := txn.NewSchedule(
+		txn.W(3, "x", 1), txn.R(1, "x", 1), // T3 before T1
+		txn.W(1, "y", 2), txn.R(2, "y", 2), // T1 before T2
+	)
+	order, ok := SerializationOrder(s)
+	if !ok {
+		t.Fatal("not serializable")
+	}
+	pos := map[int]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	if !(pos[3] < pos[1] && pos[1] < pos[2]) {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	s := txn.NewSchedule(txn.W(1, "a", 1), txn.R(2, "a", 1))
+	g := BuildGraph(s)
+	if g.String() == "" || g.String() == "(no conflicts)" {
+		t.Fatalf("String = %q", g.String())
+	}
+	empty := BuildGraph(txn.NewSchedule(txn.R(1, "a", 0)))
+	if empty.String() != "(no conflicts)" {
+		t.Fatalf("empty String = %q", empty.String())
+	}
+}

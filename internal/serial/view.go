@@ -1,0 +1,123 @@
+package serial
+
+import (
+	"fmt"
+
+	"pwsr/internal/txn"
+)
+
+// readSource identifies where a read takes its value: the writing
+// transaction, or 0 meaning the initial database state. Reads are keyed
+// by (transaction, index of the read among the transaction's ops).
+type readKey struct {
+	txnID int
+	opIdx int
+}
+
+// viewProfile captures the view-equivalence classifiers of a schedule:
+// the reads-from source of every read and the final writer of every
+// item.
+type viewProfile struct {
+	readsFrom    map[readKey]int
+	finalWriters map[string]int
+}
+
+func profileOf(s *txn.Schedule) viewProfile {
+	p := viewProfile{
+		readsFrom:    make(map[readKey]int),
+		finalWriters: make(map[string]int),
+	}
+	perTxnIdx := map[int]int{}
+	ops := s.Ops()
+	for j, o := range ops {
+		idx := perTxnIdx[o.Txn]
+		perTxnIdx[o.Txn]++
+		if o.Action != txn.ActionRead {
+			p.finalWriters[o.Entity] = o.Txn
+			continue
+		}
+		src := 0
+		if w, ok := s.ReadsFrom(j); ok {
+			src = w.Txn
+		}
+		p.readsFrom[readKey{txnID: o.Txn, opIdx: idx}] = src
+	}
+	return p
+}
+
+func (p viewProfile) equal(o viewProfile) bool {
+	if len(p.readsFrom) != len(o.readsFrom) || len(p.finalWriters) != len(o.finalWriters) {
+		return false
+	}
+	for k, v := range p.readsFrom {
+		if o.readsFrom[k] != v {
+			return false
+		}
+	}
+	for k, v := range p.finalWriters {
+		if o.finalWriters[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ViewEquivalent reports whether two schedules over the same
+// transactions are view equivalent: same reads-from relation and same
+// final writes.
+func ViewEquivalent(a, b *txn.Schedule) bool {
+	return profileOf(a).equal(profileOf(b))
+}
+
+// MaxViewTxns bounds the brute-force view-serializability search; view
+// serializability is NP-complete, so the test refuses larger inputs.
+const MaxViewTxns = 9
+
+// IsViewSerializable reports whether s is view equivalent to some serial
+// schedule of its transactions, by brute force over transaction
+// permutations. Returns an error if the schedule has more than
+// MaxViewTxns transactions.
+func IsViewSerializable(s *txn.Schedule) (bool, error) {
+	ids := s.TxnIDs()
+	if len(ids) > MaxViewTxns {
+		return false, fmt.Errorf("serial: view-serializability test limited to %d transactions, got %d", MaxViewTxns, len(ids))
+	}
+	target := profileOf(s)
+	txns := make(map[int]txn.Transaction, len(ids))
+	for _, id := range ids {
+		txns[id] = s.Txn(id)
+	}
+	perm := make([]int, len(ids))
+	copy(perm, ids)
+	found := false
+	permute(perm, 0, func(order []int) bool {
+		var ops []txn.Op
+		for _, id := range order {
+			ops = append(ops, txns[id].Ops...)
+		}
+		serial := txn.NewSchedule(ops...)
+		if profileOf(serial).equal(target) {
+			found = true
+			return true
+		}
+		return false
+	})
+	return found, nil
+}
+
+// permute enumerates permutations of ids[k:] in place, calling visit on
+// each complete permutation; visit returning true stops the enumeration.
+func permute(ids []int, k int, visit func([]int) bool) bool {
+	if k == len(ids) {
+		return visit(ids)
+	}
+	for i := k; i < len(ids); i++ {
+		ids[k], ids[i] = ids[i], ids[k]
+		if permute(ids, k+1, visit) {
+			ids[k], ids[i] = ids[i], ids[k]
+			return true
+		}
+		ids[k], ids[i] = ids[i], ids[k]
+	}
+	return false
+}

@@ -1,0 +1,93 @@
+// Package setwise implements the comparator formalism of Sha, Lehoczky
+// and Jensen, "Modular concurrency control and failure recovery" (IEEE
+// Trans. Computers 1988) — reference [14] of the paper: atomic data
+// sets and setwise serializability. The paper's Section 1 positions
+// PWSR against setwise serializability: the two coincide when the
+// integrity constraint is partitioned into conjuncts over disjoint data
+// sets, and [14]'s correctness result covers only straight-line
+// transactions, a strictly smaller class than fixed-structure programs.
+package setwise
+
+import (
+	"fmt"
+
+	"pwsr/internal/program"
+	"pwsr/internal/serial"
+	"pwsr/internal/state"
+	"pwsr/internal/txn"
+)
+
+// Decomposition is a partition of the database into atomic data sets:
+// units whose individual consistency implies consistency of the whole
+// database (Lemma 1 of the paper gives the same property for disjoint
+// conjunct data sets).
+type Decomposition struct {
+	Sets []state.ItemSet
+}
+
+// NewDecomposition builds a decomposition, validating pairwise
+// disjointness — atomic data sets must not overlap.
+func NewDecomposition(sets ...state.ItemSet) (*Decomposition, error) {
+	seen := state.NewItemSet()
+	for i, s := range sets {
+		for it := range s {
+			if seen.Contains(it) {
+				return nil, fmt.Errorf("setwise: item %q appears in more than one atomic data set (set %d)", it, i)
+			}
+		}
+		seen.AddAll(s)
+	}
+	return &Decomposition{Sets: sets}, nil
+}
+
+// SetOf returns the index of the atomic data set containing item, or
+// -1.
+func (d *Decomposition) SetOf(item string) int {
+	for i, s := range d.Sets {
+		if s.Contains(item) {
+			return i
+		}
+	}
+	return -1
+}
+
+// IsSetwiseSerializable reports whether the schedule's restriction to
+// every atomic data set is conflict serializable — [14]'s criterion,
+// which is Definition 2 (PWSR) over the decomposition.
+func IsSetwiseSerializable(s *txn.Schedule, d *Decomposition) bool {
+	for _, set := range d.Sets {
+		if !serial.IsCSR(s.Restrict(set)) {
+			return false
+		}
+	}
+	return true
+}
+
+// ElementarySchedules splits a schedule into its per-set projections
+// ("elementary transactions" act on one atomic data set at a time in
+// [14]'s model).
+func (d *Decomposition) ElementarySchedules(s *txn.Schedule) []*txn.Schedule {
+	out := make([]*txn.Schedule, len(d.Sets))
+	for i, set := range d.Sets {
+		out[i] = s.Restrict(set)
+	}
+	return out
+}
+
+// IsStraightLine reports whether the transaction program is straight
+// line — the restriction under which [14] claims setwise serializable
+// schedules preserve consistency. The paper's §3.1 notes [14] neither
+// formally defines this class nor uses it in proofs, and generalizes it
+// to fixed-structure programs.
+func IsStraightLine(p *program.Program) bool { return p.IsStraightLine() }
+
+// StraightLineIsFixedStructure witnesses the class inclusion the paper
+// exploits: every straight-line program has a state-independent access
+// structure. It returns the structure, or an error if p is not
+// straight line (or violates the access discipline).
+func StraightLineIsFixedStructure(p *program.Program) (txn.Structure, error) {
+	if !p.IsStraightLine() {
+		return nil, fmt.Errorf("setwise: %s is not straight line", p.Name)
+	}
+	return program.StaticTrace(p)
+}

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pwsr/internal/sched"
+)
+
+func sscanf(s string, out *float64) (int, error) {
+	return fmt.Sscanf(s, "%f", out)
+}
+
+func TestSeriesStats(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Max() != 0 || s.Percentile(95) != 0 || s.Sum() != 0 {
+		t.Fatal("empty series stats should be zero")
+	}
+	for _, v := range []int{4, 1, 3, 2} {
+		s.Add(v)
+	}
+	if s.Len() != 4 || s.Sum() != 10 || s.Mean() != 2.5 || s.Max() != 4 {
+		t.Fatalf("stats = len %d sum %d mean %v max %d", s.Len(), s.Sum(), s.Mean(), s.Max())
+	}
+	if got := s.Percentile(50); got != 2 {
+		t.Fatalf("p50 = %d", got)
+	}
+	if got := s.Percentile(100); got != 4 {
+		t.Fatalf("p100 = %d", got)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "longcol"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	out := tab.Render()
+	for _, want := range []string{"demo", "longcol", "333", "note: a note", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCADWorkloadShape(t *testing.T) {
+	w, longIDs, shortIDs, err := CADWorkload(CADConfig{Designs: 3, LongTxns: 2, ShortTxns: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(longIDs) != 2 || len(shortIDs) != 4 {
+		t.Fatalf("ids = %v / %v", longIDs, shortIDs)
+	}
+	if w.IC.Len() != 3 || !w.IC.Disjoint() {
+		t.Fatalf("IC = %s", w.IC)
+	}
+	ok, err := w.IC.Eval(w.Initial)
+	if err != nil || !ok {
+		t.Fatalf("initial inconsistent: %v %v", ok, err)
+	}
+	for id, p := range w.Programs {
+		if !p.IsStraightLine() {
+			t.Fatalf("TP%d not straight line", id)
+		}
+	}
+}
+
+func TestRunCADBothPoliciesCorrect(t *testing.T) {
+	w, longIDs, shortIDs, err := CADWorkload(CADConfig{Designs: 3, LongTxns: 2, ShortTxns: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := RunCAD(w, longIDs, shortIDs, sched.NewC2PL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := RunCAD(w, longIDs, shortIDs, sched.NewPW2PL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c2.StronglyCorrect || !pw.StronglyCorrect {
+		t.Fatalf("strong correctness: c2=%v pw=%v", c2.StronglyCorrect, pw.StronglyCorrect)
+	}
+	if !c2.Serializable {
+		t.Fatal("C2PL schedule must be serializable")
+	}
+	if !pw.PWSR {
+		t.Fatal("PW2PL schedule must be PWSR")
+	}
+	if c2.Makespan != pw.Makespan {
+		// Same total op count either way (no aborts): equal makespans.
+		t.Fatalf("makespans differ: %d vs %d", c2.Makespan, pw.Makespan)
+	}
+}
+
+func TestCADSweepShape(t *testing.T) {
+	tab, err := CADSweep([]int{2, 3}, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "PERF1") {
+		t.Fatalf("Render:\n%s", out)
+	}
+}
+
+func TestCADSweepShapeHolds(t *testing.T) {
+	// The paper's qualitative claim: as long transactions grow, the
+	// short transactions' waits under serializable locking exceed those
+	// under predicate-wise locking.
+	tab, err := CADSweep([]int{4}, 3, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tab.Rows[0]
+	var c2w, pww float64
+	if _, err := sscanf(row[2], &c2w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscanf(row[3], &pww); err != nil {
+		t.Fatal(err)
+	}
+	if c2w <= pww {
+		t.Fatalf("expected C2PL short-wait (%v) > PW2PL short-wait (%v)\n%s",
+			c2w, pww, tab.Render())
+	}
+}

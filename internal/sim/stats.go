@@ -1,0 +1,142 @@
+// Package sim builds the performance experiments that the paper's
+// introduction motivates: the CAD/CAM long-duration-transaction
+// workload of [11] (Korth, Kim, Bancilhon) and the statistics and
+// sweep machinery shared with the multidatabase experiment. The paper
+// itself reports no measurements — these experiments quantify the
+// concurrency trade-off its theorems make safe: predicate-wise locking
+// (PWSR schedules) versus conservative strict 2PL (serializable
+// schedules) on workloads mixing long and short transactions.
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Series is a sequence of integer observations with summary statistics.
+type Series struct {
+	vals []int
+}
+
+// Add appends an observation.
+func (s *Series) Add(v int) { s.vals = append(s.vals, v) }
+
+// Len returns the number of observations.
+func (s *Series) Len() int { return len(s.vals) }
+
+// Sum returns the total of all observations.
+func (s *Series) Sum() int {
+	sum := 0
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	return float64(s.Sum()) / float64(len(s.vals))
+}
+
+// Max returns the largest observation, or 0 for an empty series.
+func (s *Series) Max() int {
+	max := 0
+	for i, v := range s.vals {
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Percentile returns the q-th percentile (0 ≤ q ≤ 100) by
+// nearest-rank, or 0 for an empty series.
+func (s *Series) Percentile(q float64) int {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sorted := make([]int, len(s.vals))
+	copy(sorted, s.vals)
+	sort.Ints(sorted)
+	rank := int(q/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// String summarizes the series.
+func (s *Series) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p95=%d max=%d", s.Len(), s.Mean(), s.Percentile(95), s.Max())
+}
+
+// Table is a plain-text results table with aligned columns, shared by
+// the benchmark harness and the EXPERIMENTS.md generator.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		out := ""
+		for i, cell := range cells {
+			if i > 0 {
+				out += "  "
+			}
+			out += pad(cell, widths[i])
+		}
+		return out
+	}
+	sep := ""
+	for i, w := range widths {
+		if i > 0 {
+			sep += "  "
+		}
+		for j := 0; j < w; j++ {
+			sep += "-"
+		}
+	}
+	out := ""
+	if t.Title != "" {
+		out += t.Title + "\n"
+	}
+	out += line(t.Columns) + "\n" + sep + "\n"
+	for _, row := range t.Rows {
+		out += line(row) + "\n"
+	}
+	for _, n := range t.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}

@@ -1,0 +1,180 @@
+package state
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrConflict is returned by Union when the two states assign different
+// values to a shared item; the paper's ⊎ operation is undefined in that
+// case.
+var ErrConflict = errors.New("state: union undefined, states disagree on a shared item")
+
+// DB is a (possibly partial) database state: a finite map from data items
+// to values. A full database state assigns a value to every item in D; a
+// restriction DS^d assigns values only to the items in d.
+type DB map[string]Value
+
+// NewDB returns an empty database state.
+func NewDB() DB { return make(DB) }
+
+// Get returns the value of item and whether the state assigns one.
+func (db DB) Get(item string) (Value, bool) {
+	v, ok := db[item]
+	return v, ok
+}
+
+// MustGet returns the value of item and panics if the state does not
+// assign one. Use in contexts where absence is a programming error.
+func (db DB) MustGet(item string) Value {
+	v, ok := db[item]
+	if !ok {
+		panic(fmt.Sprintf("state: no value for item %q", item))
+	}
+	return v
+}
+
+// Set assigns value v to item, overwriting any previous assignment.
+func (db DB) Set(item string, v Value) { db[item] = v }
+
+// Items returns the set of items the state assigns values to.
+func (db DB) Items() ItemSet {
+	s := make(ItemSet, len(db))
+	for it := range db {
+		s[it] = struct{}{}
+	}
+	return s
+}
+
+// Clone returns an independent copy of the state.
+func (db DB) Clone() DB {
+	c := make(DB, len(db))
+	for it, v := range db {
+		c[it] = v
+	}
+	return c
+}
+
+// Restrict returns DS^d: the restriction of the state to the items in d.
+// Items of d that the state does not assign are simply absent from the
+// result.
+func (db DB) Restrict(d ItemSet) DB {
+	r := make(DB)
+	for it, v := range db {
+		if d.Contains(it) {
+			r[it] = v
+		}
+	}
+	return r
+}
+
+// Without returns the restriction of the state to the items NOT in d,
+// i.e. DS^(Items−d).
+func (db DB) Without(d ItemSet) DB {
+	r := make(DB)
+	for it, v := range db {
+		if !d.Contains(it) {
+			r[it] = v
+		}
+	}
+	return r
+}
+
+// Union implements the paper's ⊎ operation: the union of two (partial)
+// states, which is undefined — here, an ErrConflict error — if the states
+// assign different values to a common item.
+func (db DB) Union(o DB) (DB, error) {
+	u := db.Clone()
+	for it, v := range o {
+		if prev, ok := u[it]; ok && !prev.Equal(v) {
+			return nil, fmt.Errorf("%w: item %q has %v and %v", ErrConflict, it, prev, v)
+		}
+		u[it] = v
+	}
+	return u, nil
+}
+
+// MustUnion is Union but panics on conflict. Use in tests and in contexts
+// where disjointness has already been established.
+func (db DB) MustUnion(o DB) DB {
+	u, err := db.Union(o)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Overwrite returns a copy of db with every assignment of o applied on
+// top, o winning conflicts. This is the state-update operation
+// DS^(d−WS) ∪ write(T) used in Definition 4.
+func (db DB) Overwrite(o DB) DB {
+	u := db.Clone()
+	for it, v := range o {
+		u[it] = v
+	}
+	return u
+}
+
+// Equal reports whether the two states assign exactly the same values to
+// exactly the same items.
+func (db DB) Equal(o DB) bool {
+	if len(db) != len(o) {
+		return false
+	}
+	for it, v := range db {
+		ov, ok := o[it]
+		if !ok || !v.Equal(ov) {
+			return false
+		}
+	}
+	return true
+}
+
+// Agrees reports whether the two states assign equal values to every item
+// they share (they may assign disjoint item sets). Union succeeds exactly
+// when Agrees holds.
+func (db DB) Agrees(o DB) bool {
+	small, large := db, o
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	for it, v := range small {
+		if ov, ok := large[it]; ok && !v.Equal(ov) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the state as {(a, 1), (b, "x")} with items sorted, the
+// ordered-pair notation of the paper.
+func (db DB) String() string {
+	items := make([]string, 0, len(db))
+	for it := range db {
+		items = append(items, it)
+	}
+	sort.Strings(items)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, it := range items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%s, %s)", it, db[it])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Ints builds a database state from integer assignments, a convenience
+// constructor for the all-integer states used throughout the paper's
+// examples.
+func Ints(assign map[string]int64) DB {
+	db := make(DB, len(assign))
+	for it, v := range assign {
+		db[it] = Int(v)
+	}
+	return db
+}

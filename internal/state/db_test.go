@@ -1,0 +1,179 @@
+package state
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestDBGetSet(t *testing.T) {
+	db := NewDB()
+	if _, ok := db.Get("a"); ok {
+		t.Fatal("empty DB reported a value")
+	}
+	db.Set("a", Int(5))
+	v, ok := db.Get("a")
+	if !ok || !v.Equal(Int(5)) {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	if db.MustGet("a") != Int(5) {
+		t.Fatal("MustGet wrong value")
+	}
+}
+
+func TestDBMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet on missing item did not panic")
+		}
+	}()
+	NewDB().MustGet("missing")
+}
+
+func TestDBRestrict(t *testing.T) {
+	// The paper's example: DS2 = {(a,5),(b,6)}; DS2^{a} = {(a,5)}.
+	db := Ints(map[string]int64{"a": 5, "b": 6})
+	r := db.Restrict(NewItemSet("a"))
+	if !r.Equal(Ints(map[string]int64{"a": 5})) {
+		t.Fatalf("Restrict = %v", r)
+	}
+	// Restricting to items not present yields the empty state.
+	if got := db.Restrict(NewItemSet("z")); len(got) != 0 {
+		t.Fatalf("Restrict to missing items = %v", got)
+	}
+}
+
+func TestDBWithout(t *testing.T) {
+	db := Ints(map[string]int64{"a": 1, "b": 2, "c": 3})
+	got := db.Without(NewItemSet("b"))
+	if !got.Equal(Ints(map[string]int64{"a": 1, "c": 3})) {
+		t.Fatalf("Without = %v", got)
+	}
+}
+
+func TestDBUnionDisjoint(t *testing.T) {
+	a := Ints(map[string]int64{"a": 5})
+	b := Ints(map[string]int64{"b": 6})
+	u, err := a.Union(b)
+	if err != nil {
+		t.Fatalf("Union of disjoint states errored: %v", err)
+	}
+	if !u.Equal(Ints(map[string]int64{"a": 5, "b": 6})) {
+		t.Fatalf("Union = %v", u)
+	}
+}
+
+func TestDBUnionAgreeingOverlap(t *testing.T) {
+	a := Ints(map[string]int64{"a": 5, "b": 1})
+	b := Ints(map[string]int64{"b": 1, "c": 2})
+	u, err := a.Union(b)
+	if err != nil {
+		t.Fatalf("Union of agreeing states errored: %v", err)
+	}
+	if !u.Equal(Ints(map[string]int64{"a": 5, "b": 1, "c": 2})) {
+		t.Fatalf("Union = %v", u)
+	}
+}
+
+func TestDBUnionConflictUndefined(t *testing.T) {
+	// §2.1: DS1^{d1} ⊎ DS2^{d2} is undefined if they disagree on an item.
+	a := Ints(map[string]int64{"a": 5})
+	b := Ints(map[string]int64{"a": 6})
+	if _, err := a.Union(b); !errors.Is(err, ErrConflict) {
+		t.Fatalf("Union of conflicting states: err = %v, want ErrConflict", err)
+	}
+}
+
+func TestDBMustUnionPanicsOnConflict(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustUnion on conflict did not panic")
+		}
+	}()
+	Ints(map[string]int64{"a": 1}).MustUnion(Ints(map[string]int64{"a": 2}))
+}
+
+func TestDBOverwrite(t *testing.T) {
+	base := Ints(map[string]int64{"a": 1, "b": 2})
+	upd := Ints(map[string]int64{"b": 9, "c": 3})
+	got := base.Overwrite(upd)
+	if !got.Equal(Ints(map[string]int64{"a": 1, "b": 9, "c": 3})) {
+		t.Fatalf("Overwrite = %v", got)
+	}
+	// base unchanged
+	if !base.Equal(Ints(map[string]int64{"a": 1, "b": 2})) {
+		t.Fatal("Overwrite mutated receiver")
+	}
+}
+
+func TestDBCloneIndependent(t *testing.T) {
+	a := Ints(map[string]int64{"a": 1})
+	c := a.Clone()
+	c.Set("a", Int(2))
+	if a.MustGet("a") != Int(1) {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestDBEqualAndAgrees(t *testing.T) {
+	a := Ints(map[string]int64{"a": 1, "b": 2})
+	b := Ints(map[string]int64{"a": 1, "b": 2})
+	if !a.Equal(b) {
+		t.Fatal("Equal false for identical states")
+	}
+	c := Ints(map[string]int64{"a": 1})
+	if a.Equal(c) {
+		t.Fatal("Equal true for different item sets")
+	}
+	if !a.Agrees(c) {
+		t.Fatal("Agrees false despite agreement on shared items")
+	}
+	d := Ints(map[string]int64{"a": 9})
+	if a.Agrees(d) {
+		t.Fatal("Agrees true despite disagreement")
+	}
+}
+
+func TestDBString(t *testing.T) {
+	db := Ints(map[string]int64{"b": 2, "a": 1})
+	if got := db.String(); got != "{(a, 1), (b, 2)}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestDBUnionCommutesWhenDefined(t *testing.T) {
+	f := func(av, bv int64, overlap bool) bool {
+		a := Ints(map[string]int64{"a": av})
+		var b DB
+		if overlap {
+			b = Ints(map[string]int64{"a": bv})
+		} else {
+			b = Ints(map[string]int64{"b": bv})
+		}
+		u1, e1 := a.Union(b)
+		u2, e2 := b.Union(a)
+		if (e1 == nil) != (e2 == nil) {
+			return false
+		}
+		if e1 != nil {
+			return true
+		}
+		return u1.Equal(u2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBRestrictUnionRoundTrip(t *testing.T) {
+	// DS^d ⊎ DS^(D−d) == DS, an identity used implicitly in Lemma 1.
+	f := func(a1, b1, c1 int64) bool {
+		db := Ints(map[string]int64{"a": a1, "b": b1, "c": c1})
+		d := NewItemSet("a", "b")
+		u, err := db.Restrict(d).Union(db.Without(d))
+		return err == nil && u.Equal(db)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,175 @@
+package state
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Domain is the set Dom(d') of values a data item may take. Domains are
+// finite and enumerable so that consistency of *restricted* states — the
+// ∃-extension question of Section 2.1 — is decidable by search.
+type Domain interface {
+	// Contains reports whether v is a member of the domain.
+	Contains(v Value) bool
+	// Values enumerates the members in a deterministic order.
+	Values() []Value
+	// Size returns the number of members.
+	Size() int
+	// String renders the domain.
+	String() string
+}
+
+// IntRange is the integer interval [Lo, Hi], inclusive on both ends.
+type IntRange struct {
+	Lo, Hi int64
+}
+
+// Contains implements Domain.
+func (r IntRange) Contains(v Value) bool {
+	return v.IsInt() && v.AsInt() >= r.Lo && v.AsInt() <= r.Hi
+}
+
+// Values implements Domain, enumerating Lo..Hi in increasing order.
+func (r IntRange) Values() []Value {
+	if r.Hi < r.Lo {
+		return nil
+	}
+	vals := make([]Value, 0, r.Hi-r.Lo+1)
+	for i := r.Lo; i <= r.Hi; i++ {
+		vals = append(vals, Int(i))
+	}
+	return vals
+}
+
+// Size implements Domain.
+func (r IntRange) Size() int {
+	if r.Hi < r.Lo {
+		return 0
+	}
+	return int(r.Hi - r.Lo + 1)
+}
+
+// String implements Domain.
+func (r IntRange) String() string { return fmt.Sprintf("[%d..%d]", r.Lo, r.Hi) }
+
+// Explicit is a domain given by an explicit list of values.
+type Explicit struct {
+	vals []Value
+}
+
+// NewExplicit builds an explicit domain from the given values,
+// de-duplicating and sorting them for deterministic enumeration.
+func NewExplicit(vals ...Value) Explicit {
+	sorted := make([]Value, len(vals))
+	copy(sorted, vals)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Compare(sorted[j]) < 0 })
+	dedup := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || !v.Equal(sorted[i-1]) {
+			dedup = append(dedup, v)
+		}
+	}
+	return Explicit{vals: dedup}
+}
+
+// Strings builds an explicit domain of string values.
+func Strings(vals ...string) Explicit {
+	vv := make([]Value, len(vals))
+	for i, s := range vals {
+		vv[i] = Str(s)
+	}
+	return NewExplicit(vv...)
+}
+
+// Contains implements Domain.
+func (e Explicit) Contains(v Value) bool {
+	for _, m := range e.vals {
+		if m.Equal(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Values implements Domain.
+func (e Explicit) Values() []Value {
+	out := make([]Value, len(e.vals))
+	copy(out, e.vals)
+	return out
+}
+
+// Size implements Domain.
+func (e Explicit) Size() int { return len(e.vals) }
+
+// String implements Domain.
+func (e Explicit) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, v := range e.vals {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Schema maps every data item of the database D to its domain. It plays
+// the role of (D, Dom) in the paper.
+type Schema map[string]Domain
+
+// NewSchema returns an empty schema.
+func NewSchema() Schema { return make(Schema) }
+
+// UniformInts builds a schema giving each listed item the same integer
+// range domain, the common case in tests and generators.
+func UniformInts(lo, hi int64, items ...string) Schema {
+	s := make(Schema, len(items))
+	for _, it := range items {
+		s[it] = IntRange{Lo: lo, Hi: hi}
+	}
+	return s
+}
+
+// Items returns the database D: the set of all declared items.
+func (s Schema) Items() ItemSet {
+	set := make(ItemSet, len(s))
+	for it := range s {
+		set[it] = struct{}{}
+	}
+	return set
+}
+
+// Domain returns the domain of item, or nil if the item is not declared.
+func (s Schema) Domain(item string) Domain {
+	return s[item]
+}
+
+// Validate checks that every assignment in db is to a declared item and
+// within that item's domain.
+func (s Schema) Validate(db DB) error {
+	for it, v := range db {
+		dom, ok := s[it]
+		if !ok {
+			return fmt.Errorf("state: item %q not declared in schema", it)
+		}
+		if !dom.Contains(v) {
+			return fmt.Errorf("state: value %s outside domain %s of item %q", v, dom, it)
+		}
+	}
+	return nil
+}
+
+// Complete reports whether db assigns a value to every item of the
+// schema, i.e. whether db is a full database state rather than a
+// restriction.
+func (s Schema) Complete(db DB) bool {
+	for it := range s {
+		if _, ok := db[it]; !ok {
+			return false
+		}
+	}
+	return true
+}

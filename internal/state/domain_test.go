@@ -1,0 +1,93 @@
+package state
+
+import "testing"
+
+func TestIntRange(t *testing.T) {
+	r := IntRange{Lo: -2, Hi: 2}
+	if !r.Contains(Int(0)) || !r.Contains(Int(-2)) || !r.Contains(Int(2)) {
+		t.Fatal("IntRange membership wrong at bounds")
+	}
+	if r.Contains(Int(3)) || r.Contains(Int(-3)) || r.Contains(Str("x")) {
+		t.Fatal("IntRange contains values outside")
+	}
+	if r.Size() != 5 {
+		t.Fatalf("Size = %d, want 5", r.Size())
+	}
+	vals := r.Values()
+	if len(vals) != 5 || !vals[0].Equal(Int(-2)) || !vals[4].Equal(Int(2)) {
+		t.Fatalf("Values = %v", vals)
+	}
+	if r.String() != "[-2..2]" {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestIntRangeEmpty(t *testing.T) {
+	r := IntRange{Lo: 5, Hi: 4}
+	if r.Size() != 0 || r.Values() != nil {
+		t.Fatal("inverted range should be empty")
+	}
+}
+
+func TestExplicitDomain(t *testing.T) {
+	e := NewExplicit(Int(3), Int(1), Int(3), Str("b"), Str("a"))
+	if e.Size() != 4 {
+		t.Fatalf("Size = %d, want 4 after dedup", e.Size())
+	}
+	vals := e.Values()
+	// sorted: ints first ascending, then strings lexicographic
+	want := []Value{Int(1), Int(3), Str("a"), Str("b")}
+	for i := range want {
+		if !vals[i].Equal(want[i]) {
+			t.Fatalf("Values = %v, want %v", vals, want)
+		}
+	}
+	if !e.Contains(Int(3)) || e.Contains(Int(2)) {
+		t.Fatal("Explicit membership wrong")
+	}
+	if e.String() != `{1, 3, "a", "b"}` {
+		t.Fatalf("String = %q", e.String())
+	}
+}
+
+func TestStringsDomain(t *testing.T) {
+	e := Strings("jim", "ann")
+	if !e.Contains(Str("jim")) || e.Contains(Str("bob")) || e.Contains(Int(0)) {
+		t.Fatal("Strings domain membership wrong")
+	}
+}
+
+func TestSchema(t *testing.T) {
+	s := UniformInts(-5, 5, "a", "b")
+	s["name"] = Strings("x", "y")
+
+	if !s.Items().Equal(NewItemSet("a", "b", "name")) {
+		t.Fatalf("Items = %v", s.Items())
+	}
+	if s.Domain("a") == nil || s.Domain("zz") != nil {
+		t.Fatal("Domain lookup wrong")
+	}
+
+	ok := Ints(map[string]int64{"a": 1, "b": -5})
+	ok.Set("name", Str("x"))
+	if err := s.Validate(ok); err != nil {
+		t.Fatalf("Validate valid state: %v", err)
+	}
+	if !s.Complete(ok) {
+		t.Fatal("Complete false for full state")
+	}
+
+	partial := Ints(map[string]int64{"a": 1})
+	if s.Complete(partial) {
+		t.Fatal("Complete true for partial state")
+	}
+
+	bad := Ints(map[string]int64{"a": 99})
+	if err := s.Validate(bad); err == nil {
+		t.Fatal("Validate accepted out-of-domain value")
+	}
+	undeclared := Ints(map[string]int64{"zzz": 0})
+	if err := s.Validate(undeclared); err == nil {
+		t.Fatal("Validate accepted undeclared item")
+	}
+}

@@ -1,0 +1,141 @@
+package state
+
+import (
+	"sort"
+	"strings"
+)
+
+// ItemSet is a set of data-item names (the sets written d, d', de in the
+// paper). The nil map is a usable empty set for read-only operations.
+type ItemSet map[string]struct{}
+
+// NewItemSet builds a set from the given item names.
+func NewItemSet(items ...string) ItemSet {
+	s := make(ItemSet, len(items))
+	for _, it := range items {
+		s[it] = struct{}{}
+	}
+	return s
+}
+
+// Contains reports whether item is a member of the set.
+func (s ItemSet) Contains(item string) bool {
+	_, ok := s[item]
+	return ok
+}
+
+// Add inserts item into the set.
+func (s ItemSet) Add(item string) { s[item] = struct{}{} }
+
+// AddAll inserts every member of o into the set.
+func (s ItemSet) AddAll(o ItemSet) {
+	for it := range o {
+		s[it] = struct{}{}
+	}
+}
+
+// Clone returns an independent copy of the set.
+func (s ItemSet) Clone() ItemSet {
+	c := make(ItemSet, len(s))
+	for it := range s {
+		c[it] = struct{}{}
+	}
+	return c
+}
+
+// Union returns a new set containing the members of both sets.
+func (s ItemSet) Union(o ItemSet) ItemSet {
+	u := make(ItemSet, len(s)+len(o))
+	for it := range s {
+		u[it] = struct{}{}
+	}
+	for it := range o {
+		u[it] = struct{}{}
+	}
+	return u
+}
+
+// Intersect returns a new set containing the members common to both sets.
+func (s ItemSet) Intersect(o ItemSet) ItemSet {
+	small, large := s, o
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	u := make(ItemSet)
+	for it := range small {
+		if large.Contains(it) {
+			u[it] = struct{}{}
+		}
+	}
+	return u
+}
+
+// Diff returns a new set containing the members of s not in o (the set
+// difference d − d' used throughout the paper, e.g. in view sets).
+func (s ItemSet) Diff(o ItemSet) ItemSet {
+	u := make(ItemSet)
+	for it := range s {
+		if !o.Contains(it) {
+			u[it] = struct{}{}
+		}
+	}
+	return u
+}
+
+// Disjoint reports whether the two sets share no member. The paper's
+// results all require the conjunct data sets to be pairwise disjoint.
+func (s ItemSet) Disjoint(o ItemSet) bool {
+	small, large := s, o
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	for it := range small {
+		if large.Contains(it) {
+			return false
+		}
+	}
+	return true
+}
+
+// Subset reports whether every member of s is in o.
+func (s ItemSet) Subset(o ItemSet) bool {
+	for it := range s {
+		if !o.Contains(it) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether the two sets have exactly the same members.
+func (s ItemSet) Equal(o ItemSet) bool {
+	return len(s) == len(o) && s.Subset(o)
+}
+
+// Empty reports whether the set has no members.
+func (s ItemSet) Empty() bool { return len(s) == 0 }
+
+// Sorted returns the members in lexicographic order, for deterministic
+// iteration and display.
+func (s ItemSet) Sorted() []string {
+	items := make([]string, 0, len(s))
+	for it := range s {
+		items = append(items, it)
+	}
+	sort.Strings(items)
+	return items
+}
+
+// String renders the set as {a, b, c} with sorted members.
+func (s ItemSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, it := range s.Sorted() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

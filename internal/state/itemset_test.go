@@ -1,0 +1,115 @@
+package state
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestItemSetBasics(t *testing.T) {
+	s := NewItemSet("a", "b")
+	if !s.Contains("a") || !s.Contains("b") || s.Contains("c") {
+		t.Fatal("membership wrong after NewItemSet")
+	}
+	s.Add("c")
+	if !s.Contains("c") {
+		t.Fatal("Add did not insert")
+	}
+	if s.Empty() {
+		t.Fatal("non-empty set reported Empty")
+	}
+	if !NewItemSet().Empty() {
+		t.Fatal("empty set not Empty")
+	}
+}
+
+func TestItemSetOps(t *testing.T) {
+	a := NewItemSet("a", "b", "c")
+	b := NewItemSet("b", "c", "d")
+
+	if got := a.Union(b); !got.Equal(NewItemSet("a", "b", "c", "d")) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(NewItemSet("b", "c")) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Diff(b); !got.Equal(NewItemSet("a")) {
+		t.Errorf("Diff = %v", got)
+	}
+	if a.Disjoint(b) {
+		t.Error("Disjoint true for overlapping sets")
+	}
+	if !NewItemSet("a").Disjoint(NewItemSet("b")) {
+		t.Error("Disjoint false for disjoint sets")
+	}
+	if !NewItemSet("a", "b").Subset(a) {
+		t.Error("Subset false for subset")
+	}
+	if a.Subset(b) {
+		t.Error("Subset true for non-subset")
+	}
+}
+
+func TestItemSetCloneIndependent(t *testing.T) {
+	a := NewItemSet("a")
+	c := a.Clone()
+	c.Add("b")
+	if a.Contains("b") {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestItemSetAddAll(t *testing.T) {
+	a := NewItemSet("a")
+	a.AddAll(NewItemSet("b", "c"))
+	if !a.Equal(NewItemSet("a", "b", "c")) {
+		t.Fatalf("AddAll result = %v", a)
+	}
+}
+
+func TestItemSetSortedAndString(t *testing.T) {
+	s := NewItemSet("c", "a", "b")
+	got := s.Sorted()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted = %v, want %v", got, want)
+		}
+	}
+	if s.String() != "{a, b, c}" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestItemSetDisjointSymmetric(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := NewItemSet(), NewItemSet()
+		for _, x := range xs {
+			a.Add(string(rune('a' + x%16)))
+		}
+		for _, y := range ys {
+			b.Add(string(rune('a' + y%16)))
+		}
+		return a.Disjoint(b) == b.Disjoint(a) &&
+			a.Disjoint(b) == a.Intersect(b).Empty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestItemSetUnionDiffIdentity(t *testing.T) {
+	// (a ∪ b) − b == a − b
+	f := func(xs, ys []uint8) bool {
+		a, b := NewItemSet(), NewItemSet()
+		for _, x := range xs {
+			a.Add(string(rune('a' + x%16)))
+		}
+		for _, y := range ys {
+			b.Add(string(rune('a' + y%16)))
+		}
+		return a.Union(b).Diff(b).Equal(a.Diff(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Package state implements the database-state model of Section 2.1 of
+// Rastogi et al., "On Correctness of Nonserializable Executions": data
+// items with finite domains, database states as assignments of values to
+// items, restriction of a state to a set of items, and the partial union
+// operation ⊎ that is undefined when the two states disagree on a shared
+// item.
+package state
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind discriminates the two value sorts of the paper's constraint
+// language: numeric and string constants.
+type Kind uint8
+
+const (
+	// KindInt is a 64-bit signed integer value.
+	KindInt Kind = iota
+	// KindString is a string value.
+	KindString
+)
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a tagged union of the value sorts a data item may take. The
+// zero Value is the integer 0.
+type Value struct {
+	kind Kind
+	i    int64
+	s    string
+}
+
+// Int returns an integer Value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Str returns a string Value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Kind reports the sort of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsInt reports whether the value is an integer.
+func (v Value) IsInt() bool { return v.kind == KindInt }
+
+// IsString reports whether the value is a string.
+func (v Value) IsString() bool { return v.kind == KindString }
+
+// AsInt returns the integer payload. It panics if the value is not an
+// integer; use Kind to discriminate first when the sort is not known.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("state: AsInt on %v value", v.kind))
+	}
+	return v.i
+}
+
+// AsString returns the string payload. It panics if the value is not a
+// string.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("state: AsString on %v value", v.kind))
+	}
+	return v.s
+}
+
+// Equal reports whether two values have the same sort and payload.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	if v.kind == KindInt {
+		return v.i == o.i
+	}
+	return v.s == o.s
+}
+
+// Compare orders values: all integers precede all strings, integers by
+// numeric order, strings lexicographically. It returns -1, 0, or +1.
+// The ordering is total so values can be sorted deterministically.
+func (v Value) Compare(o Value) int {
+	if v.kind != o.kind {
+		if v.kind == KindInt {
+			return -1
+		}
+		return 1
+	}
+	if v.kind == KindInt {
+		switch {
+		case v.i < o.i:
+			return -1
+		case v.i > o.i:
+			return 1
+		default:
+			return 0
+		}
+	}
+	switch {
+	case v.s < o.s:
+		return -1
+	case v.s > o.s:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the value as it appears in the constraint language:
+// integers bare, strings double-quoted.
+func (v Value) String() string {
+	if v.kind == KindInt {
+		return strconv.FormatInt(v.i, 10)
+	}
+	return strconv.Quote(v.s)
+}

@@ -1,0 +1,113 @@
+package state
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	v := Int(42)
+	if !v.IsInt() || v.IsString() {
+		t.Fatalf("Int(42) reported wrong kind: %v", v.Kind())
+	}
+	if v.AsInt() != 42 {
+		t.Fatalf("AsInt = %d, want 42", v.AsInt())
+	}
+	s := Str("jim")
+	if !s.IsString() || s.IsInt() {
+		t.Fatalf("Str reported wrong kind: %v", s.Kind())
+	}
+	if s.AsString() != "jim" {
+		t.Fatalf("AsString = %q, want jim", s.AsString())
+	}
+}
+
+func TestValueZeroIsIntZero(t *testing.T) {
+	var v Value
+	if !v.IsInt() || v.AsInt() != 0 {
+		t.Fatalf("zero Value = %v, want int 0", v)
+	}
+}
+
+func TestValueAsIntPanicsOnString(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AsInt on string value did not panic")
+		}
+	}()
+	Str("x").AsInt()
+}
+
+func TestValueAsStringPanicsOnInt(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AsString on int value did not panic")
+		}
+	}()
+	Int(1).AsString()
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		{Str("a"), Str("a"), true},
+		{Str("a"), Str("b"), false},
+		{Int(1), Str("1"), false},
+		{Int(0), Str(""), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareTotalOrder(t *testing.T) {
+	ordered := []Value{Int(-5), Int(0), Int(7), Str(""), Str("a"), Str("b")}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestValueCompareConsistentWithEqual(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		return (va.Compare(vb) == 0) == va.Equal(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if got := Int(-3).String(); got != "-3" {
+		t.Errorf("Int(-3).String() = %q, want -3", got)
+	}
+	if got := Str("jim").String(); got != `"jim"` {
+		t.Errorf(`Str("jim").String() = %q, want "jim" quoted`, got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindInt.String() != "int" || KindString.String() != "string" {
+		t.Error("Kind.String produced unexpected names")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown Kind should render non-empty")
+	}
+}

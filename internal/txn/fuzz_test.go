@@ -1,0 +1,31 @@
+package txn
+
+import "testing"
+
+// FuzzParseSchedule checks the schedule parser never panics and that
+// parsed schedules round-trip through their printed notation.
+func FuzzParseSchedule(f *testing.F) {
+	for _, seed := range []string{
+		"r1(a, 0)",
+		"r2(a, 0), r1(a, 0), w2(d, 0), r1(c, 5), w1(b, 5)",
+		`w1(name, "jim") r2(name, "jim")`,
+		"w12(x, -42)",
+		"S r1(a, 1)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ParseSchedule(src)
+		if err != nil {
+			return
+		}
+		printed := s.Ops().String()
+		re, err := ParseSchedule(printed)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", printed, src, err)
+		}
+		if re.Ops().String() != printed {
+			t.Fatalf("unstable print: %q -> %q", printed, re.Ops().String())
+		}
+	})
+}

@@ -1,0 +1,171 @@
+package txn
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pwsr/internal/state"
+)
+
+// jsonOp is the wire form of an operation: {"txn":1,"action":"r",
+// "entity":"a","value":5} with string values carried as JSON strings.
+type jsonOp struct {
+	Txn    int             `json:"txn"`
+	Action string          `json:"action"`
+	Entity string          `json:"entity"`
+	Value  json.RawMessage `json:"value"`
+}
+
+// MarshalJSON implements json.Marshaler for Op.
+func (o Op) MarshalJSON() ([]byte, error) {
+	val, err := marshalValue(o.Value)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(jsonOp{
+		Txn:    o.Txn,
+		Action: o.Action.String(),
+		Entity: o.Entity,
+		Value:  val,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Op. The decoded op is
+// unplaced (Pos = -1).
+func (o *Op) UnmarshalJSON(data []byte) error {
+	var j jsonOp
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	switch j.Action {
+	case "r":
+		o.Action = ActionRead
+	case "w":
+		o.Action = ActionWrite
+	default:
+		return fmt.Errorf("txn: unknown action %q", j.Action)
+	}
+	v, err := unmarshalValue(j.Value)
+	if err != nil {
+		return err
+	}
+	o.Txn = j.Txn
+	o.Entity = j.Entity
+	o.Value = v
+	o.Pos = -1
+	return nil
+}
+
+func marshalValue(v state.Value) (json.RawMessage, error) {
+	if v.IsInt() {
+		return json.Marshal(v.AsInt())
+	}
+	return json.Marshal(v.AsString())
+}
+
+func unmarshalValue(raw json.RawMessage) (state.Value, error) {
+	if len(raw) == 0 {
+		return state.Value{}, fmt.Errorf("txn: missing value")
+	}
+	if raw[0] == '"' {
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return state.Value{}, err
+		}
+		return state.Str(s), nil
+	}
+	var i int64
+	if err := json.Unmarshal(raw, &i); err != nil {
+		return state.Value{}, fmt.Errorf("txn: value must be an integer or string: %w", err)
+	}
+	return state.Int(i), nil
+}
+
+// MarshalJSON implements json.Marshaler for Schedule: an array of
+// operations in schedule order.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	return json.Marshal([]Op(s.ops))
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Schedule, reassigning
+// positions 0..n-1.
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	var ops []Op
+	if err := json.Unmarshal(data, &ops); err != nil {
+		return err
+	}
+	*s = *NewSchedule(ops...)
+	return nil
+}
+
+// EncodeHistory serializes a schedule together with its initial state —
+// the portable "history" format consumed by external checkers and the
+// command-line tools.
+type History struct {
+	// Initial is the database state the schedule executed from.
+	Initial map[string]json.RawMessage `json:"initial"`
+	// Ops is the schedule.
+	Ops []Op `json:"ops"`
+}
+
+// NewHistory packages a schedule with its initial state.
+func NewHistory(initial state.DB, s *Schedule) (*History, error) {
+	h := &History{Initial: make(map[string]json.RawMessage, len(initial))}
+	for it, v := range initial {
+		raw, err := marshalValue(v)
+		if err != nil {
+			return nil, err
+		}
+		h.Initial[it] = raw
+	}
+	h.Ops = append(h.Ops, s.Ops()...)
+	return h, nil
+}
+
+// Schedule rebuilds the schedule from the history.
+func (h *History) Schedule() *Schedule {
+	return NewSchedule(h.Ops...)
+}
+
+// InitialState rebuilds the initial database state.
+func (h *History) InitialState() (state.DB, error) {
+	db := state.NewDB()
+	for it, raw := range h.Initial {
+		v, err := unmarshalValue(raw)
+		if err != nil {
+			return nil, fmt.Errorf("item %q: %w", it, err)
+		}
+		db.Set(it, v)
+	}
+	return db, nil
+}
+
+// EncodeHistory marshals a history to JSON.
+func EncodeHistory(initial state.DB, s *Schedule) ([]byte, error) {
+	h, err := NewHistory(initial, s)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(h, "", "  ")
+}
+
+// DecodeHistory unmarshals a history from JSON and validates that the
+// schedule's read values replay from the initial state.
+func DecodeHistory(data []byte) (state.DB, *Schedule, error) {
+	var h History
+	if err := json.Unmarshal(data, &h); err != nil {
+		return nil, nil, err
+	}
+	db, err := h.InitialState()
+	if err != nil {
+		return nil, nil, err
+	}
+	s := h.Schedule()
+	if err := s.ValidateOrderEmbedding(); err != nil {
+		return nil, nil, err
+	}
+	if err := s.ConsistentValues(db); err != nil {
+		return nil, nil, err
+	}
+	return db, s, nil
+}

@@ -1,0 +1,112 @@
+package txn
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pwsr/internal/state"
+)
+
+func TestOpJSONRoundTrip(t *testing.T) {
+	ops := []Op{
+		R(1, "a", 0),
+		W(2, "d", -7),
+		Write(3, "name", state.Str("jim")),
+		Read(4, "note", state.Str("line\nbreak")),
+	}
+	for _, o := range ops {
+		data, err := json.Marshal(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Op
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back.Txn != o.Txn || back.Action != o.Action || back.Entity != o.Entity || !back.Value.Equal(o.Value) {
+			t.Fatalf("round trip %v -> %v", o, back)
+		}
+	}
+}
+
+func TestOpJSONErrors(t *testing.T) {
+	for _, src := range []string{
+		`{"txn":1,"action":"x","entity":"a","value":1}`,
+		`{"txn":1,"action":"r","entity":"a","value":1.5}`,
+		`{"txn":1,"action":"r","entity":"a"}`,
+		`{"txn":1`,
+	} {
+		var o Op
+		if err := json.Unmarshal([]byte(src), &o); err == nil {
+			t.Errorf("unmarshal(%s) succeeded", src)
+		}
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	s := example1Schedule()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Ops().String() != s.Ops().String() {
+		t.Fatalf("round trip %s -> %s", s, &back)
+	}
+	// Positions reassigned.
+	for i := 0; i < back.Len(); i++ {
+		if back.Op(i).Pos != i {
+			t.Fatal("positions not reassigned")
+		}
+	}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	initial := state.Ints(map[string]int64{"a": 0, "b": 10, "c": 5, "d": 10})
+	initial.Set("tag", state.Str("v1"))
+	s := example1Schedule()
+
+	data, err := EncodeHistory(initial, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"ops"`) {
+		t.Fatalf("encoded: %s", data)
+	}
+	db, back, err := DecodeHistory(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Equal(initial) {
+		t.Fatalf("initial = %v, want %v", db, initial)
+	}
+	if back.Ops().String() != s.Ops().String() {
+		t.Fatalf("schedule = %s", back)
+	}
+}
+
+func TestDecodeHistoryValidates(t *testing.T) {
+	// A history whose read values do not replay is rejected.
+	bad := `{"initial":{"a":0},"ops":[{"txn":1,"action":"r","entity":"a","value":99}]}`
+	if _, _, err := DecodeHistory([]byte(bad)); err == nil {
+		t.Fatal("non-replaying history accepted")
+	}
+	// A history violating the access discipline is rejected.
+	dbl := `{"initial":{"a":0},"ops":[
+		{"txn":1,"action":"r","entity":"a","value":0},
+		{"txn":1,"action":"r","entity":"a","value":0}]}`
+	if _, _, err := DecodeHistory([]byte(dbl)); err == nil {
+		t.Fatal("discipline-violating history accepted")
+	}
+	if _, _, err := DecodeHistory([]byte("{")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	badVal := `{"initial":{"a":true},"ops":[]}`
+	if _, _, err := DecodeHistory([]byte(badVal)); err == nil {
+		t.Fatal("boolean value accepted")
+	}
+}

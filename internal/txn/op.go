@@ -1,0 +1,251 @@
+// Package txn implements the transaction and schedule model of Section
+// 2.2: operations are (action, entity, value) triples, transactions are
+// totally ordered operation sets, and schedules are interleavings that
+// embed each transaction's order. The package provides the paper's
+// notation — RS, WS, read, write, seq^d, struct, before, after, depth,
+// and the reads-from relation — plus a textual schedule format used by
+// the command-line tools.
+package txn
+
+import (
+	"fmt"
+	"strings"
+
+	"pwsr/internal/state"
+)
+
+// Action is the operation type: read or write.
+type Action uint8
+
+const (
+	// ActionRead is a read operation r.
+	ActionRead Action = iota
+	// ActionWrite is a write operation w.
+	ActionWrite
+)
+
+// String renders the action as the paper's r/w letters.
+func (a Action) String() string {
+	switch a {
+	case ActionRead:
+		return "r"
+	case ActionWrite:
+		return "w"
+	default:
+		return fmt.Sprintf("Action(%d)", uint8(a))
+	}
+}
+
+// Op is one operation of a transaction: the 3-tuple (action(o),
+// entity(o), value(o)) of the paper, tagged with the id of the issuing
+// transaction and, once placed in a schedule, its position in the
+// schedule's total order.
+type Op struct {
+	// Txn is the issuing transaction's id (the subscript in r1, w2, …).
+	Txn int
+	// Action is the operation type.
+	Action Action
+	// Entity is the data item operated on.
+	Entity string
+	// Value is the value returned (read) or assigned (write). The value
+	// attribute is the paper's departure from the classical model; it is
+	// what makes reasoning about nonserializable executions possible.
+	Value state.Value
+	// Pos is the operation's position in the enclosing schedule's total
+	// order O_S, or -1 for an operation not yet placed in a schedule.
+	Pos int
+}
+
+// Read builds a read operation (unplaced).
+func Read(txnID int, entity string, v state.Value) Op {
+	return Op{Txn: txnID, Action: ActionRead, Entity: entity, Value: v, Pos: -1}
+}
+
+// Write builds a write operation (unplaced).
+func Write(txnID int, entity string, v state.Value) Op {
+	return Op{Txn: txnID, Action: ActionWrite, Entity: entity, Value: v, Pos: -1}
+}
+
+// R is shorthand for an integer-valued read, matching the paper's
+// r1(a, 0) notation.
+func R(txnID int, entity string, v int64) Op { return Read(txnID, entity, state.Int(v)) }
+
+// W is shorthand for an integer-valued write.
+func W(txnID int, entity string, v int64) Op { return Write(txnID, entity, state.Int(v)) }
+
+// Same reports whether two ops are the same schedule occurrence. Ops are
+// identified by position when both are placed; unplaced ops compare by
+// full content.
+func (o Op) Same(p Op) bool {
+	if o.Pos >= 0 && p.Pos >= 0 {
+		return o.Pos == p.Pos
+	}
+	return o.Txn == p.Txn && o.Action == p.Action && o.Entity == p.Entity && o.Value.Equal(p.Value) && o.Pos == p.Pos
+}
+
+// String renders the op in the paper's notation, e.g. r1(a, 0).
+func (o Op) String() string {
+	return fmt.Sprintf("%s%d(%s, %s)", o.Action, o.Txn, o.Entity, o.Value)
+}
+
+// StructOp is an operation with its value erased: the 2-tuple
+// (action(o), entity(o)) used by struct(seq) in Section 3.1.
+type StructOp struct {
+	Txn    int
+	Action Action
+	Entity string
+}
+
+// String renders the struct op, e.g. r1(a).
+func (s StructOp) String() string {
+	return fmt.Sprintf("%s%d(%s)", s.Action, s.Txn, s.Entity)
+}
+
+// Structure is struct(seq): the sequence of value-erased operations.
+type Structure []StructOp
+
+// Equal reports whether two structures are identical sequences. The
+// transaction id is not compared — fixed structure (Definition 3)
+// compares the shapes of two executions of the *same program*, which may
+// have been assigned different ids.
+func (s Structure) Equal(o Structure) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i].Action != o[i].Action || s[i].Entity != o[i].Entity {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the structure, e.g. "r1(a), r1(c), w1(b)".
+func (s Structure) String() string {
+	parts := make([]string, len(s))
+	for i, op := range s {
+		parts[i] = op.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Seq is a sequence of operations: a transaction's operation list, a
+// schedule's operation list, or any subsequence of either (the "seq" of
+// the paper's definitions).
+type Seq []Op
+
+// RS returns RS(seq): the set of data items read by operations in seq.
+func (s Seq) RS() state.ItemSet {
+	out := state.NewItemSet()
+	for _, o := range s {
+		if o.Action == ActionRead {
+			out.Add(o.Entity)
+		}
+	}
+	return out
+}
+
+// WS returns WS(seq): the set of data items written by operations in
+// seq.
+func (s Seq) WS() state.ItemSet {
+	out := state.NewItemSet()
+	for _, o := range s {
+		if o.Action == ActionWrite {
+			out.Add(o.Entity)
+		}
+	}
+	return out
+}
+
+// Items returns the set of all data items accessed in seq.
+func (s Seq) Items() state.ItemSet {
+	out := state.NewItemSet()
+	for _, o := range s {
+		out.Add(o.Entity)
+	}
+	return out
+}
+
+// ReadState returns read(seq): the database state "seen" by the read
+// operations in seq. If seq reads the same item more than once the last
+// pair wins; under the paper's access discipline (at most one read per
+// item per transaction) the result is exact for transaction
+// subsequences.
+func (s Seq) ReadState() state.DB {
+	out := state.NewDB()
+	for _, o := range s {
+		if o.Action == ActionRead {
+			out.Set(o.Entity, o.Value)
+		}
+	}
+	return out
+}
+
+// WriteState returns write(seq): the effect of seq's writes on the
+// database, later writes to the same item superseding earlier ones.
+func (s Seq) WriteState() state.DB {
+	out := state.NewDB()
+	for _, o := range s {
+		if o.Action == ActionWrite {
+			out.Set(o.Entity, o.Value)
+		}
+	}
+	return out
+}
+
+// Restrict returns seq^d: the subsequence of operations on items in d.
+func (s Seq) Restrict(d state.ItemSet) Seq {
+	var out Seq
+	for _, o := range s {
+		if d.Contains(o.Entity) {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Struct returns struct(seq): the sequence with values erased.
+func (s Seq) Struct() Structure {
+	out := make(Structure, len(s))
+	for i, o := range s {
+		out[i] = StructOp{Txn: o.Txn, Action: o.Action, Entity: o.Entity}
+	}
+	return out
+}
+
+// OfTxn returns the subsequence of operations issued by the given
+// transaction.
+func (s Seq) OfTxn(id int) Seq {
+	var out Seq
+	for _, o := range s {
+		if o.Txn == id {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Contains reports whether the sequence contains the given occurrence.
+func (s Seq) Contains(p Op) bool {
+	for _, o := range s {
+		if o.Same(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Empty reports whether the sequence has no operations (the paper's ε).
+func (s Seq) Empty() bool { return len(s) == 0 }
+
+// String renders the sequence as comma-separated operations.
+func (s Seq) String() string {
+	if len(s) == 0 {
+		return "ε"
+	}
+	parts := make([]string, len(s))
+	for i, o := range s {
+		parts[i] = o.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,107 @@
+package txn
+
+import (
+	"testing"
+
+	"pwsr/internal/state"
+)
+
+func TestOpString(t *testing.T) {
+	if got := R(1, "a", 0).String(); got != "r1(a, 0)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := W(2, "d", -1).String(); got != "w2(d, -1)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Write(1, "n", state.Str("x")).String(); got != `w1(n, "x")` {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestOpSame(t *testing.T) {
+	a := R(1, "a", 0)
+	b := R(1, "a", 0)
+	if !a.Same(b) {
+		t.Error("identical unplaced ops not Same")
+	}
+	a.Pos, b.Pos = 3, 3
+	if !a.Same(b) {
+		t.Error("same position not Same")
+	}
+	b.Pos = 4
+	if a.Same(b) {
+		t.Error("different positions Same")
+	}
+}
+
+func TestSeqRSWSReadWrite(t *testing.T) {
+	// Example 1's T1: r1(a,0), r1(c,5), w1(b,5).
+	seq := Seq{R(1, "a", 0), R(1, "c", 5), W(1, "b", 5)}
+	if !seq.RS().Equal(state.NewItemSet("a", "c")) {
+		t.Errorf("RS = %v", seq.RS())
+	}
+	if !seq.WS().Equal(state.NewItemSet("b")) {
+		t.Errorf("WS = %v", seq.WS())
+	}
+	if !seq.ReadState().Equal(state.Ints(map[string]int64{"a": 0, "c": 5})) {
+		t.Errorf("read = %v", seq.ReadState())
+	}
+	if !seq.WriteState().Equal(state.Ints(map[string]int64{"b": 5})) {
+		t.Errorf("write = %v", seq.WriteState())
+	}
+	if !seq.Items().Equal(state.NewItemSet("a", "b", "c")) {
+		t.Errorf("Items = %v", seq.Items())
+	}
+}
+
+func TestSeqRestrict(t *testing.T) {
+	seq := Seq{R(1, "a", 0), R(1, "c", 5), W(1, "b", 5)}
+	got := seq.Restrict(state.NewItemSet("b"))
+	if len(got) != 1 || got[0].Entity != "b" {
+		t.Errorf("Restrict = %v", got)
+	}
+}
+
+func TestSeqStruct(t *testing.T) {
+	// §3.1: struct(T1) = r1(a), r1(c), w1(b).
+	seq := Seq{R(1, "a", 0), R(1, "c", 5), W(1, "b", 5)}
+	st := seq.Struct()
+	if st.String() != "r1(a), r1(c), w1(b)" {
+		t.Errorf("Struct = %q", st.String())
+	}
+	// Structure equality ignores values and txn ids.
+	other := Seq{R(2, "a", 99), R(2, "c", -1), W(2, "b", 0)}.Struct()
+	if !st.Equal(other) {
+		t.Error("structures with same shape not Equal")
+	}
+	diff := Seq{R(1, "a", 0), W(1, "b", 5)}.Struct()
+	if st.Equal(diff) {
+		t.Error("different shapes Equal")
+	}
+	reorder := Seq{R(1, "c", 5), R(1, "a", 0), W(1, "b", 5)}.Struct()
+	if st.Equal(reorder) {
+		t.Error("reordered shapes Equal")
+	}
+}
+
+func TestSeqOfTxnAndString(t *testing.T) {
+	seq := Seq{R(2, "a", 0), R(1, "a", 0), W(2, "d", 0)}
+	if got := seq.OfTxn(2); len(got) != 2 {
+		t.Errorf("OfTxn = %v", got)
+	}
+	if (Seq{}).String() != "ε" {
+		t.Error("empty Seq should render ε")
+	}
+	if !(Seq{}).Empty() {
+		t.Error("Empty wrong")
+	}
+}
+
+func TestStructureStringAndActionString(t *testing.T) {
+	if ActionRead.String() != "r" || ActionWrite.String() != "w" {
+		t.Error("Action names wrong")
+	}
+	if Action(7).String() == "" {
+		t.Error("unknown action renders empty")
+	}
+}

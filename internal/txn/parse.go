@@ -1,0 +1,137 @@
+package txn
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+
+	"pwsr/internal/constraint"
+	"pwsr/internal/state"
+)
+
+// ParseSchedule parses the textual schedule notation used throughout the
+// paper and by the command-line tools:
+//
+//	r1(a, 0), w2(d, 0), r1(c, 5), w1(b, 5)
+//
+// Each operation is r<id>(<item>, <value>) or w<id>(<item>, <value>)
+// where <value> is an integer (possibly negative) or a quoted string.
+// Separating commas are optional; an optional leading "S:" label is
+// skipped.
+func ParseSchedule(src string) (*Schedule, error) {
+	toks, err := constraint.Tokenize(src)
+	if err != nil {
+		return nil, fmt.Errorf("txn: %w", err)
+	}
+	p := constraint.NewParserFromTokens(toks)
+
+	// Optional "S :" label. The lexer has no ':' token, so a leading
+	// label would appear as ident "S" followed by ":=" or an error; we
+	// accept "S" directly followed by the first op for simplicity.
+	if t := p.Peek(); t.Kind == constraint.TokIdent && t.Text == "S" {
+		p.Next()
+	}
+
+	var ops []Op
+	for !p.AtEOF() {
+		if p.Peek().Kind == constraint.TokComma {
+			p.Next()
+			continue
+		}
+		op, err := parseOp(p)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("txn: empty schedule")
+	}
+	return NewSchedule(ops...), nil
+}
+
+// MustParseSchedule is ParseSchedule that panics on error, for tests and
+// fixtures.
+func MustParseSchedule(src string) *Schedule {
+	s, err := ParseSchedule(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func parseOp(p *constraint.Parser) (Op, error) {
+	head := p.Peek()
+	if head.Kind != constraint.TokIdent {
+		return Op{}, fmt.Errorf("txn: %d:%d: expected operation like r1(a, 0)", head.Line, head.Col)
+	}
+	p.Next()
+	action, id, err := splitOpHead(head.Text)
+	if err != nil {
+		return Op{}, fmt.Errorf("txn: %d:%d: %v", head.Line, head.Col, err)
+	}
+	if _, err := p.Expect(constraint.TokLParen); err != nil {
+		return Op{}, fmt.Errorf("txn: %w", err)
+	}
+	itemTok, err := p.Expect(constraint.TokIdent)
+	if err != nil {
+		return Op{}, fmt.Errorf("txn: %w", err)
+	}
+	if _, err := p.Expect(constraint.TokComma); err != nil {
+		return Op{}, fmt.Errorf("txn: %w", err)
+	}
+	val, err := parseValue(p)
+	if err != nil {
+		return Op{}, err
+	}
+	if _, err := p.Expect(constraint.TokRParen); err != nil {
+		return Op{}, fmt.Errorf("txn: %w", err)
+	}
+	return Op{Txn: id, Action: action, Entity: itemTok.Text, Value: val, Pos: -1}, nil
+}
+
+func splitOpHead(text string) (Action, int, error) {
+	if len(text) < 2 {
+		return 0, 0, fmt.Errorf("malformed operation head %q", text)
+	}
+	var action Action
+	switch text[0] {
+	case 'r':
+		action = ActionRead
+	case 'w':
+		action = ActionWrite
+	default:
+		return 0, 0, fmt.Errorf("operation head %q must start with r or w", text)
+	}
+	for _, c := range text[1:] {
+		if !unicode.IsDigit(c) {
+			return 0, 0, fmt.Errorf("operation head %q must be r<id> or w<id>", text)
+		}
+	}
+	id, err := strconv.Atoi(text[1:])
+	if err != nil {
+		return 0, 0, fmt.Errorf("operation head %q: %v", text, err)
+	}
+	return action, id, nil
+}
+
+func parseValue(p *constraint.Parser) (state.Value, error) {
+	t := p.Peek()
+	switch t.Kind {
+	case constraint.TokInt:
+		p.Next()
+		return state.Int(t.Int), nil
+	case constraint.TokMinus:
+		p.Next()
+		it, err := p.Expect(constraint.TokInt)
+		if err != nil {
+			return state.Value{}, fmt.Errorf("txn: %w", err)
+		}
+		return state.Int(-it.Int), nil
+	case constraint.TokString:
+		p.Next()
+		return state.Str(t.Text), nil
+	default:
+		return state.Value{}, fmt.Errorf("txn: %d:%d: expected a value", t.Line, t.Col)
+	}
+}

@@ -1,0 +1,162 @@
+package txn
+
+import (
+	"math/rand"
+	"testing"
+
+	"pwsr/internal/state"
+)
+
+// randomSchedule builds a random discipline-respecting schedule over
+// nTxns transactions and the given items, replaying values from the
+// initial state so ConsistentValues holds by construction.
+func randomSchedule(rng *rand.Rand, nTxns int, items []string, initial state.DB) *Schedule {
+	cur := initial.Clone()
+	read := map[int]state.ItemSet{}
+	written := map[int]state.ItemSet{}
+	for id := 1; id <= nTxns; id++ {
+		read[id] = state.NewItemSet()
+		written[id] = state.NewItemSet()
+	}
+	var ops []Op
+	steps := 3 * nTxns
+	for i := 0; i < steps; i++ {
+		id := 1 + rng.Intn(nTxns)
+		it := items[rng.Intn(len(items))]
+		if rng.Intn(2) == 0 && !read[id].Contains(it) && !written[id].Contains(it) {
+			ops = append(ops, Read(id, it, cur.MustGet(it)))
+			read[id].Add(it)
+		} else if !written[id].Contains(it) {
+			v := state.Int(int64(rng.Intn(20) - 10))
+			ops = append(ops, Write(id, it, v))
+			written[id].Add(it)
+			cur.Set(it, v)
+		}
+	}
+	return NewSchedule(ops...)
+}
+
+func TestRandomSchedulesWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	items := []string{"a", "b", "c", "d"}
+	initial := state.Ints(map[string]int64{"a": 1, "b": 2, "c": 3, "d": 4})
+	for trial := 0; trial < 200; trial++ {
+		s := randomSchedule(rng, 3, items, initial)
+		if s.Len() == 0 {
+			continue
+		}
+		if err := s.ValidateOrderEmbedding(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := s.ConsistentValues(initial); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestRestrictPartitionsOps(t *testing.T) {
+	// S^d and S^(items−d) partition the operations of S.
+	rng := rand.New(rand.NewSource(6))
+	items := []string{"a", "b", "c", "d"}
+	initial := state.Ints(map[string]int64{"a": 1, "b": 2, "c": 3, "d": 4})
+	d := state.NewItemSet("a", "c")
+	rest := state.NewItemSet("b", "d")
+	for trial := 0; trial < 100; trial++ {
+		s := randomSchedule(rng, 3, items, initial)
+		in, out := s.Restrict(d), s.Restrict(rest)
+		if in.Len()+out.Len() != s.Len() {
+			t.Fatalf("trial %d: %d + %d != %d", trial, in.Len(), out.Len(), s.Len())
+		}
+		// Positions in the restriction are a subsequence of the whole.
+		last := -1
+		for _, o := range in.Ops() {
+			if o.Pos <= last {
+				t.Fatalf("trial %d: restriction not order preserving", trial)
+			}
+			last = o.Pos
+		}
+	}
+}
+
+func TestBeforeAfterPartitionTxn(t *testing.T) {
+	// before(T, p, S) and after(T, p, S) partition T's operations, for
+	// every p.
+	rng := rand.New(rand.NewSource(7))
+	items := []string{"a", "b", "c"}
+	initial := state.Ints(map[string]int64{"a": 1, "b": 2, "c": 3})
+	for trial := 0; trial < 60; trial++ {
+		s := randomSchedule(rng, 3, items, initial)
+		for _, p := range s.Ops() {
+			for _, tr := range s.Transactions() {
+				before := s.Before(tr.Ops, p)
+				after := s.After(tr.Ops, p)
+				if len(before)+len(after) != len(tr.Ops) {
+					t.Fatalf("partition broken: %d + %d != %d", len(before), len(after), len(tr.Ops))
+				}
+				// Every op of before precedes every op of after.
+				if len(before) > 0 && len(after) > 0 &&
+					before[len(before)-1].Pos >= after[0].Pos {
+					t.Fatal("before/after interleaved")
+				}
+				// p ∈ before iff p belongs to the transaction.
+				if before.Contains(p) != (p.Txn == tr.ID) {
+					t.Fatalf("p-membership rule broken for %s in T%d", p, tr.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestFinalStateMatchesWriteReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	items := []string{"a", "b"}
+	initial := state.Ints(map[string]int64{"a": 0, "b": 0})
+	for trial := 0; trial < 100; trial++ {
+		s := randomSchedule(rng, 2, items, initial)
+		got := s.FinalState(initial)
+		// Replay by hand.
+		want := initial.Clone()
+		for _, o := range s.Ops() {
+			if o.Action == ActionWrite {
+				want.Set(o.Entity, o.Value)
+			}
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: FinalState = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestDepthIsPosition(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	initial := state.Ints(map[string]int64{"a": 0, "b": 0})
+	s := randomSchedule(rng, 2, []string{"a", "b"}, initial)
+	for i, p := range s.Ops() {
+		if s.Depth(p) != i {
+			t.Fatalf("Depth(op %d) = %d", i, s.Depth(p))
+		}
+	}
+}
+
+func TestReadsFromAgreesWithValues(t *testing.T) {
+	// In a value-consistent schedule, a read's value equals its
+	// reads-from writer's value (or the initial value).
+	rng := rand.New(rand.NewSource(10))
+	items := []string{"a", "b", "c"}
+	initial := state.Ints(map[string]int64{"a": 1, "b": 2, "c": 3})
+	for trial := 0; trial < 100; trial++ {
+		s := randomSchedule(rng, 3, items, initial)
+		for j, o := range s.Ops() {
+			if o.Action != ActionRead {
+				continue
+			}
+			if w, ok := s.ReadsFrom(j); ok {
+				if !w.Value.Equal(o.Value) {
+					t.Fatalf("read %s got %s from writer %s", o, o.Value, w)
+				}
+			} else if !initial.MustGet(o.Entity).Equal(o.Value) {
+				t.Fatalf("initial read %s mismatches initial state", o)
+			}
+		}
+	}
+}

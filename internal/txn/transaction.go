@@ -1,0 +1,108 @@
+package txn
+
+import (
+	"fmt"
+
+	"pwsr/internal/state"
+)
+
+// Transaction is Ti = (OTi, O_Ti): a totally ordered set of operations,
+// all issued by the same transaction id. Ops appear in transaction
+// order; when the transaction was extracted from a schedule the ops keep
+// their schedule positions.
+type Transaction struct {
+	ID  int
+	Ops Seq
+}
+
+// NewTransaction builds a transaction from ops, which must all carry the
+// given id.
+func NewTransaction(id int, ops ...Op) (Transaction, error) {
+	t := Transaction{ID: id, Ops: append(Seq(nil), ops...)}
+	for i, o := range t.Ops {
+		if o.Txn != id {
+			return Transaction{}, fmt.Errorf("txn: op %d (%s) carries id %d, want %d", i, o, o.Txn, id)
+		}
+	}
+	return t, nil
+}
+
+// MustTransaction is NewTransaction that panics on error, for tests and
+// literals.
+func MustTransaction(id int, ops ...Op) Transaction {
+	t, err := NewTransaction(id, ops...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// RS returns RS(Ti).
+func (t Transaction) RS() state.ItemSet { return t.Ops.RS() }
+
+// WS returns WS(Ti).
+func (t Transaction) WS() state.ItemSet { return t.Ops.WS() }
+
+// ReadState returns read(Ti).
+func (t Transaction) ReadState() state.DB { return t.Ops.ReadState() }
+
+// WriteState returns write(Ti).
+func (t Transaction) WriteState() state.DB { return t.Ops.WriteState() }
+
+// Restrict returns Ti^d: the transaction's operations on items in d.
+func (t Transaction) Restrict(d state.ItemSet) Transaction {
+	return Transaction{ID: t.ID, Ops: t.Ops.Restrict(d)}
+}
+
+// Struct returns struct(Ti).
+func (t Transaction) Struct() Structure { return t.Ops.Struct() }
+
+// Empty reports whether the transaction has no operations.
+func (t Transaction) Empty() bool { return len(t.Ops) == 0 }
+
+// LastPos returns the schedule position of the transaction's final
+// operation, or -1 for an empty or unplaced transaction. A transaction
+// has "completed all its operations" by point p iff LastPos ≤ p.Pos.
+func (t Transaction) LastPos() int {
+	if len(t.Ops) == 0 {
+		return -1
+	}
+	return t.Ops[len(t.Ops)-1].Pos
+}
+
+// ValidateDiscipline checks the paper's §2.2 access assumptions: each
+// transaction reads a data item at most once, writes it at most once,
+// and does not read a data item after writing it.
+func (t Transaction) ValidateDiscipline() error {
+	read := state.NewItemSet()
+	written := state.NewItemSet()
+	for _, o := range t.Ops {
+		switch o.Action {
+		case ActionRead:
+			if read.Contains(o.Entity) {
+				return fmt.Errorf("txn %d reads %q twice", t.ID, o.Entity)
+			}
+			if written.Contains(o.Entity) {
+				return fmt.Errorf("txn %d reads %q after writing it", t.ID, o.Entity)
+			}
+			read.Add(o.Entity)
+		case ActionWrite:
+			if written.Contains(o.Entity) {
+				return fmt.Errorf("txn %d writes %q twice", t.ID, o.Entity)
+			}
+			written.Add(o.Entity)
+		}
+	}
+	return nil
+}
+
+// Apply executes the transaction's writes against db, returning the
+// resulting state ([DS1] Ti [DS2] for the write effect).
+func (t Transaction) Apply(db state.DB) state.DB {
+	return db.Overwrite(t.WriteState())
+}
+
+// String renders the transaction as "T1: r1(a, 0), w1(b, 5)".
+func (t Transaction) String() string {
+	return fmt.Sprintf("T%d: %s", t.ID, t.Ops.String())
+}
