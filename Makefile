@@ -1,0 +1,32 @@
+# Build/verify/benchmark entry points for the PWSR reproduction.
+
+GO ?= go
+
+# tier1 is the repository's tier-1 verification gate.
+.PHONY: tier1
+tier1:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
+# bench runs the certification-core benchmark families (the optimized
+# Monitor and BuildGraph against their retained reference
+# implementations) and records the raw test2json stream in
+# BENCH_monitor.json for tooling. Note -json means stdout carries the
+# JSON event stream, not the usual benchmark table; for readable
+# numbers run the go test line without -json, and see EXPERIMENTS.md
+# for the recorded before/after tables.
+.PHONY: bench
+bench:
+	$(GO) test . -run '^$$' \
+		-bench 'BenchmarkMonitorThroughput|BenchmarkBuildGraphScaling|BenchmarkCheckPWSRWidePartition' \
+		-benchmem -count=6 -json | tee BENCH_monitor.json
+
+# bench-all runs every benchmark in the repository once.
+.PHONY: bench-all
+bench-all:
+	$(GO) test . -run '^$$' -bench . -benchmem
+
+.PHONY: test
+test:
+	$(GO) test ./...

@@ -1,8 +1,9 @@
-// Benchmarks regenerating every experiment in DESIGN.md's index: the
-// paper's examples (EX1–EX5), the lemma machinery (L1–L7, Definition 4),
-// the theorem campaigns (T1–T3 and necessity), the performance studies
-// (PERF1–PERF3), and the setwise-serializability baseline (BASE1). Run
+// Benchmarks regenerating the experiment index: the paper's examples
+// (EX1–EX5), the lemma machinery (L1–L7, Definition 4), the theorem
+// campaigns (T1–T3 and necessity), the performance studies
+// (PERF1–PERF4), and the setwise-serializability baseline (BASE1). Run
 //
+//	make bench        # certification-core families, -benchmem -count=6
 //	go test -bench=. -benchmem
 //
 // and see EXPERIMENTS.md for recorded outputs and their interpretation.
@@ -10,6 +11,7 @@ package pwsr_test
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"pwsr/internal/constraint"
@@ -21,6 +23,7 @@ import (
 	"pwsr/internal/paper"
 	"pwsr/internal/program"
 	"pwsr/internal/sched"
+	"pwsr/internal/serial"
 	"pwsr/internal/setwise"
 	"pwsr/internal/sim"
 	"pwsr/internal/state"
@@ -358,6 +361,152 @@ func BenchmarkCheckerScaling(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// PERF4: certification-core scaling — the optimized online Monitor and
+// single-pass BuildGraph against their retained reference
+// implementations (ReferenceMonitor, BuildGraphPairwise), across
+// ops × txns × items grids, plus the wide-partition batch check.
+// `make bench` runs these three benchmarks with -benchmem -count=6;
+// EXPERIMENTS.md records the resulting before/after tables.
+// ---------------------------------------------------------------------
+
+// benchItems returns n item names.
+func benchItems(n int) []string {
+	items := make([]string, n)
+	for i := range items {
+		items[i] = fmt.Sprintf("x%d", i)
+	}
+	return items
+}
+
+// benchPartition deals the items round-robin into conj disjoint
+// conjunct data sets.
+func benchPartition(items []string, conj int) []state.ItemSet {
+	partition := make([]state.ItemSet, conj)
+	for e := range partition {
+		partition[e] = state.NewItemSet()
+	}
+	for i, it := range items {
+		partition[i%conj].Add(it)
+	}
+	return partition
+}
+
+// rawStream is a uniformly random operation stream (violations and
+// all) for graph-construction benchmarks.
+func rawStream(nops, txns int, items []string, seed int64) *txn.Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]txn.Op, nops)
+	for i := range ops {
+		id := 1 + rng.Intn(txns)
+		entity := items[rng.Intn(len(items))]
+		if rng.Intn(2) == 0 {
+			ops[i] = txn.R(id, entity, 0)
+		} else {
+			ops[i] = txn.W(id, entity, 1)
+		}
+	}
+	return txn.NewSchedule(ops...)
+}
+
+// admissibleStream is a random operation stream filtered through the
+// certifier, so every monitor implementation can observe the whole
+// stream without tripping a violation — the sustained-admission
+// workload a PWSR scheduler generates.
+func admissibleStream(nops, txns int, items []string, partition []state.ItemSet, seed int64) *txn.Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	m := core.NewMonitor(partition)
+	ops := make([]txn.Op, 0, nops)
+	for attempts := 0; len(ops) < nops && attempts < 40*nops; attempts++ {
+		id := 1 + rng.Intn(txns)
+		entity := items[rng.Intn(len(items))]
+		var o txn.Op
+		if rng.Intn(2) == 0 {
+			o = txn.R(id, entity, 0)
+		} else {
+			o = txn.W(id, entity, 1)
+		}
+		if !m.Admissible(o) {
+			continue
+		}
+		m.Observe(o)
+		ops = append(ops, o)
+	}
+	return txn.NewSchedule(ops...)
+}
+
+func BenchmarkMonitorThroughput(b *testing.B) {
+	cases := []struct{ ops, txns, items, conj int }{
+		{1_000, 8, 32, 1},
+		{10_000, 64, 256, 1},
+		{10_000, 64, 256, 4},
+		{50_000, 64, 512, 4},
+	}
+	for _, c := range cases {
+		items := benchItems(c.items)
+		partition := benchPartition(items, c.conj)
+		s := admissibleStream(c.ops, c.txns, items, partition, 11)
+		name := fmt.Sprintf("ops=%d/txns=%d/items=%d/conj=%d", s.Len(), c.txns, c.items, c.conj)
+		b.Run(name+"/opt", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := core.NewMonitor(partition)
+				if v := m.ObserveAll(s); v != nil {
+					b.Fatal(v)
+				}
+			}
+		})
+		b.Run(name+"/ref", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := core.NewReferenceMonitor(partition)
+				if v := m.ObserveAll(s); v != nil {
+					b.Fatal(v)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBuildGraphScaling(b *testing.B) {
+	cases := []struct{ ops, txns, items int }{
+		{1_000, 8, 32},
+		{5_000, 32, 128},
+		{10_000, 64, 256},
+	}
+	for _, c := range cases {
+		s := rawStream(c.ops, c.txns, benchItems(c.items), 13)
+		name := fmt.Sprintf("ops=%d/txns=%d/items=%d", c.ops, c.txns, c.items)
+		b.Run(name+"/opt", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if g := serial.BuildGraph(s); g == nil {
+					b.Fatal("nil graph")
+				}
+			}
+		})
+		b.Run(name+"/ref", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if g := serial.BuildGraphPairwise(s); g == nil {
+					b.Fatal("nil graph")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCheckPWSRWidePartition measures the batch checker's
+// one-pass projection plus sharded per-conjunct graph work on a wide
+// partition.
+func BenchmarkCheckPWSRWidePartition(b *testing.B) {
+	items := benchItems(512)
+	partition := benchPartition(items, 8)
+	s := admissibleStream(20_000, 64, items, partition, 17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !core.CheckPWSR(s, partition).PWSR {
+			b.Fatal("not PWSR")
+		}
 	}
 }
 

@@ -1,5 +1,5 @@
 // Command pwsrbench regenerates every table and figure of the
-// reproduction's experiment index (see DESIGN.md and EXPERIMENTS.md):
+// reproduction's experiment index (see EXPERIMENTS.md):
 //
 //   - EX      — the paper's worked examples, measured,
 //   - T1–T3   — randomized theorem validation and necessity campaigns,

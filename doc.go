@@ -32,10 +32,15 @@
 //     analysis, and the TP → TP' balancing transformation
 //     (internal/program),
 //   - a concurrent execution engine with pluggable policies: scripted,
-//     random, conservative strict 2PL, predicate-wise 2PL, and a
-//     delayed-read gate (internal/exec, internal/sched),
+//     random, conservative strict 2PL, predicate-wise 2PL, a
+//     delayed-read gate, and a PWSR certification gate
+//     (internal/exec, internal/sched),
 //   - the PWSR/strong-correctness checkers, view sets, transaction
-//     states, and theorem appliers (internal/core).
+//     states, theorem appliers, and the online certification monitor
+//     with incremental cycle detection (internal/core, internal/intern).
+//
+// Benchmarks for the certification hot path live in bench_test.go (run
+// `make bench`); EXPERIMENTS.md records their outputs.
 //
 // # Quick start
 //

@@ -1,0 +1,3 @@
+module pwsr
+
+go 1.22

@@ -1,0 +1,18 @@
+package core
+
+// SetObserveParallelThreshold overrides the schedule length at which
+// ObserveAll shards across goroutines, returning the previous value so
+// tests can restore it.
+func SetObserveParallelThreshold(n int) int {
+	old := observeParallelThreshold
+	observeParallelThreshold = n
+	return old
+}
+
+// SetCheckParallelThreshold overrides the schedule length at which
+// CheckPWSR shards across goroutines, returning the previous value.
+func SetCheckParallelThreshold(n int) int {
+	old := checkParallelThreshold
+	checkParallelThreshold = n
+	return old
+}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
+	"pwsr/internal/intern"
 	"pwsr/internal/state"
 	"pwsr/internal/txn"
 )
@@ -25,48 +27,48 @@ func (v *Violation) Error() string {
 		v.Op, v.Conjunct+1, v.Cycle)
 }
 
+// observeParallelThreshold is the schedule length at which ObserveAll
+// shards a multi-conjunct monitor across goroutines.
+var observeParallelThreshold = 4096
+
 // Monitor checks PWSR online: feed it the schedule one operation at a
 // time and it reports the first operation whose admission makes some
 // conjunct's projection non-serializable. This is the certifier a
-// PWSR scheduler would consult before granting an operation — the
-// admission-control counterpart of the batch CheckPWSR.
+// PWSR scheduler consults before granting an operation — the
+// admission-control counterpart of the batch CheckPWSR (sched.Certify
+// is the policy built on it).
 //
-// Per conjunct it maintains an incremental conflict graph (readers and
-// writers per item); each new conflict edge triggers a reachability
-// check, so admitting an operation costs O(V+E) in the projection's
-// conflict graph.
+// Per conjunct it maintains an incremental conflict graph over interned
+// (dense-int) transactions and items, with slice-indexed adjacency and
+// a topological order maintained by the Pearce–Kelly two-way search.
+// Admitting an operation draws only the novel conflict edges implied by
+// the item's conflict frontier (last writer plus readers since that
+// write — enough to preserve reachability, hence the serializability
+// verdict); an edge that respects the maintained order costs O(1), and
+// only order-violating edges trigger a search bounded by the affected
+// region. Amortized admission cost is therefore far below the full
+// BFS-per-edge of the batch construction (kept as ReferenceMonitor).
 type Monitor struct {
 	partition []state.ItemSet
 	graphs    []*incGraph
+	items     *intern.Strings
+	// conjuncts[i] lists the conjuncts whose data set contains interned
+	// item i, computed once per distinct item.
+	conjuncts [][]int32
 	violation *Violation
 	ops       int
 }
 
-// incGraph is one conjunct's incremental conflict graph.
-type incGraph struct {
-	adj     map[int]map[int]bool
-	readers map[string]map[int]bool
-	writers map[string]map[int]bool
-}
-
-func newIncGraph() *incGraph {
-	return &incGraph{
-		adj:     make(map[int]map[int]bool),
-		readers: make(map[string]map[int]bool),
-		writers: make(map[string]map[int]bool),
-	}
-}
-
 // NewMonitor builds a monitor over the conjunct partition.
 func NewMonitor(partition []state.ItemSet) *Monitor {
-	m := &Monitor{partition: partition}
+	m := &Monitor{partition: partition, items: intern.NewStrings()}
 	for range partition {
 		m.graphs = append(m.graphs, newIncGraph())
 	}
 	return m
 }
 
-// NewMonitorFor builds a monitor for a system's partition.
+// NewMonitor builds a monitor for a system's partition.
 func (sys *System) NewMonitor() *Monitor {
 	return NewMonitor(sys.Partition())
 }
@@ -80,6 +82,23 @@ func (m *Monitor) PWSR() bool { return m.violation == nil }
 // Violation returns the first violation, or nil.
 func (m *Monitor) Violation() *Violation { return m.violation }
 
+// itemID interns the entity, computing its conjunct membership list the
+// first time it is seen.
+func (m *Monitor) itemID(entity string) int32 {
+	n := m.items.Len()
+	id := m.items.ID(entity)
+	if int(id) == n {
+		var cs []int32
+		for e, d := range m.partition {
+			if d.Contains(entity) {
+				cs = append(cs, int32(e))
+			}
+		}
+		m.conjuncts = append(m.conjuncts, cs)
+	}
+	return id
+}
+
 // Observe admits one operation. It returns nil while the observed
 // prefix stays PWSR, and the (first) *Violation once some conjunct's
 // projection acquires a conflict cycle. After a violation every further
@@ -90,22 +109,51 @@ func (m *Monitor) Observe(o txn.Op) *Violation {
 	if m.violation != nil {
 		return m.violation
 	}
-	for e, d := range m.partition {
-		if !d.Contains(o.Entity) {
-			continue
-		}
-		if cycle := m.graphs[e].add(o); cycle != nil {
-			m.violation = &Violation{Conjunct: e, Op: o, Cycle: cycle}
+	item := m.itemID(o.Entity)
+	for _, e := range m.conjuncts[item] {
+		if cycle := m.graphs[e].add(o, item); cycle != nil {
+			m.violation = &Violation{Conjunct: int(e), Op: o, Cycle: cycle}
 			return m.violation
 		}
 	}
 	return nil
 }
 
+// Admissible reports whether admitting o now would keep every
+// conjunct's projection serializable. It performs the reachability
+// checks of Observe without recording the operation — no conflict
+// edge, frontier entry, or interning is committed — so a scheduler can
+// probe several pending operations before granting one. Like Observe
+// it reuses per-graph search scratch and must not be called
+// concurrently; the monitor is a single-goroutine certifier. After a
+// violation nothing is admissible.
+func (m *Monitor) Admissible(o txn.Op) bool {
+	if m.violation != nil {
+		return false
+	}
+	item, ok := m.items.Lookup(o.Entity)
+	if !ok {
+		return true // never-seen item: no conjunct graph has state on it
+	}
+	for _, e := range m.conjuncts[item] {
+		if !m.graphs[e].admissible(o, item) {
+			return false
+		}
+	}
+	return true
+}
+
 // ObserveAll feeds a whole schedule; it returns the first violation or
-// nil.
+// nil. Wide partitions on long schedules are sharded: each conjunct's
+// projection is fed to its graph on its own goroutine and the earliest
+// violation wins, which is observationally identical to the sequential
+// feed (the monitor is sticky after the first violation).
 func (m *Monitor) ObserveAll(s *txn.Schedule) *Violation {
-	for _, o := range s.Ops() {
+	ops := s.Ops()
+	if len(m.partition) > 1 && len(ops) >= observeParallelThreshold && m.violation == nil {
+		return m.observeSharded(ops)
+	}
+	for _, o := range ops {
 		if v := m.Observe(o); v != nil {
 			return v
 		}
@@ -113,84 +161,367 @@ func (m *Monitor) ObserveAll(s *txn.Schedule) *Violation {
 	return nil
 }
 
-// add records the operation's conflicts and returns a cycle if one
-// appears.
-func (g *incGraph) add(o txn.Op) []int {
-	var sources map[int]bool
-	switch o.Action {
-	case txn.ActionRead:
-		// Edges from every prior writer of the item.
-		sources = g.writers[o.Entity]
-	case txn.ActionWrite:
-		// Edges from every prior reader and writer of the item.
-		sources = make(map[int]bool, len(g.readers[o.Entity])+len(g.writers[o.Entity]))
-		for t := range g.readers[o.Entity] {
-			sources[t] = true
-		}
-		for t := range g.writers[o.Entity] {
-			sources[t] = true
+// shardedOp is one operation routed to a conjunct's graph, tagged with
+// its index in the fed sequence so the earliest violation can be
+// identified across shards.
+type shardedOp struct {
+	op   txn.Op
+	item int32
+	idx  int
+}
+
+func (m *Monitor) observeSharded(ops txn.Seq) *Violation {
+	// Route every operation to its conjuncts (interning mutates shared
+	// tables, so it cannot race with the per-graph goroutines). A
+	// counting pass first sizes each bucket exactly.
+	itemIDs := make([]int32, len(ops))
+	counts := make([]int, len(m.partition))
+	for i, o := range ops {
+		item := m.itemID(o.Entity)
+		itemIDs[i] = item
+		for _, e := range m.conjuncts[item] {
+			counts[e]++
 		}
 	}
-	for from := range sources {
-		if from == o.Txn {
+	buckets := make([][]shardedOp, len(m.partition))
+	for e, n := range counts {
+		if n > 0 {
+			buckets[e] = make([]shardedOp, 0, n)
+		}
+	}
+	for i, o := range ops {
+		for _, e := range m.conjuncts[itemIDs[i]] {
+			buckets[e] = append(buckets[e], shardedOp{op: o, item: itemIDs[i], idx: i})
+		}
+	}
+	type shardViolation struct {
+		idx      int
+		conjunct int
+		op       txn.Op
+		cycle    []int
+	}
+	found := make([]*shardViolation, len(m.partition))
+	var wg sync.WaitGroup
+	for e := range m.partition {
+		if len(buckets[e]) == 0 {
 			continue
 		}
-		if g.adj[from] == nil {
-			g.adj[from] = make(map[int]bool)
-		}
-		if !g.adj[from][o.Txn] {
-			g.adj[from][o.Txn] = true
-			// The new edge from → o.Txn closes a cycle iff from is
-			// reachable from o.Txn.
-			if path := g.path(o.Txn, from); path != nil {
-				return append(path, o.Txn)
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			g := m.graphs[e]
+			for _, so := range buckets[e] {
+				if cycle := g.add(so.op, so.item); cycle != nil {
+					found[e] = &shardViolation{idx: so.idx, conjunct: e, op: so.op, cycle: cycle}
+					return
+				}
 			}
+		}(e)
+	}
+	wg.Wait()
+	// The earliest violating operation wins; ties go to the lowest
+	// conjunct, matching the sequential feed.
+	var first *shardViolation
+	for _, sv := range found {
+		if sv != nil && (first == nil || sv.idx < first.idx) {
+			first = sv
 		}
 	}
-	// Record the access after conflict edges are drawn.
+	if first == nil {
+		m.ops += len(ops)
+		return nil
+	}
+	m.ops += first.idx + 1
+	m.violation = &Violation{Conjunct: first.conjunct, Op: first.op, Cycle: first.cycle}
+	return m.violation
+}
+
+// incGraph is one conjunct's incremental conflict graph: slice-indexed
+// adjacency over interned transactions, a maintained topological order
+// (Pearce–Kelly), and per-item conflict frontiers.
+type incGraph struct {
+	txns *intern.IDs
+	// out and in are the forward and backward adjacency lists.
+	out, in [][]int32
+	// ord[n] is node n's position in the maintained topological order.
+	ord []int32
+	// edges dedups conflict edges across items.
+	edges map[uint64]struct{}
+
+	// Per-item conflict frontier, indexed by the monitor's interned
+	// item id: the last writer (-1 when none) and the readers since
+	// that write. Edges drawn from the frontier alone preserve
+	// reachability of the full conflict graph, so cycles appear at
+	// exactly the same operation.
+	lastWriter []int32
+	readers    [][]int32
+
+	// Scratch state for the two-way search, reused across insertions.
+	// markGen is 64-bit so a long-lived certifier (one search per
+	// Admissible probe) cannot wrap it into stale mark collisions.
+	mark    []int64
+	parent  []int32
+	markGen int64
+	stack   []int32
+	visF    []int32
+	visB    []int32
+	slots   []int32
+}
+
+func newIncGraph() *incGraph {
+	return &incGraph{txns: intern.NewIDs(), edges: make(map[uint64]struct{})}
+}
+
+// node interns a transaction id, allocating the node at the end of the
+// maintained topological order.
+func (g *incGraph) node(origTxn int) int32 {
+	n := g.txns.Len()
+	id := g.txns.ID(origTxn)
+	if int(id) == n {
+		g.out = append(g.out, nil)
+		g.in = append(g.in, nil)
+		g.ord = append(g.ord, int32(n))
+		g.mark = append(g.mark, 0)
+		g.parent = append(g.parent, -1)
+	}
+	return id
+}
+
+// ensureItem grows the per-item frontier tables to cover item.
+func (g *incGraph) ensureItem(item int32) {
+	for int(item) >= len(g.lastWriter) {
+		g.lastWriter = append(g.lastWriter, -1)
+		g.readers = append(g.readers, nil)
+	}
+}
+
+// add records the operation's conflicts and returns a cycle (original
+// transaction ids, first == last) if one appears. On a cycle the access
+// is not recorded; the monitor is sticky afterwards, so the graph is
+// never consulted again.
+func (g *incGraph) add(o txn.Op, item int32) []int {
+	g.ensureItem(item)
+	me := g.node(o.Txn)
+	lw := g.lastWriter[item]
 	switch o.Action {
 	case txn.ActionRead:
-		if g.readers[o.Entity] == nil {
-			g.readers[o.Entity] = make(map[int]bool)
+		if lw >= 0 && lw != me {
+			if cycle := g.insert(lw, me); cycle != nil {
+				return cycle
+			}
 		}
-		g.readers[o.Entity][o.Txn] = true
+		rs := g.readers[item]
+		seen := false
+		for _, r := range rs {
+			if r == me {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			g.readers[item] = append(rs, me)
+		}
 	case txn.ActionWrite:
-		if g.writers[o.Entity] == nil {
-			g.writers[o.Entity] = make(map[int]bool)
+		if lw >= 0 && lw != me {
+			if cycle := g.insert(lw, me); cycle != nil {
+				return cycle
+			}
 		}
-		g.writers[o.Entity][o.Txn] = true
+		for _, r := range g.readers[item] {
+			if r == me {
+				continue
+			}
+			if cycle := g.insert(r, me); cycle != nil {
+				return cycle
+			}
+		}
+		g.lastWriter[item] = me
+		g.readers[item] = g.readers[item][:0]
 	}
 	return nil
 }
 
-// path returns a path from src to dst in the conflict graph (inclusive
-// of both ends), or nil.
-func (g *incGraph) path(src, dst int) []int {
-	parent := map[int]int{src: src}
-	queue := []int{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		if u == dst {
-			var rev []int
-			for x := dst; ; x = parent[x] {
-				rev = append(rev, x)
-				if x == src {
-					break
-				}
-			}
-			out := make([]int, len(rev))
-			for i, x := range rev {
-				out[len(rev)-1-i] = x
-			}
-			return out
-		}
-		for v := range g.adj[u] {
-			if _, seen := parent[v]; !seen {
-				parent[v] = u
-				queue = append(queue, v)
+// admissible reports whether drawing o's conflict edges would keep the
+// graph acyclic, without mutating it.
+func (g *incGraph) admissible(o txn.Op, item int32) bool {
+	if int(item) >= len(g.lastWriter) {
+		return true // item never accessed in this conjunct
+	}
+	me, ok := g.txns.Lookup(o.Txn)
+	if !ok {
+		return true // a brand-new node cannot close a cycle
+	}
+	lw := g.lastWriter[item]
+	if lw >= 0 && lw != me && g.wouldCycle(lw, me) {
+		return false
+	}
+	if o.Action == txn.ActionWrite {
+		for _, r := range g.readers[item] {
+			if r != me && g.wouldCycle(r, me) {
+				return false
 			}
 		}
 	}
+	return true
+}
+
+// wouldCycle reports whether inserting the edge x → y would close a
+// cycle: y reaches x. Candidate edges of a single operation all point
+// at the same node, so checking each against the current graph is
+// sound — a cycle through two fresh edges implies a shorter one
+// through a single fresh edge.
+func (g *incGraph) wouldCycle(x, y int32) bool {
+	if _, dup := g.edges[edgeKey(x, y)]; dup {
+		return false // already present and the graph is acyclic
+	}
+	if g.ord[x] < g.ord[y] {
+		return false
+	}
+	return g.forwardSearch(y, x) != nil
+}
+
+func edgeKey(x, y int32) uint64 {
+	return uint64(uint32(x))<<32 | uint64(uint32(y))
+}
+
+// insert adds the edge x → y, maintaining the topological order. It
+// returns a cycle in original transaction ids ([y, …, x, y]) when the
+// edge would close one, leaving the graph unchanged in that case.
+func (g *incGraph) insert(x, y int32) []int {
+	key := edgeKey(x, y)
+	if _, dup := g.edges[key]; dup {
+		return nil
+	}
+	if g.ord[x] >= g.ord[y] {
+		// The edge goes against the maintained order: search the
+		// affected region. A path y ⇝ x means a cycle; otherwise
+		// reorder the region (Pearce–Kelly).
+		if g.forwardSearch(y, x) != nil {
+			// Reconstruct y ⇝ x via parents, then close with the new
+			// edge x → y.
+			var rev []int
+			for n := x; n >= 0; n = g.parent[n] {
+				rev = append(rev, g.txns.Orig(n))
+			}
+			cycle := make([]int, 0, len(rev)+1)
+			for i := len(rev) - 1; i >= 0; i-- {
+				cycle = append(cycle, rev[i])
+			}
+			cycle = append(cycle, g.txns.Orig(y))
+			return cycle
+		}
+		g.backwardSearch(x, g.ord[y])
+		g.reorder()
+	}
+	g.edges[key] = struct{}{}
+	g.out[x] = append(g.out[x], y)
+	g.in[y] = append(g.in[y], x)
 	return nil
+}
+
+// forwardSearch runs a DFS from start over nodes with ord ≤ ord[target],
+// recording parents. It returns the visited set (in g.visF) and a
+// non-nil slice iff target was reached; callers reconstruct the path
+// via g.parent.
+func (g *incGraph) forwardSearch(start, target int32) []int32 {
+	g.markGen++
+	ub := g.ord[target]
+	g.visF = g.visF[:0]
+	g.stack = g.stack[:0]
+	g.mark[start] = g.markGen
+	g.parent[start] = -1
+	g.stack = append(g.stack, start)
+	for len(g.stack) > 0 {
+		u := g.stack[len(g.stack)-1]
+		g.stack = g.stack[:len(g.stack)-1]
+		g.visF = append(g.visF, u)
+		for _, v := range g.out[u] {
+			if g.ord[v] > ub || g.mark[v] == g.markGen {
+				continue
+			}
+			g.mark[v] = g.markGen
+			g.parent[v] = u
+			if v == target {
+				return g.visF
+			}
+			g.stack = append(g.stack, v)
+		}
+	}
+	return nil
+}
+
+// backwardSearch collects (into g.visB) the nodes reaching start with
+// ord ≥ lb. It uses a fresh mark generation, so the forward set stays
+// distinguishable; the two sets are disjoint when no cycle exists.
+func (g *incGraph) backwardSearch(start int32, lb int32) {
+	g.markGen++
+	g.visB = g.visB[:0]
+	g.stack = g.stack[:0]
+	g.mark[start] = g.markGen
+	g.stack = append(g.stack, start)
+	for len(g.stack) > 0 {
+		u := g.stack[len(g.stack)-1]
+		g.stack = g.stack[:len(g.stack)-1]
+		g.visB = append(g.visB, u)
+		for _, v := range g.in[u] {
+			if g.ord[v] < lb || g.mark[v] == g.markGen {
+				continue
+			}
+			g.mark[v] = g.markGen
+			g.stack = append(g.stack, v)
+		}
+	}
+}
+
+// reorder reassigns the order slots of the affected region: the
+// backward set (ending at the edge's tail) takes the lowest slots, the
+// forward set (starting at the edge's head) the highest, each keeping
+// its internal relative order.
+func (g *incGraph) reorder() {
+	sortByOrd(g.visF, g.ord)
+	sortByOrd(g.visB, g.ord)
+	g.slots = g.slots[:0]
+	for _, n := range g.visB {
+		g.slots = append(g.slots, g.ord[n])
+	}
+	for _, n := range g.visF {
+		g.slots = append(g.slots, g.ord[n])
+	}
+	sortInt32(g.slots)
+	i := 0
+	for _, n := range g.visB {
+		g.ord[n] = g.slots[i]
+		i++
+	}
+	for _, n := range g.visF {
+		g.ord[n] = g.slots[i]
+		i++
+	}
+}
+
+// sortByOrd insertion-sorts nodes by their order position; affected
+// regions are typically tiny.
+func sortByOrd(nodes []int32, ord []int32) {
+	for i := 1; i < len(nodes); i++ {
+		n := nodes[i]
+		j := i - 1
+		for j >= 0 && ord[nodes[j]] > ord[n] {
+			nodes[j+1] = nodes[j]
+			j--
+		}
+		nodes[j+1] = n
+	}
+}
+
+// sortInt32 insertion-sorts a small slice of int32 values.
+func sortInt32(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		x := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > x {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = x
+	}
 }

@@ -121,6 +121,121 @@ func TestMonitorAgreesWithBatchChecker(t *testing.T) {
 	}
 }
 
+func TestMonitorSingleTxnSelfConflictSuppressed(t *testing.T) {
+	// One transaction hammering the same items never conflicts with
+	// itself: no edges, no violation, however the accesses interleave.
+	m := core.NewMonitor([]state.ItemSet{state.NewItemSet("a", "b")})
+	for i := 0; i < 50; i++ {
+		ops := []txn.Op{
+			txn.R(7, "a", 0), txn.W(7, "a", 1), txn.R(7, "b", 0),
+			txn.W(7, "b", 1), txn.W(7, "a", 2), txn.R(7, "a", 2),
+		}
+		if v := m.Observe(ops[i%len(ops)]); v != nil {
+			t.Fatalf("self-conflict flagged: %v", v)
+		}
+	}
+	if !m.PWSR() {
+		t.Fatal("PWSR should hold")
+	}
+}
+
+func TestMonitorRepeatedViolationsAfterFirst(t *testing.T) {
+	// After the first violation the monitor stays pinned to it even
+	// when later operations would close new, different cycles, and the
+	// operation counter keeps counting.
+	m := core.NewMonitor([]state.ItemSet{state.NewItemSet("a", "b")})
+	first := []txn.Op{
+		txn.R(1, "a", 0), txn.R(2, "a", 0), txn.W(1, "a", 1), txn.W(2, "a", 2),
+	}
+	var v *core.Violation
+	for _, o := range first {
+		v = m.Observe(o)
+	}
+	if v == nil {
+		t.Fatal("no violation on lost update")
+	}
+	// A second independent lost-update cycle on b between T3 and T4.
+	second := []txn.Op{
+		txn.R(3, "b", 0), txn.R(4, "b", 0), txn.W(3, "b", 1), txn.W(4, "b", 2),
+	}
+	for _, o := range second {
+		if got := m.Observe(o); got != v {
+			t.Fatalf("violation not sticky across later cycles: %v", got)
+		}
+	}
+	if m.Ops() != len(first)+len(second) {
+		t.Fatalf("Ops = %d, want %d", m.Ops(), len(first)+len(second))
+	}
+	if m.Violation() != v || m.PWSR() {
+		t.Fatal("monitor state inconsistent after repeated violations")
+	}
+}
+
+func TestMonitorMixedConstrainedAndOutsideItems(t *testing.T) {
+	// Conflicts routed through unconstrained items must not contribute
+	// edges: the same interleaving violates on a constrained item but
+	// not when the cycle runs through z.
+	m := core.NewMonitor([]state.ItemSet{state.NewItemSet("a")})
+	ops := []txn.Op{
+		txn.R(1, "z", 0), txn.R(2, "z", 0), txn.W(1, "z", 1), txn.W(2, "z", 2), // cycle on z: ignored
+		txn.W(1, "a", 1), txn.R(2, "a", 1), // a: T1 → T2 only
+	}
+	for _, o := range ops {
+		if v := m.Observe(o); v != nil {
+			t.Fatalf("violation through unconstrained item: %v", v)
+		}
+	}
+	// Now close a real cycle on a: T2 → T1 needs w1(a) after r2(a).
+	if v := m.Observe(txn.W(2, "a", 2)); v != nil {
+		t.Fatalf("T1→T2 edge repeated should not violate: %v", v)
+	}
+	if v := m.Observe(txn.W(1, "a", 3)); v == nil {
+		t.Fatal("cycle on constrained item not flagged")
+	}
+}
+
+func TestMonitorOverlappingConjuncts(t *testing.T) {
+	// Non-disjoint conjuncts: b belongs to both. A cycle on b violates
+	// both projections; the monitor must report the lowest conjunct
+	// index, mirroring the sequential definition.
+	m := core.NewMonitor([]state.ItemSet{
+		state.NewItemSet("a", "b"),
+		state.NewItemSet("b", "c"),
+	})
+	ops := []txn.Op{
+		txn.R(1, "b", 0), txn.R(2, "b", 0), txn.W(1, "b", 1),
+	}
+	for _, o := range ops {
+		if v := m.Observe(o); v != nil {
+			t.Fatalf("premature violation: %v", v)
+		}
+	}
+	v := m.Observe(txn.W(2, "b", 2))
+	if v == nil {
+		t.Fatal("cycle on shared item not flagged")
+	}
+	if v.Conjunct != 0 {
+		t.Fatalf("Conjunct = %d, want 0 (lowest index wins)", v.Conjunct)
+	}
+
+	// A cycle confined to c is charged to conjunct 1 only.
+	m2 := core.NewMonitor([]state.ItemSet{
+		state.NewItemSet("a", "b"),
+		state.NewItemSet("b", "c"),
+	})
+	for _, o := range []txn.Op{
+		txn.R(1, "c", 0), txn.R(2, "c", 0), txn.W(1, "c", 1),
+	} {
+		if v := m2.Observe(o); v != nil {
+			t.Fatalf("premature violation: %v", v)
+		}
+	}
+	v2 := m2.Observe(txn.W(2, "c", 2))
+	if v2 == nil || v2.Conjunct != 1 {
+		t.Fatalf("violation = %+v, want conjunct 1", v2)
+	}
+}
+
 func TestSystemNewMonitor(t *testing.T) {
 	e := paper.Example2()
 	sys := core.NewSystem(e.IC, e.Schema)

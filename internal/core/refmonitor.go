@@ -1,0 +1,166 @@
+package core
+
+import (
+	"pwsr/internal/state"
+	"pwsr/internal/txn"
+)
+
+// ReferenceMonitor is the pre-optimization online PWSR certifier: map
+// of-maps adjacency, every historical reader/writer kept per item, and
+// a full BFS reachability check per novel conflict edge. It is retained
+// as the executable specification of Monitor's semantics — the
+// differential quick-tests assert the two agree operation for
+// operation, and the benchmark families measure the optimized monitor
+// against it. New code should use Monitor.
+type ReferenceMonitor struct {
+	partition []state.ItemSet
+	graphs    []*refIncGraph
+	violation *Violation
+	ops       int
+}
+
+// refIncGraph is one conjunct's incremental conflict graph.
+type refIncGraph struct {
+	adj     map[int]map[int]bool
+	readers map[string]map[int]bool
+	writers map[string]map[int]bool
+}
+
+func newRefIncGraph() *refIncGraph {
+	return &refIncGraph{
+		adj:     make(map[int]map[int]bool),
+		readers: make(map[string]map[int]bool),
+		writers: make(map[string]map[int]bool),
+	}
+}
+
+// NewReferenceMonitor builds a reference monitor over the conjunct
+// partition.
+func NewReferenceMonitor(partition []state.ItemSet) *ReferenceMonitor {
+	m := &ReferenceMonitor{partition: partition}
+	for range partition {
+		m.graphs = append(m.graphs, newRefIncGraph())
+	}
+	return m
+}
+
+// Ops returns the number of operations observed.
+func (m *ReferenceMonitor) Ops() int { return m.ops }
+
+// PWSR reports whether everything observed so far is PWSR.
+func (m *ReferenceMonitor) PWSR() bool { return m.violation == nil }
+
+// Violation returns the first violation, or nil.
+func (m *ReferenceMonitor) Violation() *Violation { return m.violation }
+
+// Observe admits one operation, exactly as Monitor.Observe but with the
+// reference data structures.
+func (m *ReferenceMonitor) Observe(o txn.Op) *Violation {
+	m.ops++
+	if m.violation != nil {
+		return m.violation
+	}
+	for e, d := range m.partition {
+		if !d.Contains(o.Entity) {
+			continue
+		}
+		if cycle := m.graphs[e].add(o); cycle != nil {
+			m.violation = &Violation{Conjunct: e, Op: o, Cycle: cycle}
+			return m.violation
+		}
+	}
+	return nil
+}
+
+// ObserveAll feeds a whole schedule; it returns the first violation or
+// nil.
+func (m *ReferenceMonitor) ObserveAll(s *txn.Schedule) *Violation {
+	for _, o := range s.Ops() {
+		if v := m.Observe(o); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// add records the operation's conflicts and returns a cycle if one
+// appears.
+func (g *refIncGraph) add(o txn.Op) []int {
+	var sources map[int]bool
+	switch o.Action {
+	case txn.ActionRead:
+		// Edges from every prior writer of the item.
+		sources = g.writers[o.Entity]
+	case txn.ActionWrite:
+		// Edges from every prior reader and writer of the item.
+		sources = make(map[int]bool, len(g.readers[o.Entity])+len(g.writers[o.Entity]))
+		for t := range g.readers[o.Entity] {
+			sources[t] = true
+		}
+		for t := range g.writers[o.Entity] {
+			sources[t] = true
+		}
+	}
+	for from := range sources {
+		if from == o.Txn {
+			continue
+		}
+		if g.adj[from] == nil {
+			g.adj[from] = make(map[int]bool)
+		}
+		if !g.adj[from][o.Txn] {
+			g.adj[from][o.Txn] = true
+			// The new edge from → o.Txn closes a cycle iff from is
+			// reachable from o.Txn.
+			if path := g.path(o.Txn, from); path != nil {
+				return append(path, o.Txn)
+			}
+		}
+	}
+	// Record the access after conflict edges are drawn.
+	switch o.Action {
+	case txn.ActionRead:
+		if g.readers[o.Entity] == nil {
+			g.readers[o.Entity] = make(map[int]bool)
+		}
+		g.readers[o.Entity][o.Txn] = true
+	case txn.ActionWrite:
+		if g.writers[o.Entity] == nil {
+			g.writers[o.Entity] = make(map[int]bool)
+		}
+		g.writers[o.Entity][o.Txn] = true
+	}
+	return nil
+}
+
+// path returns a path from src to dst in the conflict graph (inclusive
+// of both ends), or nil.
+func (g *refIncGraph) path(src, dst int) []int {
+	parent := map[int]int{src: src}
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == dst {
+			var rev []int
+			for x := dst; ; x = parent[x] {
+				rev = append(rev, x)
+				if x == src {
+					break
+				}
+			}
+			out := make([]int, len(rev))
+			for i, x := range rev {
+				out[len(rev)-1-i] = x
+			}
+			return out
+		}
+		for v := range g.adj[u] {
+			if _, seen := parent[v]; !seen {
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return nil
+}

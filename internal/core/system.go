@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"pwsr/internal/constraint"
 	"pwsr/internal/dag"
@@ -88,21 +89,48 @@ func (sys *System) CheckPWSR(s *txn.Schedule) *PWSRReport {
 	return CheckPWSR(s, sys.Partition())
 }
 
-// CheckPWSR decides Definition 2 against an explicit partition.
+// checkParallelThreshold is the schedule length at which CheckPWSR
+// shards per-conjunct graph work across goroutines.
+var checkParallelThreshold = 4096
+
+// CheckPWSR decides Definition 2 against an explicit partition. The
+// schedule is projected into every conjunct in one pass (RestrictAll),
+// and on long schedules with several conjuncts the per-conjunct graph
+// construction and acyclicity checks run in parallel; the report is
+// deterministic either way.
 func CheckPWSR(s *txn.Schedule, partition []state.ItemSet) *PWSRReport {
-	report := &PWSRReport{PWSR: true}
-	for e, d := range partition {
-		proj := s.Restrict(d)
-		g := serial.BuildGraph(proj)
-		sr := SetReport{Conjunct: e, Items: d}
+	report := &PWSRReport{PWSR: true, PerSet: make([]SetReport, len(partition))}
+	projs := s.RestrictAll(partition)
+	check := func(e int) {
+		g := serial.BuildGraph(projs[e])
+		sr := SetReport{Conjunct: e, Items: partition[e]}
 		if order := g.TopoOrder(); order != nil {
 			sr.Serializable = true
 			sr.Order = order
 		} else {
 			sr.Cycle = g.Cycle()
+		}
+		report.PerSet[e] = sr
+	}
+	if len(partition) > 1 && s.Len() >= checkParallelThreshold {
+		var wg sync.WaitGroup
+		for e := range partition {
+			wg.Add(1)
+			go func(e int) {
+				defer wg.Done()
+				check(e)
+			}(e)
+		}
+		wg.Wait()
+	} else {
+		for e := range partition {
+			check(e)
+		}
+	}
+	for e := range report.PerSet {
+		if !report.PerSet[e].Serializable {
 			report.PWSR = false
 		}
-		report.PerSet = append(report.PerSet, sr)
 	}
 	return report
 }

@@ -1,0 +1,78 @@
+// Package intern provides dense-integer interning for the certification
+// hot path: entity names and transaction ids are mapped to consecutive
+// small ints once per schedule or monitor, so graph code downstream can
+// use slice-indexed adjacency instead of map-of-maps, and comparisons
+// become integer equality instead of string hashing.
+package intern
+
+// Strings interns string keys to dense int32 ids in first-seen order.
+// The zero value is not usable; call NewStrings.
+type Strings struct {
+	ids   map[string]int32
+	names []string
+}
+
+// NewStrings returns an empty string interner.
+func NewStrings() *Strings {
+	return &Strings{ids: make(map[string]int32)}
+}
+
+// ID returns the dense id for s, assigning the next free id when s has
+// not been seen before. Ids are consecutive from 0 in first-seen order.
+func (t *Strings) ID(s string) int32 {
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	id := int32(len(t.names))
+	t.ids[s] = id
+	t.names = append(t.names, s)
+	return id
+}
+
+// Lookup returns the dense id for s without interning it.
+func (t *Strings) Lookup(s string) (int32, bool) {
+	id, ok := t.ids[s]
+	return id, ok
+}
+
+// Name returns the string interned as id.
+func (t *Strings) Name(id int32) string { return t.names[id] }
+
+// Len returns the number of interned strings.
+func (t *Strings) Len() int { return len(t.names) }
+
+// IDs interns sparse int keys (e.g. transaction ids) to dense int32 ids
+// in first-seen order. The zero value is not usable; call NewIDs.
+type IDs struct {
+	dense map[int]int32
+	orig  []int
+}
+
+// NewIDs returns an empty int interner.
+func NewIDs() *IDs {
+	return &IDs{dense: make(map[int]int32)}
+}
+
+// ID returns the dense id for orig, assigning the next free id when
+// orig has not been seen before.
+func (t *IDs) ID(orig int) int32 {
+	if id, ok := t.dense[orig]; ok {
+		return id
+	}
+	id := int32(len(t.orig))
+	t.dense[orig] = id
+	t.orig = append(t.orig, orig)
+	return id
+}
+
+// Lookup returns the dense id for orig without interning it.
+func (t *IDs) Lookup(orig int) (int32, bool) {
+	id, ok := t.dense[orig]
+	return id, ok
+}
+
+// Orig returns the original key interned as the dense id.
+func (t *IDs) Orig(id int32) int { return t.orig[id] }
+
+// Len returns the number of interned keys.
+func (t *IDs) Len() int { return len(t.orig) }

@@ -1,0 +1,60 @@
+package intern
+
+import "testing"
+
+func TestStrings(t *testing.T) {
+	s := NewStrings()
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	a := s.ID("a")
+	b := s.ID("b")
+	if a != 0 || b != 1 {
+		t.Fatalf("ids = %d, %d", a, b)
+	}
+	if got := s.ID("a"); got != a {
+		t.Fatalf("re-intern a = %d", got)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Name(a) != "a" || s.Name(b) != "b" {
+		t.Fatalf("names = %q, %q", s.Name(a), s.Name(b))
+	}
+	if id, ok := s.Lookup("b"); !ok || id != b {
+		t.Fatalf("Lookup(b) = %d, %v", id, ok)
+	}
+	if _, ok := s.Lookup("zzz"); ok {
+		t.Fatal("Lookup of unseen string succeeded")
+	}
+	if s.Len() != 2 {
+		t.Fatal("Lookup interned")
+	}
+}
+
+func TestIDs(t *testing.T) {
+	s := NewIDs()
+	// Sparse, out-of-order original ids intern densely in first-seen
+	// order.
+	if got := s.ID(1000); got != 0 {
+		t.Fatalf("ID(1000) = %d", got)
+	}
+	if got := s.ID(-7); got != 1 {
+		t.Fatalf("ID(-7) = %d", got)
+	}
+	if got := s.ID(1000); got != 0 {
+		t.Fatalf("re-intern = %d", got)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Orig(0) != 1000 || s.Orig(1) != -7 {
+		t.Fatalf("origs = %d, %d", s.Orig(0), s.Orig(1))
+	}
+	if id, ok := s.Lookup(-7); !ok || id != 1 {
+		t.Fatalf("Lookup(-7) = %d, %v", id, ok)
+	}
+	if _, ok := s.Lookup(42); ok {
+		t.Fatal("Lookup of unseen id succeeded")
+	}
+}

@@ -1,0 +1,71 @@
+package sched
+
+import (
+	"pwsr/internal/core"
+	"pwsr/internal/exec"
+	"pwsr/internal/state"
+	"pwsr/internal/txn"
+)
+
+// Certify gates a policy behind the online PWSR certifier of
+// internal/core: a pending operation is grantable only when the
+// monitor's incremental conflict graphs say admitting it keeps every
+// conjunct's projection conflict serializable. Each granted operation
+// is fed back into the monitor, so the recorded schedule is PWSR by
+// construction — this is the paper's certification-scheduler reading
+// of Definition 2, and the consumer the Monitor's Admissible preflight
+// exists for.
+//
+// The engine has no aborts, so a transaction whose next operation would
+// close a conflict cycle stays blocked; if every pending request is
+// inadmissible the run stalls (exec.ErrStall), the certification
+// analogue of the delayed-read gate's deadlock.
+type Certify struct {
+	// Inner picks among the admissible requests.
+	Inner exec.Policy
+	mon   *core.Monitor
+}
+
+// NewCertify returns a certifying gate over the conjunct partition
+// wrapping the inner policy.
+func NewCertify(partition []state.ItemSet, inner exec.Policy) *Certify {
+	return &Certify{Inner: inner, mon: core.NewMonitor(partition)}
+}
+
+// Monitor exposes the gate's certifier (for inspection after a run).
+func (c *Certify) Monitor() *core.Monitor { return c.mon }
+
+// Pick implements exec.Policy: filter the pending requests through the
+// certifier, let the inner policy choose among the admissible ones, and
+// commit the choice to the monitor.
+func (c *Certify) Pick(pending []*exec.Request, v *exec.View) int {
+	allowed := make([]*exec.Request, 0, len(pending))
+	idx := make([]int, 0, len(pending))
+	for i, r := range pending {
+		if c.mon.Admissible(requestOp(r)) {
+			allowed = append(allowed, r)
+			idx = append(idx, i)
+		}
+	}
+	if len(allowed) == 0 {
+		return -1
+	}
+	inner := c.Inner.Pick(allowed, v)
+	if inner == exec.PassTick {
+		return exec.PassTick
+	}
+	if inner < 0 || inner >= len(allowed) {
+		return -1
+	}
+	c.mon.Observe(requestOp(allowed[inner]))
+	return idx[inner]
+}
+
+// TxnFinished implements exec.Policy.
+func (c *Certify) TxnFinished(id int, v *exec.View) { c.Inner.TxnFinished(id, v) }
+
+// requestOp views a pending request as an operation for the monitor,
+// which ignores values and positions.
+func requestOp(r *exec.Request) txn.Op {
+	return txn.Op{Txn: r.TxnID, Action: r.Action, Entity: r.Entity, Value: r.Value, Pos: -1}
+}

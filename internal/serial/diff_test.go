@@ -1,0 +1,80 @@
+package serial
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pwsr/internal/txn"
+)
+
+// TestBuildGraphDifferential checks the single-pass construction
+// against the pairwise reference on random schedules: identical node
+// sets, identical edge sets, and identical witness pairs.
+func TestBuildGraphDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 400; trial++ {
+		nItems := 1 + rng.Intn(5)
+		nTxns := 1 + rng.Intn(6)
+		nOps := 1 + rng.Intn(60)
+		ops := make([]txn.Op, nOps)
+		for i := range ops {
+			id := 1 + rng.Intn(nTxns)
+			entity := fmt.Sprintf("x%d", rng.Intn(nItems))
+			if rng.Intn(2) == 0 {
+				ops[i] = txn.R(id, entity, int64(rng.Intn(4)))
+			} else {
+				ops[i] = txn.W(id, entity, int64(rng.Intn(4)))
+			}
+		}
+		s := txn.NewSchedule(ops...)
+		fast := BuildGraph(s)
+		ref := BuildGraphPairwise(s)
+		if !reflect.DeepEqual(fast.Nodes(), ref.Nodes()) {
+			t.Fatalf("trial %d: nodes %v vs %v", trial, fast.Nodes(), ref.Nodes())
+		}
+		fe, re := fast.Edges(), ref.Edges()
+		if !reflect.DeepEqual(fe, re) {
+			t.Fatalf("trial %d: edges diverge on %s\nfast: %v\nref:  %v", trial, s, fe, re)
+		}
+		if fast.Acyclic() != ref.Acyclic() {
+			t.Fatalf("trial %d: acyclicity diverges", trial)
+		}
+		if !reflect.DeepEqual(fast.Cycle(), ref.Cycle()) {
+			t.Fatalf("trial %d: cycles diverge: %v vs %v", trial, fast.Cycle(), ref.Cycle())
+		}
+		if !reflect.DeepEqual(fast.TopoOrder(), ref.TopoOrder()) {
+			t.Fatalf("trial %d: topo orders diverge", trial)
+		}
+	}
+}
+
+// TestCycleDeepChain guards the iterative DFS: a conflict chain of 50k
+// transactions closed into one giant cycle would overflow the stack
+// under the old recursive implementation.
+func TestCycleDeepChain(t *testing.T) {
+	const n = 50_000
+	ops := make([]txn.Op, 0, 2*n)
+	// w_i(x_i), w_{i+1}(x_i) chains T1 → T2 → … → Tn.
+	for i := 1; i < n; i++ {
+		ops = append(ops,
+			txn.W(i, fmt.Sprintf("x%d", i), 0),
+			txn.W(i+1, fmt.Sprintf("x%d", i), 0))
+	}
+	// Close the loop: Tn writes y before T1 does.
+	ops = append(ops, txn.W(n, "y", 0), txn.W(1, "y", 0))
+	g := BuildGraph(txn.FromSeq(ops))
+	cyc := g.Cycle()
+	if cyc == nil {
+		t.Fatal("giant cycle not found")
+	}
+	if len(cyc) != n+1 || cyc[0] != cyc[len(cyc)-1] {
+		t.Fatalf("cycle len %d, ends %d/%d", len(cyc), cyc[0], cyc[len(cyc)-1])
+	}
+	for i := 0; i+1 < len(cyc); i++ {
+		if !g.HasEdge(cyc[i], cyc[i+1]) {
+			t.Fatalf("cycle step %d -> %d is not an edge", cyc[i], cyc[i+1])
+		}
+	}
+}

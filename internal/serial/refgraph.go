@@ -1,0 +1,32 @@
+package serial
+
+import "pwsr/internal/txn"
+
+// BuildGraphPairwise is the pre-optimization conflict-graph
+// construction: the all-pairs O(n²) scan over the schedule's
+// operations. It is retained as the executable specification of
+// BuildGraph — the differential tests assert both produce identical
+// edge sets including witnesses, and the scaling benchmarks measure
+// the single-pass construction against it. New code should use
+// BuildGraph.
+func BuildGraphPairwise(s *txn.Schedule) *Graph {
+	g := &Graph{adj: make(map[int]map[int]Edge)}
+	g.nodes = s.TxnIDs()
+	for _, id := range g.nodes {
+		g.adj[id] = make(map[int]Edge)
+	}
+	ops := s.Ops()
+	for i := 0; i < len(ops); i++ {
+		for j := i + 1; j < len(ops); j++ {
+			if Conflicting(ops[i], ops[j]) {
+				if _, dup := g.adj[ops[i].Txn][ops[j].Txn]; !dup {
+					g.adj[ops[i].Txn][ops[j].Txn] = Edge{
+						From: ops[i].Txn, To: ops[j].Txn,
+						WitnessA: ops[i], WitnessB: ops[j],
+					}
+				}
+			}
+		}
+	}
+	return g
+}

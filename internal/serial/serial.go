@@ -38,29 +38,103 @@ type Graph struct {
 	adj   map[int]map[int]Edge // adj[from][to]
 }
 
+// itemAccess summarizes one transaction's accesses to one item: the
+// earliest read and the earliest write, which are the only operations
+// that can serve as the lexicographically-least conflict witness.
+type itemAccess struct {
+	txn                   int
+	firstRead, firstWrite txn.Op
+	hasRead, hasWrite     bool
+}
+
 // BuildGraph constructs the conflict graph of s: a node per transaction
 // and an edge Ti → Tj whenever some operation of Ti precedes and
 // conflicts with some operation of Tj.
+//
+// The construction is a single pass keeping a per-item access summary
+// (O(n·k), k = transactions touching an item) rather than the
+// all-pairs O(n²) scan, which is retained as BuildGraphPairwise for
+// differential testing. Witness edges are identical to the pairwise
+// scan's: the earliest conflicting operation pair in (i, j) order.
 func BuildGraph(s *txn.Schedule) *Graph {
 	g := &Graph{adj: make(map[int]map[int]Edge)}
 	g.nodes = s.TxnIDs()
 	for _, id := range g.nodes {
 		g.adj[id] = make(map[int]Edge)
 	}
-	ops := s.Ops()
-	for i := 0; i < len(ops); i++ {
-		for j := i + 1; j < len(ops); j++ {
-			if Conflicting(ops[i], ops[j]) {
-				if _, dup := g.adj[ops[i].Txn][ops[j].Txn]; !dup {
-					g.adj[ops[i].Txn][ops[j].Txn] = Edge{
-						From: ops[i].Txn, To: ops[j].Txn,
-						WitnessA: ops[i], WitnessB: ops[j],
-					}
+	items := make(map[string][]itemAccess)
+	for _, o := range s.Ops() {
+		accs := items[o.Entity]
+		switch o.Action {
+		case txn.ActionRead:
+			for i := range accs {
+				a := &accs[i]
+				if a.txn == o.Txn || !a.hasWrite {
+					continue
 				}
+				g.improveEdge(a.txn, o.Txn, a.firstWrite, o)
 			}
+		case txn.ActionWrite:
+			for i := range accs {
+				a := &accs[i]
+				if a.txn == o.Txn {
+					continue
+				}
+				// The earliest of a's operations on this item is the
+				// best witness tail for the edge a.txn → o.Txn.
+				var w txn.Op
+				switch {
+				case a.hasRead && a.hasWrite:
+					if a.firstRead.Pos < a.firstWrite.Pos {
+						w = a.firstRead
+					} else {
+						w = a.firstWrite
+					}
+				case a.hasRead:
+					w = a.firstRead
+				default:
+					w = a.firstWrite
+				}
+				g.improveEdge(a.txn, o.Txn, w, o)
+			}
+		}
+		// Record the access (k is small; a linear scan beats a map).
+		found := false
+		for i := range accs {
+			if accs[i].txn == o.Txn {
+				a := &accs[i]
+				if o.Action == txn.ActionRead && !a.hasRead {
+					a.hasRead, a.firstRead = true, o
+				}
+				if o.Action == txn.ActionWrite && !a.hasWrite {
+					a.hasWrite, a.firstWrite = true, o
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			a := itemAccess{txn: o.Txn}
+			if o.Action == txn.ActionRead {
+				a.hasRead, a.firstRead = true, o
+			} else {
+				a.hasWrite, a.firstWrite = true, o
+			}
+			items[o.Entity] = append(accs, a)
 		}
 	}
 	return g
+}
+
+// improveEdge installs the edge from → to with the given witness pair,
+// keeping the existing witness unless the candidate's first operation
+// is strictly earlier — which reproduces the pairwise scan's
+// lexicographically-least (i, j) witness.
+func (g *Graph) improveEdge(from, to int, wa, wb txn.Op) {
+	e, ok := g.adj[from][to]
+	if !ok || wa.Pos < e.WitnessA.Pos {
+		g.adj[from][to] = Edge{From: from, To: to, WitnessA: wa, WitnessB: wb}
+	}
 }
 
 // Nodes returns the transaction ids in ascending order.
@@ -90,51 +164,75 @@ func (g *Graph) HasEdge(from, to int) bool {
 
 // Cycle returns a cycle of transaction ids (first == last) if the graph
 // has one, or nil if the graph is acyclic.
+//
+// The DFS is iterative with preallocated color/parent slices over
+// dense node indexes, so schedules with very long conflict chains
+// cannot overflow the goroutine stack, and each node's neighbors are
+// sorted once instead of on every visit. The traversal order (ascending
+// node ids, ascending neighbors) matches the previous recursive
+// implementation, so reported cycles are unchanged.
 func (g *Graph) Cycle() []int {
 	const (
-		white = 0
-		gray  = 1
-		black = 2
+		white = byte(0)
+		gray  = byte(1)
+		black = byte(2)
 	)
-	color := make(map[int]int, len(g.nodes))
-	parent := make(map[int]int)
-
-	var cycle []int
-	var dfs func(u int) bool
-	dfs = func(u int) bool {
-		color[u] = gray
-		tos := make([]int, 0, len(g.adj[u]))
-		for to := range g.adj[u] {
-			tos = append(tos, to)
+	n := len(g.nodes)
+	idx := make(map[int]int, n)
+	for i, u := range g.nodes {
+		idx[u] = i
+	}
+	// Dense, sorted successor lists, built once. g.nodes is ascending,
+	// so sorting dense indexes sorts original ids.
+	succ := make([][]int, n)
+	for i, u := range g.nodes {
+		if len(g.adj[u]) == 0 {
+			continue
 		}
-		sort.Ints(tos)
-		for _, v := range tos {
+		vs := make([]int, 0, len(g.adj[u]))
+		for v := range g.adj[u] {
+			vs = append(vs, idx[v])
+		}
+		sort.Ints(vs)
+		succ[i] = vs
+	}
+	color := make([]byte, n)
+	parent := make([]int, n)
+	type frame struct{ u, next int }
+	stack := make([]frame, 0, 16)
+	for root := 0; root < n; root++ {
+		if color[root] != white {
+			continue
+		}
+		color[root] = gray
+		stack = append(stack[:0], frame{u: root})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next >= len(succ[f.u]) {
+				color[f.u] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			v := succ[f.u][f.next]
+			f.next++
 			switch color[v] {
 			case white:
-				parent[v] = u
-				if dfs(v) {
-					return true
-				}
+				color[v] = gray
+				parent[v] = f.u
+				stack = append(stack, frame{u: v})
 			case gray:
-				// Found a back edge u → v; reconstruct the cycle.
-				cycle = []int{v}
-				for x := u; x != v; x = parent[x] {
-					cycle = append(cycle, x)
+				// Back edge u → v; reconstruct the cycle.
+				cycle := []int{g.nodes[v]}
+				for x := f.u; x != v; x = parent[x] {
+					cycle = append(cycle, g.nodes[x])
 				}
-				cycle = append(cycle, v)
+				cycle = append(cycle, g.nodes[v])
 				// Reverse into v … u v order.
 				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
 					cycle[i], cycle[j] = cycle[j], cycle[i]
 				}
-				return true
+				return cycle
 			}
-		}
-		color[u] = black
-		return false
-	}
-	for _, u := range g.nodes {
-		if color[u] == white && dfs(u) {
-			return cycle
 		}
 	}
 	return nil

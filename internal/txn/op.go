@@ -194,8 +194,23 @@ func (s Seq) WriteState() state.DB {
 }
 
 // Restrict returns seq^d: the subsequence of operations on items in d.
+// When every operation survives, the receiver's backing array is shared
+// (full-capacity sliced, so appends by the caller still copy); the
+// result must be treated as read-only, like Schedule.Ops.
 func (s Seq) Restrict(d state.ItemSet) Seq {
-	var out Seq
+	n := 0
+	for _, o := range s {
+		if d.Contains(o.Entity) {
+			n++
+		}
+	}
+	switch n {
+	case 0:
+		return nil
+	case len(s):
+		return s[:len(s):len(s)]
+	}
+	out := make(Seq, 0, n)
 	for _, o := range s {
 		if d.Contains(o.Entity) {
 			out = append(out, o)

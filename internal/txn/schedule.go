@@ -71,9 +71,61 @@ func (s *Schedule) Transactions() []Transaction {
 // Restrict returns S^d as a schedule view: the subsequence of operations
 // on items in d. Operations keep their positions in the original
 // schedule, so before/after/depth computations against the original
-// order remain valid on the restriction.
+// order remain valid on the restriction. When d covers every operation
+// the view shares the schedule's operation slice (read-only, like Ops).
 func (s *Schedule) Restrict(d state.ItemSet) *Schedule {
 	return &Schedule{ops: s.ops.Restrict(d)}
+}
+
+// RestrictAll returns the projections S^d for every set of ds in a
+// single pass over the schedule. Conjunct membership is resolved once
+// per distinct entity and each projection is preallocated exactly, so
+// the cost is O(n·m + i·l) — n ops, m the mean number of sets
+// containing an op's item, i distinct items, l sets — instead of the
+// l·n of calling Restrict per set. Projections whose set covers every
+// operation share the schedule's operation slice (read-only).
+func (s *Schedule) RestrictAll(ds []state.ItemSet) []*Schedule {
+	member := make(map[string][]int32, 16)
+	perOp := make([][]int32, len(s.ops))
+	counts := make([]int, len(ds))
+	for i := range s.ops {
+		entity := s.ops[i].Entity
+		ms, ok := member[entity]
+		if !ok {
+			for e, d := range ds {
+				if d.Contains(entity) {
+					ms = append(ms, int32(e))
+				}
+			}
+			member[entity] = ms
+		}
+		perOp[i] = ms
+		for _, e := range ms {
+			counts[e]++
+		}
+	}
+	out := make([]*Schedule, len(ds))
+	bufs := make([]Seq, len(ds))
+	for e := range ds {
+		if counts[e] == len(s.ops) {
+			out[e] = &Schedule{ops: s.ops[:len(s.ops):len(s.ops)]}
+		} else {
+			bufs[e] = make(Seq, 0, counts[e])
+		}
+	}
+	for i := range s.ops {
+		for _, e := range perOp[i] {
+			if out[e] == nil {
+				bufs[e] = append(bufs[e], s.ops[i])
+			}
+		}
+	}
+	for e := range ds {
+		if out[e] == nil {
+			out[e] = &Schedule{ops: bufs[e]}
+		}
+	}
+	return out
 }
 
 // Before implements before(seq, p, S): the subsequence of seq of

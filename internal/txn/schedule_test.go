@@ -294,3 +294,45 @@ func TestScheduleString(t *testing.T) {
 		t.Errorf("String = %q", s.String())
 	}
 }
+
+func TestRestrictAllMatchesRestrict(t *testing.T) {
+	s := NewSchedule(
+		R(1, "a", 0), W(2, "b", 1), R(1, "c", 2), W(1, "a", 3),
+		R(2, "a", 3), W(2, "c", 4), R(3, "z", 0),
+	)
+	ds := []state.ItemSet{
+		state.NewItemSet("a", "b"),
+		state.NewItemSet("c"),
+		state.NewItemSet(),                   // empty set
+		state.NewItemSet("a", "b", "c", "z"), // covers everything
+		state.NewItemSet("a", "c"),           // overlaps both
+	}
+	projs := s.RestrictAll(ds)
+	if len(projs) != len(ds) {
+		t.Fatalf("projections = %d", len(projs))
+	}
+	for e, d := range ds {
+		want := s.Restrict(d)
+		if projs[e].String() != want.String() {
+			t.Errorf("set %d: RestrictAll %v vs Restrict %v", e, projs[e], want)
+		}
+		// Positions must be the original schedule positions.
+		for _, o := range projs[e].Ops() {
+			if !o.Same(s.Op(o.Pos)) {
+				t.Errorf("set %d: op %v lost its schedule position", e, o)
+			}
+		}
+	}
+}
+
+func TestRestrictSharingIsReadOnlySafe(t *testing.T) {
+	s := NewSchedule(R(1, "a", 0), W(2, "a", 1))
+	all := s.Restrict(state.NewItemSet("a"))
+	// Appending to a full-coverage restriction must not clobber the
+	// original schedule's backing array.
+	ops := append(all.Ops(), W(9, "q", 9))
+	_ = ops
+	if s.Op(1).Txn != 2 || s.Len() != 2 {
+		t.Fatal("original schedule mutated through shared restriction")
+	}
+}

@@ -256,6 +256,14 @@ func NewPW2PL() Policy { return sched.NewPW2PL() }
 // paper's conclusion contrasts with PWSR.
 func NewDegree2() Policy { return sched.NewDegree2() }
 
+// NewCertify returns the PWSR certification gate: pending operations
+// are filtered through an online Monitor so the inner policy only ever
+// sees operations whose admission keeps every conjunct's projection
+// serializable. Schedules it produces are PWSR by construction.
+func NewCertify(partition []ItemSet, inner Policy) Policy {
+	return sched.NewCertify(partition, inner)
+}
+
 // Saga is a transaction program decomposed into per-conjunct
 // subtransactions (the introduction's second relaxation approach).
 type Saga = saga.Saga
