@@ -30,3 +30,11 @@ bench-all:
 .PHONY: test
 test:
 	$(GO) test ./...
+
+# check is the CI gate: static analysis plus the full test suite under
+# the race detector (the sharded monitor paths and the engine's
+# abort/restart goroutine handoffs are the concurrency-sensitive code).
+.PHONY: check
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...

@@ -10,6 +10,7 @@
 package pwsr_test
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -508,6 +509,115 @@ func BenchmarkCheckPWSRWidePartition(b *testing.B) {
 			b.Fatal("not PWSR")
 		}
 	}
+}
+
+// ---------------------------------------------------------------------
+// PERF5: certification scheduling — the blocking gate (stalls are its
+// failure mode; stalled runs are skipped and reported as a metric)
+// against the abort-capable optimistic gate under both victim policies,
+// with PW2PL as the pessimistic baseline, over a fixed batch of
+// contended gen workloads. `aborts/batch`, `wasted/batch`, and
+// `stalls/batch` are reported via b.ReportMetric; EXPERIMENTS.md
+// records the tables.
+// ---------------------------------------------------------------------
+
+func benchCertifyWorkloads(n int) []*gen.Workload {
+	ws := make([]*gen.Workload, n)
+	for i := range ws {
+		ws[i] = gen.MustGenerate(gen.Config{
+			Conjuncts: 3, Programs: 4, MovesPerProgram: 2,
+			Style: gen.Style(i % 3), Seed: int64(100 + i),
+		})
+	}
+	return ws
+}
+
+func BenchmarkCertifyPolicies(b *testing.B) {
+	ws := benchCertifyWorkloads(10)
+	cases := []struct {
+		name string
+		mk   func(w *gen.Workload, seed int64) exec.Policy
+	}{
+		{"blocking", func(w *gen.Workload, seed int64) exec.Policy {
+			return sched.NewCertify(w.DataSets, sched.NewRandom(seed))
+		}},
+		{"optimistic-youngest", func(w *gen.Workload, seed int64) exec.Policy {
+			return sched.NewOptimisticCertify(w.DataSets, sched.NewRandom(seed), sched.VictimYoungest)
+		}},
+		{"optimistic-fewest-ops", func(w *gen.Workload, seed int64) exec.Policy {
+			return sched.NewOptimisticCertify(w.DataSets, sched.NewRandom(seed), sched.VictimFewestOps)
+		}},
+		{"pw2pl", func(w *gen.Workload, seed int64) exec.Policy { return sched.NewPW2PL() }},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var stalls, aborts, wasted int
+			for i := 0; i < b.N; i++ {
+				for j, w := range ws {
+					res, err := exec.Run(exec.Config{
+						Programs: w.Programs,
+						Initial:  w.Initial,
+						Policy:   c.mk(w, int64(j)),
+						DataSets: w.DataSets,
+					})
+					if err != nil {
+						if errors.Is(err, exec.ErrStall) {
+							stalls++
+							continue
+						}
+						b.Fatal(err)
+					}
+					aborts += res.Metrics.Aborts
+					wasted += res.Metrics.WastedOps
+				}
+			}
+			b.ReportMetric(float64(stalls)/float64(b.N), "stalls/batch")
+			b.ReportMetric(float64(aborts)/float64(b.N), "aborts/batch")
+			b.ReportMetric(float64(wasted)/float64(b.N), "wasted/batch")
+		})
+	}
+}
+
+// BenchmarkMonitorRetract measures the incremental rollback against the
+// reference's rebuild-from-scratch on a long admissible stream:
+// retract/re-observe round trips for a mid-stream transaction.
+func BenchmarkMonitorRetract(b *testing.B) {
+	items := benchItems(256)
+	partition := benchPartition(items, 4)
+	s := admissibleStream(10_000, 64, items, partition, 19)
+	victim := s.TxnIDs()[len(s.TxnIDs())/2]
+	victimOps := s.Txn(victim).Ops
+
+	b.Run("incremental", func(b *testing.B) {
+		m := core.NewMonitor(partition)
+		if v := m.ObserveAll(s); v != nil {
+			b.Fatal(v)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Retract(victim)
+			for _, o := range victimOps {
+				if v := m.Observe(o); v != nil {
+					b.Fatal(v)
+				}
+			}
+		}
+	})
+	b.Run("rebuild-ref", func(b *testing.B) {
+		m := core.NewReferenceMonitor(partition)
+		if v := m.ObserveAll(s); v != nil {
+			b.Fatal(v)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Retract(victim)
+			for _, o := range victimOps {
+				if v := m.Observe(o); v != nil {
+					b.Fatal(v)
+				}
+			}
+		}
+	})
 }
 
 // ---------------------------------------------------------------------

@@ -6,7 +6,9 @@
 //   - FIG1–7  — worked illustrations of the paper's figures,
 //   - PERF1   — CAD/CAM long-transaction study (C2PL vs PW2PL),
 //   - PERF2   — multidatabase local-serializability study,
-//   - PERF3   — checker-cost scaling.
+//   - PERF3   — checker-cost scaling,
+//   - PERF5   — certification scheduling: blocking vs optimistic
+//     (abort/restart) vs locking.
 //
 // Usage:
 //
@@ -140,6 +142,16 @@ func run(trials int, seed int64, withFigures bool, section string, quick bool) e
 			return err
 		}
 		fmt.Println(sc.Render())
+
+		policyTrials := trials
+		if quick {
+			policyTrials = 40
+		}
+		cp, err := experiments.CertifyPolicyStudy(policyTrials, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(cp.Render())
 	}
 	return nil
 }

@@ -4,14 +4,22 @@
 //
 // Modes:
 //
-//	example2   the Example 2 family under raw random interleavings:
-//	           PWSR violations are EXPECTED (Theorem 1/2/3 necessity);
-//	fixed      fixed-structure workloads: every PWSR schedule must be
-//	           strongly correct (a found violation is a bug);
-//	dr         Example 2 family behind the delayed-read gate: no
-//	           violations may appear (Theorem 2);
-//	ordered    ordered-access workloads: no violations may appear
-//	           (Theorem 3).
+//	example2    the Example 2 family under raw random interleavings:
+//	            PWSR violations are EXPECTED (Theorem 1/2/3 necessity);
+//	fixed       fixed-structure workloads: every PWSR schedule must be
+//	            strongly correct (a found violation is a bug);
+//	dr          Example 2 family behind the delayed-read gate: no
+//	            violations may appear (Theorem 2);
+//	ordered     ordered-access workloads: no violations may appear
+//	            (Theorem 3);
+//	optimistic  arbitrary-structure workloads under the abort-capable
+//	            certification gate: runs must neither stall nor violate
+//	            strong correctness (PWSR ∧ DR, Theorem 2).
+//
+// Parser/round-trip fuzzing lives in the native testing.F harnesses
+// (txn.FuzzParseSchedule, constraint.FuzzParseIC and friends, with
+// checked-in corpora under testdata/fuzz); this command fuzzes at
+// workload granularity.
 //
 // Usage:
 //
@@ -33,7 +41,7 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "example2", "example2 | fixed | dr | ordered")
+		mode    = flag.String("mode", "example2", "example2 | fixed | dr | ordered | optimistic")
 		trials  = flag.Int("trials", 500, "number of seeded trials")
 		seed    = flag.Int64("seed", 7, "base seed")
 		verbose = flag.Bool("v", false, "print each violation's schedule and programs")
@@ -94,6 +102,18 @@ func run(mode string, trials int, baseSeed int64, verbose bool) (int, error) {
 			})
 			policy = sched.NewRandom(seed)
 			guard = func(o *outcome) bool { return o.pwsr && o.dagAcyclic }
+		case "optimistic":
+			w, err = gen.Generate(gen.Config{
+				Conjuncts: 3, Programs: 4, MovesPerProgram: 2,
+				Style: gen.Style(i % 3), Seed: seed,
+			})
+			if err == nil {
+				policy = sched.NewOptimisticCertify(w.DataSets, sched.NewRandom(seed), nil)
+			}
+			// The gate produces PWSR ∧ DR schedules: Theorem 2 applies
+			// unconditionally, so every completed run must be strongly
+			// correct — and the gate must complete every run.
+			guard = func(o *outcome) bool { return true }
 		default:
 			return 0, fmt.Errorf("unknown mode %q", mode)
 		}
@@ -106,7 +126,14 @@ func run(mode string, trials int, baseSeed int64, verbose bool) (int, error) {
 			return 0, err
 		}
 		if o == nil { // stalled
+			if mode == "optimistic" {
+				return 0, fmt.Errorf("optimistic gate stalled at seed %d", seed)
+			}
 			continue
+		}
+		if mode == "optimistic" && (!o.pwsr || !o.dr) {
+			return 0, fmt.Errorf("optimistic gate broke its construction at seed %d (pwsr=%v dr=%v)",
+				seed, o.pwsr, o.dr)
 		}
 		if guard(o) && !o.stronglyCorrect {
 			found++

@@ -31,16 +31,35 @@
 //   - the TPL transaction-program language, interpreter, fixed-structure
 //     analysis, and the TP → TP' balancing transformation
 //     (internal/program),
-//   - a concurrent execution engine with pluggable policies: scripted,
+//   - a concurrent execution engine with pluggable policies — scripted,
 //     random, conservative strict 2PL, predicate-wise 2PL, a
-//     delayed-read gate, and a PWSR certification gate
-//     (internal/exec, internal/sched),
+//     delayed-read gate, and two PWSR certification gates — plus
+//     abort/restart support: a policy implementing exec.Restarter can
+//     resolve a stall by sacrificing a victim, whose attempt the engine
+//     erases exactly (operations expunged, writes undone through
+//     per-item write histories, live readers cascaded) before
+//     restarting its program (internal/exec, internal/sched),
 //   - the PWSR/strong-correctness checkers, view sets, transaction
 //     states, theorem appliers, and the online certification monitor
-//     with incremental cycle detection (internal/core, internal/intern).
+//     with incremental cycle detection and incremental retraction —
+//     Monitor.Retract rolls a live transaction out of certification
+//     state without a rebuild, the primitive optimistic scheduling is
+//     built on (internal/core, internal/intern).
 //
-// Benchmarks for the certification hot path live in bench_test.go (run
-// `make bench`); EXPERIMENTS.md records their outputs.
+// The certification gates embody the two classic stances: pessimistic
+// blocking (pwsr.NewCertify — inadmissible operations wait, infeasible
+// conflict patterns stall the run) and optimistic abort/retry
+// (pwsr.NewOptimisticCertify — stalls are resolved by aborting a
+// victim chosen by a pluggable policy, youngest or fewest-ops; the
+// gate is cascadeless, so its schedules are PWSR and delayed-read by
+// construction and Theorem 2 applies to every completed run of correct
+// programs).
+//
+// Benchmarks for the certification hot path and the scheduling-policy
+// studies live in bench_test.go (run `make bench`, and see
+// BenchmarkCertifyPolicies/BenchmarkMonitorRetract for the PERF5
+// family); EXPERIMENTS.md records their outputs. `make check` runs
+// `go vet` plus the full suite under the race detector.
 //
 // # Quick start
 //

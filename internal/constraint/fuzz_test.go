@@ -36,6 +36,70 @@ func FuzzParseFormula(f *testing.F) {
 	})
 }
 
+// FuzzParseIC checks the integrity-constraint pipeline end to end: a
+// parsed IC must round-trip through its rendered conjunction with the
+// same conjunct decomposition, and the derived structure (items,
+// disjointness, partition) must be internally consistent. This is the
+// native testing.F home of the round-trip checking the cmd/pwsrfuzz
+// harness samples at workload granularity; the seed corpus is checked
+// in under testdata/fuzz/FuzzParseIC.
+func FuzzParseIC(f *testing.F) {
+	for _, seed := range []string{
+		"a = b",
+		"(x1 > 0 -> y1 > 0) & (x2 = y2) & (y3 > 0)",
+		"a > 0 & a < 10",
+		"(a = 1 | b = 2) & !(c = 3)",
+		`name = "jim" & n % 2 = 0 & abs(d - e) <= 1`,
+		"true",
+		"((a = 1) & (b = 2)) & c = 3",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		ic, err := ParseIC(src)
+		if err != nil {
+			return
+		}
+		printed := ic.Formula().String()
+		re, err := ParseIC(printed)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", printed, src, err)
+		}
+		if re.Len() != ic.Len() {
+			t.Fatalf("conjunct count changed across round trip: %d -> %d (%q)", ic.Len(), re.Len(), printed)
+		}
+		for i, c := range ic.Conjuncts() {
+			rc := re.Conjuncts()[i]
+			if rc.F.String() != c.F.String() {
+				t.Fatalf("conjunct %d changed: %q -> %q", i, c.F.String(), rc.F.String())
+			}
+			if !rc.Items.Equal(c.Items) {
+				t.Fatalf("conjunct %d items changed: %v -> %v", i, c.Items, rc.Items)
+			}
+		}
+		if re.Disjoint() != ic.Disjoint() {
+			t.Fatalf("disjointness changed across round trip for %q", src)
+		}
+		// The union of conjunct data sets must be exactly Items().
+		union := make(map[string]bool)
+		for _, c := range ic.Conjuncts() {
+			for _, it := range c.Items.Sorted() {
+				union[it] = true
+			}
+		}
+		for _, it := range ic.Items().Sorted() {
+			if !union[it] {
+				t.Fatalf("item %q missing from every conjunct of %q", it, src)
+			}
+		}
+		if ic.Disjoint() {
+			if got := len(ic.SharedItems().Sorted()); got != 0 {
+				t.Fatalf("disjoint IC has %d shared items", got)
+			}
+		}
+	})
+}
+
 // FuzzTokenize checks the lexer never panics and terminates.
 func FuzzTokenize(f *testing.F) {
 	for _, seed := range []string{

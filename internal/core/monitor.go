@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"pwsr/internal/intern"
@@ -57,11 +58,14 @@ type Monitor struct {
 	conjuncts [][]int32
 	violation *Violation
 	ops       int
+	// opsByTxn counts observed operations per transaction so Retract
+	// can keep Ops() equal to the surviving operation count.
+	opsByTxn map[int]int
 }
 
 // NewMonitor builds a monitor over the conjunct partition.
 func NewMonitor(partition []state.ItemSet) *Monitor {
-	m := &Monitor{partition: partition, items: intern.NewStrings()}
+	m := &Monitor{partition: partition, items: intern.NewStrings(), opsByTxn: make(map[int]int)}
 	for range partition {
 		m.graphs = append(m.graphs, newIncGraph())
 	}
@@ -106,6 +110,7 @@ func (m *Monitor) itemID(entity string) int32 {
 // conjunct are ignored, mirroring Definition 2.
 func (m *Monitor) Observe(o txn.Op) *Violation {
 	m.ops++
+	m.opsByTxn[o.Txn]++
 	if m.violation != nil {
 		return m.violation
 	}
@@ -141,6 +146,50 @@ func (m *Monitor) Admissible(o txn.Op) bool {
 		}
 	}
 	return true
+}
+
+// Retract removes every observed operation of the transaction from the
+// monitor, as if the transaction had never run: its conflict edges are
+// dropped from each conjunct's incremental graph, edges another item
+// pair still implies are kept (edges are reference-counted per
+// contributing item), per-item conflict frontiers are recomputed from
+// the surviving access history, and "bridge" edges a fresh replay of
+// the surviving operations would draw (e.g. previous writer → reader,
+// with the retracted writer excised between them) are inserted. Every
+// bridge edge shortcuts a path through the retracted node, so the
+// maintained Pearce–Kelly order stays a valid topological order and
+// retraction can never create a cycle. This is the rollback a
+// certification scheduler needs to abort a victim transaction without
+// rebuilding certification state (sched.OptimisticCertify is the
+// consumer); the full-rebuild semantics are retained on
+// ReferenceMonitor.Retract for differential testing.
+//
+// Retracting a transaction the monitor has never seen is a no-op.
+// Retract panics after a violation: the monitor is sticky and its
+// post-violation graphs are not maintained.
+func (m *Monitor) Retract(txnID int) {
+	if m.violation != nil {
+		panic("core: Retract on a violated monitor")
+	}
+	for _, g := range m.graphs {
+		g.retract(txnID)
+	}
+	m.ops -= m.opsByTxn[txnID]
+	delete(m.opsByTxn, txnID)
+}
+
+// ConflictEdges returns conjunct e's current conflict edges as original
+// transaction-id pairs, sorted. It allocates; intended for inspection
+// and differential tests, not the admission hot path.
+func (m *Monitor) ConflictEdges(e int) [][2]int {
+	g := m.graphs[e]
+	out := make([][2]int, 0, len(g.edgeCount))
+	for key := range g.edgeCount {
+		x, y := unpackEdgeKey(key)
+		out = append(out, [2]int{g.txns.Orig(x), g.txns.Orig(y)})
+	}
+	sortEdgePairs(out)
+	return out
 }
 
 // ObserveAll feeds a whole schedule; it returns the first violation or
@@ -179,6 +228,7 @@ func (m *Monitor) observeSharded(ops txn.Seq) *Violation {
 	for i, o := range ops {
 		item := m.itemID(o.Entity)
 		itemIDs[i] = item
+		m.opsByTxn[o.Txn]++
 		for _, e := range m.conjuncts[item] {
 			counts[e]++
 		}
@@ -236,17 +286,33 @@ func (m *Monitor) observeSharded(ops txn.Seq) *Violation {
 	return m.violation
 }
 
+// access is one recorded operation of an item's history: who touched
+// the item and how. The per-item logs are what make retraction possible
+// without a full rebuild — frontiers and edge contributions are
+// recomputed from them for exactly the items a retracted transaction
+// touched.
+type access struct {
+	node   int32
+	action txn.Action
+}
+
 // incGraph is one conjunct's incremental conflict graph: slice-indexed
 // adjacency over interned transactions, a maintained topological order
-// (Pearce–Kelly), and per-item conflict frontiers.
+// (Pearce–Kelly), per-item conflict frontiers, and the per-item access
+// logs plus per-item edge contributions that let retract roll a live
+// transaction back out of the graph.
 type incGraph struct {
 	txns *intern.IDs
 	// out and in are the forward and backward adjacency lists.
 	out, in [][]int32
 	// ord[n] is node n's position in the maintained topological order.
 	ord []int32
-	// edges dedups conflict edges across items.
-	edges map[uint64]struct{}
+	// edgeCount maps a packed conflict edge to the number of items
+	// whose access history currently implies it; the edge is present in
+	// the adjacency lists iff its count is positive. Reference counting
+	// (rather than the former presence set) is what lets retract drop
+	// exactly the edges no surviving item still implies.
+	edgeCount map[uint64]int32
 
 	// Per-item conflict frontier, indexed by the monitor's interned
 	// item id: the last writer (-1 when none) and the readers since
@@ -255,6 +321,18 @@ type incGraph struct {
 	// exactly the same operation.
 	lastWriter []int32
 	readers    [][]int32
+	// log[item] is the item's full access history in admission order.
+	log [][]access
+	// itemEdges[item] is the set of packed edges the item's history
+	// contributes (each counted once in edgeCount however many access
+	// pairs imply it). itemEdgeSet[item] mirrors it as a map once the
+	// list outgrows linear-scan territory, keeping hot-item admission
+	// O(1).
+	itemEdges   [][]uint64
+	itemEdgeSet []map[uint64]struct{}
+	// nodeItems[n] lists the items node n accessed (duplicates allowed;
+	// retract dedups).
+	nodeItems [][]int32
 
 	// Scratch state for the two-way search, reused across insertions.
 	// markGen is 64-bit so a long-lived certifier (one search per
@@ -269,7 +347,7 @@ type incGraph struct {
 }
 
 func newIncGraph() *incGraph {
-	return &incGraph{txns: intern.NewIDs(), edges: make(map[uint64]struct{})}
+	return &incGraph{txns: intern.NewIDs(), edgeCount: make(map[uint64]int32)}
 }
 
 // node interns a transaction id, allocating the node at the end of the
@@ -283,15 +361,19 @@ func (g *incGraph) node(origTxn int) int32 {
 		g.ord = append(g.ord, int32(n))
 		g.mark = append(g.mark, 0)
 		g.parent = append(g.parent, -1)
+		g.nodeItems = append(g.nodeItems, nil)
 	}
 	return id
 }
 
-// ensureItem grows the per-item frontier tables to cover item.
+// ensureItem grows the per-item tables to cover item.
 func (g *incGraph) ensureItem(item int32) {
 	for int(item) >= len(g.lastWriter) {
 		g.lastWriter = append(g.lastWriter, -1)
 		g.readers = append(g.readers, nil)
+		g.log = append(g.log, nil)
+		g.itemEdges = append(g.itemEdges, nil)
+		g.itemEdgeSet = append(g.itemEdgeSet, nil)
 	}
 }
 
@@ -305,25 +387,20 @@ func (g *incGraph) add(o txn.Op, item int32) []int {
 	lw := g.lastWriter[item]
 	switch o.Action {
 	case txn.ActionRead:
-		if lw >= 0 && lw != me {
-			if cycle := g.insert(lw, me); cycle != nil {
-				return cycle
+		// A repeat read within the current write epoch (me already in
+		// readers, lastWriter unchanged since a write flushes readers)
+		// contributed its edge at the first read; skip the dedup walk.
+		if !slices.Contains(g.readers[item], me) {
+			if lw >= 0 && lw != me {
+				if cycle := g.connect(lw, me, item); cycle != nil {
+					return cycle
+				}
 			}
-		}
-		rs := g.readers[item]
-		seen := false
-		for _, r := range rs {
-			if r == me {
-				seen = true
-				break
-			}
-		}
-		if !seen {
-			g.readers[item] = append(rs, me)
+			g.readers[item] = append(g.readers[item], me)
 		}
 	case txn.ActionWrite:
 		if lw >= 0 && lw != me {
-			if cycle := g.insert(lw, me); cycle != nil {
+			if cycle := g.connect(lw, me, item); cycle != nil {
 				return cycle
 			}
 		}
@@ -331,13 +408,65 @@ func (g *incGraph) add(o txn.Op, item int32) []int {
 			if r == me {
 				continue
 			}
-			if cycle := g.insert(r, me); cycle != nil {
+			if cycle := g.connect(r, me, item); cycle != nil {
 				return cycle
 			}
 		}
 		g.lastWriter[item] = me
 		g.readers[item] = g.readers[item][:0]
 	}
+	g.log[item] = append(g.log[item], access{node: me, action: o.Action})
+	g.nodeItems[me] = append(g.nodeItems[me], item)
+	return nil
+}
+
+// itemEdgeSetThreshold is the contribution-list length past which an
+// item's dedup moves from linear scan to a mirrored map.
+const itemEdgeSetThreshold = 32
+
+// contributes reports whether item already contributes the edge.
+func (g *incGraph) contributes(item int32, key uint64) bool {
+	if set := g.itemEdgeSet[item]; set != nil {
+		_, ok := set[key]
+		return ok
+	}
+	return slices.Contains(g.itemEdges[item], key)
+}
+
+// contribute records the edge in item's contribution set, promoting a
+// hot item's list to a map at the threshold.
+func (g *incGraph) contribute(item int32, key uint64) {
+	g.itemEdges[item] = append(g.itemEdges[item], key)
+	if set := g.itemEdgeSet[item]; set != nil {
+		set[key] = struct{}{}
+	} else if len(g.itemEdges[item]) > itemEdgeSetThreshold {
+		set = make(map[uint64]struct{}, 2*itemEdgeSetThreshold)
+		for _, k := range g.itemEdges[item] {
+			set[k] = struct{}{}
+		}
+		g.itemEdgeSet[item] = set
+	}
+}
+
+// connect draws the conflict edge x → y on behalf of item, maintaining
+// the per-item contribution set and the edge reference counts. Only a
+// structurally new edge (count 0 → 1) touches the adjacency lists and
+// the cycle machinery.
+func (g *incGraph) connect(x, y, item int32) []int {
+	key := edgeKey(x, y)
+	if g.contributes(item, key) {
+		return nil
+	}
+	if c := g.edgeCount[key]; c > 0 {
+		g.edgeCount[key] = c + 1
+		g.contribute(item, key)
+		return nil
+	}
+	if cycle := g.insert(x, y); cycle != nil {
+		return cycle
+	}
+	g.edgeCount[key] = 1
+	g.contribute(item, key)
 	return nil
 }
 
@@ -371,7 +500,7 @@ func (g *incGraph) admissible(o txn.Op, item int32) bool {
 // sound — a cycle through two fresh edges implies a shorter one
 // through a single fresh edge.
 func (g *incGraph) wouldCycle(x, y int32) bool {
-	if _, dup := g.edges[edgeKey(x, y)]; dup {
+	if g.edgeCount[edgeKey(x, y)] > 0 {
 		return false // already present and the graph is acyclic
 	}
 	if g.ord[x] < g.ord[y] {
@@ -384,14 +513,17 @@ func edgeKey(x, y int32) uint64 {
 	return uint64(uint32(x))<<32 | uint64(uint32(y))
 }
 
-// insert adds the edge x → y, maintaining the topological order. It
-// returns a cycle in original transaction ids ([y, …, x, y]) when the
-// edge would close one, leaving the graph unchanged in that case.
+func unpackEdgeKey(key uint64) (x, y int32) {
+	return int32(uint32(key >> 32)), int32(uint32(key))
+}
+
+// insert adds the structurally new edge x → y to the adjacency lists,
+// maintaining the topological order. It returns a cycle in original
+// transaction ids ([y, …, x, y]) when the edge would close one, leaving
+// the graph unchanged in that case. Callers (connect, bridgeEdge) own
+// the reference-count bookkeeping and guarantee the edge is not already
+// present.
 func (g *incGraph) insert(x, y int32) []int {
-	key := edgeKey(x, y)
-	if _, dup := g.edges[key]; dup {
-		return nil
-	}
 	if g.ord[x] >= g.ord[y] {
 		// The edge goes against the maintained order: search the
 		// affected region. A path y ⇝ x means a cycle; otherwise
@@ -413,10 +545,149 @@ func (g *incGraph) insert(x, y int32) []int {
 		g.backwardSearch(x, g.ord[y])
 		g.reorder()
 	}
-	g.edges[key] = struct{}{}
 	g.out[x] = append(g.out[x], y)
 	g.in[y] = append(g.in[y], x)
 	return nil
+}
+
+// retract removes the transaction's accesses from the graph. For every
+// item the transaction touched it filters the access log, recomputes
+// the item's frontier and edge contribution from the surviving history,
+// and applies the contribution diff to the reference counts: edges no
+// item implies any more leave the adjacency lists, and bridge edges the
+// surviving history now implies directly (they were previously covered
+// by paths through the retracted node) are inserted. Because every
+// bridge edge shortcuts an existing path, the maintained topological
+// order already respects it and the repair cannot close a cycle.
+func (g *incGraph) retract(origTxn int) {
+	t, ok := g.txns.Lookup(origTxn)
+	if !ok {
+		return
+	}
+	touched := g.nodeItems[t]
+	g.nodeItems[t] = nil
+	for idx, item := range touched {
+		if slices.Contains(touched[:idx], item) {
+			continue // already repaired
+		}
+		// Filter the retracted node out of the item's log in place.
+		lg := g.log[item][:0]
+		for _, a := range g.log[item] {
+			if a.node != t {
+				lg = append(lg, a)
+			}
+		}
+		g.log[item] = lg
+		// Recompute the item's frontier and edge contribution from the
+		// surviving history.
+		newEdges, lw, readers := replayItem(lg)
+		old := g.itemEdges[item]
+		for _, k := range old {
+			if !slices.Contains(newEdges, k) {
+				g.dropEdge(k)
+			}
+		}
+		for _, k := range newEdges {
+			if !slices.Contains(old, k) {
+				g.bridgeEdge(k)
+			}
+		}
+		g.itemEdges[item] = newEdges
+		if g.itemEdgeSet[item] != nil || len(newEdges) > itemEdgeSetThreshold {
+			set := make(map[uint64]struct{}, len(newEdges))
+			for _, k := range newEdges {
+				set[k] = struct{}{}
+			}
+			g.itemEdgeSet[item] = set
+		}
+		g.lastWriter[item] = lw
+		g.readers[item] = readers
+	}
+}
+
+// replayItem recomputes an item's edge contribution and final frontier
+// from its access log, mirroring add's frontier semantics.
+func replayItem(lg []access) (edges []uint64, lastWriter int32, readers []int32) {
+	lastWriter = -1
+	addEdge := func(x, y int32) {
+		if k := edgeKey(x, y); !slices.Contains(edges, k) {
+			edges = append(edges, k)
+		}
+	}
+	for _, a := range lg {
+		switch a.action {
+		case txn.ActionRead:
+			if lastWriter >= 0 && lastWriter != a.node {
+				addEdge(lastWriter, a.node)
+			}
+			if !slices.Contains(readers, a.node) {
+				readers = append(readers, a.node)
+			}
+		case txn.ActionWrite:
+			if lastWriter >= 0 && lastWriter != a.node {
+				addEdge(lastWriter, a.node)
+			}
+			for _, r := range readers {
+				if r != a.node {
+					addEdge(r, a.node)
+				}
+			}
+			lastWriter = a.node
+			readers = readers[:0]
+		}
+	}
+	return edges, lastWriter, readers
+}
+
+// dropEdge decrements the edge's reference count, removing it from the
+// adjacency lists when no item contributes it any more.
+func (g *incGraph) dropEdge(key uint64) {
+	c := g.edgeCount[key] - 1
+	if c > 0 {
+		g.edgeCount[key] = c
+		return
+	}
+	delete(g.edgeCount, key)
+	x, y := unpackEdgeKey(key)
+	g.out[x] = removeInt32(g.out[x], y)
+	g.in[y] = removeInt32(g.in[y], x)
+}
+
+// bridgeEdge increments the edge's reference count, inserting it into
+// the adjacency lists when it is structurally new. A bridge edge always
+// shortcuts a path through the retracted node, so insertion cannot
+// close a cycle.
+func (g *incGraph) bridgeEdge(key uint64) {
+	if c := g.edgeCount[key]; c > 0 {
+		g.edgeCount[key] = c + 1
+		return
+	}
+	x, y := unpackEdgeKey(key)
+	if cycle := g.insert(x, y); cycle != nil {
+		panic(fmt.Sprintf("core: retraction bridge %d -> %d closed cycle %v",
+			g.txns.Orig(x), g.txns.Orig(y), cycle))
+	}
+	g.edgeCount[key] = 1
+}
+
+// removeInt32 deletes one occurrence of x (swap-remove; adjacency order
+// is not semantically meaningful).
+func removeInt32(xs []int32, x int32) []int32 {
+	if i := slices.Index(xs, x); i >= 0 {
+		xs[i] = xs[len(xs)-1]
+		return xs[:len(xs)-1]
+	}
+	return xs
+}
+
+// sortEdgePairs orders edge pairs lexicographically.
+func sortEdgePairs(es [][2]int) {
+	slices.SortFunc(es, func(a, b [2]int) int {
+		if a[0] != b[0] {
+			return a[0] - b[0]
+		}
+		return a[1] - b[1]
+	})
 }
 
 // forwardSearch runs a DFS from start over nodes with ord ≤ ord[target],

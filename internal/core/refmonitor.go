@@ -17,6 +17,11 @@ type ReferenceMonitor struct {
 	graphs    []*refIncGraph
 	violation *Violation
 	ops       int
+	// history records every admitted (non-violating) operation so
+	// Retract can rebuild from scratch — the executable specification
+	// of Monitor.Retract's incremental repair.
+	history  []txn.Op
+	opsByTxn map[int]int
 }
 
 // refIncGraph is one conjunct's incremental conflict graph.
@@ -37,7 +42,7 @@ func newRefIncGraph() *refIncGraph {
 // NewReferenceMonitor builds a reference monitor over the conjunct
 // partition.
 func NewReferenceMonitor(partition []state.ItemSet) *ReferenceMonitor {
-	m := &ReferenceMonitor{partition: partition}
+	m := &ReferenceMonitor{partition: partition, opsByTxn: make(map[int]int)}
 	for range partition {
 		m.graphs = append(m.graphs, newRefIncGraph())
 	}
@@ -57,6 +62,7 @@ func (m *ReferenceMonitor) Violation() *Violation { return m.violation }
 // reference data structures.
 func (m *ReferenceMonitor) Observe(o txn.Op) *Violation {
 	m.ops++
+	m.opsByTxn[o.Txn]++
 	if m.violation != nil {
 		return m.violation
 	}
@@ -69,7 +75,54 @@ func (m *ReferenceMonitor) Observe(o txn.Op) *Violation {
 			return m.violation
 		}
 	}
+	m.history = append(m.history, o)
 	return nil
+}
+
+// Retract removes every observed operation of the transaction, with the
+// same contract as Monitor.Retract, by the simplest correct means:
+// filter the history and rebuild every conjunct graph from scratch.
+func (m *ReferenceMonitor) Retract(txnID int) {
+	if m.violation != nil {
+		panic("core: Retract on a violated reference monitor")
+	}
+	kept := m.history[:0]
+	for _, o := range m.history {
+		if o.Txn != txnID {
+			kept = append(kept, o)
+		}
+	}
+	m.history = kept
+	m.graphs = m.graphs[:0]
+	for range m.partition {
+		m.graphs = append(m.graphs, newRefIncGraph())
+	}
+	for _, o := range m.history {
+		for e, d := range m.partition {
+			if !d.Contains(o.Entity) {
+				continue
+			}
+			if cycle := m.graphs[e].add(o); cycle != nil {
+				panic("core: reference rebuild of a violation-free history found a cycle")
+			}
+		}
+	}
+	m.ops -= m.opsByTxn[txnID]
+	delete(m.opsByTxn, txnID)
+}
+
+// ConflictEdges returns conjunct e's conflict edges, sorted, mirroring
+// Monitor.ConflictEdges.
+func (m *ReferenceMonitor) ConflictEdges(e int) [][2]int {
+	g := m.graphs[e]
+	var out [][2]int
+	for from, tos := range g.adj {
+		for to := range tos {
+			out = append(out, [2]int{from, to})
+		}
+	}
+	sortEdgePairs(out)
+	return out
 }
 
 // ObserveAll feeds a whole schedule; it returns the first violation or

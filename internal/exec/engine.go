@@ -10,6 +10,36 @@
 // engine grants it, and the engine waits until every live program has a
 // pending request before asking the policy to pick. Execution is
 // therefore deterministic for deterministic policies.
+//
+// # Abort and restart semantics
+//
+// A policy implementing the optional Restarter extension can resolve a
+// stall by sacrificing a victim instead of killing the run. Because
+// writes are granted operations — applied to the shared store the
+// moment the policy grants them, not buffered to commit time — aborting
+// a transaction means erasing an attempt that has already touched
+// shared state. The engine makes the erasure exact:
+//
+//   - the attempt's granted operations are expunged from the recorded
+//     schedule (positions are reassigned, metrics count them as wasted);
+//   - its writes are undone through per-item write histories: an item
+//     whose latest surviving write belongs to another transaction keeps
+//     that value, otherwise the value (and LastWriter) roll back to the
+//     previous surviving writer or the initial state;
+//   - any live transaction that read one of the victim's written values
+//     is aborted with it (cascading), recursively, since its execution
+//     consumed state that is being erased;
+//   - a victim whose written value was read by a transaction that
+//     already finished is pinned — finished transactions are durable
+//     and cannot be cascaded — so such a victim is ineligible
+//     (View.AbortClosure reports eligibility).
+//
+// After the erasure every aborted program restarts as a fresh goroutine
+// with a fresh access-discipline cache: it re-reads current values and
+// may take different branches than its aborted attempt. The recorded
+// schedule therefore contains exactly the operations of surviving
+// attempts and replays value-consistently against the initial state, as
+// if the aborted attempts had never run.
 package exec
 
 import (
@@ -29,6 +59,10 @@ var ErrStall = errors.New("exec: no grantable request (stall)")
 // errAborted is delivered to program goroutines whose run is being
 // cancelled after a stall or a failure elsewhere.
 var errAborted = errors.New("exec: transaction aborted")
+
+// errRestart is delivered to a victim's pending request to unwind its
+// goroutine before the engine expunges the attempt and respawns it.
+var errRestart = errors.New("exec: transaction restarting")
 
 // Request is a pending operation request from a program.
 type Request struct {
@@ -94,6 +128,29 @@ func writeTargets(p *program.Program) state.ItemSet {
 	return writes
 }
 
+// Restarter is an optional Policy extension: a policy that resolves
+// stalls by aborting and restarting a victim transaction (the
+// optimistic reading of certification — sched.OptimisticCertify is the
+// canonical implementation). When every pending request is ungrantable
+// (Pick returned -1) and the policy implements Restarter, the engine
+// asks for a victim instead of failing with ErrStall; the victim and
+// its cascade closure (see View.AbortClosure) are aborted per the
+// package's abort semantics and respawned, and the run continues.
+type Restarter interface {
+	Policy
+	// Victim returns the index (into pending) of the transaction to
+	// abort and restart, or -1 to give up and let the run fail with
+	// ErrStall. Implementations should only return transactions whose
+	// View.AbortClosure is eligible.
+	Victim(pending []*Request, v *View) int
+	// TxnAborted notifies the policy that a transaction's attempt was
+	// erased — called once per closure member, after its operations
+	// were expunged and its store effects undone, before its program
+	// respawns. Certifying policies retract the transaction from their
+	// monitor here.
+	TxnAborted(id int, v *View)
+}
+
 // View is the engine state a policy may consult when picking.
 type View struct {
 	// Store is the current database state. Policies must not mutate it.
@@ -115,6 +172,38 @@ type View struct {
 	DataSets []state.ItemSet
 	// Clock is the number of operations granted so far.
 	Clock int
+
+	// readersOf maps a writer to the transactions that read one of its
+	// written values (the wrote-to relation abort cascades follow).
+	readersOf map[int]map[int]bool
+}
+
+// AbortClosure returns the set of transactions (sorted, id included)
+// that must abort together if id is aborted: every live transaction
+// that — directly or transitively — read a value written by a member.
+// The second result is false when id is not live or when some member's
+// written value was read by a finished transaction (finished
+// transactions are durable, so such a victim is pinned and ineligible).
+func (v *View) AbortClosure(id int) ([]int, bool) {
+	if !v.Live[id] {
+		return nil, false
+	}
+	closure := []int{id}
+	seen := map[int]bool{id: true}
+	for i := 0; i < len(closure); i++ {
+		for r := range v.readersOf[closure[i]] {
+			if seen[r] {
+				continue
+			}
+			if v.Finished[r] {
+				return nil, false
+			}
+			seen[r] = true
+			closure = append(closure, r)
+		}
+	}
+	sort.Ints(closure)
+	return closure, true
 }
 
 // PassTick may be returned by Policy.Pick to let one clock tick elapse
@@ -147,6 +236,14 @@ type Metrics struct {
 	// Waits is the total number of (transaction, tick) pairs where a
 	// transaction had a request pending but another was granted.
 	Waits int
+	// Aborts counts aborted transaction attempts (cascade members
+	// included, each restart attempt separately).
+	Aborts int
+	// Restarts counts program respawns after aborts.
+	Restarts int
+	// WastedOps counts granted operations later expunged by aborts —
+	// the work the optimistic policy threw away.
+	WastedOps int
 	// PerTxn maps transaction id to its metrics.
 	PerTxn map[int]*TxnMetrics
 }
@@ -161,8 +258,13 @@ type TxnMetrics struct {
 	// Waits is the number of ticks this transaction spent with a
 	// pending but ungranted request.
 	Waits int
-	// Ops is the number of operations granted.
+	// Ops is the number of granted operations of the surviving attempt.
 	Ops int
+	// Aborts is the number of times this transaction's attempt was
+	// aborted and restarted.
+	Aborts int
+	// WastedOps counts this transaction's expunged operations.
+	WastedOps int
 }
 
 // Turnaround is End - Start: the transaction's makespan in ticks.
@@ -183,6 +285,10 @@ type Config struct {
 	// Access optionally overrides the per-transaction access
 	// declarations; missing entries are derived with DeclareAccess.
 	Access map[int]AccessDecl
+	// MaxAborts bounds the total aborted attempts of a run before the
+	// engine gives up with ErrStall (a livelock backstop for Restarter
+	// policies); 0 means the default of 65536.
+	MaxAborts int
 }
 
 // Result is the outcome of a concurrent run.
@@ -200,6 +306,17 @@ type event struct {
 	done bool
 	id   int
 	err  error
+}
+
+// writeRec is one layer of an item's write history: who wrote the value
+// (writer 0 marks the pre-first-write layer) and whether the item
+// existed at all (had=false only on an initial layer of an item absent
+// from the initial state). Aborts peel a transaction's layers out and
+// restore the surviving top.
+type writeRec struct {
+	writer int
+	val    state.Value
+	had    bool
 }
 
 // chanAccessor adapts the engine's request channel to the program
@@ -252,9 +369,16 @@ func Run(cfg Config) (*Result, error) {
 		LastWriter: make(map[string]int),
 		Access:     access,
 		DataSets:   cfg.DataSets,
+		readersOf:  make(map[int]map[int]bool),
 	}
 
 	events := make(chan event)
+	spawn := func(id int) {
+		go func(id int, p *program.Program) {
+			err := interp.Run(p, &chanAccessor{id: id, events: events})
+			events <- event{done: true, id: id, err: err}
+		}(id, cfg.Programs[id])
+	}
 	ids := make([]int, 0, len(cfg.Programs))
 	for id := range cfg.Programs {
 		ids = append(ids, id)
@@ -262,10 +386,7 @@ func Run(cfg Config) (*Result, error) {
 	sort.Ints(ids)
 	for _, id := range ids {
 		v.Live[id] = true
-		go func(id int, p *program.Program) {
-			err := interp.Run(p, &chanAccessor{id: id, events: events})
-			events <- event{done: true, id: id, err: err}
-		}(id, cfg.Programs[id])
+		spawn(id)
 	}
 
 	metrics := Metrics{PerTxn: make(map[int]*TxnMetrics, len(ids))}
@@ -275,6 +396,17 @@ func Run(cfg Config) (*Result, error) {
 	pending := make(map[int]*Request, len(ids))
 	var ops []txn.Op
 	var runErr error
+
+	// Abort-support state: per-item write histories (bottom entry is the
+	// pre-first-write value, writer 0), the reads-from relation, and the
+	// items each transaction wrote.
+	maxAborts := cfg.MaxAborts
+	if maxAborts <= 0 {
+		maxAborts = 1 << 16
+	}
+	writeHist := make(map[string][]writeRec)
+	readsFrom := make(map[int]map[int]bool)
+	writesOf := make(map[int][]string)
 
 	// abort cancels all outstanding work after an error: pending
 	// requests get error replies; remaining events are drained until
@@ -292,6 +424,102 @@ func Run(cfg Config) (*Result, error) {
 			}
 			pending[ev.req.TxnID] = ev.req
 		}
+	}
+
+	// abortAndRestart erases the victim's attempt (and its cascade
+	// closure) per the package's abort semantics and respawns the
+	// programs. It must only be called at a stall, when every live
+	// transaction is parked on a pending request.
+	abortAndRestart := func(victim int) error {
+		closure, ok := v.AbortClosure(victim)
+		if !ok {
+			return fmt.Errorf("victim T%d is pinned by a finished reader", victim)
+		}
+		in := make(map[int]bool, len(closure))
+		for _, id := range closure {
+			in[id] = true
+		}
+		// Unwind the members' goroutines. Everyone else is parked, so
+		// until the members exit only they produce events.
+		for _, id := range closure {
+			r := pending[id]
+			delete(pending, id)
+			r.reply <- replyMsg{err: errRestart}
+		}
+		await := len(closure)
+		for await > 0 {
+			ev := <-events
+			// Nothing but the members can emit while everyone else is
+			// parked; handle stray events defensively all the same.
+			switch {
+			case ev.done && in[ev.id]:
+				await--
+			case ev.done:
+				delete(v.Live, ev.id)
+				v.Finished[ev.id] = true
+				metrics.PerTxn[ev.id].End = v.Clock
+				cfg.Policy.TxnFinished(ev.id, v)
+			default:
+				pending[ev.req.TxnID] = ev.req
+			}
+		}
+		// Expunge the members' operations from the recorded schedule.
+		kept := ops[:0]
+		for _, o := range ops {
+			if in[o.Txn] {
+				metrics.WastedOps++
+				metrics.PerTxn[o.Txn].WastedOps++
+				metrics.PerTxn[o.Txn].Ops--
+				continue
+			}
+			o.Pos = len(kept)
+			kept = append(kept, o)
+		}
+		ops = kept
+		v.Ops = ops
+		// Undo their store effects: peel their write-history layers and
+		// restore each touched item's surviving top.
+		for _, id := range closure {
+			for _, item := range writesOf[id] {
+				hist := writeHist[item]
+				filtered := hist[:0]
+				for _, rec := range hist {
+					if !in[rec.writer] {
+						filtered = append(filtered, rec)
+					}
+				}
+				writeHist[item] = filtered
+				top := filtered[len(filtered)-1] // the writer-0 bottom always survives
+				if top.had {
+					v.Store.Set(item, top.val)
+				} else {
+					delete(v.Store, item)
+				}
+				v.LastWriter[item] = top.writer
+			}
+			delete(writesOf, id)
+		}
+		// Drop the members' reads-from bookkeeping.
+		for _, id := range closure {
+			for w := range readsFrom[id] {
+				delete(v.readersOf[w], id)
+			}
+			delete(readsFrom, id)
+			delete(v.readersOf, id)
+		}
+		ra, _ := cfg.Policy.(Restarter)
+		for _, id := range closure {
+			metrics.Aborts++
+			metrics.PerTxn[id].Aborts++
+			if ra != nil {
+				ra.TxnAborted(id, v)
+			}
+		}
+		for _, id := range closure {
+			spawn(id)
+			metrics.Restarts++
+		}
+		return nil
 	}
 
 	for len(v.Live) > 0 {
@@ -346,6 +574,24 @@ func Run(cfg Config) (*Result, error) {
 			choice = cfg.Policy.Pick(list, v)
 		}
 		if choice < 0 || choice >= len(list) {
+			// A Restarter policy may resolve the stall by sacrificing a
+			// victim; anything else (or an exhausted abort budget, the
+			// livelock backstop) is a hard stall.
+			if ra, isRestarter := cfg.Policy.(Restarter); isRestarter {
+				if vi := ra.Victim(list, v); vi >= 0 && vi < len(list) {
+					if metrics.Aborts >= maxAborts {
+						runErr = fmt.Errorf("%w: abort budget (%d) exhausted", ErrStall, maxAborts)
+						abort()
+						return nil, runErr
+					}
+					if err := abortAndRestart(list[vi].TxnID); err != nil {
+						runErr = fmt.Errorf("%w: %v", ErrStall, err)
+						abort()
+						return nil, runErr
+					}
+					continue
+				}
+			}
 			runErr = fmt.Errorf("%w: pending %v", ErrStall, list)
 			abort()
 			return nil, runErr
@@ -371,9 +617,28 @@ func Run(cfg Config) (*Result, error) {
 				abort()
 				return nil, runErr
 			}
+			// Record reads-from so aborts can cascade to transactions
+			// that consumed a victim's written value.
+			if w := v.LastWriter[granted.Entity]; w != 0 && w != granted.TxnID {
+				if readsFrom[granted.TxnID] == nil {
+					readsFrom[granted.TxnID] = make(map[int]bool)
+				}
+				readsFrom[granted.TxnID][w] = true
+				if v.readersOf[w] == nil {
+					v.readersOf[w] = make(map[int]bool)
+				}
+				v.readersOf[w][granted.TxnID] = true
+			}
 			op.Value = val
 			rep.value = val
 		case txn.ActionWrite:
+			hist := writeHist[granted.Entity]
+			if len(hist) == 0 {
+				old, had := v.Store.Get(granted.Entity)
+				hist = append(hist, writeRec{writer: 0, val: old, had: had})
+			}
+			writeHist[granted.Entity] = append(hist, writeRec{writer: granted.TxnID, val: granted.Value, had: true})
+			writesOf[granted.TxnID] = append(writesOf[granted.TxnID], granted.Entity)
 			v.Store.Set(granted.Entity, granted.Value)
 			v.LastWriter[granted.Entity] = granted.TxnID
 			op.Value = granted.Value

@@ -1,0 +1,207 @@
+package exec_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pwsr/internal/exec"
+	"pwsr/internal/program"
+	"pwsr/internal/sched"
+	"pwsr/internal/state"
+)
+
+// forcedRestart wraps an inner policy and forces exactly one stall
+// after a fixed number of grants, naming a fixed victim — the smallest
+// Restarter, for exercising the engine's abort machinery directly.
+type forcedRestart struct {
+	exec.Policy
+	victim  int
+	after   int
+	granted int
+	aborted []int
+}
+
+func (f *forcedRestart) Pick(pending []*exec.Request, v *exec.View) int {
+	if f.granted == f.after && len(f.aborted) == 0 {
+		return -1
+	}
+	i := f.Policy.Pick(pending, v)
+	if i >= 0 {
+		f.granted++
+	}
+	return i
+}
+
+func (f *forcedRestart) Victim(pending []*exec.Request, v *exec.View) int {
+	for i, r := range pending {
+		if r.TxnID == f.victim {
+			return i
+		}
+	}
+	return -1
+}
+
+func (f *forcedRestart) TxnAborted(id int, v *exec.View) { f.aborted = append(f.aborted, id) }
+
+// TestEngineAbortUndoesWrites aborts a transaction that already wrote:
+// its operations must leave the schedule, the store must roll back, and
+// the restarted attempt must rerun against the restored value.
+func TestEngineAbortUndoesWrites(t *testing.T) {
+	programs := map[int]*program.Program{
+		1: program.MustParse(`program A { x := x + 1; q := q + 1; }`),
+		2: program.MustParse(`program B { y := y + 1; }`),
+	}
+	initial := state.Ints(map[string]int64{"x": 0, "y": 0, "q": 0})
+	// Round-robin grants r1(x), r2(y), w1(x); then the forced stall
+	// aborts T1 (still live: q remains), whose write must be undone.
+	pol := &forcedRestart{Policy: &sched.RoundRobin{}, victim: 1, after: 3}
+	res, err := exec.Run(exec.Config{Programs: programs, Initial: initial, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Metrics.Aborts; got != 1 {
+		t.Fatalf("Aborts = %d, want 1", got)
+	}
+	if got := res.Metrics.Restarts; got != 1 {
+		t.Fatalf("Restarts = %d, want 1", got)
+	}
+	if got := res.Metrics.WastedOps; got != 2 { // r1(x), w1(x) expunged
+		t.Fatalf("WastedOps = %d, want 2", got)
+	}
+	if got := res.Metrics.PerTxn[1].Aborts; got != 1 {
+		t.Fatalf("T1 aborts = %d, want 1", got)
+	}
+	if got := res.Metrics.PerTxn[1].Ops; got != 4 {
+		t.Fatalf("T1 surviving ops = %d, want 4", got)
+	}
+	// The surviving schedule must replay value-consistently: the
+	// restarted T1 read the restored x = 0, not its aborted write.
+	if err := res.Schedule.ConsistentValues(initial); err != nil {
+		t.Fatalf("schedule does not replay: %v\n%s", err, res.Schedule)
+	}
+	if got := res.Final.MustGet("x"); got.AsInt() != 1 {
+		t.Fatalf("final x = %s, want 1", got)
+	}
+	if len(pol.aborted) != 1 || pol.aborted[0] != 1 {
+		t.Fatalf("TxnAborted notifications = %v, want [1]", pol.aborted)
+	}
+	// Exactly one attempt of each transaction survives.
+	if res.Schedule.Len() != 6 {
+		t.Fatalf("schedule = %s", res.Schedule)
+	}
+}
+
+// TestEngineAbortCascades aborts a writer whose value another live
+// transaction has read: the reader's attempt consumed erased state, so
+// it must abort and restart too.
+func TestEngineAbortCascades(t *testing.T) {
+	programs := map[int]*program.Program{
+		1: program.MustParse(`program A { x := 5; z := z + 1; }`),
+		2: program.MustParse(`program B { y := x; }`),
+	}
+	initial := state.Ints(map[string]int64{"x": 1, "y": 0, "z": 0})
+	// Round-robin grants w1(x,5), r2(x,5); aborting T1 must cascade to
+	// T2, which read the erased 5.
+	pol := &forcedRestart{Policy: &sched.RoundRobin{}, victim: 1, after: 2}
+	res, err := exec.Run(exec.Config{Programs: programs, Initial: initial, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Metrics.Aborts; got != 2 {
+		t.Fatalf("Aborts = %d, want 2 (cascade)", got)
+	}
+	if len(pol.aborted) != 2 {
+		t.Fatalf("TxnAborted notifications = %v, want both members", pol.aborted)
+	}
+	if err := res.Schedule.ConsistentValues(initial); err != nil {
+		t.Fatalf("schedule does not replay: %v\n%s", err, res.Schedule)
+	}
+	if got := res.Final.MustGet("y"); got.AsInt() != 5 {
+		t.Fatalf("final y = %s, want 5 (restarted T2 re-read T1's write)", got)
+	}
+}
+
+// TestEngineAbortPinnedVictim: a victim whose written value was read by
+// a transaction that already finished cannot be erased; the run must
+// fail with ErrStall rather than corrupt the finished transaction's
+// history.
+func TestEngineAbortPinnedVictim(t *testing.T) {
+	programs := map[int]*program.Program{
+		1: program.MustParse(`program A { x := 5; z := z + 1; }`),
+		2: program.MustParse(`program B { y := x; }`),
+	}
+	initial := state.Ints(map[string]int64{"x": 1, "y": 0, "z": 0})
+	// Script: w1(x,5), r2(x,5), w2(y,5) — T2 finishes having read T1's
+	// write — then the forced stall names the now-pinned T1.
+	pol := &forcedRestart{Policy: sched.NewScript(1, 2, 2, 1, 1), victim: 1, after: 3}
+	_, err := exec.Run(exec.Config{Programs: programs, Initial: initial, Policy: pol})
+	if !errors.Is(err, exec.ErrStall) {
+		t.Fatalf("err = %v, want ErrStall", err)
+	}
+	if !strings.Contains(err.Error(), "pinned") {
+		t.Fatalf("err = %v, want the pinned-victim explanation", err)
+	}
+}
+
+// TestEngineAbortClosureView checks the eligibility view a Restarter
+// consults: the closure contains the transitive live readers, and
+// pinning is reported.
+func TestEngineAbortClosureView(t *testing.T) {
+	programs := map[int]*program.Program{
+		1: program.MustParse(`program A { x := 5; z := z + 1; }`),
+		2: program.MustParse(`program B { y := x; w := w + 1; }`),
+	}
+	initial := state.Ints(map[string]int64{"x": 1, "y": 0, "z": 0, "w": 0})
+	var sawClosure []int
+	probe := &closureProbe{Policy: sched.NewScript(1, 2, 2, 1, 1, 2, 2), onPick: func(v *exec.View) {
+		if sawClosure == nil {
+			if c, ok := v.AbortClosure(1); ok && len(c) == 2 {
+				sawClosure = c
+			}
+		}
+	}}
+	if _, err := exec.Run(exec.Config{Programs: programs, Initial: initial, Policy: probe}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sawClosure) != 2 || sawClosure[0] != 1 || sawClosure[1] != 2 {
+		t.Fatalf("closure = %v, want [1 2] while T2's read of x is live", sawClosure)
+	}
+}
+
+// closureProbe lets a test inspect the View at every Pick.
+type closureProbe struct {
+	exec.Policy
+	onPick func(v *exec.View)
+}
+
+func (p *closureProbe) Pick(pending []*exec.Request, v *exec.View) int {
+	p.onPick(v)
+	return p.Policy.Pick(pending, v)
+}
+
+// TestEngineAbortBudget: a policy that names a victim forever must be
+// stopped by the abort budget, not loop.
+func TestEngineAbortBudget(t *testing.T) {
+	programs := map[int]*program.Program{
+		1: program.MustParse(`program A { x := x + 1; }`),
+	}
+	initial := state.Ints(map[string]int64{"x": 0})
+	pol := &alwaysAbort{}
+	_, err := exec.Run(exec.Config{Programs: programs, Initial: initial, Policy: pol, MaxAborts: 8})
+	if !errors.Is(err, exec.ErrStall) {
+		t.Fatalf("err = %v, want ErrStall after the abort budget", err)
+	}
+	if !strings.Contains(err.Error(), "abort budget") {
+		t.Fatalf("err = %v, want the abort-budget explanation", err)
+	}
+}
+
+// alwaysAbort grants nothing and sacrifices the first pending
+// transaction forever.
+type alwaysAbort struct{}
+
+func (a *alwaysAbort) Pick(pending []*exec.Request, v *exec.View) int   { return -1 }
+func (a *alwaysAbort) TxnFinished(id int, v *exec.View)                 {}
+func (a *alwaysAbort) Victim(pending []*exec.Request, v *exec.View) int { return 0 }
+func (a *alwaysAbort) TxnAborted(id int, v *exec.View)                  {}

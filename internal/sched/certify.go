@@ -16,10 +16,12 @@ import (
 // of Definition 2, and the consumer the Monitor's Admissible preflight
 // exists for.
 //
-// The engine has no aborts, so a transaction whose next operation would
-// close a conflict cycle stays blocked; if every pending request is
-// inadmissible the run stalls (exec.ErrStall), the certification
-// analogue of the delayed-read gate's deadlock.
+// Certify is the blocking (pessimistic) reading: a transaction whose
+// next operation would close a conflict cycle stays blocked, and if
+// every pending request is inadmissible the run stalls (exec.ErrStall),
+// the certification analogue of the delayed-read gate's deadlock.
+// OptimisticCertify is the abort-capable reading that resolves such
+// stalls by sacrificing a victim.
 type Certify struct {
 	// Inner picks among the admissible requests.
 	Inner exec.Policy

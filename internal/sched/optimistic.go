@@ -1,0 +1,295 @@
+package sched
+
+import (
+	"pwsr/internal/core"
+	"pwsr/internal/exec"
+	"pwsr/internal/state"
+)
+
+// VictimPolicy selects which transaction an optimistic certifier
+// sacrifices at a stall. It receives the pending requests, the indices
+// of the eligible candidates (non-immune, abortable per
+// View.AbortClosure), and the engine view, and returns one of the
+// candidate indices.
+type VictimPolicy func(pending []*exec.Request, candidates []int, v *exec.View) int
+
+// VictimYoungest picks the candidate whose transaction started latest
+// (no granted operation yet = youngest of all; ties go to the higher
+// id). Sacrificing the youngest wastes the least sunk work and lets
+// older transactions age toward completion — the wound-wait intuition.
+func VictimYoungest(pending []*exec.Request, candidates []int, v *exec.View) int {
+	first := firstOpIndex(v)
+	best, bestKey := -1, -1
+	for _, c := range candidates {
+		id := pending[c].TxnID
+		key, started := first[id]
+		if !started {
+			key = len(v.Ops) + id // never started: youngest, higher id youngest-most
+		}
+		if key > bestKey {
+			best, bestKey = c, key
+		}
+	}
+	return best
+}
+
+// VictimFewestOps picks the candidate with the fewest granted
+// operations in the current schedule — the cheapest attempt to throw
+// away by wasted-work count (ties go to the youngest).
+func VictimFewestOps(pending []*exec.Request, candidates []int, v *exec.View) int {
+	counts := make(map[int]int, len(candidates))
+	for _, o := range v.Ops {
+		counts[o.Txn]++
+	}
+	first := firstOpIndex(v)
+	best, bestOps, bestAge := -1, -1, -1
+	for _, c := range candidates {
+		id := pending[c].TxnID
+		n := counts[id]
+		age, started := first[id]
+		if !started {
+			age = len(v.Ops) + id
+		}
+		if best == -1 || n < bestOps || (n == bestOps && age > bestAge) {
+			best, bestOps, bestAge = c, n, age
+		}
+	}
+	return best
+}
+
+// firstOpIndex maps each transaction to the schedule position of its
+// first surviving operation.
+func firstOpIndex(v *exec.View) map[int]int {
+	first := make(map[int]int)
+	for i, o := range v.Ops {
+		if _, ok := first[o.Txn]; !ok {
+			first[o.Txn] = i
+		}
+	}
+	return first
+}
+
+// OptimisticCertify is the abort-capable reading of the certification
+// gate: like Certify it only grants operations the online PWSR monitor
+// certifies, but where Certify lets an infeasible conflict pattern
+// stall the whole run, OptimisticCertify implements exec.Restarter and
+// resolves the stall by sacrificing a victim — the victim is retracted
+// from the monitor (Monitor.Retract), its engine attempt is erased and
+// restarted, and the run proceeds.
+//
+// The gate is cascadeless: alongside certification it applies the
+// delayed-read discipline (a read of an item whose last writer is live
+// is not grantable — the DelayedRead gate's rule, the ACA discipline
+// real certifiers pair with aborts). Dirty reads are what make aborts
+// expensive: a victim whose written value was read by a live
+// transaction drags the reader down with it (the engine cascades), and
+// one read by a *finished* transaction pins the victim entirely —
+// durable state cannot be erased, so the stall becomes unresolvable.
+// With delayed reads every abort closure is the victim alone and no
+// victim is ever pinned. The payoff is the paper's: schedules are PWSR
+// and DR by construction, so for correct programs Theorem 2 applies
+// and every run is strongly correct — the blocking gate certifies
+// PWSR alone and cannot claim this.
+//
+// Progress is guaranteed by two mechanisms. Within a stall, victims
+// rotate: no transaction is sacrificed twice in one "phase" (the
+// streak since the last granted operation), so a phase lasts at most
+// one abort per live transaction — and a fully refreshed population
+// has erased every write and holds only fresh monitor nodes, leaving
+// some request necessarily grantable. Across stalls, a transaction
+// whose abort count reaches SoloThreshold escalates to solo mode: the
+// gate grants only that transaction until it finishes. A solo
+// transaction always completes — no other transaction receives grants,
+// so it never acquires outgoing conflict edges (every operation stays
+// admissible) and any frozen writer blocking one of its delayed reads
+// is aborted by the rotation — and each solo episode retires one
+// transaction, so runs terminate instead of thrashing (the classic
+// optimistic livelock, two transactions endlessly sacrificing each
+// other, escalates to solo after a bounded number of round trips).
+// Runs therefore do not return exec.ErrStall; the engine's abort
+// budget remains as a defensive backstop.
+type OptimisticCertify struct {
+	// Inner picks among the admissible requests.
+	Inner exec.Policy
+	// VictimSelect selects the sacrifice at a stall; nil means
+	// VictimYoungest.
+	VictimSelect VictimPolicy
+	// SoloThreshold is the abort count at which a transaction escalates
+	// to solo mode; 0 means the default of 4.
+	SoloThreshold int
+
+	mon    *core.Monitor
+	aborts map[int]int
+	// phase marks the transactions sacrificed since the last grant;
+	// none is sacrificed twice in one phase.
+	phase map[int]bool
+	// solo is the escalated transaction currently granted exclusively
+	// (0 = none).
+	solo int
+}
+
+// NewOptimisticCertify returns an abort-capable certification gate over
+// the conjunct partition. victim selects the sacrifice policy (nil =
+// VictimYoungest).
+func NewOptimisticCertify(partition []state.ItemSet, inner exec.Policy, victim VictimPolicy) *OptimisticCertify {
+	return &OptimisticCertify{
+		Inner:        inner,
+		VictimSelect: victim,
+		mon:          core.NewMonitor(partition),
+		aborts:       make(map[int]int),
+		phase:        make(map[int]bool),
+	}
+}
+
+// Monitor exposes the gate's certifier (for inspection after a run).
+func (c *OptimisticCertify) Monitor() *core.Monitor { return c.mon }
+
+// Aborts returns how many times each transaction was sacrificed.
+func (c *OptimisticCertify) Aborts() map[int]int { return c.aborts }
+
+// Pick implements exec.Policy like Certify.Pick, with the cascadeless
+// discipline layered in: a request must pass both the delayed-read
+// rule and the certifier before the inner policy may choose it; the
+// choice is committed to the monitor.
+func (c *OptimisticCertify) Pick(pending []*exec.Request, v *exec.View) int {
+	allowed := make([]*exec.Request, 0, len(pending))
+	idx := make([]int, 0, len(pending))
+	for i, r := range pending {
+		if c.solo != 0 && r.TxnID != c.solo {
+			continue // an escalated transaction runs alone
+		}
+		if delayedReadBlocked(r, v) {
+			continue
+		}
+		if c.mon.Admissible(requestOp(r)) {
+			allowed = append(allowed, r)
+			idx = append(idx, i)
+		}
+	}
+	if len(allowed) == 0 {
+		return -1
+	}
+	inner := c.Inner.Pick(allowed, v)
+	if inner == exec.PassTick {
+		return exec.PassTick
+	}
+	if inner < 0 || inner >= len(allowed) {
+		return -1
+	}
+	c.mon.Observe(requestOp(allowed[inner]))
+	// A grant ends the current sacrifice phase.
+	for id := range c.phase {
+		delete(c.phase, id)
+	}
+	return idx[inner]
+}
+
+// pickVictim runs the configured selection over the eligible
+// candidates; split out so Victim (the exec.Restarter hook) stays
+// readable.
+func (c *OptimisticCertify) pickVictim(pending []*exec.Request, v *exec.View, candidates []int) int {
+	policy := c.VictimSelect
+	if policy == nil {
+		policy = VictimYoungest
+	}
+	return policy(pending, candidates, v)
+}
+
+// Victim implements exec.Restarter: choose a sacrifice among the
+// abortable pending transactions not yet sacrificed this phase,
+// sparing the immune (most-aborted) transaction until it is the only
+// choice left.
+func (c *OptimisticCertify) Victim(pending []*exec.Request, v *exec.View) int {
+	immune := c.immune(v)
+	pick := func(includePhase bool) int {
+		candidates := make([]int, 0, len(pending))
+		immuneIdx := -1
+		for i, r := range pending {
+			if !includePhase && c.phase[r.TxnID] {
+				continue // already sacrificed this phase
+			}
+			closure, ok := v.AbortClosure(r.TxnID)
+			if !ok {
+				continue // pinned by a finished reader (non-DR inner use)
+			}
+			// A victim whose cascade would take the immune transaction
+			// down with it defeats the aging scheme; treat it like the
+			// immune transaction itself. (Under the gate's own
+			// delayed-read discipline every closure is a singleton.)
+			cascadesImmune := false
+			for _, id := range closure {
+				if id == immune && r.TxnID != immune {
+					cascadesImmune = true
+					break
+				}
+			}
+			switch {
+			case r.TxnID == immune || cascadesImmune:
+				if immuneIdx < 0 {
+					immuneIdx = i
+				}
+			default:
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) > 0 {
+			return c.pickVictim(pending, v, candidates)
+		}
+		return immuneIdx
+	}
+	if i := pick(false); i >= 0 {
+		return i
+	}
+	// Defensive: every abortable transaction was already sacrificed
+	// this phase (cannot arise under the gate's own discipline — a
+	// fully refreshed population always has an admissible request);
+	// start a fresh phase rather than stall.
+	for id := range c.phase {
+		delete(c.phase, id)
+	}
+	return pick(true)
+}
+
+// immune returns the live transaction spared from victim selection:
+// the solo transaction while one is escalated, otherwise the
+// most-aborted (ties: lowest id).
+func (c *OptimisticCertify) immune(v *exec.View) int {
+	if c.solo != 0 && v.Live[c.solo] {
+		return c.solo
+	}
+	immune, best := -1, -1
+	for id := range v.Live {
+		n := c.aborts[id]
+		if n > best || (n == best && (immune < 0 || id < immune)) {
+			immune, best = id, n
+		}
+	}
+	return immune
+}
+
+// TxnAborted implements exec.Restarter: roll the sacrificed attempt out
+// of certification state so the monitor again equals a fresh replay of
+// the surviving schedule.
+func (c *OptimisticCertify) TxnAborted(id int, v *exec.View) {
+	c.mon.Retract(id)
+	c.aborts[id]++
+	c.phase[id] = true
+	threshold := c.SoloThreshold
+	if threshold <= 0 {
+		threshold = 4
+	}
+	if c.solo == 0 && c.aborts[id] >= threshold {
+		c.solo = id
+	}
+	if ra, ok := c.Inner.(exec.Restarter); ok {
+		ra.TxnAborted(id, v)
+	}
+}
+
+// TxnFinished implements exec.Policy.
+func (c *OptimisticCertify) TxnFinished(id int, v *exec.View) {
+	if id == c.solo {
+		c.solo = 0
+	}
+	c.Inner.TxnFinished(id, v)
+}

@@ -117,15 +117,24 @@ type DelayedRead struct {
 	Inner exec.Policy
 }
 
+// delayedReadBlocked reports the DR gate's rule: a read of an item
+// whose last writer is another, unfinished transaction is not
+// grantable. Shared with the cascadeless optimistic certification gate.
+func delayedReadBlocked(r *exec.Request, v *exec.View) bool {
+	if r.Action != txn.ActionRead {
+		return false
+	}
+	w, ok := v.LastWriter[r.Entity]
+	return ok && w != 0 && w != r.TxnID && !v.Finished[w]
+}
+
 // Pick implements exec.Policy.
 func (d *DelayedRead) Pick(pending []*exec.Request, v *exec.View) int {
 	allowed := make([]*exec.Request, 0, len(pending))
 	idx := make([]int, 0, len(pending))
 	for i, r := range pending {
-		if r.Action == txn.ActionRead {
-			if w, ok := v.LastWriter[r.Entity]; ok && w != 0 && w != r.TxnID && !v.Finished[w] {
-				continue
-			}
+		if delayedReadBlocked(r, v) {
+			continue
 		}
 		allowed = append(allowed, r)
 		idx = append(idx, i)

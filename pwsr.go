@@ -256,12 +256,41 @@ func NewPW2PL() Policy { return sched.NewPW2PL() }
 // paper's conclusion contrasts with PWSR.
 func NewDegree2() Policy { return sched.NewDegree2() }
 
-// NewCertify returns the PWSR certification gate: pending operations
-// are filtered through an online Monitor so the inner policy only ever
-// sees operations whose admission keeps every conjunct's projection
-// serializable. Schedules it produces are PWSR by construction.
+// NewCertify returns the blocking PWSR certification gate: pending
+// operations are filtered through an online Monitor so the inner policy
+// only ever sees operations whose admission keeps every conjunct's
+// projection serializable. Schedules it produces are PWSR by
+// construction; an infeasible conflict pattern stalls the run.
 func NewCertify(partition []ItemSet, inner Policy) Policy {
 	return sched.NewCertify(partition, inner)
+}
+
+// Restarter is the optional policy extension for abort/restart stall
+// resolution (see exec.Restarter for the abort semantics).
+type Restarter = exec.Restarter
+
+// VictimPolicy selects which transaction an optimistic certifier
+// sacrifices at a stall.
+type VictimPolicy = sched.VictimPolicy
+
+// Victim-selection policies for NewOptimisticCertify.
+var (
+	// VictimYoungest sacrifices the latest-started candidate.
+	VictimYoungest VictimPolicy = sched.VictimYoungest
+	// VictimFewestOps sacrifices the candidate with the least granted
+	// work.
+	VictimFewestOps VictimPolicy = sched.VictimFewestOps
+)
+
+// NewOptimisticCertify returns the abort-capable PWSR certification
+// gate: stalls are resolved by sacrificing a victim (selected by the
+// victim policy; nil = VictimYoungest), which is retracted from the
+// online monitor and restarted by the engine. The gate is cascadeless
+// (delayed reads), so its schedules are PWSR and DR by construction —
+// for correct programs, strongly correct by Theorem 2 — and feasible
+// runs never stall.
+func NewOptimisticCertify(partition []ItemSet, inner Policy, victim VictimPolicy) Policy {
+	return sched.NewOptimisticCertify(partition, inner, victim)
 }
 
 // Saga is a transaction program decomposed into per-conjunct

@@ -127,6 +127,18 @@ func TestPublicAPILockingPolicies(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Certification gates: per-conjunct serializability forbids the lost
+	// update on x, so both increments must land — the optimistic gate by
+	// aborting a victim where the blocking gate would stall.
+	for _, victim := range []pwsr.VictimPolicy{nil, pwsr.VictimYoungest, pwsr.VictimFewestOps} {
+		res := run(pwsr.NewOptimisticCertify(sets, pwsr.NewRandom(7), victim))
+		if got := res.Final.MustGet("x"); got != pwsr.Int(3) {
+			t.Fatalf("optimistic certify: x = %v, want 3", got)
+		}
+		if !pwsr.CheckPWSR(res.Schedule, sets).PWSR {
+			t.Fatal("optimistic certify: schedule not PWSR")
+		}
+	}
 }
 
 // TestPublicAPINotationHelpers exercises view sets and transaction
