@@ -11,16 +11,28 @@ tier1:
 
 # bench runs the certification-core benchmark families (the optimized
 # Monitor and BuildGraph against their retained reference
-# implementations) and records the raw test2json stream in
-# BENCH_monitor.json for tooling. Note -json means stdout carries the
-# JSON event stream, not the usual benchmark table; for readable
-# numbers run the go test line without -json, and see EXPERIMENTS.md
-# for the recorded before/after tables.
+# implementations, plus the sharded-monitor family) and records the
+# raw test2json stream in BENCH_monitor.json, then regenerates the
+# machine-readable PERF6 trajectory BENCH_sharded.json via pwsrbench.
+# Both JSON files are checked in so perf regressions stay diffable PR
+# over PR. Note -json means stdout carries the JSON event stream, not
+# the usual benchmark table; for readable numbers run the go test line
+# without -json, and see EXPERIMENTS.md for the recorded tables.
 .PHONY: bench
 bench:
 	$(GO) test . -run '^$$' \
-		-bench 'BenchmarkMonitorThroughput|BenchmarkBuildGraphScaling|BenchmarkCheckPWSRWidePartition' \
+		-bench 'BenchmarkMonitorThroughput|BenchmarkBuildGraphScaling|BenchmarkCheckPWSRWidePartition|BenchmarkShardedMonitor' \
 		-benchmem -count=6 -json | tee BENCH_monitor.json
+	$(GO) run ./cmd/pwsrbench -section sharded -cpu 1,2,4,8 -benchout BENCH_sharded.json
+
+# bench-cpu is the PERF6 scaling sweep: the sharded-monitor and
+# lock-free-intern families across GOMAXPROCS widths, plus the
+# pwsrbench sweep that rewrites BENCH_sharded.json.
+.PHONY: bench-cpu
+bench-cpu:
+	$(GO) test . -run '^$$' -bench 'BenchmarkShardedMonitor' -benchmem -cpu 1,2,4,8
+	$(GO) test ./internal/intern -run '^$$' -bench 'BenchmarkSharedLookupParallel' -benchmem -cpu 1,2,4,8
+	$(GO) run ./cmd/pwsrbench -section sharded -cpu 1,2,4,8 -benchout BENCH_sharded.json
 
 # bench-all runs every benchmark in the repository once.
 .PHONY: bench-all
@@ -33,8 +45,15 @@ test:
 
 # check is the CI gate: static analysis plus the full test suite under
 # the race detector (the sharded monitor paths and the engine's
-# abort/restart goroutine handoffs are the concurrency-sensitive code).
+# abort/restart goroutine handoffs are the concurrency-sensitive
+# code), then the concurrency-sensitive packages again at pinned
+# GOMAXPROCS=1 and GOMAXPROCS=8 — the former serializes every
+# interleaving (catching logic that only works by accident of
+# parallelism), the latter widens the schedule space beyond the
+# host's default.
 .PHONY: check
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	GOMAXPROCS=1 $(GO) test -race -count=1 ./internal/core ./internal/sched ./internal/exec
+	GOMAXPROCS=8 $(GO) test -race -count=1 ./internal/core ./internal/sched ./internal/exec

@@ -8,17 +8,26 @@
 //   - PERF2   — multidatabase local-serializability study,
 //   - PERF3   — checker-cost scaling,
 //   - PERF5   — certification scheduling: blocking vs optimistic
-//     (abort/restart) vs locking.
+//     (abort/restart) vs locking,
+//   - PERF6   — sharded certification scaling: the GOMAXPROCS sweep of
+//     core.ShardedMonitor against the single-goroutine baseline
+//     (section "sharded"; `-cpu` picks the widths and `-benchout`
+//     writes the machine-readable BENCH_sharded.json trajectory).
 //
 // Usage:
 //
 //	pwsrbench [-trials 200] [-seed 1] [-quick] [-figures] [-section all]
+//	          [-cpu 1,2,4,8] [-benchout BENCH_sharded.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 
 	"pwsr/internal/experiments"
 	"pwsr/internal/mdbs"
@@ -27,24 +36,55 @@ import (
 
 func main() {
 	var (
-		trials  = flag.Int("trials", 200, "trials per randomized campaign")
-		seed    = flag.Int64("seed", 1, "base seed")
-		quick   = flag.Bool("quick", false, "smaller sweeps and campaigns")
-		figures = flag.Bool("figures", true, "print the worked figure illustrations")
-		section = flag.String("section", "all", "one of: all, examples, theorems, exhaustive, figures, perf")
+		trials   = flag.Int("trials", 200, "trials per randomized campaign")
+		seed     = flag.Int64("seed", 1, "base seed")
+		quick    = flag.Bool("quick", false, "smaller sweeps and campaigns")
+		figures  = flag.Bool("figures", true, "print the worked figure illustrations")
+		section  = flag.String("section", "all", "one of: all, examples, theorems, exhaustive, figures, perf, sharded")
+		cpu      = flag.String("cpu", "1,2,4,8", "comma-separated GOMAXPROCS widths for the PERF6 sweep")
+		benchout = flag.String("benchout", "", "write the PERF6 records as JSON to this file")
 	)
 	flag.Parse()
 
 	if *quick {
 		*trials = 40
 	}
-	if err := run(*trials, *seed, *figures, *section, *quick); err != nil {
+	cpus, err := parseCPUList(*cpu)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pwsrbench:", err)
+		os.Exit(1)
+	}
+	if err := run(*trials, *seed, *figures, *section, *quick, cpus, *benchout); err != nil {
 		fmt.Fprintln(os.Stderr, "pwsrbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(trials int, seed int64, withFigures bool, section string, quick bool) error {
+// parseCPUList parses the -cpu flag ("1,2,4,8").
+func parseCPUList(s string) ([]int, error) {
+	var cpus []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -cpu entry %q", part)
+		}
+		cpus = append(cpus, n)
+	}
+	return cpus, nil
+}
+
+// shardedBenchFile is the JSON trajectory written for the PERF6 sweep:
+// enough host context to compare runs, plus the per-width records.
+type shardedBenchFile struct {
+	Go       string                             `json:"go"`
+	GOOS     string                             `json:"goos"`
+	GOARCH   string                             `json:"goarch"`
+	HostCPUs int                                `json:"host_cpus"`
+	Seed     int64                              `json:"seed"`
+	Records  []experiments.ShardedScalingRecord `json:"records"`
+}
+
+func run(trials int, seed int64, withFigures bool, section string, quick bool, cpus []int, benchout string) error {
 	all := section == "all"
 
 	if all || section == "examples" {
@@ -152,6 +192,31 @@ func run(trials int, seed int64, withFigures bool, section string, quick bool) e
 			return err
 		}
 		fmt.Println(cp.Render())
+	}
+
+	if all || section == "sharded" {
+		tab, records, err := experiments.ShardedScaling(cpus, seed, quick)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		if benchout != "" {
+			data, err := json.MarshalIndent(shardedBenchFile{
+				Go:       runtime.Version(),
+				GOOS:     runtime.GOOS,
+				GOARCH:   runtime.GOARCH,
+				HostCPUs: runtime.NumCPU(),
+				Seed:     seed,
+				Records:  records,
+			}, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(benchout, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d PERF6 records to %s\n", len(records), benchout)
+		}
 	}
 	return nil
 }

@@ -40,11 +40,15 @@
 //     per-item write histories, live readers cascaded) before
 //     restarting its program (internal/exec, internal/sched),
 //   - the PWSR/strong-correctness checkers, view sets, transaction
-//     states, theorem appliers, and the online certification monitor
+//     states, theorem appliers, and the online certification monitors
 //     with incremental cycle detection and incremental retraction —
 //     Monitor.Retract rolls a live transaction out of certification
 //     state without a rebuild, the primitive optimistic scheduling is
-//     built on (internal/core, internal/intern).
+//     built on — plus ShardedMonitor, the concurrent certifier that
+//     partitions the conjuncts across independent monitor shards so
+//     admission scales with cores (internal/core, internal/intern;
+//     the intern tables' concurrent variant reads lock-free so shards
+//     never serialize on the shared route table).
 //
 // The certification gates embody the two classic stances: pessimistic
 // blocking (pwsr.NewCertify — inadmissible operations wait, infeasible
@@ -53,13 +57,22 @@
 // victim chosen by a pluggable policy, youngest or fewest-ops; the
 // gate is cascadeless, so its schedules are PWSR and delayed-read by
 // construction and Theorem 2 applies to every completed run of correct
-// programs).
+// programs). pwsr.NewParallelCertify is the optimistic gate over the
+// sharded certifier: admissibility preflights fan out across
+// goroutines, so operations on disjoint shards certify concurrently
+// while the gate's decisions stay exactly NewOptimisticCertify's.
+// pwsr.RunMany drives independent engine runs concurrently for
+// fleet-style throughput.
 //
 // Benchmarks for the certification hot path and the scheduling-policy
 // studies live in bench_test.go (run `make bench`, and see
 // BenchmarkCertifyPolicies/BenchmarkMonitorRetract for the PERF5
-// family); EXPERIMENTS.md records their outputs. `make check` runs
-// `go vet` plus the full suite under the race detector.
+// family and BenchmarkShardedMonitor plus `make bench-cpu` for the
+// PERF6 GOMAXPROCS sweep); EXPERIMENTS.md records their outputs, and
+// `make bench` checks the machine-readable trajectories into
+// BENCH_monitor.json and BENCH_sharded.json. `make check` runs
+// `go vet` plus the full suite under the race detector, then the
+// concurrency-sensitive packages again at GOMAXPROCS=1 and 8.
 //
 // # Quick start
 //

@@ -16,3 +16,20 @@ func SetCheckParallelThreshold(n int) int {
 	checkParallelThreshold = n
 	return old
 }
+
+// SetShardedBatchThreshold overrides the schedule length at which
+// ShardedMonitor.ObserveAll runs the epoch/fence pipeline, returning
+// the previous value.
+func SetShardedBatchThreshold(n int) int {
+	old := shardedBatchThreshold
+	shardedBatchThreshold = n
+	return old
+}
+
+// SetShardedEpochSize overrides the epoch window of the batch
+// pipeline, returning the previous value.
+func SetShardedEpochSize(n int) int {
+	old := shardedEpochSize
+	shardedEpochSize = n
+	return old
+}

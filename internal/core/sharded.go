@@ -1,0 +1,492 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pwsr/internal/intern"
+	"pwsr/internal/state"
+	"pwsr/internal/txn"
+)
+
+// ShardedMonitor is the concurrent PWSR certifier: the conjunct
+// partition is split into contiguous blocks ("shards"), each shard
+// running an independent Monitor — its own interned transactions,
+// conflict frontiers, and Pearce–Kelly order — over its block, behind
+// its own lock. The decomposition is sound because conflict edges only
+// arise between operations on the same item and every item's edges
+// within a conjunct belong to that conjunct's graph (Definition 2
+// checks each conjunct's projection in isolation; this is the same
+// per-conjunct locality Lemma 3 and Theorem 1 exploit), so a conflict
+// cycle can never span two conjuncts, let alone two shards: each
+// shard's verdict is independent and the global PWSR decision is
+// exactly the conjunction of the shard verdicts.
+//
+// Concurrency model. Observe, Admissible, ObserveAll, and Retract are
+// safe for concurrent use. An operation is routed through a shared
+// lock-free table (intern.Shared plus a copy-on-write route slice) to
+// the shards whose conjuncts mention its item; each routed shard is
+// then visited in ascending order under its lock. Operations touching
+// disjoint shards therefore certify fully in parallel, while
+// operations contending for a shard order through its lock — the
+// shard lock is the fence that serializes genuinely conflicting
+// admissions. Verdicts merge through a single sticky violation slot
+// (first CAS wins); once any shard trips, the monitor as a whole is
+// violated, mirroring Monitor's stickiness.
+//
+// Fed from a single goroutine, a ShardedMonitor is observationally
+// identical to Monitor over the same partition — same verdicts, same
+// flagged operations, same witness cycles, same conflict edges —
+// which TestShardedMonitorDifferential asserts against random
+// Observe/Retract interleavings at shard counts 1..8.
+type ShardedMonitor struct {
+	partition []state.ItemSet
+	shards    []*monitorShard
+	// shardOf maps a global conjunct index to its shard; blocks are
+	// contiguous, so ascending shard order is ascending conjunct order
+	// and the sequential-feed tie-breaking (lowest conjunct first)
+	// matches Monitor exactly.
+	shardOf []int32
+
+	// router interns entities and routes[id] lists the shards whose
+	// conjuncts mention the entity. Both structures are copy-on-write
+	// with lock-free readers: this shared table is the only structure
+	// every shard touches on every operation, so it must not
+	// serialize them (the monitor-side consumer intern.Shared exists
+	// for).
+	router  *intern.Shared
+	routes  atomic.Pointer[[]routeShards]
+	routeMu sync.Mutex
+
+	violation atomic.Pointer[Violation]
+	ops       atomic.Int64
+	// txnOps counts observed operations per transaction so Retract
+	// keeps Ops() equal to the surviving operation count, mirroring
+	// Monitor.opsByTxn. Copy-on-write like the route table: the per-op
+	// hit path is one atomic load plus a map lookup, only a
+	// first-seen transaction takes routeMu.
+	txnOps atomic.Pointer[map[int]*atomic.Int64]
+	// single short-circuits the one-shard configuration: routing is
+	// pointless (the shard's Monitor routes over the whole partition
+	// itself) and the inner monitor's own op counters are exact, so
+	// Observe/Admissible/Retract delegate under the shard lock alone —
+	// the overhead over a bare Monitor is one uncontended lock.
+	single bool
+}
+
+// routeShards is the ascending shard list an interned entity routes to
+// (empty for items outside every conjunct, which are ignored per
+// Definition 2).
+type routeShards []int32
+
+// monitorShard is one block of conjuncts behind its own lock, with
+// admission counters for the per-shard metrics surfaced through
+// ShardStats.
+type monitorShard struct {
+	mu sync.Mutex
+	// mon is the shard's independent certifier over partition[lo:hi].
+	mon    *Monitor
+	lo, hi int
+	// Admission counters, guarded by mu.
+	observes, probes, denials int64
+}
+
+// ShardStat reports one shard's admission counters (see
+// ShardedMonitor.ShardStats).
+type ShardStat struct {
+	// Shard is the shard index.
+	Shard int
+	// Conjuncts is the number of conjuncts the shard owns.
+	Conjuncts int
+	// Observes counts operations fed to the shard's graphs.
+	Observes int64
+	// Probes counts Admissible probes the shard evaluated.
+	Probes int64
+	// Denials counts probes the shard rejected.
+	Denials int64
+}
+
+// shardedBatchThreshold is the schedule length at which ObserveAll
+// pipelines epochs across shard goroutines instead of feeding
+// sequentially.
+var shardedBatchThreshold = 4096
+
+// shardedEpochSize is the window of operations routed and fenced as
+// one epoch by the batch pipeline.
+var shardedEpochSize = 8192
+
+// NewShardedMonitor builds a sharded monitor over the conjunct
+// partition. shards ≤ 0 selects GOMAXPROCS; the count is clamped to
+// the number of conjuncts (a shard without conjuncts would never
+// receive work) and to a minimum of one.
+func NewShardedMonitor(partition []state.ItemSet, shards int) *ShardedMonitor {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > len(partition) {
+		shards = len(partition)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	m := &ShardedMonitor{
+		partition: partition,
+		router:    intern.NewShared(),
+		shardOf:   make([]int32, len(partition)),
+		single:    shards == 1,
+	}
+	empty := make([]routeShards, 0)
+	m.routes.Store(&empty)
+	counters := make(map[int]*atomic.Int64)
+	m.txnOps.Store(&counters)
+	l := len(partition)
+	for s := 0; s < shards; s++ {
+		lo, hi := s*l/shards, (s+1)*l/shards
+		m.shards = append(m.shards, &monitorShard{
+			mon: NewMonitor(partition[lo:hi]),
+			lo:  lo,
+			hi:  hi,
+		})
+		for e := lo; e < hi; e++ {
+			m.shardOf[e] = int32(s)
+		}
+	}
+	return m
+}
+
+// Shards returns the number of shards.
+func (m *ShardedMonitor) Shards() int { return len(m.shards) }
+
+// Ops returns the number of operations observed (minus retracted
+// transactions' operations).
+func (m *ShardedMonitor) Ops() int {
+	if m.single {
+		sh := m.shards[0]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		return sh.mon.Ops()
+	}
+	return int(m.ops.Load())
+}
+
+// PWSR reports whether everything observed so far is PWSR.
+func (m *ShardedMonitor) PWSR() bool { return m.violation.Load() == nil }
+
+// Violation returns the first violation, or nil.
+func (m *ShardedMonitor) Violation() *Violation { return m.violation.Load() }
+
+// countOp records one observed operation in the global counters.
+func (m *ShardedMonitor) countOp(o txn.Op) {
+	m.ops.Add(1)
+	m.txnCounter(o.Txn).Add(1)
+}
+
+// txnCounter returns the transaction's op counter, creating it (under
+// routeMu, publishing a fresh snapshot) on first use.
+func (m *ShardedMonitor) txnCounter(txnID int) *atomic.Int64 {
+	if c, ok := (*m.txnOps.Load())[txnID]; ok {
+		return c
+	}
+	m.routeMu.Lock()
+	defer m.routeMu.Unlock()
+	cur := *m.txnOps.Load()
+	if c, ok := cur[txnID]; ok {
+		return c
+	}
+	next := make(map[int]*atomic.Int64, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	c := new(atomic.Int64)
+	next[txnID] = c
+	m.txnOps.Store(&next)
+	return c
+}
+
+// routeFor returns the entity's shard route, interning the entity and
+// computing its conjunct membership on first sight.
+func (m *ShardedMonitor) routeFor(entity string) routeShards {
+	if id, ok := m.router.Lookup(entity); ok {
+		if rs := *m.routes.Load(); int(id) < len(rs) {
+			return rs[id]
+		}
+	}
+	m.routeMu.Lock()
+	defer m.routeMu.Unlock()
+	id := m.router.ID(entity)
+	rs := *m.routes.Load()
+	if int(id) < len(rs) {
+		return rs[id]
+	}
+	var r routeShards
+	for e, d := range m.partition {
+		if d.Contains(entity) {
+			if s := m.shardOf[e]; len(r) == 0 || r[len(r)-1] != s {
+				r = append(r, s)
+			}
+		}
+	}
+	next := make([]routeShards, len(rs)+1)
+	copy(next, rs)
+	next[id] = r
+	m.routes.Store(&next)
+	return r
+}
+
+// lookupRoute returns the entity's route without interning it. A
+// router hit whose route is still being published (the router and the
+// route slice are updated in one critical section, but readers load
+// them separately) waits on the route mutex.
+func (m *ShardedMonitor) lookupRoute(entity string) (routeShards, bool) {
+	id, ok := m.router.Lookup(entity)
+	if !ok {
+		return nil, false
+	}
+	if rs := *m.routes.Load(); int(id) < len(rs) {
+		return rs[id], true
+	}
+	m.routeMu.Lock()
+	defer m.routeMu.Unlock()
+	return (*m.routes.Load())[id], true
+}
+
+// globalViolation remaps a shard-local violation to global conjunct
+// indices and publishes it as the sticky global verdict; the first
+// publisher wins and every caller returns the winner.
+func (m *ShardedMonitor) globalViolation(sh *monitorShard, v *Violation) *Violation {
+	gv := &Violation{Conjunct: sh.lo + v.Conjunct, Op: v.Op, Cycle: v.Cycle}
+	m.violation.CompareAndSwap(nil, gv)
+	return m.violation.Load()
+}
+
+// Observe admits one operation with Monitor.Observe's contract, safe
+// for concurrent callers: the operation is routed to the shards whose
+// conjuncts mention its item and certified under each shard's lock in
+// ascending order. Operations routed to disjoint shards proceed in
+// parallel.
+func (m *ShardedMonitor) Observe(o txn.Op) *Violation {
+	if m.single {
+		sh := m.shards[0]
+		sh.mu.Lock()
+		sh.observes++
+		v := sh.mon.Observe(o)
+		sh.mu.Unlock()
+		if v != nil {
+			return m.globalViolation(sh, v)
+		}
+		return nil
+	}
+	m.countOp(o)
+	if v := m.violation.Load(); v != nil {
+		return v
+	}
+	for _, s := range m.routeFor(o.Entity) {
+		sh := m.shards[s]
+		sh.mu.Lock()
+		sh.observes++
+		v := sh.mon.Observe(o)
+		sh.mu.Unlock()
+		if v != nil {
+			return m.globalViolation(sh, v)
+		}
+	}
+	return nil
+}
+
+// Admissible reports whether admitting o now would keep every
+// conjunct's projection serializable, with Monitor.Admissible's
+// contract but safe for concurrent callers: probes for operations on
+// disjoint shards evaluate in parallel, probes contending for a shard
+// serialize on its lock.
+func (m *ShardedMonitor) Admissible(o txn.Op) bool {
+	if m.violation.Load() != nil {
+		return false
+	}
+	if m.single {
+		sh := m.shards[0]
+		sh.mu.Lock()
+		sh.probes++
+		ok := sh.mon.Admissible(o)
+		if !ok {
+			sh.denials++
+		}
+		sh.mu.Unlock()
+		return ok
+	}
+	r, ok := m.lookupRoute(o.Entity)
+	if !ok {
+		return true // never-seen item: no shard has state on it
+	}
+	for _, s := range r {
+		sh := m.shards[s]
+		sh.mu.Lock()
+		sh.probes++
+		ok := sh.mon.Admissible(o)
+		if !ok {
+			sh.denials++
+		}
+		sh.mu.Unlock()
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Retract removes every observed operation of the transaction with
+// Monitor.Retract's contract: each shard rolls the transaction out of
+// its graphs independently (under its lock), and the global operation
+// count is repaired from the transaction's counter. Panics after a
+// violation, like Monitor.Retract.
+func (m *ShardedMonitor) Retract(txnID int) {
+	if m.violation.Load() != nil {
+		panic("core: Retract on a violated sharded monitor")
+	}
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		sh.mon.Retract(txnID)
+		sh.mu.Unlock()
+	}
+	if m.single {
+		return // the inner monitor's counters are authoritative
+	}
+	m.routeMu.Lock()
+	defer m.routeMu.Unlock()
+	cur := *m.txnOps.Load()
+	c, ok := cur[txnID]
+	if !ok {
+		return
+	}
+	m.ops.Add(-c.Load())
+	next := make(map[int]*atomic.Int64, len(cur)-1)
+	for k, v := range cur {
+		if k != txnID {
+			next[k] = v
+		}
+	}
+	m.txnOps.Store(&next)
+}
+
+// ConflictEdges returns conjunct e's current conflict edges as
+// original transaction-id pairs, sorted, by delegating to the owning
+// shard under its lock.
+func (m *ShardedMonitor) ConflictEdges(e int) [][2]int {
+	sh := m.shards[m.shardOf[e]]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.mon.ConflictEdges(e - sh.lo)
+}
+
+// ShardStats snapshots every shard's admission counters.
+func (m *ShardedMonitor) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(m.shards))
+	for i, sh := range m.shards {
+		sh.mu.Lock()
+		out[i] = ShardStat{
+			Shard:     i,
+			Conjuncts: sh.hi - sh.lo,
+			Observes:  sh.observes,
+			Probes:    sh.probes,
+			Denials:   sh.denials,
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// ObserveAll feeds a whole schedule; it returns the first violation or
+// nil. Long schedules over more than one shard run the epoch/fence
+// pipeline: the stream is cut into epochs, each epoch's operations are
+// routed to per-shard buckets, the buckets are fed to their shards on
+// parallel goroutines, and a fence at the epoch boundary merges the
+// shard verdicts — the earliest violating operation wins (ties to the
+// lowest conjunct), which is observationally identical to the
+// sequential feed because the monitor is sticky after its first
+// violation and shards share no edges.
+func (m *ShardedMonitor) ObserveAll(s *txn.Schedule) *Violation {
+	if m.single {
+		sh := m.shards[0]
+		sh.mu.Lock()
+		sh.observes += int64(s.Len())
+		v := sh.mon.ObserveAll(s)
+		sh.mu.Unlock()
+		if v != nil {
+			return m.globalViolation(sh, v)
+		}
+		return nil
+	}
+	ops := s.Ops()
+	if len(m.shards) > 1 && len(ops) >= shardedBatchThreshold && m.violation.Load() == nil {
+		for start := 0; start < len(ops); start += shardedEpochSize {
+			end := min(start+shardedEpochSize, len(ops))
+			if v := m.observeEpoch(ops[start:end]); v != nil {
+				return v
+			}
+		}
+		return nil
+	}
+	for _, o := range ops {
+		if v := m.Observe(o); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// epochViolation is a shard's verdict for one epoch: the bucket-local
+// violation plus the epoch index of the operation that closed it.
+type epochViolation struct {
+	idx int
+	sh  *monitorShard
+	v   *Violation
+}
+
+// observeEpoch routes one epoch to per-shard buckets, feeds the
+// buckets concurrently, and fences: every shard completes (or trips)
+// before the merged verdict is decided.
+func (m *ShardedMonitor) observeEpoch(ops txn.Seq) *Violation {
+	buckets := make([][]shardedOp, len(m.shards))
+	for i, o := range ops {
+		m.countOp(o)
+		for _, s := range m.routeFor(o.Entity) {
+			buckets[s] = append(buckets[s], shardedOp{op: o, idx: i})
+		}
+	}
+	found := make([]*epochViolation, len(m.shards))
+	var wg sync.WaitGroup
+	for s := range m.shards {
+		if len(buckets[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sh := m.shards[s]
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			for _, so := range buckets[s] {
+				sh.observes++
+				if v := sh.mon.Observe(so.op); v != nil {
+					found[s] = &epochViolation{idx: so.idx, sh: sh, v: v}
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	var first *epochViolation
+	for _, ev := range found {
+		if ev != nil && (first == nil || ev.idx < first.idx) {
+			first = ev
+		}
+	}
+	if first == nil {
+		return nil
+	}
+	// Ops() counts the epoch up to and including the violating
+	// operation, like the sequential feed; the routing pass counted the
+	// whole epoch.
+	m.ops.Add(int64(first.idx + 1 - len(ops)))
+	return m.globalViolation(first.sh, first.v)
+}

@@ -4,6 +4,23 @@
 // 2 and 6), transaction states (Definition 4), the delayed-read class
 // (Definition 5), the data access graph (Section 3.3), and the three
 // theorems' sufficient conditions with checkable certificates.
+//
+// The package also houses the online certifiers a PWSR scheduler
+// consults: Monitor, the single-goroutine incremental certifier
+// (interned ids, per-item conflict frontiers, a Pearce–Kelly
+// topological order, incremental retraction), and ShardedMonitor, its
+// concurrent counterpart. The shard/fence model rests on the same
+// locality the theory does: conflict edges only arise between
+// operations on the same item, and Definition 2 judges each
+// conjunct's projection in isolation (the per-conjunct framing Lemma 3
+// and Theorem 1 argue through), so a conflict cycle can never span two
+// conjuncts. Conjuncts can therefore be partitioned into shard-local
+// graphs — each shard an independent Monitor behind its own lock —
+// whose verdicts conjoin into the global PWSR admission decision:
+// operations on disjoint shards certify concurrently, operations
+// contending for a shard order through its lock (the fence), and a
+// batch feed pipelines epochs across shard goroutines, merging
+// verdicts at each epoch boundary.
 package core
 
 import (

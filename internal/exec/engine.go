@@ -45,7 +45,9 @@ package exec
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"pwsr/internal/program"
 	"pwsr/internal/state"
@@ -228,6 +230,31 @@ type Policy interface {
 	TxnFinished(id int, v *View)
 }
 
+// ShardStat is one certification shard's admission counters, as
+// reported by a policy backed by a sharded certifier
+// (sched.ParallelCertify over core.ShardedMonitor).
+type ShardStat struct {
+	// Shard is the shard index.
+	Shard int
+	// Conjuncts is the number of conjuncts the shard owns.
+	Conjuncts int
+	// Observes counts operations fed to the shard's graphs.
+	Observes int64
+	// Probes counts admissibility probes the shard evaluated.
+	Probes int64
+	// Denials counts probes the shard rejected.
+	Denials int64
+}
+
+// ShardReporter is an optional Policy extension: a policy whose
+// certifier is sharded reports per-shard admission counters, which the
+// engine copies into Metrics.Shards at the end of a run.
+type ShardReporter interface {
+	Policy
+	// ShardStats snapshots the per-shard counters.
+	ShardStats() []ShardStat
+}
+
 // Metrics aggregates virtual-clock measurements of a run. The clock
 // ticks once per granted operation.
 type Metrics struct {
@@ -246,6 +273,9 @@ type Metrics struct {
 	WastedOps int
 	// PerTxn maps transaction id to its metrics.
 	PerTxn map[int]*TxnMetrics
+	// Shards holds per-shard certification counters when the policy
+	// implements ShardReporter; nil otherwise.
+	Shards []ShardStat
 }
 
 // TxnMetrics is per-transaction timing.
@@ -653,9 +683,43 @@ func Run(cfg Config) (*Result, error) {
 		granted.reply <- rep
 	}
 
+	if sr, ok := cfg.Policy.(ShardReporter); ok {
+		metrics.Shards = sr.ShardStats()
+	}
 	return &Result{
 		Schedule: txn.NewSchedule(ops...),
 		Final:    v.Store,
 		Metrics:  metrics,
 	}, nil
+}
+
+// RunMany executes independently configured runs concurrently, at most
+// workers at a time (workers ≤ 0 selects GOMAXPROCS). Each Config must
+// carry its own Policy instance — policies are stateful and runs do
+// not share them — and the configs must not share mutable state (give
+// each run its own Initial; Run clones it, but a DB handed to two
+// configs is still read concurrently). Results and errors are indexed
+// like cfgs. This is the engine entry point for driving many admission
+// streams at once: a fleet of workloads saturating a sharded certifier
+// scales with cores because each run's policy probes only its own
+// monitor shards.
+func RunMany(cfgs []Config, workers int) ([]*Result, []error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = Run(cfgs[i])
+		}(i)
+	}
+	wg.Wait()
+	return results, errs
 }

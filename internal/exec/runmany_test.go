@@ -1,0 +1,70 @@
+package exec_test
+
+import (
+	"testing"
+
+	"pwsr/internal/exec"
+	"pwsr/internal/gen"
+	"pwsr/internal/sched"
+)
+
+// TestRunMany checks the concurrent engine entry point: a fleet of
+// independently configured runs executed workers-at-a-time must
+// produce, run for run, exactly what serial Run produces — the engine
+// shares nothing across runs, so concurrency cannot change outcomes.
+// Run under -race this also exercises the fleet path for data races.
+func TestRunMany(t *testing.T) {
+	const fleet = 12
+	mkCfg := func(i int) (exec.Config, *gen.Workload) {
+		w := gen.MustGenerate(gen.Config{
+			Conjuncts: 2, Programs: 3, MovesPerProgram: 2,
+			Style: gen.Style(i % 3), Seed: int64(300 + i),
+		})
+		return exec.Config{
+			Programs: w.Programs,
+			Initial:  w.Initial,
+			Policy:   sched.NewParallelCertify(w.DataSets, 2, sched.NewRandom(int64(i)), nil),
+			DataSets: w.DataSets,
+		}, w
+	}
+
+	want := make([]*exec.Result, fleet)
+	cfgs := make([]exec.Config, fleet)
+	for i := 0; i < fleet; i++ {
+		cfg, _ := mkCfg(i)
+		res, err := exec.Run(cfg)
+		if err != nil {
+			t.Fatalf("serial run %d: %v", i, err)
+		}
+		want[i] = res
+		// Fresh policy instance for the concurrent pass: policies are
+		// stateful and must not be shared across runs.
+		cfgs[i], _ = mkCfg(i)
+	}
+
+	for _, workers := range []int{1, 4, 0} {
+		results, errs := exec.RunMany(cfgs, workers)
+		if len(results) != fleet || len(errs) != fleet {
+			t.Fatalf("workers=%d: got %d results, %d errs", workers, len(results), len(errs))
+		}
+		for i := range results {
+			if errs[i] != nil {
+				t.Fatalf("workers=%d run %d: %v", workers, i, errs[i])
+			}
+			if results[i].Schedule.String() != want[i].Schedule.String() {
+				t.Fatalf("workers=%d run %d: schedule diverged from serial run", workers, i)
+			}
+			if !results[i].Final.Equal(want[i].Final) {
+				t.Fatalf("workers=%d run %d: final state diverged", workers, i)
+			}
+			if results[i].Metrics.Shards == nil {
+				t.Fatalf("workers=%d run %d: no shard stats", workers, i)
+			}
+		}
+		// RunMany reuses the policies only within one pass; rebuild for
+		// the next workers value.
+		for i := 0; i < fleet; i++ {
+			cfgs[i], _ = mkCfg(i)
+		}
+	}
+}

@@ -118,7 +118,7 @@ type OptimisticCertify struct {
 	// to solo mode; 0 means the default of 4.
 	SoloThreshold int
 
-	mon    *core.Monitor
+	mon    Certifier
 	aborts map[int]int
 	// phase marks the transactions sacrificed since the last grant;
 	// none is sacrificed twice in one phase.
@@ -132,17 +132,23 @@ type OptimisticCertify struct {
 // the conjunct partition. victim selects the sacrifice policy (nil =
 // VictimYoungest).
 func NewOptimisticCertify(partition []state.ItemSet, inner exec.Policy, victim VictimPolicy) *OptimisticCertify {
+	return newOptimisticCertify(core.NewMonitor(partition), inner, victim)
+}
+
+// newOptimisticCertify builds the gate over an explicit certifier
+// (ParallelCertify supplies a ShardedMonitor).
+func newOptimisticCertify(mon Certifier, inner exec.Policy, victim VictimPolicy) *OptimisticCertify {
 	return &OptimisticCertify{
 		Inner:        inner,
 		VictimSelect: victim,
-		mon:          core.NewMonitor(partition),
+		mon:          mon,
 		aborts:       make(map[int]int),
 		phase:        make(map[int]bool),
 	}
 }
 
 // Monitor exposes the gate's certifier (for inspection after a run).
-func (c *OptimisticCertify) Monitor() *core.Monitor { return c.mon }
+func (c *OptimisticCertify) Monitor() Certifier { return c.mon }
 
 // Aborts returns how many times each transaction was sacrificed.
 func (c *OptimisticCertify) Aborts() map[int]int { return c.aborts }
@@ -152,16 +158,31 @@ func (c *OptimisticCertify) Aborts() map[int]int { return c.aborts }
 // rule and the certifier before the inner policy may choose it; the
 // choice is committed to the monitor.
 func (c *OptimisticCertify) Pick(pending []*exec.Request, v *exec.View) int {
+	adm := make([]bool, len(pending))
+	for i, r := range pending {
+		adm[i] = c.gateable(r, v) && c.mon.Admissible(requestOp(r))
+	}
+	return c.pickAdmitted(pending, v, adm)
+}
+
+// gateable applies the gates that precede certification: solo
+// exclusivity and the delayed-read discipline.
+func (c *OptimisticCertify) gateable(r *exec.Request, v *exec.View) bool {
+	if c.solo != 0 && r.TxnID != c.solo {
+		return false // an escalated transaction runs alone
+	}
+	return !delayedReadBlocked(r, v)
+}
+
+// pickAdmitted lets the inner policy choose among the requests the
+// admissibility mask passed, and commits the choice to the monitor.
+// Split from Pick so ParallelCertify can compute the mask with
+// concurrent probes and share the rest of the gate.
+func (c *OptimisticCertify) pickAdmitted(pending []*exec.Request, v *exec.View, adm []bool) int {
 	allowed := make([]*exec.Request, 0, len(pending))
 	idx := make([]int, 0, len(pending))
 	for i, r := range pending {
-		if c.solo != 0 && r.TxnID != c.solo {
-			continue // an escalated transaction runs alone
-		}
-		if delayedReadBlocked(r, v) {
-			continue
-		}
-		if c.mon.Admissible(requestOp(r)) {
+		if adm[i] {
 			allowed = append(allowed, r)
 			idx = append(idx, i)
 		}

@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"sync"
+
+	"pwsr/internal/core"
+	"pwsr/internal/exec"
+	"pwsr/internal/state"
+	"pwsr/internal/txn"
+)
+
+// Certifier abstracts the online PWSR monitor a certification gate
+// consults: core.Monitor (the single-goroutine certifier) and
+// core.ShardedMonitor (the concurrent, sharded one) both satisfy it.
+type Certifier interface {
+	// Observe admits one operation, returning the sticky first
+	// violation.
+	Observe(o txn.Op) *core.Violation
+	// Admissible reports whether admitting o now would keep every
+	// conjunct's projection serializable, without recording it.
+	Admissible(o txn.Op) bool
+	// Retract rolls every observed operation of the transaction out of
+	// certification state.
+	Retract(txnID int)
+	// PWSR reports whether everything observed so far is PWSR.
+	PWSR() bool
+	// Violation returns the first violation, or nil.
+	Violation() *core.Violation
+	// Ops returns the number of surviving observed operations.
+	Ops() int
+	// ConflictEdges returns conjunct e's conflict edges, sorted.
+	ConflictEdges(e int) [][2]int
+}
+
+var (
+	_ Certifier = (*core.Monitor)(nil)
+	_ Certifier = (*core.ShardedMonitor)(nil)
+)
+
+// ParallelCertify is the sharded certification pipeline: the
+// abort-capable optimistic gate of OptimisticCertify (same victim
+// rotation, solo escalation, and cascadeless delayed-read discipline,
+// so its schedules are PWSR ∧ DR by construction and runs do not
+// stall) backed by a core.ShardedMonitor instead of the single
+// monitor, with the admission preflight fanned out: each Pick probes
+// every pending request's admissibility on its own goroutine.
+//
+// Requests whose items route to disjoint monitor shards certify fully
+// in parallel; requests contending for a shard order through the
+// shard's lock — the fence of the sharded monitor — so contention
+// costs exactly the conflicting fraction of the workload, not a
+// global serialization. With the engine's Pick loop on one goroutine
+// this buys parallelism across the pending set of each scheduling
+// step; feeding the ShardedMonitor from genuinely concurrent
+// admission streams (many engines, or ObserveAll's epoch pipeline) is
+// measured by the PERF6 GOMAXPROCS sweep.
+//
+// Because the sharded monitor is observationally identical to the
+// single monitor under a serialized feed, ParallelCertify makes
+// exactly the decisions OptimisticCertify makes for the same workload
+// and inner policy (TestParallelCertifyDifferential asserts schedule
+// equality); only the admission cost scales with cores.
+type ParallelCertify struct {
+	*OptimisticCertify
+	smon *core.ShardedMonitor
+}
+
+// NewParallelCertify returns the sharded abort-capable certification
+// gate over the conjunct partition. shards ≤ 0 selects GOMAXPROCS
+// (clamped to the conjunct count); victim selects the sacrifice
+// policy (nil = VictimYoungest).
+func NewParallelCertify(partition []state.ItemSet, shards int, inner exec.Policy, victim VictimPolicy) *ParallelCertify {
+	smon := core.NewShardedMonitor(partition, shards)
+	return &ParallelCertify{
+		OptimisticCertify: newOptimisticCertify(smon, inner, victim),
+		smon:              smon,
+	}
+}
+
+// ShardedMonitor exposes the gate's sharded certifier.
+func (c *ParallelCertify) ShardedMonitor() *core.ShardedMonitor { return c.smon }
+
+// ShardStats implements exec.ShardReporter: per-shard admission
+// counters, surfaced in the engine's run metrics.
+func (c *ParallelCertify) ShardStats() []exec.ShardStat {
+	stats := c.smon.ShardStats()
+	out := make([]exec.ShardStat, len(stats))
+	for i, s := range stats {
+		out[i] = exec.ShardStat{
+			Shard:     s.Shard,
+			Conjuncts: s.Conjuncts,
+			Observes:  s.Observes,
+			Probes:    s.Probes,
+			Denials:   s.Denials,
+		}
+	}
+	return out
+}
+
+// parallelProbeThreshold is the pending-set size below which Pick
+// probes inline: a probe costs tens of nanoseconds (one shard lock, a
+// frontier lookup, an order comparison) while a goroutine spawn plus
+// WaitGroup round trip costs on the order of a microsecond, so the
+// fan-out only pays for itself once enough probes can overlap on
+// disjoint shards.
+const parallelProbeThreshold = 4
+
+// Pick implements exec.Policy: compute the admissibility mask with one
+// concurrent probe per pending request (the sharded monitor is safe
+// for concurrent probes; disjoint-shard probes run in parallel), then
+// run the shared gate logic on the mask. Small pending sets probe
+// inline — see parallelProbeThreshold.
+func (c *ParallelCertify) Pick(pending []*exec.Request, v *exec.View) int {
+	adm := make([]bool, len(pending))
+	if len(pending) >= parallelProbeThreshold && c.smon.Shards() > 1 {
+		var wg sync.WaitGroup
+		for i, r := range pending {
+			if !c.gateable(r, v) {
+				continue
+			}
+			wg.Add(1)
+			go func(i int, r *exec.Request) {
+				defer wg.Done()
+				adm[i] = c.smon.Admissible(requestOp(r))
+			}(i, r)
+		}
+		wg.Wait()
+	} else {
+		for i, r := range pending {
+			adm[i] = c.gateable(r, v) && c.smon.Admissible(requestOp(r))
+		}
+	}
+	return c.pickAdmitted(pending, v, adm)
+}

@@ -199,6 +199,19 @@ type Monitor = core.Monitor
 // NewMonitor builds an online PWSR monitor over a conjunct partition.
 func NewMonitor(partition []ItemSet) *Monitor { return core.NewMonitor(partition) }
 
+// ShardedMonitor is the concurrent PWSR certifier: the conjunct
+// partition is split across independent monitor shards behind
+// per-shard locks, so operations on disjoint shards certify in
+// parallel while staying observationally identical to Monitor.
+type ShardedMonitor = core.ShardedMonitor
+
+// NewShardedMonitor builds a sharded monitor over a conjunct
+// partition; shards ≤ 0 selects GOMAXPROCS (clamped to the conjunct
+// count).
+func NewShardedMonitor(partition []ItemSet, shards int) *ShardedMonitor {
+	return core.NewShardedMonitor(partition, shards)
+}
+
 // EncodeHistory serializes an initial state plus schedule as the JSON
 // history format consumed by cmd/pwsrcheck -history.
 func EncodeHistory(initial DB, s *Schedule) ([]byte, error) {
@@ -291,6 +304,24 @@ var (
 // runs never stall.
 func NewOptimisticCertify(partition []ItemSet, inner Policy, victim VictimPolicy) Policy {
 	return sched.NewOptimisticCertify(partition, inner, victim)
+}
+
+// NewParallelCertify returns the sharded certification pipeline: the
+// abort-capable optimistic gate backed by a ShardedMonitor, with the
+// admission preflight fanned out across goroutines so requests on
+// disjoint shards certify concurrently. It makes exactly the
+// decisions NewOptimisticCertify makes for the same workload and
+// inner policy; only the admission cost scales with cores. shards ≤ 0
+// selects GOMAXPROCS.
+func NewParallelCertify(partition []ItemSet, shards int, inner Policy, victim VictimPolicy) Policy {
+	return sched.NewParallelCertify(partition, shards, inner, victim)
+}
+
+// RunMany executes independently configured runs concurrently, at
+// most workers at a time (workers ≤ 0 selects GOMAXPROCS). Each
+// config must carry its own policy instance.
+func RunMany(cfgs []RunConfig, workers int) ([]*RunResult, []error) {
+	return exec.RunMany(cfgs, workers)
 }
 
 // Saga is a transaction program decomposed into per-conjunct
