@@ -24,6 +24,7 @@ bench:
 		-bench 'BenchmarkMonitorThroughput|BenchmarkBuildGraphScaling|BenchmarkCheckPWSRWidePartition|BenchmarkShardedMonitor' \
 		-benchmem -count=6 -json | tee BENCH_monitor.json
 	$(GO) run ./cmd/pwsrbench -section sharded -cpu 1,2,4,8 -benchout BENCH_sharded.json
+	$(GO) run ./cmd/pwsrbench -section compact -compactout BENCH_compact.json
 
 # bench-cpu is the PERF6 scaling sweep: the sharded-monitor and
 # lock-free-intern families across GOMAXPROCS widths, plus the
@@ -44,16 +45,28 @@ test:
 	$(GO) test ./...
 
 # check is the CI gate: static analysis plus the full test suite under
-# the race detector (the sharded monitor paths and the engine's
-# abort/restart goroutine handoffs are the concurrency-sensitive
-# code), then the concurrency-sensitive packages again at pinned
-# GOMAXPROCS=1 and GOMAXPROCS=8 — the former serializes every
-# interleaving (catching logic that only works by accident of
-# parallelism), the latter widens the schedule space beyond the
-# host's default.
+# the race detector (the sharded monitor paths, the lifecycle
+# commit/compact paths, and the engine's abort/restart goroutine
+# handoffs are the concurrency-sensitive code), then the
+# concurrency-sensitive packages again at pinned GOMAXPROCS=1 and
+# GOMAXPROCS=8 — the former serializes every interleaving (catching
+# logic that only works by accident of parallelism), the latter widens
+# the schedule space beyond the host's default. The pinned-width core
+# runs include the commit-and-compact lifecycle differentials
+# (TestCompactDifferential, TestShardedCompactConcurrent), which are
+# not -short-gated; -short on the race passes skips only the 1M-op
+# soak (that lives in `make soak` and in the un-raced tier-1 suite).
 .PHONY: check
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./...
-	GOMAXPROCS=1 $(GO) test -race -count=1 ./internal/core ./internal/sched ./internal/exec
-	GOMAXPROCS=8 $(GO) test -race -count=1 ./internal/core ./internal/sched ./internal/exec
+	$(GO) test -race -short ./...
+	GOMAXPROCS=1 $(GO) test -race -short -count=1 ./internal/core ./internal/sched ./internal/exec
+	GOMAXPROCS=8 $(GO) test -race -short -count=1 ./internal/core ./internal/sched ./internal/exec
+
+# soak is the long-run bounded-memory test: ≥ 1M operations through a
+# single OptimisticCertify gate with the transaction lifecycle on,
+# asserting the resident population stays O(concurrent window) and the
+# heap plateaus (see EXPERIMENTS.md PERF7). Skipped under -short.
+.PHONY: soak
+soak:
+	$(GO) test ./internal/sched -run TestSoak -v -count=1 -timeout 20m

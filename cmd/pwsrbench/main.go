@@ -12,12 +12,17 @@
 //   - PERF6   — sharded certification scaling: the GOMAXPROCS sweep of
 //     core.ShardedMonitor against the single-goroutine baseline
 //     (section "sharded"; `-cpu` picks the widths and `-benchout`
-//     writes the machine-readable BENCH_sharded.json trajectory).
+//     writes the machine-readable BENCH_sharded.json trajectory),
+//   - PERF7   — commit-and-compact memory study: a 1M-op windowed
+//     admission stream through a compacting monitor against the
+//     uncompacted baseline (section "compact"; `-compactout` writes
+//     the machine-readable BENCH_compact.json curve).
 //
 // Usage:
 //
 //	pwsrbench [-trials 200] [-seed 1] [-quick] [-figures] [-section all]
 //	          [-cpu 1,2,4,8] [-benchout BENCH_sharded.json]
+//	          [-compactout BENCH_compact.json]
 package main
 
 import (
@@ -36,13 +41,14 @@ import (
 
 func main() {
 	var (
-		trials   = flag.Int("trials", 200, "trials per randomized campaign")
-		seed     = flag.Int64("seed", 1, "base seed")
-		quick    = flag.Bool("quick", false, "smaller sweeps and campaigns")
-		figures  = flag.Bool("figures", true, "print the worked figure illustrations")
-		section  = flag.String("section", "all", "one of: all, examples, theorems, exhaustive, figures, perf, sharded")
-		cpu      = flag.String("cpu", "1,2,4,8", "comma-separated GOMAXPROCS widths for the PERF6 sweep")
-		benchout = flag.String("benchout", "", "write the PERF6 records as JSON to this file")
+		trials     = flag.Int("trials", 200, "trials per randomized campaign")
+		seed       = flag.Int64("seed", 1, "base seed")
+		quick      = flag.Bool("quick", false, "smaller sweeps and campaigns")
+		figures    = flag.Bool("figures", true, "print the worked figure illustrations")
+		section    = flag.String("section", "all", "one of: all, examples, theorems, exhaustive, figures, perf, sharded, compact")
+		cpu        = flag.String("cpu", "1,2,4,8", "comma-separated GOMAXPROCS widths for the PERF6 sweep")
+		benchout   = flag.String("benchout", "", "write the PERF6 records as JSON to this file")
+		compactout = flag.String("compactout", "", "write the PERF7 records as JSON to this file")
 	)
 	flag.Parse()
 
@@ -54,7 +60,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pwsrbench:", err)
 		os.Exit(1)
 	}
-	if err := run(*trials, *seed, *figures, *section, *quick, cpus, *benchout); err != nil {
+	if err := run(*trials, *seed, *figures, *section, *quick, cpus, *benchout, *compactout); err != nil {
 		fmt.Fprintln(os.Stderr, "pwsrbench:", err)
 		os.Exit(1)
 	}
@@ -84,7 +90,21 @@ type shardedBenchFile struct {
 	Records  []experiments.ShardedScalingRecord `json:"records"`
 }
 
-func run(trials int, seed int64, withFigures bool, section string, quick bool, cpus []int, benchout string) error {
+// compactBenchFile is the JSON curve written for the PERF7 memory
+// study: the compacting vs baseline live-transaction and heap
+// trajectories over the sampled stream.
+type compactBenchFile struct {
+	Go       string                         `json:"go"`
+	GOOS     string                         `json:"goos"`
+	GOARCH   string                         `json:"goarch"`
+	HostCPUs int                            `json:"host_cpus"`
+	Seed     int64                          `json:"seed"`
+	TotalOps int                            `json:"total_ops"`
+	Window   int                            `json:"window"`
+	Records  []experiments.CompactionRecord `json:"records"`
+}
+
+func run(trials int, seed int64, withFigures bool, section string, quick bool, cpus []int, benchout, compactout string) error {
 	all := section == "all"
 
 	if all || section == "examples" {
@@ -216,6 +236,37 @@ func run(trials int, seed int64, withFigures bool, section string, quick bool, c
 				return err
 			}
 			fmt.Printf("wrote %d PERF6 records to %s\n", len(records), benchout)
+		}
+	}
+
+	if all || section == "compact" {
+		totalOps, window := 1_000_000, 64
+		if quick {
+			totalOps = 100_000
+		}
+		tab, records, err := experiments.CompactionStudy(totalOps, window, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		if compactout != "" {
+			data, err := json.MarshalIndent(compactBenchFile{
+				Go:       runtime.Version(),
+				GOOS:     runtime.GOOS,
+				GOARCH:   runtime.GOARCH,
+				HostCPUs: runtime.NumCPU(),
+				Seed:     seed,
+				TotalOps: totalOps,
+				Window:   window,
+				Records:  records,
+			}, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(compactout, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d PERF7 records to %s\n", len(records), compactout)
 		}
 	}
 	return nil

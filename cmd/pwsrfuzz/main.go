@@ -21,7 +21,19 @@
 //	            ops, and op counts must agree), then randomized
 //	            workloads run under the ParallelCertify gate with the
 //	            optimistic mode's guarantees plus a replay-differential
-//	            on every recorded schedule.
+//	            on every recorded schedule;
+//	compact     the transaction lifecycle: the checked-in corpus under
+//	            testdata/compact (Observe/Commit/Retract/Compact
+//	            scripts covering commit-before-violation,
+//	            compact-across-retract, watermark-at-shard-boundary,
+//	            and pinned-by-live-ancestor shapes) is replayed through
+//	            the compacting Monitor, the ReferenceMonitor rebuild
+//	            spec, an uncompacted Monitor, and ShardedMonitor at
+//	            shard counts 1..8, which must agree on verdicts, op
+//	            counts, live populations, lifecycle counters, and
+//	            live-edge sets; then randomized lifecycle scripts fuzz
+//	            the same differential (FuzzCommitCompact is the native
+//	            testing.F harness over the same corpus).
 //
 // Parser/round-trip fuzzing lives in the native testing.F harnesses
 // (txn.FuzzParseSchedule, constraint.FuzzParseIC and friends, with
@@ -52,7 +64,7 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "example2", "example2 | fixed | dr | ordered | optimistic | sharded")
+		mode    = flag.String("mode", "example2", "example2 | fixed | dr | ordered | optimistic | sharded | compact")
 		trials  = flag.Int("trials", 500, "number of seeded trials")
 		seed    = flag.Int64("seed", 7, "base seed")
 		verbose = flag.Bool("v", false, "print each violation's schedule and programs")
@@ -81,6 +93,9 @@ func main() {
 func run(mode string, trials int, baseSeed int64, verbose bool) (int, error) {
 	if mode == "sharded" {
 		return runSharded(trials, baseSeed, verbose)
+	}
+	if mode == "compact" {
+		return runCompact(trials, baseSeed, verbose)
 	}
 	found := 0
 	for i := 0; i < trials; i++ {

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzCommitCompact fuzzes the transaction-lifecycle differential at
+// the corpus-file granularity: any parseable, contract-respecting
+// partition+script input must replay identically through the
+// compacting Monitor, the ReferenceMonitor rebuild spec, the
+// uncompacted Monitor, and ShardedMonitor at shard counts 1..8. The
+// checked-in testdata/compact corpus seeds the fuzzer, so plain
+// `go test` replays the named scenarios (commit-before-violation,
+// compact-across-retract, watermark-at-shard-boundary,
+// pinned-by-live-ancestor) as regression cases.
+func FuzzCommitCompact(f *testing.F) {
+	corpus, err := filepath.Glob(filepath.Join(compactCorpusDir, "*.txt"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(corpus) == 0 {
+		f.Fatalf("no seed corpus under %s", compactCorpusDir)
+	}
+	for _, path := range corpus {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<12 {
+			t.Skip("oversized input")
+		}
+		partition, steps, err := parseCompactCase(data)
+		if err != nil {
+			t.Skip() // unparseable or contract-violating input
+		}
+		items := 0
+		for _, d := range partition {
+			items += len(d)
+		}
+		if len(partition) > 16 || items > 64 || len(steps) > 256 {
+			t.Skip("oversized case")
+		}
+		if diag := compactDifferential(partition, steps); diag != "" {
+			t.Fatalf("lifecycle differential: %s\ninput:\n%s", diag, data)
+		}
+	})
+}
+
+// TestCompactCorpusReplays pins the corpus through the -mode compact
+// entry point itself (glob fallback included), so the command-level
+// harness stays wired.
+func TestCompactCorpusReplays(t *testing.T) {
+	found, err := runCompact(25, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found != 0 {
+		t.Fatalf("%d differential divergences in a population that guarantees zero", found)
+	}
+}

@@ -41,14 +41,20 @@
 //     restarting its program (internal/exec, internal/sched),
 //   - the PWSR/strong-correctness checkers, view sets, transaction
 //     states, theorem appliers, and the online certification monitors
-//     with incremental cycle detection and incremental retraction —
-//     Monitor.Retract rolls a live transaction out of certification
-//     state without a rebuild, the primitive optimistic scheduling is
-//     built on — plus ShardedMonitor, the concurrent certifier that
-//     partitions the conjuncts across independent monitor shards so
-//     admission scales with cores (internal/core, internal/intern;
-//     the intern tables' concurrent variant reads lock-free so shards
-//     never serialize on the shared route table).
+//     with incremental cycle detection, incremental retraction, and a
+//     first-class transaction lifecycle — Monitor.Retract rolls a live
+//     transaction out of certification state without a rebuild (the
+//     primitive optimistic scheduling is built on), Monitor.Commit
+//     marks one finished, and Monitor.Compact physically reclaims
+//     committed transactions no future conflict cycle can reach, so a
+//     long-lived certifier's memory tracks the concurrent window
+//     instead of the stream (the low-watermark argument is spelled out
+//     in the core package comment) — plus ShardedMonitor, the
+//     concurrent certifier that partitions the conjuncts across
+//     independent monitor shards so admission scales with cores
+//     (internal/core, internal/intern; the intern tables' concurrent
+//     variant reads lock-free so shards never serialize on the shared
+//     route table).
 //
 // The certification gates embody the two classic stances: pessimistic
 // blocking (pwsr.NewCertify — inadmissible operations wait, infeasible
@@ -62,7 +68,11 @@
 // goroutines, so operations on disjoint shards certify concurrently
 // while the gate's decisions stay exactly NewOptimisticCertify's.
 // pwsr.RunMany drives independent engine runs concurrently for
-// fleet-style throughput.
+// fleet-style throughput. All three gates commit finished
+// transactions to their certifier, whose compactor keeps the resident
+// population bounded across arbitrarily long streams; the engine
+// surfaces the lifecycle counters through
+// Metrics.Compactions/ReclaimedOps/LiveTxns.
 //
 // Benchmarks for the certification hot path and the scheduling-policy
 // studies live in bench_test.go (run `make bench`, and see

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"slices"
+
+	"pwsr/internal/intern"
+)
+
+// DefaultAutoCompactEvery is the automatic compaction threshold a
+// fresh Monitor starts with: a Compact pass runs once this many
+// commits accumulate since the last pass. It trades compaction work
+// (one pass costs O(live state)) against the transient window of
+// committed-but-unreclaimed transactions a long-lived certifier
+// carries between passes.
+const DefaultAutoCompactEvery = 1024
+
+// CompactStats reports a certifier's transaction-lifecycle counters.
+type CompactStats struct {
+	// Compactions counts Compact passes (manual and automatic).
+	Compactions int
+	// ReclaimedTxns counts transactions physically removed from
+	// certification state.
+	ReclaimedTxns int
+	// ReclaimedOps counts per-conjunct access-log entries reclaimed
+	// (an operation on an item shared by k conjuncts counts k times,
+	// once per graph that logged it).
+	ReclaimedOps int
+	// LiveTxns is the number of transactions currently resident —
+	// uncommitted ones plus committed ones not yet reclaimable.
+	LiveTxns int
+}
+
+// Commit marks the transaction finished: it will issue no further
+// operations and can no longer be retracted (aborts happen to live
+// transactions; a committed one is durable). Committing is what makes
+// a transaction eligible for compaction — see Compact for when the
+// certifier may physically forget it. Committing an unseen transaction
+// is permitted (it is reclaimed on the next pass); committing twice is
+// a no-op. After a violation Commit is a no-op: the monitor is sticky
+// and its graphs are no longer maintained.
+//
+// Once a committed transaction has been compacted away its id must not
+// be reused: the monitor has forgotten it ever existed, so a reused id
+// would be admitted as a brand-new transaction.
+func (m *Monitor) Commit(txnID int) {
+	if m.violation != nil || m.committed[txnID] {
+		return
+	}
+	m.committed[txnID] = true
+	for _, g := range m.graphs {
+		if n, ok := g.txns.Lookup(txnID); ok {
+			g.committed[n] = true
+		}
+	}
+	m.commitsSince++
+	if m.autoEvery > 0 && m.commitsSince >= m.autoEvery {
+		m.Compact()
+	}
+}
+
+// Compact physically reclaims every committed transaction that can no
+// longer participate in any future conflict cycle, and returns how
+// many transactions it removed.
+//
+// The soundness argument is the low-watermark observation: conflict
+// edges are only ever drawn INTO the transaction performing the new
+// operation (from the item's frontier — last writer and readers since
+// — to the operating transaction), so a committed transaction, which
+// by contract never operates again, can never acquire another incoming
+// edge. A committed transaction all of whose conflict-graph ancestors
+// are committed too therefore sits in a region no future edge can
+// enter: a future cycle through it would need a path from some live
+// (or future) transaction into the region, and every edge into the
+// region already exists and originates inside it. Removing the region
+// — nodes, incident edges, frontier entries, access-log entries, and
+// Pearce–Kelly order slots — preserves every future verdict exactly
+// (TestCompactDifferential asserts this against the uncompacted
+// monitor and the ReferenceMonitor rebuild spec). A committed
+// transaction with a live ancestor is retained: it can still appear on
+// a cycle a live transaction closes.
+//
+// Compaction is idempotent between commits and runs automatically
+// every SetAutoCompact commits. After a violation it is a no-op — the
+// verdict is sticky and the violated graphs are kept as evidence.
+func (m *Monitor) Compact() int {
+	m.commitsSince = 0
+	if m.violation != nil {
+		return 0
+	}
+	m.compactions++
+	for _, g := range m.graphs {
+		m.reclaimedOps += g.compact()
+	}
+	removed := 0
+	for id := range m.committed {
+		resident := false
+		for _, g := range m.graphs {
+			if _, ok := g.txns.Lookup(id); ok {
+				resident = true
+				break
+			}
+		}
+		if !resident {
+			delete(m.committed, id)
+			delete(m.opsByTxn, id)
+			removed++
+		}
+	}
+	m.reclaimedTxns += removed
+	return removed
+}
+
+// LiveTxns returns the number of resident transactions: every
+// transaction observed (or probed into existence by Observe) and not
+// yet reclaimed by compaction. Under a steady commit stream this is
+// what stays bounded by the concurrent window while Ops() grows.
+func (m *Monitor) LiveTxns() int { return len(m.opsByTxn) }
+
+// CompactStats snapshots the lifecycle counters.
+func (m *Monitor) CompactStats() CompactStats {
+	return CompactStats{
+		Compactions:   m.compactions,
+		ReclaimedTxns: m.reclaimedTxns,
+		ReclaimedOps:  m.reclaimedOps,
+		LiveTxns:      m.LiveTxns(),
+	}
+}
+
+// SetAutoCompact sets the automatic compaction threshold (a Compact
+// pass per n commits; n ≤ 0 disables automatic compaction) and returns
+// the previous value. The default is DefaultAutoCompactEvery.
+func (m *Monitor) SetAutoCompact(n int) int {
+	old := m.autoEvery
+	m.autoEvery = n
+	return old
+}
+
+// liveTxn reports whether the transaction is still resident (observed
+// and not reclaimed); ShardedMonitor uses it to prune its global
+// counters once a transaction is gone from every shard.
+func (m *Monitor) liveTxn(txnID int) bool {
+	_, ok := m.opsByTxn[txnID]
+	return ok
+}
+
+// compact removes every reclaimable node from the graph — committed,
+// with every ancestor committed — and returns the number of access-log
+// entries reclaimed. The survivors are rebuilt into fresh dense
+// tables: re-interned transaction ids, filtered adjacency, a
+// compressed order preserving the survivors' relative topological
+// positions, filtered per-item logs/frontiers/edge contributions, and
+// remapped edge reference counts.
+//
+// Two invariants make the rebuild a pure filter. First, every
+// in-neighbor of a removed node is removed (that is the fixpoint), so
+// no retained→removed edge exists and dropping removed nodes never
+// disconnects a path between retained nodes. Second, for the same
+// reason a removed entry in an item's access log is never followed by
+// a retained entry that conflicts with an entry before it "through"
+// the removed one — the frontier a removed write absorbed was itself
+// removed — so filtering the log leaves exactly the retained nodes'
+// contributions and never implies a bridge edge.
+func (g *incGraph) compact() int {
+	n := g.txns.Len()
+	if n == 0 {
+		return 0
+	}
+	// One ascending pass over the maintained topological order decides
+	// removability: in-edges always come from earlier positions, so
+	// every ancestor is decided before its descendants.
+	byOrd := make([]int32, n)
+	for u := int32(0); u < int32(n); u++ {
+		byOrd[g.ord[u]] = u
+	}
+	removable := make([]bool, n)
+	removed := 0
+	for _, u := range byOrd {
+		if !g.committed[u] {
+			continue
+		}
+		ok := true
+		for _, x := range g.in[u] {
+			if !removable[x] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			removable[u] = true
+			removed++
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+
+	// Remap survivors to fresh dense ids (first-seen order = old id
+	// order) and compress the topological order.
+	newTxns := intern.NewIDs()
+	remap := make([]int32, n)
+	for u := 0; u < n; u++ {
+		if removable[u] {
+			remap[u] = -1
+		} else {
+			remap[u] = newTxns.ID(g.txns.Orig(int32(u)))
+		}
+	}
+	k := newTxns.Len()
+	newOrd := make([]int32, k)
+	pos := int32(0)
+	for _, u := range byOrd {
+		if nu := remap[u]; nu >= 0 {
+			newOrd[nu] = pos
+			pos++
+		}
+	}
+	newOut := make([][]int32, k)
+	newIn := make([][]int32, k)
+	newCommitted := make([]bool, k)
+	newNodeItems := make([][]int32, k)
+	for u := 0; u < n; u++ {
+		nu := remap[u]
+		if nu < 0 {
+			continue
+		}
+		newOut[nu] = remapNodes(g.out[u], remap)
+		newIn[nu] = remapNodes(g.in[u], remap)
+		newCommitted[nu] = g.committed[u]
+		newNodeItems[nu] = g.nodeItems[u]
+	}
+	newEdgeCount := make(map[uint64]int32, len(g.edgeCount))
+	for key, c := range g.edgeCount {
+		x, y := unpackEdgeKey(key)
+		if nx, ny := remap[x], remap[y]; nx >= 0 && ny >= 0 {
+			// Both endpoints survive, so every item contributing the
+			// edge keeps contributing it: the count carries over.
+			newEdgeCount[edgeKey(nx, ny)] = c
+		}
+	}
+
+	// Filter and remap the per-item state.
+	reclaimed := 0
+	for item := range g.log {
+		lg := g.log[item][:0]
+		for _, a := range g.log[item] {
+			if na := remap[a.node]; na >= 0 {
+				lg = append(lg, access{node: na, action: a.action})
+			} else {
+				reclaimed++
+			}
+		}
+		g.log[item] = shrinkAccesses(lg)
+		if lw := g.lastWriter[item]; lw >= 0 {
+			g.lastWriter[item] = remap[lw]
+		}
+		g.readers[item] = remapNodes(g.readers[item], remap)
+		edges := g.itemEdges[item][:0]
+		for _, key := range g.itemEdges[item] {
+			x, y := unpackEdgeKey(key)
+			if nx, ny := remap[x], remap[y]; nx >= 0 && ny >= 0 {
+				edges = append(edges, edgeKey(nx, ny))
+			}
+		}
+		g.itemEdges[item] = edges
+		if len(edges) > itemEdgeSetThreshold {
+			set := make(map[uint64]struct{}, len(edges))
+			for _, key := range edges {
+				set[key] = struct{}{}
+			}
+			g.itemEdgeSet[item] = set
+		} else {
+			g.itemEdgeSet[item] = nil
+		}
+	}
+
+	g.txns = newTxns
+	g.out, g.in, g.ord = newOut, newIn, newOrd
+	g.committed, g.nodeItems = newCommitted, newNodeItems
+	g.edgeCount = newEdgeCount
+	g.mark = make([]int64, k)
+	g.parent = make([]int32, k)
+	g.markGen = 0
+	g.stack, g.visF, g.visB, g.slots = nil, nil, nil, nil
+	return reclaimed
+}
+
+// remapNodes filters a node list through the remap table, dropping
+// removed nodes and rewriting survivors in place.
+func remapNodes(nodes []int32, remap []int32) []int32 {
+	out := nodes[:0]
+	for _, x := range nodes {
+		if nx := remap[x]; nx >= 0 {
+			out = append(out, nx)
+		}
+	}
+	return shrinkNodes(out)
+}
+
+// shrinkNodes reallocates a slice whose filter left most of its
+// backing array dead, so compaction actually returns memory.
+func shrinkNodes(xs []int32) []int32 {
+	if len(xs) == 0 {
+		return nil
+	}
+	if cap(xs) > 2*len(xs) {
+		return slices.Clone(xs)
+	}
+	return xs
+}
+
+// shrinkAccesses is shrinkNodes for access logs.
+func shrinkAccesses(xs []access) []access {
+	if len(xs) == 0 {
+		return nil
+	}
+	if cap(xs) > 2*len(xs) {
+		return slices.Clone(xs)
+	}
+	return xs
+}

@@ -59,13 +59,38 @@ type Monitor struct {
 	violation *Violation
 	ops       int
 	// opsByTxn counts observed operations per transaction so Retract
-	// can keep Ops() equal to the surviving operation count.
+	// can keep Ops() equal to the surviving operation count. An entry
+	// is removed when the transaction is committed and compacted away,
+	// so len(opsByTxn) is the resident (live) transaction count.
 	opsByTxn map[int]int
+
+	// committed marks transactions whose lifecycle ended (Commit):
+	// they issue no further operations and cannot be retracted. An
+	// entry leaves the map once compaction fully reclaims the
+	// transaction.
+	committed map[int]bool
+	// autoEvery is the automatic compaction threshold: a Compact pass
+	// runs once this many Commit calls accumulate since the last pass
+	// (≤ 0 disables automatic compaction).
+	autoEvery    int
+	commitsSince int
+	// Cumulative compaction counters (see CompactStats).
+	compactions   int
+	reclaimedTxns int
+	reclaimedOps  int
 }
 
-// NewMonitor builds a monitor over the conjunct partition.
+// NewMonitor builds a monitor over the conjunct partition. Automatic
+// compaction is enabled at DefaultAutoCompactEvery (a no-op until
+// Commit is used; see SetAutoCompact).
 func NewMonitor(partition []state.ItemSet) *Monitor {
-	m := &Monitor{partition: partition, items: intern.NewStrings(), opsByTxn: make(map[int]int)}
+	m := &Monitor{
+		partition: partition,
+		items:     intern.NewStrings(),
+		opsByTxn:  make(map[int]int),
+		committed: make(map[int]bool),
+		autoEvery: DefaultAutoCompactEvery,
+	}
 	for range partition {
 		m.graphs = append(m.graphs, newIncGraph())
 	}
@@ -108,7 +133,15 @@ func (m *Monitor) itemID(entity string) int32 {
 // projection acquires a conflict cycle. After a violation every further
 // Observe returns the same violation. Operations on items outside every
 // conjunct are ignored, mirroring Definition 2.
+//
+// Observe panics for a transaction already marked finished by Commit:
+// the compactor relies on committed transactions issuing no further
+// operations (an id reclaimed by a past compaction is no longer
+// detectable, so ids must not be reused — see Commit).
 func (m *Monitor) Observe(o txn.Op) *Violation {
+	if len(m.committed) != 0 && m.committed[o.Txn] {
+		panic(fmt.Sprintf("core: Observe(%v) for committed transaction T%d", o, o.Txn))
+	}
 	m.ops++
 	m.opsByTxn[o.Txn]++
 	if m.violation != nil {
@@ -171,6 +204,9 @@ func (m *Monitor) Retract(txnID int) {
 	if m.violation != nil {
 		panic("core: Retract on a violated monitor")
 	}
+	if m.committed[txnID] {
+		panic(fmt.Sprintf("core: Retract of committed transaction T%d", txnID))
+	}
 	for _, g := range m.graphs {
 		g.retract(txnID)
 	}
@@ -226,6 +262,9 @@ func (m *Monitor) observeSharded(ops txn.Seq) *Violation {
 	itemIDs := make([]int32, len(ops))
 	counts := make([]int, len(m.partition))
 	for i, o := range ops {
+		if len(m.committed) != 0 && m.committed[o.Txn] {
+			panic(fmt.Sprintf("core: Observe(%v) for committed transaction T%d", o, o.Txn))
+		}
 		item := m.itemID(o.Entity)
 		itemIDs[i] = item
 		m.opsByTxn[o.Txn]++
@@ -333,6 +372,10 @@ type incGraph struct {
 	// nodeItems[n] lists the items node n accessed (duplicates allowed;
 	// retract dedups).
 	nodeItems [][]int32
+	// committed[n] marks node n's transaction finished (Commit); the
+	// compactor may reclaim a committed node once every ancestor is
+	// committed too (see incGraph.compact).
+	committed []bool
 
 	// Scratch state for the two-way search, reused across insertions.
 	// markGen is 64-bit so a long-lived certifier (one search per
@@ -362,6 +405,7 @@ func (g *incGraph) node(origTxn int) int32 {
 		g.mark = append(g.mark, 0)
 		g.parent = append(g.parent, -1)
 		g.nodeItems = append(g.nodeItems, nil)
+		g.committed = append(g.committed, false)
 	}
 	return id
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"pwsr/internal/state"
 	"pwsr/internal/txn"
 )
@@ -22,6 +24,17 @@ type ReferenceMonitor struct {
 	// of Monitor.Retract's incremental repair.
 	history  []txn.Op
 	opsByTxn map[int]int
+
+	// committed marks transactions whose lifecycle ended (Commit);
+	// removed[e] holds the transactions compaction has reclaimed from
+	// conjunct e — rebuilds skip their operations, which is the
+	// executable specification of Monitor.Compact's physical removal.
+	committed map[int]bool
+	removed   []map[int]bool
+	// Cumulative lifecycle counters, mirroring Monitor's.
+	compactions   int
+	reclaimedTxns int
+	reclaimedOps  int
 }
 
 // refIncGraph is one conjunct's incremental conflict graph.
@@ -42,9 +55,14 @@ func newRefIncGraph() *refIncGraph {
 // NewReferenceMonitor builds a reference monitor over the conjunct
 // partition.
 func NewReferenceMonitor(partition []state.ItemSet) *ReferenceMonitor {
-	m := &ReferenceMonitor{partition: partition, opsByTxn: make(map[int]int)}
+	m := &ReferenceMonitor{
+		partition: partition,
+		opsByTxn:  make(map[int]int),
+		committed: make(map[int]bool),
+	}
 	for range partition {
 		m.graphs = append(m.graphs, newRefIncGraph())
+		m.removed = append(m.removed, make(map[int]bool))
 	}
 	return m
 }
@@ -59,8 +77,12 @@ func (m *ReferenceMonitor) PWSR() bool { return m.violation == nil }
 func (m *ReferenceMonitor) Violation() *Violation { return m.violation }
 
 // Observe admits one operation, exactly as Monitor.Observe but with the
-// reference data structures.
+// reference data structures. Like Monitor.Observe it panics for a
+// transaction already committed.
 func (m *ReferenceMonitor) Observe(o txn.Op) *Violation {
+	if m.committed[o.Txn] {
+		panic(fmt.Sprintf("core: Observe(%v) for committed transaction T%d", o, o.Txn))
+	}
 	m.ops++
 	m.opsByTxn[o.Txn]++
 	if m.violation != nil {
@@ -86,6 +108,9 @@ func (m *ReferenceMonitor) Retract(txnID int) {
 	if m.violation != nil {
 		panic("core: Retract on a violated reference monitor")
 	}
+	if m.committed[txnID] {
+		panic(fmt.Sprintf("core: Retract of committed transaction T%d", txnID))
+	}
 	kept := m.history[:0]
 	for _, o := range m.history {
 		if o.Txn != txnID {
@@ -93,13 +118,22 @@ func (m *ReferenceMonitor) Retract(txnID int) {
 		}
 	}
 	m.history = kept
+	m.rebuild()
+	m.ops -= m.opsByTxn[txnID]
+	delete(m.opsByTxn, txnID)
+}
+
+// rebuild reconstructs every conjunct graph from the surviving history,
+// skipping operations of transactions compaction removed from that
+// conjunct.
+func (m *ReferenceMonitor) rebuild() {
 	m.graphs = m.graphs[:0]
 	for range m.partition {
 		m.graphs = append(m.graphs, newRefIncGraph())
 	}
 	for _, o := range m.history {
 		for e, d := range m.partition {
-			if !d.Contains(o.Entity) {
+			if !d.Contains(o.Entity) || m.removed[e][o.Txn] {
 				continue
 			}
 			if cycle := m.graphs[e].add(o); cycle != nil {
@@ -107,8 +141,6 @@ func (m *ReferenceMonitor) Retract(txnID int) {
 			}
 		}
 	}
-	m.ops -= m.opsByTxn[txnID]
-	delete(m.opsByTxn, txnID)
 }
 
 // ConflictEdges returns conjunct e's conflict edges, sorted, mirroring
@@ -184,6 +216,112 @@ func (g *refIncGraph) add(o txn.Op) []int {
 		g.writers[o.Entity][o.Txn] = true
 	}
 	return nil
+}
+
+// Commit marks the transaction finished, with Monitor.Commit's
+// contract. The reference monitor never compacts automatically — the
+// spec keeps every decision explicit — so reclamation happens at the
+// next Compact call.
+func (m *ReferenceMonitor) Commit(txnID int) {
+	if m.violation != nil {
+		return
+	}
+	m.committed[txnID] = true
+}
+
+// Compact is the executable specification of Monitor.Compact: per
+// conjunct, a committed transaction is removable when no uncommitted
+// transaction reaches it in the conjunct's conflict graph (computed
+// here by a forward BFS from the uncommitted transactions — the
+// complement of Monitor's ascending-order fixpoint, deciding exactly
+// the same set); the removable transactions join the conjunct's
+// removed set and every graph is rebuilt from the history minus the
+// removed transactions' operations. Returns the number of
+// transactions fully reclaimed.
+func (m *ReferenceMonitor) Compact() int {
+	if m.violation != nil {
+		return 0
+	}
+	m.compactions++
+	changed := false
+	for e, d := range m.partition {
+		// Transactions still present in conjunct e.
+		present := make(map[int]bool)
+		for _, o := range m.history {
+			if d.Contains(o.Entity) && !m.removed[e][o.Txn] {
+				present[o.Txn] = true
+			}
+		}
+		// Everything an uncommitted transaction reaches is pinned.
+		pinned := make(map[int]bool)
+		var queue []int
+		for t := range present {
+			if !m.committed[t] {
+				pinned[t] = true
+				queue = append(queue, t)
+			}
+		}
+		g := m.graphs[e]
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := range g.adj[u] {
+				if !pinned[v] {
+					pinned[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		for t := range present {
+			if m.committed[t] && !pinned[t] {
+				m.removed[e][t] = true
+				changed = true
+				for _, o := range m.history {
+					if o.Txn == t && d.Contains(o.Entity) {
+						m.reclaimedOps++
+					}
+				}
+			}
+		}
+	}
+	if changed {
+		m.rebuild()
+	}
+	// A committed transaction resident in no conjunct is fully
+	// reclaimed.
+	resident := make(map[int]bool)
+	for _, o := range m.history {
+		for e, d := range m.partition {
+			if d.Contains(o.Entity) && !m.removed[e][o.Txn] {
+				resident[o.Txn] = true
+			}
+		}
+	}
+	reclaimed := 0
+	for id := range m.committed {
+		if !resident[id] {
+			delete(m.committed, id)
+			delete(m.opsByTxn, id)
+			reclaimed++
+		}
+	}
+	m.reclaimedTxns += reclaimed
+	return reclaimed
+}
+
+// LiveTxns returns the resident transaction count, mirroring
+// Monitor.LiveTxns.
+func (m *ReferenceMonitor) LiveTxns() int { return len(m.opsByTxn) }
+
+// CompactStats snapshots the lifecycle counters, mirroring
+// Monitor.CompactStats.
+func (m *ReferenceMonitor) CompactStats() CompactStats {
+	return CompactStats{
+		Compactions:   m.compactions,
+		ReclaimedTxns: m.reclaimedTxns,
+		ReclaimedOps:  m.reclaimedOps,
+		LiveTxns:      m.LiveTxns(),
+	}
 }
 
 // path returns a path from src to dst in the conflict graph (inclusive

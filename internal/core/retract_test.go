@@ -246,8 +246,13 @@ func TestRetractAfterViolationPanics(t *testing.T) {
 }
 
 // TestRetractUnderCertifiedExecution closes the loop with the engine:
-// run a certified schedule, retract a mid-flight transaction, and check
-// the monitor equals a fresh replay of the surviving prefix.
+// run a certified schedule, replay it into a monitor, retract one of
+// its transactions, and check the monitor equals a fresh replay of the
+// surviving prefix. (The gate's own monitor commits transactions as
+// they finish — retracting a committed transaction is a lifecycle
+// contract violation — so the retraction runs on a replay monitor
+// holding the same certified schedule with every transaction still
+// live.)
 func TestRetractUnderCertifiedExecution(t *testing.T) {
 	rng := rand.New(rand.NewSource(72))
 	checked := 0
@@ -265,7 +270,10 @@ func TestRetractUnderCertifiedExecution(t *testing.T) {
 		if err != nil {
 			continue // stalls are exercised elsewhere
 		}
-		mon := gate.Monitor()
+		mon := core.NewMonitor(w.DataSets)
+		if v := mon.ObserveAll(res.Schedule); v != nil {
+			t.Fatalf("trial %d: certified schedule violated on replay: %v", trial, v)
+		}
 		victim := res.Schedule.TxnIDs()[rng.Intn(len(res.Schedule.TxnIDs()))]
 		mon.Retract(victim)
 		var survivors []txn.Op

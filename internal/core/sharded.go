@@ -67,6 +67,20 @@ type ShardedMonitor struct {
 	// hit path is one atomic load plus a map lookup, only a
 	// first-seen transaction takes routeMu.
 	txnOps atomic.Pointer[map[int]*atomic.Int64]
+	// Lifecycle state for the multi-shard mode (the single-shard fast
+	// path delegates wholly to the inner monitor's lifecycle).
+	// committed, commitsSince, and autoEvery are guarded by routeMu;
+	// compactMu serializes Compact passes; watermark is the highest
+	// committed transaction id (CAS-maxed, monotone); compactions and
+	// reclaimedTxns are the sharded-level lifecycle counters.
+	committed     map[int]bool
+	commitsSince  int
+	autoEvery     int
+	compactMu     sync.Mutex
+	watermark     atomic.Int64
+	compactions   atomic.Int64
+	reclaimedTxns atomic.Int64
+
 	// single short-circuits the one-shard configuration: routing is
 	// pointless (the shard's Monitor routes over the whole partition
 	// itself) and the inner monitor's own op counters are exact, so
@@ -135,6 +149,8 @@ func NewShardedMonitor(partition []state.ItemSet, shards int) *ShardedMonitor {
 		router:    intern.NewShared(),
 		shardOf:   make([]int32, len(partition)),
 		single:    shards == 1,
+		committed: make(map[int]bool),
+		autoEvery: DefaultAutoCompactEvery,
 	}
 	empty := make([]routeShards, 0)
 	m.routes.Store(&empty)
@@ -150,6 +166,14 @@ func NewShardedMonitor(partition []state.ItemSet, shards int) *ShardedMonitor {
 		})
 		for e := lo; e < hi; e++ {
 			m.shardOf[e] = int32(s)
+		}
+	}
+	if !m.single {
+		// The sharded level owns the compaction cadence: per-shard
+		// passes must be paired with the global counter pruning below,
+		// so the inner monitors' own automatic triggers are disabled.
+		for _, sh := range m.shards {
+			sh.mon.SetAutoCompact(0)
 		}
 	}
 	return m
@@ -367,6 +391,194 @@ func (m *ShardedMonitor) Retract(txnID int) {
 	}
 	m.txnOps.Store(&next)
 }
+
+// Commit marks the transaction finished with Monitor.Commit's
+// contract, safe for concurrent callers: the global watermark is
+// CAS-maxed, every shard's monitor marks the transaction under its
+// lock (a shard that never saw the transaction records the commit so
+// its next compaction can discard the mark), and once the configured
+// number of commits accumulates a sharded Compact pass runs. Marking
+// every shard costs one lock round per shard per commit — a bounded,
+// deliberate trade: commits are one call per transaction against many
+// ops, and routing state does not record which shards a transaction
+// touched.
+func (m *ShardedMonitor) Commit(txnID int) {
+	if m.violation.Load() != nil {
+		// The commit is a no-op everywhere, so the watermark should
+		// not claim it. Best-effort only: a violation published by a
+		// concurrent Observe after this check can still let the CAS
+		// through — see the Watermark doc.
+		return
+	}
+	for {
+		w := m.watermark.Load()
+		if int64(txnID) <= w || m.watermark.CompareAndSwap(w, int64(txnID)) {
+			break
+		}
+	}
+	if m.single {
+		sh := m.shards[0]
+		sh.mu.Lock()
+		sh.mon.Commit(txnID)
+		sh.mu.Unlock()
+		return
+	}
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		sh.mon.Commit(txnID)
+		sh.mu.Unlock()
+	}
+	m.routeMu.Lock()
+	if !m.committed[txnID] {
+		m.committed[txnID] = true
+		m.commitsSince++
+	}
+	trigger := m.autoEvery > 0 && m.commitsSince >= m.autoEvery
+	if trigger {
+		m.commitsSince = 0
+	}
+	m.routeMu.Unlock()
+	if trigger {
+		m.Compact()
+	}
+}
+
+// Compact runs Monitor.Compact on every shard under its lock, then
+// prunes the global per-transaction counters of committed transactions
+// no shard still holds — the sharded reading of the low-watermark
+// reclamation (see Monitor.Compact for the soundness argument; it
+// applies shard by shard because shards share no conflict edges).
+// Passes are serialized against each other but run concurrently with
+// Observe/Admissible/Retract traffic: each shard compacts atomically
+// under its own lock. Returns the number of transactions fully
+// reclaimed.
+func (m *ShardedMonitor) Compact() int {
+	if m.single {
+		sh := m.shards[0]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		return sh.mon.Compact()
+	}
+	m.compactMu.Lock()
+	defer m.compactMu.Unlock()
+	if m.violation.Load() != nil {
+		return 0
+	}
+	m.compactions.Add(1)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		sh.mon.Compact()
+		sh.mu.Unlock()
+	}
+	m.routeMu.Lock()
+	// A manual pass defers the next automatic one by a full interval,
+	// mirroring Monitor.Compact's cadence.
+	m.commitsSince = 0
+	ids := make([]int, 0, len(m.committed))
+	for id := range m.committed {
+		ids = append(ids, id)
+	}
+	m.routeMu.Unlock()
+	// One locked pass per shard tests every candidate id — not one
+	// lock round per (id, shard) pair — so the residency scan costs at
+	// most len(shards) acquisitions against the admission traffic.
+	resident := make(map[int]bool, len(ids))
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for _, id := range ids {
+			if !resident[id] && sh.mon.liveTxn(id) {
+				resident[id] = true
+			}
+		}
+		sh.mu.Unlock()
+	}
+	var gone []int
+	for _, id := range ids {
+		if !resident[id] {
+			gone = append(gone, id)
+		}
+	}
+	if len(gone) > 0 {
+		m.routeMu.Lock()
+		cur := *m.txnOps.Load()
+		next := make(map[int]*atomic.Int64, len(cur))
+		for k, v := range cur {
+			next[k] = v
+		}
+		for _, id := range gone {
+			delete(next, id)
+			delete(m.committed, id)
+		}
+		m.txnOps.Store(&next)
+		m.routeMu.Unlock()
+		m.reclaimedTxns.Add(int64(len(gone)))
+	}
+	return len(gone)
+}
+
+// LiveTxns returns the resident transaction count, mirroring
+// Monitor.LiveTxns.
+func (m *ShardedMonitor) LiveTxns() int {
+	if m.single {
+		sh := m.shards[0]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		return sh.mon.LiveTxns()
+	}
+	return len(*m.txnOps.Load())
+}
+
+// CompactStats snapshots the lifecycle counters: the sharded-level
+// pass and reclamation counts plus the shards' summed reclaimed log
+// entries.
+func (m *ShardedMonitor) CompactStats() CompactStats {
+	if m.single {
+		sh := m.shards[0]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		return sh.mon.CompactStats()
+	}
+	st := CompactStats{
+		Compactions:   int(m.compactions.Load()),
+		ReclaimedTxns: int(m.reclaimedTxns.Load()),
+		LiveTxns:      len(*m.txnOps.Load()),
+	}
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		st.ReclaimedOps += sh.mon.CompactStats().ReclaimedOps
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// SetAutoCompact sets the automatic compaction threshold (a sharded
+// Compact pass per n commits; n ≤ 0 disables) and returns the previous
+// value.
+func (m *ShardedMonitor) SetAutoCompact(n int) int {
+	if m.single {
+		sh := m.shards[0]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		return sh.mon.SetAutoCompact(n)
+	}
+	m.routeMu.Lock()
+	defer m.routeMu.Unlock()
+	old := m.autoEvery
+	m.autoEvery = n
+	return old
+}
+
+// Watermark returns the highest committed transaction id (0 before
+// any commit). It is a high-watermark of commits: a transaction with
+// a lower id may still be live when completion is not id-ordered, so
+// it bounds where committed work has reached, not what has finished.
+// Only a caller that commits in id order may read it as the classic
+// everything-at-or-below-is-durable low-watermark — and only on a
+// violation-free run: a Commit racing the first violation may advance
+// the watermark even though the monitors discarded the mark, so after
+// a violation the watermark is meaningless along with the rest of the
+// frozen lifecycle state.
+func (m *ShardedMonitor) Watermark() int { return int(m.watermark.Load()) }
 
 // ConflictEdges returns conjunct e's current conflict edges as
 // original transaction-id pairs, sorted, by delegating to the owning

@@ -21,6 +21,31 @@
 // contending for a shard order through its lock (the fence), and a
 // batch feed pipelines epochs across shard goroutines, merging
 // verdicts at each epoch boundary.
+//
+// # Transaction lifecycle and bounded memory
+//
+// Both certifiers carry first-class transaction lifecycle so a
+// long-lived service's certification state stays bounded by the
+// concurrent window rather than growing with the stream: Commit marks
+// a transaction finished, and Compact (run automatically every
+// SetAutoCompact commits) physically reclaims every committed
+// transaction no future cycle can reach. The soundness argument is
+// the low-watermark observation online checkers rest on: a conflict
+// edge is only ever drawn INTO the transaction performing the new
+// operation, so a committed transaction — which never operates again
+// — can never acquire another incoming edge. A committed transaction
+// whose conflict-graph ancestors are all committed therefore sits in
+// a region no future edge can enter (every edge into the region
+// already exists and originates inside it), and no future cycle can
+// pass through it: erasing the region's nodes, edges, frontier
+// entries, access logs, and order slots preserves every future
+// verdict exactly. A committed transaction with a live ancestor is
+// retained — a path from a live transaction into it exists, so it can
+// still sit on a cycle that live transaction closes. Violations are
+// sticky across compaction, and the ReferenceMonitor carries the
+// rebuild-from-surviving-history specification the differential tests
+// (TestCompactDifferential, pwsrfuzz -mode compact, FuzzCommitCompact)
+// replay against.
 package core
 
 import (

@@ -255,6 +255,32 @@ type ShardReporter interface {
 	ShardStats() []ShardStat
 }
 
+// CompactStats is a certifying policy's transaction-lifecycle
+// counters, as reported by a policy whose certifier commits finished
+// transactions and compacts them away (the sched certification gates
+// over core.Monitor/core.ShardedMonitor).
+type CompactStats struct {
+	// Compactions counts compaction passes the certifier ran.
+	Compactions int
+	// ReclaimedTxns counts transactions physically reclaimed from
+	// certification state.
+	ReclaimedTxns int
+	// ReclaimedOps counts certifier access-log entries reclaimed.
+	ReclaimedOps int
+	// LiveTxns is the certifier's resident transaction count when the
+	// snapshot was taken.
+	LiveTxns int
+}
+
+// CompactionReporter is an optional Policy extension: a certifying
+// policy with transaction lifecycle reports its compaction counters,
+// which the engine copies into Metrics at the end of a run.
+type CompactionReporter interface {
+	Policy
+	// CompactionStats snapshots the lifecycle counters.
+	CompactionStats() CompactStats
+}
+
 // Metrics aggregates virtual-clock measurements of a run. The clock
 // ticks once per granted operation.
 type Metrics struct {
@@ -276,6 +302,16 @@ type Metrics struct {
 	// Shards holds per-shard certification counters when the policy
 	// implements ShardReporter; nil otherwise.
 	Shards []ShardStat
+	// Compactions, ReclaimedTxns, ReclaimedOps, and LiveTxns report the
+	// certifier's transaction-lifecycle counters at the end of the run
+	// when the policy implements CompactionReporter; zero otherwise.
+	// LiveTxns is the certifier's residual population — for a policy
+	// reused across sequential runs it measures what the stream's
+	// history still costs, the number the compactor keeps bounded.
+	Compactions   int
+	ReclaimedTxns int
+	ReclaimedOps  int
+	LiveTxns      int
 }
 
 // TxnMetrics is per-transaction timing.
@@ -685,6 +721,13 @@ func Run(cfg Config) (*Result, error) {
 
 	if sr, ok := cfg.Policy.(ShardReporter); ok {
 		metrics.Shards = sr.ShardStats()
+	}
+	if cr, ok := cfg.Policy.(CompactionReporter); ok {
+		st := cr.CompactionStats()
+		metrics.Compactions = st.Compactions
+		metrics.ReclaimedTxns = st.ReclaimedTxns
+		metrics.ReclaimedOps = st.ReclaimedOps
+		metrics.LiveTxns = st.LiveTxns
 	}
 	return &Result{
 		Schedule: txn.NewSchedule(ops...),

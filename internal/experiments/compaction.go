@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+
+	"pwsr/internal/core"
+	"pwsr/internal/sim"
+	"pwsr/internal/state"
+	"pwsr/internal/txn"
+)
+
+// CompactionRecord is one sample of the PERF7 memory study, in the
+// machine-readable shape cmd/pwsrbench writes to BENCH_compact.json:
+// the same windowed admission stream fed to a compacting monitor
+// (Commit on retirement, automatic Compact) and to an uncompacted
+// baseline, with the resident-transaction and heap curves of both.
+type CompactionRecord struct {
+	// Ops is the admitted-operation count at the sample point.
+	Ops int `json:"ops"`
+	// LiveTxnsCompact/LiveTxnsBaseline are the monitors' resident
+	// transaction counts — the compacting curve must stay O(window)
+	// while the baseline grows O(n).
+	LiveTxnsCompact  int `json:"live_txns_compact"`
+	LiveTxnsBaseline int `json:"live_txns_baseline"`
+	// HeapCompact/HeapBaseline are runtime.MemStats.HeapAlloc after a
+	// forced GC at the sample point of each monitor's pass (the passes
+	// run separately so each heap figure isolates one monitor).
+	HeapCompact  uint64 `json:"heap_compact_bytes"`
+	HeapBaseline uint64 `json:"heap_baseline_bytes"`
+	// ReclaimedOps and Compactions are the compacting monitor's
+	// cumulative lifecycle counters at the sample point.
+	ReclaimedOps int `json:"reclaimed_ops"`
+	Compactions  int `json:"compactions"`
+}
+
+// compactionSample is one pass's measurement at a sample point.
+type compactionSample struct {
+	ops         int
+	live        int
+	heap        uint64
+	reclaimed   int
+	compactions int
+}
+
+// compactionPass streams a windowed workload through one monitor:
+// window transactions are open at any time, each with a bounded op
+// budget on its home conjunct (plus occasional cross-conjunct
+// traffic), gated by the monitor's own Admissible preflight the way a
+// certification scheduler would gate it; a denied or exhausted
+// transaction retires — Commit when compacting — and a fresh id opens
+// in its slot. Decisions depend only on the monitor's verdicts, which
+// compaction provably preserves, so the compacting and baseline passes
+// admit identical streams (CompactionStudy re-checks this).
+func compactionPass(compacting bool, totalOps, window int, partition []state.ItemSet, items [][]string, seed int64, samples int) []compactionSample {
+	rng := rand.New(rand.NewSource(seed))
+	m := core.NewMonitor(partition)
+	if compacting {
+		m.SetAutoCompact(4 * window)
+	} else {
+		m.SetAutoCompact(0)
+	}
+	const lifetime = 16
+	type slot struct {
+		id     int
+		budget int
+	}
+	open := make([]slot, window)
+	nextID := 1
+	for i := range open {
+		open[i] = slot{id: nextID, budget: lifetime}
+		nextID++
+	}
+	retire := func(i int) {
+		if compacting {
+			m.Commit(open[i].id)
+		}
+		open[i] = slot{id: nextID, budget: lifetime}
+		nextID++
+	}
+	conjunctOf := func(id int) int { return id % len(partition) }
+
+	every := max(1, totalOps/samples)
+	out := make([]compactionSample, 0, samples)
+	sample := func(ops int) {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		st := m.CompactStats()
+		out = append(out, compactionSample{
+			ops:         ops,
+			live:        m.LiveTxns(),
+			heap:        ms.HeapAlloc,
+			reclaimed:   st.ReclaimedOps,
+			compactions: st.Compactions,
+		})
+	}
+	ops := 0
+	for ops < totalOps {
+		i := rng.Intn(window)
+		c := conjunctOf(open[i].id)
+		if rng.Intn(8) == 0 {
+			c = rng.Intn(len(partition))
+		}
+		item := items[c][rng.Intn(len(items[c]))]
+		o := txn.R(open[i].id, item, 0)
+		if rng.Intn(2) == 0 {
+			o = txn.W(open[i].id, item, 0)
+		}
+		if m.Admissible(o) {
+			if v := m.Observe(o); v != nil {
+				panic(fmt.Sprintf("experiments: certified admission violated: %v", v))
+			}
+			ops++
+			open[i].budget--
+			if ops%every == 0 {
+				sample(ops)
+			}
+		} else {
+			// A denied operation retires the transaction, like a
+			// certifier aborting-or-finishing it.
+			open[i].budget = 0
+		}
+		if open[i].budget <= 0 {
+			retire(i)
+		}
+	}
+	return out
+}
+
+// CompactionStudy is the PERF7 experiment: the same windowed admission
+// stream through a compacting and an uncompacted monitor, sampled at
+// regular op counts. It returns the rendered table plus the
+// machine-readable records and errors out if the two passes ever
+// disagree (they cannot: compaction preserves every verdict).
+func CompactionStudy(totalOps, window int, seed int64) (*sim.Table, []CompactionRecord, error) {
+	const conjuncts, itemsPer, samples = 8, 4, 20
+	partition := make([]state.ItemSet, conjuncts)
+	items := make([][]string, conjuncts)
+	for c := range partition {
+		partition[c] = state.NewItemSet()
+		for i := 0; i < itemsPer; i++ {
+			name := fmt.Sprintf("c%d_x%d", c, i)
+			partition[c].Add(name)
+			items[c] = append(items[c], name)
+		}
+	}
+
+	compact := compactionPass(true, totalOps, window, partition, items, seed, samples)
+	baseline := compactionPass(false, totalOps, window, partition, items, seed, samples)
+	if len(compact) != len(baseline) {
+		return nil, nil, fmt.Errorf("experiments: pass divergence: %d vs %d samples", len(compact), len(baseline))
+	}
+
+	t := &sim.Table{
+		Title: "PERF7 — commit-and-compact memory study (windowed admission stream)",
+		Columns: []string{
+			"ops", "live txns (compact)", "live txns (baseline)",
+			"heap MiB (compact)", "heap MiB (baseline)", "reclaimed ops", "compactions",
+		},
+		Notes: []string{
+			fmt.Sprintf("stream: %d admitted ops, window %d transactions over %d conjuncts × %d items, auto-compact every %d commits",
+				totalOps, window, conjuncts, itemsPer, 4*window),
+			"identical admission decisions in both passes (compaction preserves verdicts); heap is HeapAlloc after forced GC, measured in separate passes",
+		},
+	}
+	records := make([]CompactionRecord, 0, len(compact))
+	for i, cs := range compact {
+		bs := baseline[i]
+		if cs.ops != bs.ops {
+			return nil, nil, fmt.Errorf("experiments: pass divergence at sample %d: %d vs %d ops", i, cs.ops, bs.ops)
+		}
+		rec := CompactionRecord{
+			Ops:              cs.ops,
+			LiveTxnsCompact:  cs.live,
+			LiveTxnsBaseline: bs.live,
+			HeapCompact:      cs.heap,
+			HeapBaseline:     bs.heap,
+			ReclaimedOps:     cs.reclaimed,
+			Compactions:      cs.compactions,
+		}
+		records = append(records, rec)
+		t.AddRow(
+			fmt.Sprintf("%d", rec.Ops),
+			fmt.Sprintf("%d", rec.LiveTxnsCompact),
+			fmt.Sprintf("%d", rec.LiveTxnsBaseline),
+			fmt.Sprintf("%.1f", float64(rec.HeapCompact)/(1<<20)),
+			fmt.Sprintf("%.1f", float64(rec.HeapBaseline)/(1<<20)),
+			fmt.Sprintf("%d", rec.ReclaimedOps),
+			fmt.Sprintf("%d", rec.Compactions),
+		)
+	}
+	return t, records, nil
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+// TestCompactionStudy runs a scaled-down PERF7 pass and asserts the
+// study's headline shape: the compacting monitor's resident population
+// stays O(window) while the baseline's grows with the stream, and the
+// samples are internally consistent.
+func TestCompactionStudy(t *testing.T) {
+	const totalOps, window = 40000, 32
+	tab, records, err := CompactionStudy(totalOps, window, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab == nil || len(records) == 0 {
+		t.Fatal("empty study")
+	}
+	last := records[len(records)-1]
+	if last.Ops < totalOps {
+		t.Fatalf("final sample at %d ops, want ≥ %d", last.Ops, totalOps)
+	}
+	// The compacting curve is bounded by the window plus the
+	// compaction lag (auto-compact fires every 4×window commits).
+	bound := window + 4*window + window
+	for _, r := range records {
+		if r.LiveTxnsCompact > bound {
+			t.Fatalf("compacting monitor at %d ops holds %d transactions, bound %d", r.Ops, r.LiveTxnsCompact, bound)
+		}
+		if r.LiveTxnsBaseline < r.LiveTxnsCompact {
+			t.Fatalf("baseline at %d ops holds %d < compacting %d", r.Ops, r.LiveTxnsBaseline, r.LiveTxnsCompact)
+		}
+	}
+	// The baseline grows with the stream: by the end it must dwarf the
+	// compacting population.
+	if last.LiveTxnsBaseline < 10*last.LiveTxnsCompact {
+		t.Fatalf("baseline population %d does not dominate compacting %d — stream too short or turnover broken",
+			last.LiveTxnsBaseline, last.LiveTxnsCompact)
+	}
+	if last.ReclaimedOps == 0 || last.Compactions == 0 {
+		t.Fatal("compacting pass never compacted")
+	}
+	// Monotone ops across samples.
+	for i := 1; i < len(records); i++ {
+		if records[i].Ops <= records[i-1].Ops {
+			t.Fatalf("non-monotone sample ops: %d then %d", records[i-1].Ops, records[i].Ops)
+		}
+	}
+}

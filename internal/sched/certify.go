@@ -63,8 +63,34 @@ func (c *Certify) Pick(pending []*exec.Request, v *exec.View) int {
 	return idx[inner]
 }
 
-// TxnFinished implements exec.Policy.
-func (c *Certify) TxnFinished(id int, v *exec.View) { c.Inner.TxnFinished(id, v) }
+// TxnFinished implements exec.Policy: the finished transaction is
+// committed to the certifier — it will issue no further operations, so
+// the monitor's compactor may reclaim its certification state once no
+// future cycle can reach it (see core.Monitor.Compact). Without this
+// signal the monitor would retain every finished transaction forever
+// and a long-lived gate's memory would grow with the stream.
+func (c *Certify) TxnFinished(id int, v *exec.View) {
+	c.mon.Commit(id)
+	c.Inner.TxnFinished(id, v)
+}
+
+// CompactionStats implements exec.CompactionReporter: the certifier's
+// lifecycle counters, surfaced in the engine's run metrics.
+func (c *Certify) CompactionStats() exec.CompactStats {
+	return compactionStats(c.mon)
+}
+
+// compactionStats converts a certifier's lifecycle counters to the
+// engine's metrics shape (shared by every certification gate).
+func compactionStats(mon Certifier) exec.CompactStats {
+	st := mon.CompactStats()
+	return exec.CompactStats{
+		Compactions:   st.Compactions,
+		ReclaimedTxns: st.ReclaimedTxns,
+		ReclaimedOps:  st.ReclaimedOps,
+		LiveTxns:      st.LiveTxns,
+	}
+}
 
 // requestOp views a pending request as an operation for the monitor,
 // which ignores values and positions.

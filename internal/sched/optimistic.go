@@ -150,7 +150,11 @@ func newOptimisticCertify(mon Certifier, inner exec.Policy, victim VictimPolicy)
 // Monitor exposes the gate's certifier (for inspection after a run).
 func (c *OptimisticCertify) Monitor() Certifier { return c.mon }
 
-// Aborts returns how many times each transaction was sacrificed.
+// Aborts returns how many times each still-live transaction has been
+// sacrificed. A finished transaction's counter is dropped with the
+// rest of its lifecycle state (see TxnFinished), so for post-run
+// inspection use the engine's Metrics.PerTxn[id].Aborts, which the
+// engine accumulates durably.
 func (c *OptimisticCertify) Aborts() map[int]int { return c.aborts }
 
 // Pick implements exec.Policy like Certify.Pick, with the cascadeless
@@ -307,10 +311,24 @@ func (c *OptimisticCertify) TxnAborted(id int, v *exec.View) {
 	}
 }
 
-// TxnFinished implements exec.Policy.
+// TxnFinished implements exec.Policy: the finished transaction is
+// committed to the certifier so the compactor may reclaim it (see
+// Certify.TxnFinished), and the gate's own per-transaction lifecycle
+// state — abort counts, phase marks — is dropped with it. A finished
+// transaction is durable: it can never be a victim again, so keeping
+// its counters would only leak memory across a long stream.
 func (c *OptimisticCertify) TxnFinished(id int, v *exec.View) {
 	if id == c.solo {
 		c.solo = 0
 	}
+	c.mon.Commit(id)
+	delete(c.aborts, id)
+	delete(c.phase, id)
 	c.Inner.TxnFinished(id, v)
+}
+
+// CompactionStats implements exec.CompactionReporter: the certifier's
+// lifecycle counters, surfaced in the engine's run metrics.
+func (c *OptimisticCertify) CompactionStats() exec.CompactStats {
+	return compactionStats(c.mon)
 }

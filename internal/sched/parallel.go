@@ -22,6 +22,17 @@ type Certifier interface {
 	// Retract rolls every observed operation of the transaction out of
 	// certification state.
 	Retract(txnID int)
+	// Commit marks the transaction finished: no further operations, no
+	// retraction, eligible for compaction.
+	Commit(txnID int)
+	// Compact physically reclaims committed transactions no future
+	// cycle can reach, returning how many were removed.
+	Compact() int
+	// CompactStats snapshots the lifecycle counters.
+	CompactStats() core.CompactStats
+	// SetAutoCompact sets the automatic compaction threshold (passes
+	// per n commits; n ≤ 0 disables), returning the previous value.
+	SetAutoCompact(n int) int
 	// PWSR reports whether everything observed so far is PWSR.
 	PWSR() bool
 	// Violation returns the first violation, or nil.

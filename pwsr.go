@@ -193,8 +193,17 @@ func TxnState(s *Schedule, d ItemSet, order []int, i int, initial DB) DB {
 
 // Monitor is the online PWSR certifier: feed it operations one at a
 // time and it reports the first operation that makes some conjunct's
-// projection non-serializable.
+// projection non-serializable. It carries full transaction lifecycle:
+// Retract rolls an aborted transaction out, Commit marks one
+// finished, and Compact physically reclaims committed transactions no
+// future conflict cycle can reach, so a long-lived certifier's memory
+// stays bounded by the concurrent window.
 type Monitor = core.Monitor
+
+// CompactStats reports a certifier's transaction-lifecycle counters
+// (compaction passes, reclaimed transactions and log entries, and the
+// resident population).
+type CompactStats = core.CompactStats
 
 // NewMonitor builds an online PWSR monitor over a conjunct partition.
 func NewMonitor(partition []ItemSet) *Monitor { return core.NewMonitor(partition) }
@@ -202,7 +211,9 @@ func NewMonitor(partition []ItemSet) *Monitor { return core.NewMonitor(partition
 // ShardedMonitor is the concurrent PWSR certifier: the conjunct
 // partition is split across independent monitor shards behind
 // per-shard locks, so operations on disjoint shards certify in
-// parallel while staying observationally identical to Monitor.
+// parallel while staying observationally identical to Monitor —
+// transaction lifecycle included (Commit/Compact run per shard, with
+// a CAS-maxed global commit watermark).
 type ShardedMonitor = core.ShardedMonitor
 
 // NewShardedMonitor builds a sharded monitor over a conjunct
