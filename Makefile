@@ -25,6 +25,15 @@ bench:
 		-benchmem -count=6 -json | tee BENCH_monitor.json
 	$(GO) run ./cmd/pwsrbench -section sharded -cpu 1,2,4,8 -benchout BENCH_sharded.json
 	$(GO) run ./cmd/pwsrbench -section compact -compactout BENCH_compact.json
+	$(MAKE) bench-hotpath
+
+# bench-hotpath regenerates the PERF8 admission hot-path study alone:
+# the scheduler-tick probe loop with the generation-invalidated probe
+# cache on and off, across monitor variants and abort-churn regimes,
+# writing the machine-readable BENCH_hotpath.json.
+.PHONY: bench-hotpath
+bench-hotpath:
+	$(GO) run ./cmd/pwsrbench -section hotpath -hotpathout BENCH_hotpath.json
 
 # bench-cpu is the PERF6 scaling sweep: the sharded-monitor and
 # lock-free-intern families across GOMAXPROCS widths, plus the
@@ -56,12 +65,17 @@ test:
 # (TestCompactDifferential, TestShardedCompactConcurrent), which are
 # not -short-gated; -short on the race passes skips only the 1M-op
 # soak (that lives in `make soak` and in the un-raced tier-1 suite).
+# The final leg re-runs the TestZeroAlloc* pins without the race
+# detector (whose instrumentation allocates, so the pins self-skip
+# under -race): an allocation regression on the steady-state
+# Observe/Admissible hot path fails CI here, not just benchmarks.
 .PHONY: check
 check:
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
 	GOMAXPROCS=1 $(GO) test -race -short -count=1 ./internal/core ./internal/sched ./internal/exec
 	GOMAXPROCS=8 $(GO) test -race -short -count=1 ./internal/core ./internal/sched ./internal/exec
+	$(GO) test -run 'TestZeroAlloc' -count=1 ./internal/core
 
 # soak is the long-run bounded-memory test: ≥ 1M operations through a
 # single OptimisticCertify gate with the transaction lifecycle on,

@@ -16,13 +16,19 @@
 //   - PERF7   — commit-and-compact memory study: a 1M-op windowed
 //     admission stream through a compacting monitor against the
 //     uncompacted baseline (section "compact"; `-compactout` writes
-//     the machine-readable BENCH_compact.json curve).
+//     the machine-readable BENCH_compact.json curve),
+//   - PERF8   — admission hot-path study: the scheduler-tick probe
+//     loop with the generation-invalidated probe cache on and off,
+//     across monitor variants and abort-churn regimes (section
+//     "hotpath"; `-hotpathout` writes the machine-readable
+//     BENCH_hotpath.json records).
 //
 // Usage:
 //
 //	pwsrbench [-trials 200] [-seed 1] [-quick] [-figures] [-section all]
 //	          [-cpu 1,2,4,8] [-benchout BENCH_sharded.json]
 //	          [-compactout BENCH_compact.json]
+//	          [-hotpathout BENCH_hotpath.json]
 package main
 
 import (
@@ -45,10 +51,11 @@ func main() {
 		seed       = flag.Int64("seed", 1, "base seed")
 		quick      = flag.Bool("quick", false, "smaller sweeps and campaigns")
 		figures    = flag.Bool("figures", true, "print the worked figure illustrations")
-		section    = flag.String("section", "all", "one of: all, examples, theorems, exhaustive, figures, perf, sharded, compact")
+		section    = flag.String("section", "all", "one of: all, examples, theorems, exhaustive, figures, perf, sharded, compact, hotpath")
 		cpu        = flag.String("cpu", "1,2,4,8", "comma-separated GOMAXPROCS widths for the PERF6 sweep")
 		benchout   = flag.String("benchout", "", "write the PERF6 records as JSON to this file")
 		compactout = flag.String("compactout", "", "write the PERF7 records as JSON to this file")
+		hotpathout = flag.String("hotpathout", "", "write the PERF8 records as JSON to this file")
 	)
 	flag.Parse()
 
@@ -60,7 +67,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pwsrbench:", err)
 		os.Exit(1)
 	}
-	if err := run(*trials, *seed, *figures, *section, *quick, cpus, *benchout, *compactout); err != nil {
+	if err := run(*trials, *seed, *figures, *section, *quick, cpus, *benchout, *compactout, *hotpathout); err != nil {
 		fmt.Fprintln(os.Stderr, "pwsrbench:", err)
 		os.Exit(1)
 	}
@@ -90,6 +97,20 @@ type shardedBenchFile struct {
 	Records  []experiments.ShardedScalingRecord `json:"records"`
 }
 
+// hotpathBenchFile is the JSON record set written for the PERF8
+// admission hot-path study: probe-cache on/off passes per monitor
+// variant and workload regime.
+type hotpathBenchFile struct {
+	Go       string                      `json:"go"`
+	GOOS     string                      `json:"goos"`
+	GOARCH   string                      `json:"goarch"`
+	HostCPUs int                         `json:"host_cpus"`
+	Seed     int64                       `json:"seed"`
+	Ticks    int                         `json:"ticks"`
+	Window   int                         `json:"window"`
+	Records  []experiments.HotPathRecord `json:"records"`
+}
+
 // compactBenchFile is the JSON curve written for the PERF7 memory
 // study: the compacting vs baseline live-transaction and heap
 // trajectories over the sampled stream.
@@ -104,7 +125,7 @@ type compactBenchFile struct {
 	Records  []experiments.CompactionRecord `json:"records"`
 }
 
-func run(trials int, seed int64, withFigures bool, section string, quick bool, cpus []int, benchout, compactout string) error {
+func run(trials int, seed int64, withFigures bool, section string, quick bool, cpus []int, benchout, compactout, hotpathout string) error {
 	all := section == "all"
 
 	if all || section == "examples" {
@@ -267,6 +288,36 @@ func run(trials int, seed int64, withFigures bool, section string, quick bool, c
 				return err
 			}
 			fmt.Printf("wrote %d PERF7 records to %s\n", len(records), compactout)
+		}
+	}
+	if all || section == "hotpath" {
+		ticks, window := 60_000, 16
+		if quick {
+			ticks = 10_000
+		}
+		tab, records, err := experiments.HotPathStudy(ticks, window, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		if hotpathout != "" {
+			data, err := json.MarshalIndent(hotpathBenchFile{
+				Go:       runtime.Version(),
+				GOOS:     runtime.GOOS,
+				GOARCH:   runtime.GOARCH,
+				HostCPUs: runtime.NumCPU(),
+				Seed:     seed,
+				Ticks:    ticks,
+				Window:   window,
+				Records:  records,
+			}, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(hotpathout, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d PERF8 records to %s\n", len(records), hotpathout)
 		}
 	}
 	return nil

@@ -74,15 +74,33 @@
 // surfaces the lifecycle counters through
 // Metrics.Compactions/ReclaimedOps/LiveTxns.
 //
+// The admission hot path is allocation-free in steady state: the
+// monitor interns transactions once into dense tables, keeps edge
+// reference counts in an open-addressing table, pools every search and
+// replay scratch buffer, and memoizes Admissible verdicts in a
+// generation-invalidated probe cache (a denied pending request
+// re-probed each scheduler tick costs a hash lookup until the
+// certification state it depends on actually moves; the soundness rule
+// and its monotonicity argument are in the core package comment). The
+// certification gates reuse their per-tick candidate buffers and the
+// engine surfaces the cache counters through
+// Metrics.ProbeHits/ProbeMisses/ProbeInvalidations. Monitor
+// inspection accessors such as ConflictEdges allocate per call and are
+// for differential tests and post-run analysis, not the admission
+// path.
+//
 // Benchmarks for the certification hot path and the scheduling-policy
 // studies live in bench_test.go (run `make bench`, and see
 // BenchmarkCertifyPolicies/BenchmarkMonitorRetract for the PERF5
 // family and BenchmarkShardedMonitor plus `make bench-cpu` for the
 // PERF6 GOMAXPROCS sweep); EXPERIMENTS.md records their outputs, and
 // `make bench` checks the machine-readable trajectories into
-// BENCH_monitor.json and BENCH_sharded.json. `make check` runs
-// `go vet` plus the full suite under the race detector, then the
-// concurrency-sensitive packages again at GOMAXPROCS=1 and 8.
+// BENCH_monitor.json, BENCH_sharded.json, BENCH_compact.json, and
+// BENCH_hotpath.json (`make bench-hotpath` regenerates the PERF8
+// hot-path study alone). `make check` runs `go vet` plus the full
+// suite under the race detector, then the concurrency-sensitive
+// packages again at GOMAXPROCS=1 and 8, then the zero-allocation
+// hot-path pins (TestZeroAlloc*) without the race detector.
 //
 // # Quick start
 //

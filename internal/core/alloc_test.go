@@ -1,0 +1,131 @@
+package core_test
+
+import (
+	"testing"
+
+	"pwsr/internal/core"
+	"pwsr/internal/state"
+	"pwsr/internal/txn"
+)
+
+// zeroAllocMonitor builds a warmed-up monitor: a contended multi-item,
+// multi-transaction history whose steady state keeps admitting without
+// drawing new structural edges, so further Observe/Admissible calls
+// exercise the full hot path (dense-id translation, frontier checks,
+// probe cache) with every table already grown.
+func zeroAllocMonitor(tb testing.TB) (*core.Monitor, []txn.Op) {
+	tb.Helper()
+	partition := []state.ItemSet{
+		state.NewItemSet("x", "y"),
+		state.NewItemSet("u", "v"),
+	}
+	m := core.NewMonitor(partition)
+	// Warm-up: a write epoch per item, then a stable population of
+	// readers plus per-transaction private writes.
+	warm := []txn.Op{
+		txn.W(1, "x", 0), txn.W(1, "y", 0), txn.W(1, "u", 0), txn.W(1, "v", 0),
+		txn.R(2, "x", 0), txn.R(3, "x", 0), txn.R(2, "u", 0), txn.R(3, "u", 0),
+	}
+	for _, o := range warm {
+		if v := m.Observe(o); v != nil {
+			tb.Fatalf("warm-up violation: %v", v)
+		}
+	}
+	// The steady-state loop: repeat reads by known readers and repeat
+	// writes by the items' last writers — admissible forever, no new
+	// frontier entries or structural edges after the first pass.
+	steady := []txn.Op{
+		txn.R(2, "x", 0), txn.R(3, "x", 0),
+		txn.W(1, "y", 0), txn.W(1, "v", 0),
+		txn.R(2, "u", 0), txn.R(3, "u", 0),
+	}
+	for _, o := range steady { // pre-run once so caches and logs exist
+		if v := m.Observe(o); v != nil {
+			tb.Fatalf("steady violation: %v", v)
+		}
+		if !m.Admissible(o) {
+			tb.Fatalf("steady op %v not admissible", o)
+		}
+	}
+	return m, steady
+}
+
+// TestZeroAllocObserve pins the steady-state Observe path at 0
+// allocs/op: the amortized growth of logs and tables must stay below
+// one allocation per thousand operations (testing.AllocsPerRun
+// truncates the average, so any systematic per-op allocation fails).
+// An alloc regression on the admission hot path fails here — in the
+// tier-1 suite and the non-race leg of make check — rather than
+// showing up quietly in benchmark output.
+func TestZeroAllocObserve(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is unreliable under -race")
+	}
+	m, steady := zeroAllocMonitor(t)
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.Observe(steady[i%len(steady)])
+		i++
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Observe allocates %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// TestZeroAllocAdmissible pins the steady-state Admissible path
+// (probe-cache hits and revalidations) at 0 allocs/op.
+func TestZeroAllocAdmissible(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is unreliable under -race")
+	}
+	m, steady := zeroAllocMonitor(t)
+	// Include a denied probe: a write by a fresh conflicting reader
+	// would close no cycle here, so craft a genuine denial by giving
+	// T2 an edge into T1 first.
+	if v := m.Observe(txn.R(2, "y", 0)); v != nil { // T1 wrote y: edge 1 -> 2
+		t.Fatal(v)
+	}
+	denied := txn.W(1, "x", 0) // readers 2,3 on x: edge 2 -> 1 would close 1->2->1
+	if m.Admissible(denied) {
+		t.Fatal("expected a denied probe in the steady mix")
+	}
+	probes := append(append([]txn.Op{}, steady...), denied)
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.Admissible(probes[i%len(probes)])
+		i++
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Admissible allocates %.2f allocs/op, want 0", allocs)
+	}
+	st := m.ProbeStats()
+	if st.Hits == 0 {
+		t.Fatal("steady-state probes never hit the cache")
+	}
+}
+
+// TestZeroAllocGateTick pins the certification gates' whole per-tick
+// probe loop shape at the monitor level: a pending set re-probed every
+// tick against an unchanged monitor must be pure cache hits.
+func TestZeroAllocGateTick(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is unreliable under -race")
+	}
+	m, _ := zeroAllocMonitor(t)
+	pending := []txn.Op{
+		txn.R(2, "x", 0), txn.R(3, "u", 0), txn.W(1, "y", 0), txn.W(1, "x", 0),
+	}
+	before := m.ProbeStats()
+	allocs := testing.AllocsPerRun(500, func() {
+		for _, o := range pending {
+			m.Admissible(o)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("re-probing a pending set allocates %.2f allocs/tick, want 0", allocs)
+	}
+	after := m.ProbeStats()
+	if after.Hits <= before.Hits {
+		t.Fatal("re-probes did not hit the cache")
+	}
+}

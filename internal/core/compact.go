@@ -4,6 +4,7 @@ import (
 	"slices"
 
 	"pwsr/internal/intern"
+	"pwsr/internal/txn"
 )
 
 // DefaultAutoCompactEvery is the automatic compaction threshold a
@@ -43,13 +44,18 @@ type CompactStats struct {
 // be reused: the monitor has forgotten it ever existed, so a reused id
 // would be admitted as a brand-new transaction.
 func (m *Monitor) Commit(txnID int) {
-	if m.violation != nil || m.committed[txnID] {
+	if m.violation != nil {
 		return
 	}
-	m.committed[txnID] = true
-	for _, g := range m.graphs {
-		if n, ok := g.txns.Lookup(txnID); ok {
-			g.committed[n] = true
+	d := m.txnID(txnID)
+	if m.committedB[d] {
+		return
+	}
+	m.committedB[d] = true
+	for _, e := range m.txnConjuncts[d] {
+		g := m.graphs[e]
+		if n := g.nodeAt(d); n >= 0 {
+			g.nodes[n].committed = true
 		}
 	}
 	m.commitsSince++
@@ -79,6 +85,11 @@ func (m *Monitor) Commit(txnID int) {
 // transaction with a live ancestor is retained: it can still appear on
 // a cycle a live transaction closes.
 //
+// A pass rebuilds the monitor-level transaction interner around the
+// survivors and drops the probe cache: verdicts for live transactions
+// are preserved, but reclaimed dense ids are recycled, so stale cache
+// keys must not alias fresh transactions.
+//
 // Compaction is idempotent between commits and runs automatically
 // every SetAutoCompact commits. After a violation it is a no-op — the
 // verdict is sticky and the violated graphs are kept as evidence.
@@ -91,30 +102,83 @@ func (m *Monitor) Compact() int {
 	for _, g := range m.graphs {
 		m.reclaimedOps += g.compact()
 	}
+	// Node removal changed graph structure without moving the probe
+	// generations; the cache must not answer from pre-compaction
+	// stamps (and reclaimed dense ids must not alias).
+	clear(m.probe)
+
+	// A committed transaction gone from every graph is reclaimed at
+	// the monitor level too.
+	n := m.txns.Len()
 	removed := 0
-	for id := range m.committed {
-		resident := false
-		for _, g := range m.graphs {
-			if _, ok := g.txns.Lookup(id); ok {
-				resident = true
-				break
-			}
-		}
-		if !resident {
-			delete(m.committed, id)
-			delete(m.opsByTxn, id)
+	for d := int32(0); int(d) < n; d++ {
+		if m.committedB[d] && !m.inAnyGraph(d) {
 			removed++
 		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	// Rebuild the interner and the dense per-txn tables around the
+	// survivors, and remap every graph's id translation.
+	newTxns := intern.NewIDs()
+	remap := make([]int32, n)
+	newOpsBy := make([]int, 0, n-removed)
+	newResident := make([]bool, 0, n-removed)
+	newCommitted := make([]bool, 0, n-removed)
+	newTxnConjuncts := make([][]int32, 0, n-removed)
+	for d := int32(0); int(d) < n; d++ {
+		if m.committedB[d] && !m.inAnyGraph(d) {
+			remap[d] = -1
+			if m.resident[d] {
+				m.liveTxns--
+			}
+			continue
+		}
+		remap[d] = newTxns.ID(m.txns.Orig(d))
+		newOpsBy = append(newOpsBy, m.opsBy[d])
+		newResident = append(newResident, m.resident[d])
+		newCommitted = append(newCommitted, m.committedB[d])
+		newTxnConjuncts = append(newTxnConjuncts, m.txnConjuncts[d])
+	}
+	m.txns = newTxns
+	m.opsBy, m.resident, m.committedB = newOpsBy, newResident, newCommitted
+	m.txnConjuncts = newTxnConjuncts
+	// The direct-index translation references the old dense ids:
+	// rebuild it for the survivors (reclaimed originals fall back to
+	// "unseen", which is exactly the forgotten-transaction contract).
+	clear(m.txnDirect)
+	for d := int32(0); int(d) < newTxns.Len(); d++ {
+		if orig := newTxns.Orig(d); orig >= 0 && orig < txnDirectMax {
+			for orig >= len(m.txnDirect) {
+				m.txnDirect = append(m.txnDirect, 0)
+			}
+			m.txnDirect[orig] = d + 1
+		}
+	}
+	for _, g := range m.graphs {
+		g.remapDense(remap, newTxns)
 	}
 	m.reclaimedTxns += removed
 	return removed
 }
 
+// inAnyGraph reports whether the dense transaction id still has a node
+// in some conjunct graph.
+func (m *Monitor) inAnyGraph(d int32) bool {
+	for _, g := range m.graphs {
+		if g.nodeAt(d) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // LiveTxns returns the number of resident transactions: every
-// transaction observed (or probed into existence by Observe) and not
-// yet reclaimed by compaction. Under a steady commit stream this is
-// what stays bounded by the concurrent window while Ops() grows.
-func (m *Monitor) LiveTxns() int { return len(m.opsByTxn) }
+// transaction observed and not yet retracted or reclaimed by
+// compaction. Under a steady commit stream this is what stays bounded
+// by the concurrent window while Ops() grows.
+func (m *Monitor) LiveTxns() int { return m.liveTxns }
 
 // CompactStats snapshots the lifecycle counters.
 func (m *Monitor) CompactStats() CompactStats {
@@ -139,17 +203,17 @@ func (m *Monitor) SetAutoCompact(n int) int {
 // and not reclaimed); ShardedMonitor uses it to prune its global
 // counters once a transaction is gone from every shard.
 func (m *Monitor) liveTxn(txnID int) bool {
-	_, ok := m.opsByTxn[txnID]
-	return ok
+	d, ok := m.txns.Lookup(txnID)
+	return ok && m.resident[d]
 }
 
 // compact removes every reclaimable node from the graph — committed,
 // with every ancestor committed — and returns the number of access-log
 // entries reclaimed. The survivors are rebuilt into fresh dense
-// tables: re-interned transaction ids, filtered adjacency, a
-// compressed order preserving the survivors' relative topological
-// positions, filtered per-item logs/frontiers/edge contributions, and
-// remapped edge reference counts.
+// tables: filtered adjacency, a compressed order preserving the
+// survivors' relative topological positions, filtered per-item
+// logs/frontiers/edge contributions, remapped edge reference counts,
+// and a rewritten dense-id translation (nodeOf/denseOf).
 //
 // Two invariants make the rebuild a pure filter. First, every
 // in-neighbor of a removed node is removed (that is the fixpoint), so
@@ -161,7 +225,7 @@ func (m *Monitor) liveTxn(txnID int) bool {
 // removed — so filtering the log leaves exactly the retained nodes'
 // contributions and never implies a bridge edge.
 func (g *incGraph) compact() int {
-	n := g.txns.Len()
+	n := len(g.nodes)
 	if n == 0 {
 		return 0
 	}
@@ -175,11 +239,11 @@ func (g *incGraph) compact() int {
 	removable := make([]bool, n)
 	removed := 0
 	for _, u := range byOrd {
-		if !g.committed[u] {
+		if !g.nodes[u].committed {
 			continue
 		}
 		ok := true
-		for _, x := range g.in[u] {
+		for _, x := range g.nodes[u].in {
 			if !removable[x] {
 				ok = false
 				break
@@ -194,18 +258,37 @@ func (g *incGraph) compact() int {
 		return 0
 	}
 
-	// Remap survivors to fresh dense ids (first-seen order = old id
-	// order) and compress the topological order.
-	newTxns := intern.NewIDs()
+	// Remap survivors to fresh node ids (old id order) and compress
+	// the topological order.
 	remap := make([]int32, n)
+	newNodes := make([]nodeState, 0, n-removed)
 	for u := 0; u < n; u++ {
 		if removable[u] {
 			remap[u] = -1
+			g.nodeOf[g.nodes[u].dense] = -1
 		} else {
-			remap[u] = newTxns.ID(g.txns.Orig(int32(u)))
+			remap[u] = int32(len(newNodes))
+			g.nodeOf[g.nodes[u].dense] = remap[u]
+			newNodes = append(newNodes, nodeState{
+				items:     g.nodes[u].items,
+				dense:     g.nodes[u].dense,
+				committed: g.nodes[u].committed,
+			})
 		}
 	}
-	k := newTxns.Len()
+	k := len(newNodes)
+	// Adjacency is remapped in a second pass: a neighbor can have a
+	// higher old id than its source, so the full remap table must
+	// exist first.
+	i := 0
+	for u := 0; u < n; u++ {
+		if remap[u] < 0 {
+			continue
+		}
+		newNodes[i].out = remapNodes(g.nodes[u].out, remap)
+		newNodes[i].in = remapNodes(g.nodes[u].in, remap)
+		i++
+	}
 	newOrd := make([]int32, k)
 	pos := int32(0)
 	for _, u := range byOrd {
@@ -214,74 +297,91 @@ func (g *incGraph) compact() int {
 			pos++
 		}
 	}
-	newOut := make([][]int32, k)
-	newIn := make([][]int32, k)
-	newCommitted := make([]bool, k)
-	newNodeItems := make([][]int32, k)
-	for u := 0; u < n; u++ {
-		nu := remap[u]
-		if nu < 0 {
+	var newEdges edgeTable
+	for idx, key := range g.edges.keys {
+		if key == 0 {
 			continue
 		}
-		newOut[nu] = remapNodes(g.out[u], remap)
-		newIn[nu] = remapNodes(g.in[u], remap)
-		newCommitted[nu] = g.committed[u]
-		newNodeItems[nu] = g.nodeItems[u]
-	}
-	newEdgeCount := make(map[uint64]int32, len(g.edgeCount))
-	for key, c := range g.edgeCount {
 		x, y := unpackEdgeKey(key)
 		if nx, ny := remap[x], remap[y]; nx >= 0 && ny >= 0 {
 			// Both endpoints survive, so every item contributing the
 			// edge keeps contributing it: the count carries over.
-			newEdgeCount[edgeKey(nx, ny)] = c
+			newEdges.set(edgeKey(nx, ny), g.edges.vals[idx])
 		}
 	}
 
 	// Filter and remap the per-item state.
 	reclaimed := 0
-	for item := range g.log {
-		lg := g.log[item][:0]
-		for _, a := range g.log[item] {
-			if na := remap[a.node]; na >= 0 {
-				lg = append(lg, access{node: na, action: a.action})
+	for item := range g.item {
+		it := &g.item[item]
+		lg := it.log[:0]
+		for _, a := range it.log {
+			if na := remap[a.node()]; na >= 0 {
+				action := txn.ActionRead
+				if a.write() {
+					action = txn.ActionWrite
+				}
+				lg = append(lg, packAccess(na, action))
 			} else {
 				reclaimed++
 			}
 		}
-		g.log[item] = shrinkAccesses(lg)
-		if lw := g.lastWriter[item]; lw >= 0 {
-			g.lastWriter[item] = remap[lw]
+		it.log = shrinkAccesses(lg)
+		if it.lastWriter >= 0 {
+			it.lastWriter = remap[it.lastWriter]
 		}
-		g.readers[item] = remapNodes(g.readers[item], remap)
-		edges := g.itemEdges[item][:0]
-		for _, key := range g.itemEdges[item] {
+		it.readers = remapNodes(it.readers, remap)
+		it.readerBits = 0
+		for _, r := range it.readers {
+			if r < 64 {
+				it.readerBits |= 1 << uint(r)
+			}
+		}
+		edges := it.edges[:0]
+		for _, key := range it.edges {
 			x, y := unpackEdgeKey(key)
 			if nx, ny := remap[x], remap[y]; nx >= 0 && ny >= 0 {
 				edges = append(edges, edgeKey(nx, ny))
 			}
 		}
-		g.itemEdges[item] = edges
+		it.edges = edges
 		if len(edges) > itemEdgeSetThreshold {
 			set := make(map[uint64]struct{}, len(edges))
 			for _, key := range edges {
 				set[key] = struct{}{}
 			}
-			g.itemEdgeSet[item] = set
+			it.edgeSet = set
 		} else {
-			g.itemEdgeSet[item] = nil
+			it.edgeSet = nil
 		}
 	}
 
-	g.txns = newTxns
-	g.out, g.in, g.ord = newOut, newIn, newOrd
-	g.committed, g.nodeItems = newCommitted, newNodeItems
-	g.edgeCount = newEdgeCount
+	g.nodes = newNodes
+	g.ord = newOrd
+	g.edges = newEdges
 	g.mark = make([]int64, k)
 	g.parent = make([]int32, k)
 	g.markGen = 0
 	g.stack, g.visF, g.visB, g.slots = nil, nil, nil, nil
+	g.replayEdges, g.replayReaders = nil, nil
 	return reclaimed
+}
+
+// remapDense rewrites the graph's dense-id translation after the
+// monitor rebuilt its transaction interner: every surviving node's
+// dense id is rewritten through the monitor's remap table and nodeOf
+// is rebuilt at the new interner's size.
+func (g *incGraph) remapDense(remap []int32, mtxns *intern.IDs) {
+	g.mtxns = mtxns
+	g.nodeOf = make([]int32, mtxns.Len())
+	for i := range g.nodeOf {
+		g.nodeOf[i] = -1
+	}
+	for n := range g.nodes {
+		nd := remap[g.nodes[n].dense]
+		g.nodes[n].dense = nd
+		g.nodeOf[nd] = int32(n)
+	}
 }
 
 // remapNodes filters a node list through the remap table, dropping

@@ -32,6 +32,12 @@ func (v *Violation) Error() string {
 // shards a multi-conjunct monitor across goroutines.
 var observeParallelThreshold = 4096
 
+// txnDirectMax bounds the direct-index transaction translation table:
+// original ids in [0, txnDirectMax) resolve with one slice read instead
+// of a map lookup (ids outside the range still work through the
+// interner's map).
+const txnDirectMax = 1 << 20
+
 // Monitor checks PWSR online: feed it the schedule one operation at a
 // time and it reports the first operation whose admission makes some
 // conjunct's projection non-serializable. This is the certifier a
@@ -49,26 +55,58 @@ var observeParallelThreshold = 4096
 // only order-violating edges trigger a search bounded by the affected
 // region. Amortized admission cost is therefore far below the full
 // BFS-per-edge of the batch construction (kept as ReferenceMonitor).
+//
+// Transactions are interned once at the monitor level: every per-txn
+// table (op counts, residency, commit marks, touched conjuncts, and
+// each graph's node translation) is a dense slice indexed by the
+// interned id, edge reference counts live in an open-addressing table
+// keyed by packed node pairs, and Admissible verdicts are memoized in
+// a generation-invalidated probe cache (see Admissible). Steady-state
+// Observe and Admissible are allocation-free (enforced by
+// TestZeroAlloc* via testing.AllocsPerRun).
 type Monitor struct {
 	partition []state.ItemSet
 	graphs    []*incGraph
 	items     *intern.Strings
-	// conjuncts[i] lists the conjuncts whose data set contains interned
-	// item i, computed once per distinct item.
-	conjuncts [][]int32
+	// conjFlat/conjOff are the CSR layout of each interned item's
+	// conjunct membership: conjFlat[conjOff[i]:conjOff[i+1]] lists the
+	// conjuncts whose data set contains item i, computed once per
+	// distinct item (one shared backing array instead of a slice
+	// allocation per item).
+	conjFlat []int32
+	conjOff  []int32
+
 	violation *Violation
 	ops       int
-	// opsByTxn counts observed operations per transaction so Retract
-	// can keep Ops() equal to the surviving operation count. An entry
-	// is removed when the transaction is committed and compacted away,
-	// so len(opsByTxn) is the resident (live) transaction count.
-	opsByTxn map[int]int
 
-	// committed marks transactions whose lifecycle ended (Commit):
-	// they issue no further operations and cannot be retracted. An
-	// entry leaves the map once compaction fully reclaims the
-	// transaction.
-	committed map[int]bool
+	// txns interns original transaction ids to dense monitor-level
+	// ids; txnDirect short-circuits the interner's map for small
+	// nonnegative originals (entry = dense+1, 0 = unseen). The
+	// parallel slices below are indexed by the dense ids. opsBy counts
+	// surviving observed operations; resident marks transactions whose
+	// operations are (still) in the monitor — liveTxns is the resident
+	// count, what LiveTxns reports; committedB marks transactions whose
+	// lifecycle ended (Commit): they issue no further operations and
+	// cannot be retracted. Entries leave at compaction, which rebuilds
+	// the interner around the survivors.
+	txns       *intern.IDs
+	txnDirect  []int32
+	opsBy      []int
+	resident   []bool
+	committedB []bool
+	liveTxns   int
+	// txnConjuncts[d] lists the conjuncts transaction d has touched
+	// (deduplicated), so Retract repairs only the graphs that actually
+	// saw the transaction instead of visiting every conjunct.
+	txnConjuncts [][]int32
+
+	// Probe cache state — see Admissible and probe.go.
+	probeOn            bool
+	probe              map[uint64]probeEntry
+	probeHits          int64
+	probeMisses        int64
+	probeInvalidations int64
+
 	// autoEvery is the automatic compaction threshold: a Compact pass
 	// runs once this many Commit calls accumulate since the last pass
 	// (≤ 0 disables automatic compaction).
@@ -82,17 +120,19 @@ type Monitor struct {
 
 // NewMonitor builds a monitor over the conjunct partition. Automatic
 // compaction is enabled at DefaultAutoCompactEvery (a no-op until
-// Commit is used; see SetAutoCompact).
+// Commit is used; see SetAutoCompact) and the probe cache is on (see
+// SetProbeCache).
 func NewMonitor(partition []state.ItemSet) *Monitor {
 	m := &Monitor{
 		partition: partition,
 		items:     intern.NewStrings(),
-		opsByTxn:  make(map[int]int),
-		committed: make(map[int]bool),
+		conjOff:   []int32{0},
+		txns:      intern.NewIDs(),
+		probeOn:   true,
 		autoEvery: DefaultAutoCompactEvery,
 	}
 	for range partition {
-		m.graphs = append(m.graphs, newIncGraph())
+		m.graphs = append(m.graphs, newIncGraph(m.txns))
 	}
 	return m
 }
@@ -117,15 +157,69 @@ func (m *Monitor) itemID(entity string) int32 {
 	n := m.items.Len()
 	id := m.items.ID(entity)
 	if int(id) == n {
-		var cs []int32
 		for e, d := range m.partition {
 			if d.Contains(entity) {
-				cs = append(cs, int32(e))
+				m.conjFlat = append(m.conjFlat, int32(e))
 			}
 		}
-		m.conjuncts = append(m.conjuncts, cs)
+		m.conjOff = append(m.conjOff, int32(len(m.conjFlat)))
 	}
 	return id
+}
+
+// conjunctsOf returns the interned item's conjunct membership list.
+func (m *Monitor) conjunctsOf(item int32) []int32 {
+	return m.conjFlat[m.conjOff[item]:m.conjOff[item+1]]
+}
+
+// txnID interns the original transaction id, growing the dense per-txn
+// tables to cover it.
+func (m *Monitor) txnID(orig int) int32 {
+	if orig >= 0 && orig < len(m.txnDirect) {
+		if d := m.txnDirect[orig]; d > 0 {
+			return d - 1
+		}
+	}
+	n := m.txns.Len()
+	d := m.txns.ID(orig)
+	if int(d) == n {
+		m.opsBy = append(m.opsBy, 0)
+		m.resident = append(m.resident, false)
+		m.committedB = append(m.committedB, false)
+		m.txnConjuncts = append(m.txnConjuncts, nil)
+	}
+	if orig >= 0 && orig < txnDirectMax {
+		for orig >= len(m.txnDirect) {
+			m.txnDirect = append(m.txnDirect, 0)
+		}
+		m.txnDirect[orig] = d + 1
+	}
+	return d
+}
+
+// txnLookup resolves an original transaction id without interning it.
+func (m *Monitor) txnLookup(orig int) (int32, bool) {
+	if orig >= 0 && orig < len(m.txnDirect) {
+		d := m.txnDirect[orig]
+		return d - 1, d > 0
+	}
+	if orig >= 0 && orig < txnDirectMax {
+		return -1, false // in direct range but never grown: unseen
+	}
+	return m.txns.Lookup(orig)
+}
+
+// touch records that transaction d operated on conjunct e (dedup'd;
+// conjunct lists per transaction are short, so a linear scan beats a
+// set).
+func (m *Monitor) touch(d int32, e int32) {
+	tc := m.txnConjuncts[d]
+	if len(tc) > 0 && tc[len(tc)-1] == e {
+		return // repeat of the last conjunct, the overwhelmingly common case
+	}
+	if !slices.Contains(tc, e) {
+		m.txnConjuncts[d] = append(tc, e)
+	}
 }
 
 // Observe admits one operation. It returns nil while the observed
@@ -138,19 +232,29 @@ func (m *Monitor) itemID(entity string) int32 {
 // the compactor relies on committed transactions issuing no further
 // operations (an id reclaimed by a past compaction is no longer
 // detectable, so ids must not be reused — see Commit).
-func (m *Monitor) Observe(o txn.Op) *Violation {
-	if len(m.committed) != 0 && m.committed[o.Txn] {
-		panic(fmt.Sprintf("core: Observe(%v) for committed transaction T%d", o, o.Txn))
+func (m *Monitor) Observe(o txn.Op) *Violation { return m.observe(&o) }
+
+// observe is the pointer-based body of Observe: an operation is 72
+// bytes, so the batch paths feed schedule entries without copying.
+func (m *Monitor) observe(o *txn.Op) *Violation {
+	d := m.txnID(o.Txn)
+	if m.committedB[d] {
+		panic(fmt.Sprintf("core: Observe(%v) for committed transaction T%d", *o, o.Txn))
 	}
 	m.ops++
-	m.opsByTxn[o.Txn]++
+	m.opsBy[d]++
+	if !m.resident[d] {
+		m.resident[d] = true
+		m.liveTxns++
+	}
 	if m.violation != nil {
 		return m.violation
 	}
 	item := m.itemID(o.Entity)
-	for _, e := range m.conjuncts[item] {
-		if cycle := m.graphs[e].add(o, item); cycle != nil {
-			m.violation = &Violation{Conjunct: int(e), Op: o, Cycle: cycle}
+	for _, e := range m.conjunctsOf(item) {
+		m.touch(d, e)
+		if cycle := m.graphs[e].add(d, o.Action, item); cycle != nil {
+			m.violation = &Violation{Conjunct: int(e), Op: *o, Cycle: cycle}
 			return m.violation
 		}
 	}
@@ -165,6 +269,15 @@ func (m *Monitor) Observe(o txn.Op) *Violation {
 // it reuses per-graph search scratch and must not be called
 // concurrently; the monitor is a single-goroutine certifier. After a
 // violation nothing is admissible.
+//
+// Verdicts are memoized per (transaction, item, read/write) in a
+// generation-invalidated probe cache, so a denied pending request
+// re-probed every scheduler tick costs a hash lookup instead of a
+// reachability search until certification state it depends on actually
+// moves. The invalidation rule is monotone and exact — see the package
+// comment's soundness paragraph and probe.go; TestProbeCacheDifferential
+// replays cached against uncached verdicts over random
+// Observe/Retract/Commit/Compact interleavings.
 func (m *Monitor) Admissible(o txn.Op) bool {
 	if m.violation != nil {
 		return false
@@ -173,8 +286,60 @@ func (m *Monitor) Admissible(o txn.Op) bool {
 	if !ok {
 		return true // never-seen item: no conjunct graph has state on it
 	}
-	for _, e := range m.conjuncts[item] {
-		if !m.graphs[e].admissible(o, item) {
+	cs := m.conjunctsOf(item)
+	if len(cs) == 0 {
+		return true // item outside every conjunct: ignored per Definition 2
+	}
+	dense, ok := m.txnLookup(o.Txn)
+	if !ok {
+		return true // never-seen transaction: a brand-new node cannot close a cycle
+	}
+	if !m.probeOn {
+		return m.admissibleAll(dense, o.Action, item, cs)
+	}
+	// Stamp the probe with the generations it depends on: the involved
+	// item's frontier generation in every member conjunct, plus each
+	// graph's structural add (for admissible verdicts) or delete (for
+	// denied verdicts) generation. The counters are monotone, so the
+	// sums change iff some component moved.
+	var addStamp, delStamp uint64
+	for _, e := range cs {
+		g := m.graphs[e]
+		ig := g.itemGenOf(item)
+		addStamp += g.addGen + ig
+		delStamp += g.delGen + ig
+	}
+	key := probeKey(dense, item, o.Action)
+	if ent, ok := m.probe[key]; ok {
+		want := delStamp
+		if ent.ok {
+			want = addStamp
+		}
+		if ent.stamp == want {
+			m.probeHits++
+			return ent.ok
+		}
+		m.probeInvalidations++
+	} else {
+		m.probeMisses++
+	}
+	verdict := m.admissibleAll(dense, o.Action, item, cs)
+	stamp := delStamp
+	if verdict {
+		stamp = addStamp
+	}
+	if m.probe == nil {
+		m.probe = make(map[uint64]probeEntry)
+	}
+	m.probe[key] = probeEntry{stamp: stamp, ok: verdict}
+	return verdict
+}
+
+// admissibleAll runs the uncached admissibility checks over the item's
+// member conjuncts.
+func (m *Monitor) admissibleAll(dense int32, action txn.Action, item int32, cs []int32) bool {
+	for _, e := range cs {
+		if !m.graphs[e].admissible(dense, action, item) {
 			return false
 		}
 	}
@@ -195,7 +360,8 @@ func (m *Monitor) Admissible(o txn.Op) bool {
 // certification scheduler needs to abort a victim transaction without
 // rebuilding certification state (sched.OptimisticCertify is the
 // consumer); the full-rebuild semantics are retained on
-// ReferenceMonitor.Retract for differential testing.
+// ReferenceMonitor.Retract for differential testing. Only the graphs
+// of conjuncts the transaction actually touched are visited.
 //
 // Retracting a transaction the monitor has never seen is a no-op.
 // Retract panics after a violation: the monitor is sticky and its
@@ -204,25 +370,41 @@ func (m *Monitor) Retract(txnID int) {
 	if m.violation != nil {
 		panic("core: Retract on a violated monitor")
 	}
-	if m.committed[txnID] {
+	d, ok := m.txnLookup(txnID)
+	if !ok {
+		return
+	}
+	if m.committedB[d] {
 		panic(fmt.Sprintf("core: Retract of committed transaction T%d", txnID))
 	}
-	for _, g := range m.graphs {
-		g.retract(txnID)
+	// The touched-conjunct list survives retraction: the graphs keep
+	// the (emptied) node, and a later Commit must still reach it to
+	// mark it reclaimable.
+	for _, e := range m.txnConjuncts[d] {
+		m.graphs[e].retract(d)
 	}
-	m.ops -= m.opsByTxn[txnID]
-	delete(m.opsByTxn, txnID)
+	m.ops -= m.opsBy[d]
+	m.opsBy[d] = 0
+	if m.resident[d] {
+		m.resident[d] = false
+		m.liveTxns--
+	}
 }
 
 // ConflictEdges returns conjunct e's current conflict edges as original
-// transaction-id pairs, sorted. It allocates; intended for inspection
-// and differential tests, not the admission hot path.
+// transaction-id pairs, sorted. It is an inspection-only accessor for
+// differential tests and post-run analysis: every call allocates and
+// sorts a fresh (exactly presized) slice, so it must not be called on
+// the admission hot path — Admissible and the probe cache are the
+// hot-path interfaces.
 func (m *Monitor) ConflictEdges(e int) [][2]int {
 	g := m.graphs[e]
-	out := make([][2]int, 0, len(g.edgeCount))
-	for key := range g.edgeCount {
-		x, y := unpackEdgeKey(key)
-		out = append(out, [2]int{g.txns.Orig(x), g.txns.Orig(y)})
+	out := make([][2]int, 0, g.edges.used)
+	for _, key := range g.edges.keys {
+		if key != 0 {
+			x, y := unpackEdgeKey(key)
+			out = append(out, [2]int{g.orig(x), g.orig(y)})
+		}
 	}
 	sortEdgePairs(out)
 	return out
@@ -238,49 +420,58 @@ func (m *Monitor) ObserveAll(s *txn.Schedule) *Violation {
 	if len(m.partition) > 1 && len(ops) >= observeParallelThreshold && m.violation == nil {
 		return m.observeSharded(ops)
 	}
-	for _, o := range ops {
-		if v := m.Observe(o); v != nil {
+	for i := range ops {
+		if v := m.observe(&ops[i]); v != nil {
 			return v
 		}
 	}
 	return nil
 }
 
-// shardedOp is one operation routed to a conjunct's graph, tagged with
-// its index in the fed sequence so the earliest violation can be
-// identified across shards.
+// shardedOp is one operation routed to a shard of the ShardedMonitor's
+// epoch pipeline, tagged with its index in the fed sequence so the
+// earliest violation can be identified across shards.
 type shardedOp struct {
-	op   txn.Op
-	item int32
-	idx  int
+	op  txn.Op
+	idx int
 }
 
 func (m *Monitor) observeSharded(ops txn.Seq) *Violation {
 	// Route every operation to its conjuncts (interning mutates shared
 	// tables, so it cannot race with the per-graph goroutines). A
-	// counting pass first sizes each bucket exactly.
+	// counting pass first sizes each bucket exactly; buckets hold
+	// 4-byte indices into ops rather than operation copies.
 	itemIDs := make([]int32, len(ops))
+	denseIDs := make([]int32, len(ops))
 	counts := make([]int, len(m.partition))
-	for i, o := range ops {
-		if len(m.committed) != 0 && m.committed[o.Txn] {
-			panic(fmt.Sprintf("core: Observe(%v) for committed transaction T%d", o, o.Txn))
+	for i := range ops {
+		o := &ops[i]
+		d := m.txnID(o.Txn)
+		if m.committedB[d] {
+			panic(fmt.Sprintf("core: Observe(%v) for committed transaction T%d", *o, o.Txn))
 		}
+		denseIDs[i] = d
 		item := m.itemID(o.Entity)
 		itemIDs[i] = item
-		m.opsByTxn[o.Txn]++
-		for _, e := range m.conjuncts[item] {
+		m.opsBy[d]++
+		if !m.resident[d] {
+			m.resident[d] = true
+			m.liveTxns++
+		}
+		for _, e := range m.conjunctsOf(item) {
+			m.touch(d, e)
 			counts[e]++
 		}
 	}
-	buckets := make([][]shardedOp, len(m.partition))
+	buckets := make([][]int32, len(m.partition))
 	for e, n := range counts {
 		if n > 0 {
-			buckets[e] = make([]shardedOp, 0, n)
+			buckets[e] = make([]int32, 0, n)
 		}
 	}
-	for i, o := range ops {
-		for _, e := range m.conjuncts[itemIDs[i]] {
-			buckets[e] = append(buckets[e], shardedOp{op: o, item: itemIDs[i], idx: i})
+	for i := range ops {
+		for _, e := range m.conjunctsOf(itemIDs[i]) {
+			buckets[e] = append(buckets[e], int32(i))
 		}
 	}
 	type shardViolation struct {
@@ -299,9 +490,9 @@ func (m *Monitor) observeSharded(ops txn.Seq) *Violation {
 		go func(e int) {
 			defer wg.Done()
 			g := m.graphs[e]
-			for _, so := range buckets[e] {
-				if cycle := g.add(so.op, so.item); cycle != nil {
-					found[e] = &shardViolation{idx: so.idx, conjunct: e, op: so.op, cycle: cycle}
+			for _, i := range buckets[e] {
+				if cycle := g.add(denseIDs[i], ops[i].Action, itemIDs[i]); cycle != nil {
+					found[e] = &shardViolation{idx: int(i), conjunct: e, op: ops[i], cycle: cycle}
 					return
 				}
 			}
@@ -325,14 +516,72 @@ func (m *Monitor) observeSharded(ops txn.Seq) *Violation {
 	return m.violation
 }
 
-// access is one recorded operation of an item's history: who touched
-// the item and how. The per-item logs are what make retraction possible
+// growAppend appends to a hot small slice, jumping straight to a
+// 16-element backing array on the first growth: the standard 1→2→4→8
+// doubling ramp costs four allocations and three copies per item-sized
+// slice, and the monitor holds thousands of them (per-item logs,
+// frontiers, contributions; per-node adjacency). One amortized helper
+// keeps the append inlineable and cuts the growth allocations ~3×.
+func growAppend[T any](xs []T, x T) []T {
+	if len(xs) == cap(xs) {
+		next := make([]T, len(xs), max(16, 2*cap(xs)))
+		copy(next, xs)
+		xs = next
+	}
+	return append(xs, x)
+}
+
+// access is one recorded operation of an item's history, packed as
+// node<<1|isWrite. The per-item logs are what make retraction possible
 // without a full rebuild — frontiers and edge contributions are
 // recomputed from them for exactly the items a retracted transaction
 // touched.
-type access struct {
-	node   int32
-	action txn.Action
+type access uint32
+
+func packAccess(node int32, action txn.Action) access {
+	a := access(uint32(node) << 1)
+	if action == txn.ActionWrite {
+		a |= 1
+	}
+	return a
+}
+
+func (a access) node() int32 { return int32(a >> 1) }
+func (a access) write() bool { return a&1 != 0 }
+
+// itemState is one item's per-conjunct certification state: the
+// conflict frontier (last writer, readers since), the probe-cache
+// frontier generation, the access log, and the packed edges the item's
+// history contributes (mirrored as a map once the list outgrows linear
+// scans). One struct per item keeps the admission hot path on one
+// cache line instead of six parallel slices.
+type itemState struct {
+	lastWriter int32
+	gen        uint64
+	// readerBits mirrors membership of nodes 0..63 in readers, so the
+	// per-read dedup is one bit test for the common small graph;
+	// higher-numbered nodes fall back to the linear scan.
+	readerBits uint64
+	readers    []int32
+	log        []access
+	edges      []uint64
+	edgeSet    map[uint64]struct{}
+}
+
+// nodeState is one transaction node's adjacency and bookkeeping. The
+// search-hot order/mark/parent fields stay in parallel arrays on the
+// graph (the Pearce–Kelly searches touch only those plus out/in).
+type nodeState struct {
+	out, in []int32
+	// items lists the items the node accessed (duplicates allowed;
+	// retract dedups).
+	items []int32
+	// dense is the monitor-level transaction id of this node.
+	dense int32
+	// committed marks the node's transaction finished (Commit); the
+	// compactor may reclaim a committed node once every ancestor is
+	// committed too (see incGraph.compact).
+	committed bool
 }
 
 // incGraph is one conjunct's incremental conflict graph: slice-indexed
@@ -341,41 +590,31 @@ type access struct {
 // logs plus per-item edge contributions that let retract roll a live
 // transaction back out of the graph.
 type incGraph struct {
-	txns *intern.IDs
-	// out and in are the forward and backward adjacency lists.
-	out, in [][]int32
+	// mtxns is the owning monitor's transaction interner (read-only
+	// here); nodeOf maps a monitor-dense transaction id to this graph's
+	// node (-1 when the transaction never touched the conjunct).
+	mtxns  *intern.IDs
+	nodeOf []int32
+	nodes  []nodeState
 	// ord[n] is node n's position in the maintained topological order.
 	ord []int32
-	// edgeCount maps a packed conflict edge to the number of items
-	// whose access history currently implies it; the edge is present in
-	// the adjacency lists iff its count is positive. Reference counting
-	// (rather than the former presence set) is what lets retract drop
-	// exactly the edges no surviving item still implies.
-	edgeCount map[uint64]int32
+	// edges maps a packed conflict edge to the number of items whose
+	// access history currently implies it (open addressing; see
+	// edgeTable); the edge is present in the adjacency lists iff its
+	// count is positive. Reference counting (rather than a presence
+	// set) is what lets retract drop exactly the edges no surviving
+	// item still implies.
+	edges edgeTable
+	// item[i] is the interned item i's state.
+	item []itemState
 
-	// Per-item conflict frontier, indexed by the monitor's interned
-	// item id: the last writer (-1 when none) and the readers since
-	// that write. Edges drawn from the frontier alone preserve
-	// reachability of the full conflict graph, so cycles appear at
-	// exactly the same operation.
-	lastWriter []int32
-	readers    [][]int32
-	// log[item] is the item's full access history in admission order.
-	log [][]access
-	// itemEdges[item] is the set of packed edges the item's history
-	// contributes (each counted once in edgeCount however many access
-	// pairs imply it). itemEdgeSet[item] mirrors it as a map once the
-	// list outgrows linear-scan territory, keeping hot-item admission
-	// O(1).
-	itemEdges   [][]uint64
-	itemEdgeSet []map[uint64]struct{}
-	// nodeItems[n] lists the items node n accessed (duplicates allowed;
-	// retract dedups).
-	nodeItems [][]int32
-	// committed[n] marks node n's transaction finished (Commit); the
-	// compactor may reclaim a committed node once every ancestor is
-	// committed too (see incGraph.compact).
-	committed []bool
+	// Probe-cache generations (see Admissible). item[i].gen counts the
+	// item's frontier changes; addGen counts structural edge
+	// insertions; delGen counts structural edge removals. All three
+	// are monotone, which is what makes summed stamps a sound validity
+	// check.
+	addGen uint64
+	delGen uint64
 
 	// Scratch state for the two-way search, reused across insertions.
 	// markGen is 64-bit so a long-lived certifier (one search per
@@ -387,80 +626,119 @@ type incGraph struct {
 	visF    []int32
 	visB    []int32
 	slots   []int32
+	// Retraction replay scratch, reused across repaired items.
+	replayEdges   []uint64
+	replayReaders []int32
 }
 
-func newIncGraph() *incGraph {
-	return &incGraph{txns: intern.NewIDs(), edgeCount: make(map[uint64]int32)}
+func newIncGraph(mtxns *intern.IDs) *incGraph {
+	return &incGraph{mtxns: mtxns}
 }
 
-// node interns a transaction id, allocating the node at the end of the
-// maintained topological order.
-func (g *incGraph) node(origTxn int) int32 {
-	n := g.txns.Len()
-	id := g.txns.ID(origTxn)
-	if int(id) == n {
-		g.out = append(g.out, nil)
-		g.in = append(g.in, nil)
-		g.ord = append(g.ord, int32(n))
-		g.mark = append(g.mark, 0)
-		g.parent = append(g.parent, -1)
-		g.nodeItems = append(g.nodeItems, nil)
-		g.committed = append(g.committed, false)
+// orig returns the original transaction id of node n.
+func (g *incGraph) orig(n int32) int { return g.mtxns.Orig(g.nodes[n].dense) }
+
+// node translates a monitor-dense transaction id to this graph's node,
+// allocating the node at the end of the maintained topological order on
+// first sight.
+func (g *incGraph) node(dense int32) int32 {
+	for int(dense) >= len(g.nodeOf) {
+		g.nodeOf = append(g.nodeOf, -1)
 	}
-	return id
+	if n := g.nodeOf[dense]; n >= 0 {
+		return n
+	}
+	n := int32(len(g.nodes))
+	g.nodeOf[dense] = n
+	g.nodes = append(g.nodes, nodeState{dense: dense})
+	g.ord = append(g.ord, n)
+	g.mark = append(g.mark, 0)
+	g.parent = append(g.parent, -1)
+	return n
 }
 
-// ensureItem grows the per-item tables to cover item.
+// nodeAt returns the graph node of a monitor-dense transaction id, or
+// -1 when the transaction never touched this conjunct.
+func (g *incGraph) nodeAt(dense int32) int32 {
+	if int(dense) >= len(g.nodeOf) {
+		return -1
+	}
+	return g.nodeOf[dense]
+}
+
+// ensureItem grows the per-item table to cover item.
 func (g *incGraph) ensureItem(item int32) {
-	for int(item) >= len(g.lastWriter) {
-		g.lastWriter = append(g.lastWriter, -1)
-		g.readers = append(g.readers, nil)
-		g.log = append(g.log, nil)
-		g.itemEdges = append(g.itemEdges, nil)
-		g.itemEdgeSet = append(g.itemEdgeSet, nil)
+	for int(item) >= len(g.item) {
+		g.item = append(g.item, itemState{lastWriter: -1})
 	}
+}
+
+// itemGenOf returns the item's frontier generation (0 for an item this
+// graph has never seen — its first access bumps the counter, so the
+// transition is observable).
+func (g *incGraph) itemGenOf(item int32) uint64 {
+	if int(item) >= len(g.item) {
+		return 0
+	}
+	return g.item[item].gen
 }
 
 // add records the operation's conflicts and returns a cycle (original
 // transaction ids, first == last) if one appears. On a cycle the access
 // is not recorded; the monitor is sticky afterwards, so the graph is
 // never consulted again.
-func (g *incGraph) add(o txn.Op, item int32) []int {
+func (g *incGraph) add(dense int32, action txn.Action, item int32) []int {
 	g.ensureItem(item)
-	me := g.node(o.Txn)
-	lw := g.lastWriter[item]
-	switch o.Action {
+	me := g.node(dense)
+	it := &g.item[item]
+	lw := it.lastWriter
+	switch action {
 	case txn.ActionRead:
 		// A repeat read within the current write epoch (me already in
 		// readers, lastWriter unchanged since a write flushes readers)
 		// contributed its edge at the first read; skip the dedup walk.
-		if !slices.Contains(g.readers[item], me) {
+		reading := me < 64 && it.readerBits&(1<<uint(me)) != 0
+		if !reading && me >= 64 {
+			reading = slices.Contains(it.readers, me)
+		}
+		if !reading {
 			if lw >= 0 && lw != me {
 				if cycle := g.connect(lw, me, item); cycle != nil {
 					return cycle
 				}
 			}
-			g.readers[item] = append(g.readers[item], me)
+			it.readers = growAppend(it.readers, me)
+			if me < 64 {
+				it.readerBits |= 1 << uint(me)
+			}
+			it.gen++
 		}
 	case txn.ActionWrite:
-		if lw >= 0 && lw != me {
-			if cycle := g.connect(lw, me, item); cycle != nil {
-				return cycle
+		// A repeat write by the current last writer with no readers
+		// since leaves the frontier (and hence every probe verdict)
+		// untouched; skip the generation bump so cached probes survive.
+		if lw != me || len(it.readers) != 0 {
+			if lw >= 0 && lw != me {
+				if cycle := g.connect(lw, me, item); cycle != nil {
+					return cycle
+				}
 			}
+			for _, r := range it.readers {
+				if r == me {
+					continue
+				}
+				if cycle := g.connect(r, me, item); cycle != nil {
+					return cycle
+				}
+			}
+			it.lastWriter = me
+			it.readers = it.readers[:0]
+			it.readerBits = 0
+			it.gen++
 		}
-		for _, r := range g.readers[item] {
-			if r == me {
-				continue
-			}
-			if cycle := g.connect(r, me, item); cycle != nil {
-				return cycle
-			}
-		}
-		g.lastWriter[item] = me
-		g.readers[item] = g.readers[item][:0]
 	}
-	g.log[item] = append(g.log[item], access{node: me, action: o.Action})
-	g.nodeItems[me] = append(g.nodeItems[me], item)
+	it.log = growAppend(it.log, packAccess(me, action))
+	g.nodes[me].items = growAppend(g.nodes[me].items, item)
 	return nil
 }
 
@@ -470,25 +748,27 @@ const itemEdgeSetThreshold = 32
 
 // contributes reports whether item already contributes the edge.
 func (g *incGraph) contributes(item int32, key uint64) bool {
-	if set := g.itemEdgeSet[item]; set != nil {
-		_, ok := set[key]
+	it := &g.item[item]
+	if it.edgeSet != nil {
+		_, ok := it.edgeSet[key]
 		return ok
 	}
-	return slices.Contains(g.itemEdges[item], key)
+	return slices.Contains(it.edges, key)
 }
 
 // contribute records the edge in item's contribution set, promoting a
 // hot item's list to a map at the threshold.
 func (g *incGraph) contribute(item int32, key uint64) {
-	g.itemEdges[item] = append(g.itemEdges[item], key)
-	if set := g.itemEdgeSet[item]; set != nil {
-		set[key] = struct{}{}
-	} else if len(g.itemEdges[item]) > itemEdgeSetThreshold {
-		set = make(map[uint64]struct{}, 2*itemEdgeSetThreshold)
-		for _, k := range g.itemEdges[item] {
+	it := &g.item[item]
+	it.edges = growAppend(it.edges, key)
+	if it.edgeSet != nil {
+		it.edgeSet[key] = struct{}{}
+	} else if len(it.edges) > itemEdgeSetThreshold {
+		set := make(map[uint64]struct{}, 2*itemEdgeSetThreshold)
+		for _, k := range it.edges {
 			set[k] = struct{}{}
 		}
-		g.itemEdgeSet[item] = set
+		it.edgeSet = set
 	}
 }
 
@@ -501,35 +781,36 @@ func (g *incGraph) connect(x, y, item int32) []int {
 	if g.contributes(item, key) {
 		return nil
 	}
-	if c := g.edgeCount[key]; c > 0 {
-		g.edgeCount[key] = c + 1
+	if c := g.edges.get(key); c > 0 {
+		g.edges.set(key, c+1)
 		g.contribute(item, key)
 		return nil
 	}
 	if cycle := g.insert(x, y); cycle != nil {
 		return cycle
 	}
-	g.edgeCount[key] = 1
+	g.edges.set(key, 1)
 	g.contribute(item, key)
 	return nil
 }
 
-// admissible reports whether drawing o's conflict edges would keep the
-// graph acyclic, without mutating it.
-func (g *incGraph) admissible(o txn.Op, item int32) bool {
-	if int(item) >= len(g.lastWriter) {
+// admissible reports whether drawing the operation's conflict edges
+// would keep the graph acyclic, without mutating it.
+func (g *incGraph) admissible(dense int32, action txn.Action, item int32) bool {
+	if int(item) >= len(g.item) {
 		return true // item never accessed in this conjunct
 	}
-	me, ok := g.txns.Lookup(o.Txn)
-	if !ok {
+	me := g.nodeAt(dense)
+	if me < 0 {
 		return true // a brand-new node cannot close a cycle
 	}
-	lw := g.lastWriter[item]
+	it := &g.item[item]
+	lw := it.lastWriter
 	if lw >= 0 && lw != me && g.wouldCycle(lw, me) {
 		return false
 	}
-	if o.Action == txn.ActionWrite {
-		for _, r := range g.readers[item] {
+	if action == txn.ActionWrite {
+		for _, r := range it.readers {
 			if r != me && g.wouldCycle(r, me) {
 				return false
 			}
@@ -544,7 +825,7 @@ func (g *incGraph) admissible(o txn.Op, item int32) bool {
 // sound — a cycle through two fresh edges implies a shorter one
 // through a single fresh edge.
 func (g *incGraph) wouldCycle(x, y int32) bool {
-	if g.edgeCount[edgeKey(x, y)] > 0 {
+	if g.edges.get(edgeKey(x, y)) > 0 {
 		return false // already present and the graph is acyclic
 	}
 	if g.ord[x] < g.ord[y] {
@@ -577,20 +858,21 @@ func (g *incGraph) insert(x, y int32) []int {
 			// edge x → y.
 			var rev []int
 			for n := x; n >= 0; n = g.parent[n] {
-				rev = append(rev, g.txns.Orig(n))
+				rev = append(rev, g.orig(n))
 			}
 			cycle := make([]int, 0, len(rev)+1)
 			for i := len(rev) - 1; i >= 0; i-- {
 				cycle = append(cycle, rev[i])
 			}
-			cycle = append(cycle, g.txns.Orig(y))
+			cycle = append(cycle, g.orig(y))
 			return cycle
 		}
 		g.backwardSearch(x, g.ord[y])
 		g.reorder()
 	}
-	g.out[x] = append(g.out[x], y)
-	g.in[y] = append(g.in[y], x)
+	g.nodes[x].out = growAppend(g.nodes[x].out, y)
+	g.nodes[y].in = growAppend(g.nodes[y].in, x)
+	g.addGen++
 	return nil
 }
 
@@ -603,29 +885,30 @@ func (g *incGraph) insert(x, y int32) []int {
 // by paths through the retracted node) are inserted. Because every
 // bridge edge shortcuts an existing path, the maintained topological
 // order already respects it and the repair cannot close a cycle.
-func (g *incGraph) retract(origTxn int) {
-	t, ok := g.txns.Lookup(origTxn)
-	if !ok {
+func (g *incGraph) retract(dense int32) {
+	t := g.nodeAt(dense)
+	if t < 0 {
 		return
 	}
-	touched := g.nodeItems[t]
-	g.nodeItems[t] = nil
+	touched := g.nodes[t].items
+	g.nodes[t].items = nil
 	for idx, item := range touched {
 		if slices.Contains(touched[:idx], item) {
 			continue // already repaired
 		}
+		it := &g.item[item]
 		// Filter the retracted node out of the item's log in place.
-		lg := g.log[item][:0]
-		for _, a := range g.log[item] {
-			if a.node != t {
+		lg := it.log[:0]
+		for _, a := range it.log {
+			if a.node() != t {
 				lg = append(lg, a)
 			}
 		}
-		g.log[item] = lg
+		it.log = lg
 		// Recompute the item's frontier and edge contribution from the
-		// surviving history.
-		newEdges, lw, readers := replayItem(lg)
-		old := g.itemEdges[item]
+		// surviving history (into reused replay scratch).
+		newEdges, lw, readers := g.replayItem(lg)
+		old := it.edges
 		for _, k := range old {
 			if !slices.Contains(newEdges, k) {
 				g.dropEdge(k)
@@ -636,22 +919,33 @@ func (g *incGraph) retract(origTxn int) {
 				g.bridgeEdge(k)
 			}
 		}
-		g.itemEdges[item] = newEdges
-		if g.itemEdgeSet[item] != nil || len(newEdges) > itemEdgeSetThreshold {
+		it.edges = append(it.edges[:0], newEdges...)
+		if it.edgeSet != nil || len(newEdges) > itemEdgeSetThreshold {
 			set := make(map[uint64]struct{}, len(newEdges))
 			for _, k := range newEdges {
 				set[k] = struct{}{}
 			}
-			g.itemEdgeSet[item] = set
+			it.edgeSet = set
 		}
-		g.lastWriter[item] = lw
-		g.readers[item] = readers
+		it.lastWriter = lw
+		it.readers = append(it.readers[:0], readers...)
+		it.readerBits = 0
+		for _, r := range it.readers {
+			if r < 64 {
+				it.readerBits |= 1 << uint(r)
+			}
+		}
+		it.gen++
 	}
 }
 
 // replayItem recomputes an item's edge contribution and final frontier
-// from its access log, mirroring add's frontier semantics.
-func replayItem(lg []access) (edges []uint64, lastWriter int32, readers []int32) {
+// from its access log, mirroring add's frontier semantics. The returned
+// slices alias the graph's replay scratch and are only valid until the
+// next call.
+func (g *incGraph) replayItem(lg []access) (edges []uint64, lastWriter int32, readers []int32) {
+	edges = g.replayEdges[:0]
+	readers = g.replayReaders[:0]
 	lastWriter = -1
 	addEdge := func(x, y int32) {
 		if k := edgeKey(x, y); !slices.Contains(edges, k) {
@@ -659,42 +953,45 @@ func replayItem(lg []access) (edges []uint64, lastWriter int32, readers []int32)
 		}
 	}
 	for _, a := range lg {
-		switch a.action {
-		case txn.ActionRead:
-			if lastWriter >= 0 && lastWriter != a.node {
-				addEdge(lastWriter, a.node)
-			}
-			if !slices.Contains(readers, a.node) {
-				readers = append(readers, a.node)
-			}
-		case txn.ActionWrite:
-			if lastWriter >= 0 && lastWriter != a.node {
-				addEdge(lastWriter, a.node)
+		n := a.node()
+		if a.write() {
+			if lastWriter >= 0 && lastWriter != n {
+				addEdge(lastWriter, n)
 			}
 			for _, r := range readers {
-				if r != a.node {
-					addEdge(r, a.node)
+				if r != n {
+					addEdge(r, n)
 				}
 			}
-			lastWriter = a.node
+			lastWriter = n
 			readers = readers[:0]
+		} else {
+			if lastWriter >= 0 && lastWriter != n {
+				addEdge(lastWriter, n)
+			}
+			if !slices.Contains(readers, n) {
+				readers = append(readers, n)
+			}
 		}
 	}
+	g.replayEdges = edges
+	g.replayReaders = readers
 	return edges, lastWriter, readers
 }
 
 // dropEdge decrements the edge's reference count, removing it from the
 // adjacency lists when no item contributes it any more.
 func (g *incGraph) dropEdge(key uint64) {
-	c := g.edgeCount[key] - 1
-	if c > 0 {
-		g.edgeCount[key] = c
+	c := g.edges.get(key)
+	if c > 1 {
+		g.edges.set(key, c-1)
 		return
 	}
-	delete(g.edgeCount, key)
+	g.edges.del(key)
 	x, y := unpackEdgeKey(key)
-	g.out[x] = removeInt32(g.out[x], y)
-	g.in[y] = removeInt32(g.in[y], x)
+	g.nodes[x].out = removeInt32(g.nodes[x].out, y)
+	g.nodes[y].in = removeInt32(g.nodes[y].in, x)
+	g.delGen++
 }
 
 // bridgeEdge increments the edge's reference count, inserting it into
@@ -702,16 +999,16 @@ func (g *incGraph) dropEdge(key uint64) {
 // shortcuts a path through the retracted node, so insertion cannot
 // close a cycle.
 func (g *incGraph) bridgeEdge(key uint64) {
-	if c := g.edgeCount[key]; c > 0 {
-		g.edgeCount[key] = c + 1
+	if c := g.edges.get(key); c > 0 {
+		g.edges.set(key, c+1)
 		return
 	}
 	x, y := unpackEdgeKey(key)
 	if cycle := g.insert(x, y); cycle != nil {
 		panic(fmt.Sprintf("core: retraction bridge %d -> %d closed cycle %v",
-			g.txns.Orig(x), g.txns.Orig(y), cycle))
+			g.orig(x), g.orig(y), cycle))
 	}
-	g.edgeCount[key] = 1
+	g.edges.set(key, 1)
 }
 
 // removeInt32 deletes one occurrence of x (swap-remove; adjacency order
@@ -750,7 +1047,7 @@ func (g *incGraph) forwardSearch(start, target int32) []int32 {
 		u := g.stack[len(g.stack)-1]
 		g.stack = g.stack[:len(g.stack)-1]
 		g.visF = append(g.visF, u)
-		for _, v := range g.out[u] {
+		for _, v := range g.nodes[u].out {
 			if g.ord[v] > ub || g.mark[v] == g.markGen {
 				continue
 			}
@@ -778,7 +1075,7 @@ func (g *incGraph) backwardSearch(start int32, lb int32) {
 		u := g.stack[len(g.stack)-1]
 		g.stack = g.stack[:len(g.stack)-1]
 		g.visB = append(g.visB, u)
-		for _, v := range g.in[u] {
+		for _, v := range g.nodes[u].in {
 			if g.ord[v] < lb || g.mark[v] == g.markGen {
 				continue
 			}

@@ -1,0 +1,244 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pwsr/internal/core"
+	"pwsr/internal/state"
+	"pwsr/internal/txn"
+)
+
+// probeMonitor abstracts the monitor variants the probe differential
+// drives in lockstep.
+type probeMonitor interface {
+	Observe(o txn.Op) *core.Violation
+	Admissible(o txn.Op) bool
+	Retract(txnID int)
+	Commit(txnID int)
+	Compact() int
+	Ops() int
+	PWSR() bool
+	ConflictEdges(e int) [][2]int
+	ProbeStats() core.ProbeStats
+	SetProbeCache(on bool) bool
+}
+
+// TestProbeCacheDifferential is the cache's safety net: over random
+// Observe/Retract/Commit/Compact interleavings, every Admissible probe
+// must answer identically on a cached monitor, an uncached monitor, and
+// cached ShardedMonitors at shard counts 1..8 — and probing must not
+// perturb subsequent verdicts (final op counts and conflict edges stay
+// lockstep-equal). This is what makes the generation-invalidation rule
+// trustworthy: a cached verdict may only be served while it provably
+// equals the recomputed one.
+func TestProbeCacheDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	deniedProbes, retracts, compacts := 0, 0, 0
+	for trial := 0; trial < 120; trial++ {
+		nItems := 2 + rng.Intn(5)
+		items := make([]string, nItems)
+		for i := range items {
+			items[i] = fmt.Sprintf("x%d", i)
+		}
+		partition := randomPartition(rng, items, trial%3 == 0)
+		nTxns := 2 + rng.Intn(5)
+
+		cached := core.NewMonitor(partition)
+		uncached := core.NewMonitor(partition)
+		uncached.SetProbeCache(false)
+		mons := []probeMonitor{cached, uncached}
+		var sharded []*core.ShardedMonitor
+		for _, shards := range []int{1, 2, 4, 8} {
+			sm := core.NewShardedMonitor(partition, shards)
+			sharded = append(sharded, sm)
+			mons = append(mons, sm)
+		}
+
+		committed := make(map[int]bool)
+		live := make(map[int]bool)
+		randOp := func(id int) txn.Op {
+			entity := items[rng.Intn(len(items))]
+			if rng.Intn(2) == 0 {
+				return txn.R(id, entity, 0)
+			}
+			return txn.W(id, entity, 0)
+		}
+		steps := 40 + rng.Intn(120)
+		for step := 0; step < steps && mons[0].PWSR(); step++ {
+			// Probe a random operation (committed transactions included:
+			// Admissible has no lifecycle restriction) on every monitor
+			// and demand identical verdicts.
+			if rng.Intn(2) == 0 {
+				o := randOp(1 + rng.Intn(nTxns))
+				want := mons[0].Admissible(o)
+				for i, m := range mons[1:] {
+					if got := m.Admissible(o); got != want {
+						t.Fatalf("trial %d step %d: monitor %d says Admissible(%v)=%v, cached says %v",
+							trial, step, i+1, o, got, want)
+					}
+				}
+				// Probe twice: a cache hit must repeat the verdict.
+				if again := mons[0].Admissible(o); again != want {
+					t.Fatalf("trial %d step %d: cached verdict flipped on re-probe of %v", trial, step, o)
+				}
+				if !want {
+					deniedProbes++
+				}
+			}
+			id := 1 + rng.Intn(nTxns)
+			switch r := rng.Intn(10); {
+			case r < 6: // observe
+				if committed[id] {
+					break
+				}
+				o := randOp(id)
+				want := mons[0].Observe(o)
+				live[id] = true
+				for i, m := range mons[1:] {
+					got := m.Observe(o)
+					if (got == nil) != (want == nil) {
+						t.Fatalf("trial %d step %d: monitor %d Observe(%v)=%v, cached=%v",
+							trial, step, i+1, o, got, want)
+					}
+				}
+			case r < 8: // retract a live, uncommitted transaction
+				if committed[id] || !mons[0].PWSR() {
+					break
+				}
+				for _, m := range mons {
+					m.Retract(id)
+				}
+				delete(live, id)
+				retracts++
+			case r < 9: // commit
+				if !mons[0].PWSR() {
+					break
+				}
+				for _, m := range mons {
+					m.Commit(id)
+				}
+				committed[id] = true
+				delete(live, id)
+			default: // explicit compaction pass
+				if !mons[0].PWSR() {
+					break
+				}
+				for _, m := range mons {
+					m.Compact()
+				}
+				compacts++
+			}
+		}
+		// The interleaving must not have desynchronized the monitors:
+		// op counts and (pre-violation) conflict edges stay equal.
+		for i, m := range mons[1:] {
+			if m.Ops() != mons[0].Ops() {
+				t.Fatalf("trial %d: monitor %d has %d ops, cached has %d", trial, i+1, m.Ops(), mons[0].Ops())
+			}
+		}
+		if mons[0].PWSR() {
+			for e := range partition {
+				want := fmt.Sprint(mons[0].ConflictEdges(e))
+				for i, m := range mons[1:] {
+					if got := fmt.Sprint(m.ConflictEdges(e)); got != want {
+						t.Fatalf("trial %d conjunct %d: monitor %d edges %s, cached %s", trial, e, i+1, got, want)
+					}
+				}
+			}
+		}
+		// The cached monitor must actually have exercised the cache,
+		// and the uncached one must have bypassed it.
+		if st := uncached.ProbeStats(); st.Hits+st.Misses+st.Invalidations != 0 {
+			t.Fatalf("trial %d: uncached monitor recorded probe traffic %+v", trial, st)
+		}
+		_ = sharded
+	}
+	if deniedProbes == 0 {
+		t.Fatal("vacuous: no denied probes generated")
+	}
+	if retracts == 0 || compacts == 0 {
+		t.Fatalf("vacuous: retracts=%d compacts=%d", retracts, compacts)
+	}
+}
+
+// TestProbeStatsAccounting checks the counter taxonomy: a first probe
+// misses, an identical re-probe hits, and a probe whose relevant
+// generation moved invalidates (and is re-cached).
+func TestProbeStatsAccounting(t *testing.T) {
+	partition := []state.ItemSet{state.NewItemSet("a", "b")}
+	m := core.NewMonitor(partition)
+	m.Observe(txn.W(1, "a", 0))
+	m.Observe(txn.W(1, "b", 0))
+
+	o := txn.W(2, "a", 0) // known txn? not yet: T2 unseen, probe bypasses the cache
+	if !m.Admissible(o) {
+		t.Fatal("fresh transaction must be admissible")
+	}
+	if st := m.ProbeStats(); st.Hits+st.Misses+st.Invalidations != 0 {
+		t.Fatalf("unseen-transaction probe should bypass the cache, got %+v", st)
+	}
+
+	m.Observe(txn.R(2, "b", 0)) // T2 now known
+	if !m.Admissible(o) {
+		t.Fatal("probe should be admissible")
+	}
+	if st := m.ProbeStats(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("first probe should miss, got %+v", st)
+	}
+	if !m.Admissible(o) {
+		t.Fatal("re-probe should be admissible")
+	}
+	if st := m.ProbeStats(); st.Hits != 1 {
+		t.Fatalf("re-probe should hit, got %+v", st)
+	}
+	// A repeat write by the incumbent last writer leaves the frontier
+	// (and so the cached verdict) untouched: still a hit.
+	m.Observe(txn.W(1, "a", 1))
+	if !m.Admissible(o) {
+		t.Fatal("probe after no-op frontier write should still be admissible")
+	}
+	if st := m.ProbeStats(); st.Hits != 2 || st.Invalidations != 0 {
+		t.Fatalf("no-op frontier write should stay a hit, got %+v", st)
+	}
+	// A genuine frontier move (new reader joins item a, drawing a
+	// structural edge) invalidates the cached verdict, which is then
+	// recomputed and re-cached.
+	m.Observe(txn.R(3, "a", 1))
+	if !m.Admissible(o) {
+		t.Fatal("probe after frontier move should still be admissible")
+	}
+	if st := m.ProbeStats(); st.Invalidations != 1 {
+		t.Fatalf("frontier move should invalidate, got %+v", st)
+	}
+}
+
+// TestProbeCacheDisabledIdentical locks the SetProbeCache contract: the
+// switch changes cost, never verdicts, and disabling clears the cache.
+func TestProbeCacheDisabledIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	items := []string{"a", "b", "c"}
+	partition := randomPartition(rng, items, false)
+	m := core.NewMonitor(partition)
+	for i := 0; i < 60; i++ {
+		id := 1 + rng.Intn(4)
+		entity := items[rng.Intn(len(items))]
+		o := txn.R(id, entity, 0)
+		if rng.Intn(2) == 0 {
+			o = txn.W(id, entity, 0)
+		}
+		cachedVerdict := m.Admissible(o)
+		m.SetProbeCache(false)
+		if got := m.Admissible(o); got != cachedVerdict {
+			t.Fatalf("verdict for %v changed with cache off: %v vs %v", o, got, cachedVerdict)
+		}
+		m.SetProbeCache(true)
+		if cachedVerdict {
+			m.Observe(o)
+		}
+		if !m.PWSR() {
+			t.Fatalf("admissible op violated at step %d", i)
+		}
+	}
+}

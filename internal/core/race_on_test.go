@@ -1,0 +1,8 @@
+//go:build race
+
+package core_test
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation makes allocation accounting (and so
+// the zero-alloc pins) unreliable.
+const raceEnabled = true

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -63,10 +64,12 @@ type ShardedMonitor struct {
 	ops       atomic.Int64
 	// txnOps counts observed operations per transaction so Retract
 	// keeps Ops() equal to the surviving operation count, mirroring
-	// Monitor.opsByTxn. Copy-on-write like the route table: the per-op
-	// hit path is one atomic load plus a map lookup, only a
-	// first-seen transaction takes routeMu.
-	txnOps atomic.Pointer[map[int]*atomic.Int64]
+	// Monitor's dense per-txn counters, and records the set of shards
+	// the transaction's operations routed to so Retract visits only
+	// those shards. Copy-on-write like the route table: the per-op hit
+	// path is one atomic load plus a map lookup, only a first-seen
+	// transaction takes routeMu.
+	txnOps atomic.Pointer[map[int]*shardedTxn]
 	// Lifecycle state for the multi-shard mode (the single-shard fast
 	// path delegates wholly to the inner monitor's lifecycle).
 	// committed, commitsSince, and autoEvery are guarded by routeMu;
@@ -93,6 +96,32 @@ type ShardedMonitor struct {
 // (empty for items outside every conjunct, which are ignored per
 // Definition 2).
 type routeShards []int32
+
+// shardedTxn is one transaction's global bookkeeping: its surviving
+// operation count and the bitmask of shards its operations routed to
+// (meaningful only while the shard count fits in 64 bits; wider
+// configurations fall back to full fan-out on Retract).
+type shardedTxn struct {
+	ops    atomic.Int64
+	shards atomic.Uint64
+}
+
+// orShards folds the route's shard bits into the transaction's mask.
+func (c *shardedTxn) orShards(r routeShards, shardCount int) {
+	if shardCount > 64 || len(r) == 0 {
+		return
+	}
+	var mask uint64
+	for _, s := range r {
+		mask |= 1 << uint(s)
+	}
+	for {
+		old := c.shards.Load()
+		if old&mask == mask || c.shards.CompareAndSwap(old, old|mask) {
+			return
+		}
+	}
+}
 
 // monitorShard is one block of conjuncts behind its own lock, with
 // admission counters for the per-shard metrics surfaced through
@@ -154,7 +183,7 @@ func NewShardedMonitor(partition []state.ItemSet, shards int) *ShardedMonitor {
 	}
 	empty := make([]routeShards, 0)
 	m.routes.Store(&empty)
-	counters := make(map[int]*atomic.Int64)
+	counters := make(map[int]*shardedTxn)
 	m.txnOps.Store(&counters)
 	l := len(partition)
 	for s := 0; s < shards; s++ {
@@ -200,15 +229,19 @@ func (m *ShardedMonitor) PWSR() bool { return m.violation.Load() == nil }
 // Violation returns the first violation, or nil.
 func (m *ShardedMonitor) Violation() *Violation { return m.violation.Load() }
 
-// countOp records one observed operation in the global counters.
-func (m *ShardedMonitor) countOp(o txn.Op) {
+// countOp records one observed operation in the global counters and
+// returns the transaction's bookkeeping record (so callers can fold in
+// the route's shard bits once the route is known).
+func (m *ShardedMonitor) countOp(o txn.Op) *shardedTxn {
 	m.ops.Add(1)
-	m.txnCounter(o.Txn).Add(1)
+	c := m.txnCounter(o.Txn)
+	c.ops.Add(1)
+	return c
 }
 
-// txnCounter returns the transaction's op counter, creating it (under
-// routeMu, publishing a fresh snapshot) on first use.
-func (m *ShardedMonitor) txnCounter(txnID int) *atomic.Int64 {
+// txnCounter returns the transaction's bookkeeping record, creating it
+// (under routeMu, publishing a fresh snapshot) on first use.
+func (m *ShardedMonitor) txnCounter(txnID int) *shardedTxn {
 	if c, ok := (*m.txnOps.Load())[txnID]; ok {
 		return c
 	}
@@ -218,11 +251,11 @@ func (m *ShardedMonitor) txnCounter(txnID int) *atomic.Int64 {
 	if c, ok := cur[txnID]; ok {
 		return c
 	}
-	next := make(map[int]*atomic.Int64, len(cur)+1)
+	next := make(map[int]*shardedTxn, len(cur)+1)
 	for k, v := range cur {
 		next[k] = v
 	}
-	c := new(atomic.Int64)
+	c := new(shardedTxn)
 	next[txnID] = c
 	m.txnOps.Store(&next)
 	return c
@@ -301,11 +334,13 @@ func (m *ShardedMonitor) Observe(o txn.Op) *Violation {
 		}
 		return nil
 	}
-	m.countOp(o)
+	c := m.countOp(o)
 	if v := m.violation.Load(); v != nil {
 		return v
 	}
-	for _, s := range m.routeFor(o.Entity) {
+	r := m.routeFor(o.Entity)
+	c.orShards(r, len(m.shards))
+	for _, s := range r {
 		sh := m.shards[s]
 		sh.mu.Lock()
 		sh.observes++
@@ -359,31 +394,57 @@ func (m *ShardedMonitor) Admissible(o txn.Op) bool {
 }
 
 // Retract removes every observed operation of the transaction with
-// Monitor.Retract's contract: each shard rolls the transaction out of
-// its graphs independently (under its lock), and the global operation
-// count is repaired from the transaction's counter. Panics after a
-// violation, like Monitor.Retract.
+// Monitor.Retract's contract: each shard the transaction's operations
+// routed to (tracked as a bitmask on its counter record) rolls the
+// transaction out of its graphs under its lock — shards it never
+// touched are not visited, so the rollback fan-out scales with the
+// transaction's footprint rather than the shard count — and the global
+// operation count is repaired from the transaction's counter. Panics
+// after a violation and for a committed transaction, like
+// Monitor.Retract.
 func (m *ShardedMonitor) Retract(txnID int) {
 	if m.violation.Load() != nil {
 		panic("core: Retract on a violated sharded monitor")
 	}
-	for _, sh := range m.shards {
+	if m.single {
+		sh := m.shards[0]
+		sh.mu.Lock()
+		sh.mon.Retract(txnID)
+		sh.mu.Unlock()
+		return // the inner monitor's counters are authoritative
+	}
+	m.routeMu.Lock()
+	committed := m.committed[txnID]
+	m.routeMu.Unlock()
+	if committed {
+		panic(fmt.Sprintf("core: Retract of committed transaction T%d", txnID))
+	}
+	cur := *m.txnOps.Load()
+	c, ok := cur[txnID]
+	if !ok {
+		return // never observed: nothing to roll back anywhere
+	}
+	mask := c.shards.Load()
+	if len(m.shards) > 64 {
+		mask = ^uint64(0)
+	}
+	for s, sh := range m.shards {
+		if len(m.shards) <= 64 && mask&(1<<uint(s)) == 0 {
+			continue
+		}
 		sh.mu.Lock()
 		sh.mon.Retract(txnID)
 		sh.mu.Unlock()
 	}
-	if m.single {
-		return // the inner monitor's counters are authoritative
-	}
 	m.routeMu.Lock()
 	defer m.routeMu.Unlock()
-	cur := *m.txnOps.Load()
-	c, ok := cur[txnID]
+	cur = *m.txnOps.Load()
+	c, ok = cur[txnID]
 	if !ok {
 		return
 	}
-	m.ops.Add(-c.Load())
-	next := make(map[int]*atomic.Int64, len(cur)-1)
+	m.ops.Add(-c.ops.Load())
+	next := make(map[int]*shardedTxn, len(cur)-1)
 	for k, v := range cur {
 		if k != txnID {
 			next[k] = v
@@ -501,7 +562,7 @@ func (m *ShardedMonitor) Compact() int {
 	if len(gone) > 0 {
 		m.routeMu.Lock()
 		cur := *m.txnOps.Load()
-		next := make(map[int]*atomic.Int64, len(cur))
+		next := make(map[int]*shardedTxn, len(cur))
 		for k, v := range cur {
 			next[k] = v
 		}
@@ -660,8 +721,10 @@ type epochViolation struct {
 func (m *ShardedMonitor) observeEpoch(ops txn.Seq) *Violation {
 	buckets := make([][]shardedOp, len(m.shards))
 	for i, o := range ops {
-		m.countOp(o)
-		for _, s := range m.routeFor(o.Entity) {
+		c := m.countOp(o)
+		r := m.routeFor(o.Entity)
+		c.orShards(r, len(m.shards))
+		for _, s := range r {
 			buckets[s] = append(buckets[s], shardedOp{op: o, idx: i})
 		}
 	}
@@ -701,4 +764,34 @@ func (m *ShardedMonitor) observeEpoch(ops txn.Seq) *Violation {
 	// whole epoch.
 	m.ops.Add(int64(first.idx + 1 - len(ops)))
 	return m.globalViolation(first.sh, first.v)
+}
+
+// ProbeStats sums the shards' probe-cache counters (each shard's inner
+// Monitor memoizes its own verdicts under the shard lock, so the
+// sharded admission preflight inherits the generation-invalidated
+// cache wholesale).
+func (m *ShardedMonitor) ProbeStats() ProbeStats {
+	var st ProbeStats
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		s := sh.mon.ProbeStats()
+		sh.mu.Unlock()
+		st.Hits += s.Hits
+		st.Misses += s.Misses
+		st.Invalidations += s.Invalidations
+	}
+	return st
+}
+
+// SetProbeCache enables or disables the probe cache on every shard and
+// returns the previous setting (the shards are always configured
+// uniformly).
+func (m *ShardedMonitor) SetProbeCache(on bool) bool {
+	old := true
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		old = sh.mon.SetProbeCache(on)
+		sh.mu.Unlock()
+	}
+	return old
 }

@@ -46,6 +46,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 
@@ -281,6 +282,26 @@ type CompactionReporter interface {
 	CompactionStats() CompactStats
 }
 
+// ProbeStats is a certifying policy's admission probe-cache counters:
+// Hits are Admissible probes answered from a still-valid memoized
+// verdict, Misses are first-time probes, and Invalidations are probes
+// whose cached verdict a generation move invalidated (recomputed and
+// re-cached).
+type ProbeStats struct {
+	Hits          int64
+	Misses        int64
+	Invalidations int64
+}
+
+// ProbeReporter is an optional Policy extension: a certifying policy
+// whose monitor memoizes Admissible verdicts reports the cache
+// counters, which the engine copies into Metrics at the end of a run.
+type ProbeReporter interface {
+	Policy
+	// ProbeStats snapshots the probe-cache counters.
+	ProbeStats() ProbeStats
+}
+
 // Metrics aggregates virtual-clock measurements of a run. The clock
 // ticks once per granted operation.
 type Metrics struct {
@@ -312,6 +333,14 @@ type Metrics struct {
 	ReclaimedTxns int
 	ReclaimedOps  int
 	LiveTxns      int
+	// ProbeHits, ProbeMisses, and ProbeInvalidations report the
+	// certifier's admission probe-cache counters at the end of the run
+	// when the policy implements ProbeReporter; zero otherwise. The
+	// hit fraction is the share of scheduler-tick re-probes the cache
+	// absorbed.
+	ProbeHits          int64
+	ProbeMisses        int64
+	ProbeInvalidations int64
 }
 
 // TxnMetrics is per-transaction timing.
@@ -386,25 +415,36 @@ type writeRec struct {
 }
 
 // chanAccessor adapts the engine's request channel to the program
-// Accessor interface.
+// Accessor interface. Each program goroutine owns one request struct
+// and one reply channel for its whole attempt: the engine is done with
+// a request before it replies (it is removed from the pending set
+// first, and policies must not retain the pending slice across Pick
+// calls), so the next operation can safely reuse them — the admission
+// round trip allocates nothing in steady state.
 type chanAccessor struct {
 	id     int
 	events chan<- event
+	req    Request
+	reply  chan replyMsg
+}
+
+func newChanAccessor(id int, events chan<- event) *chanAccessor {
+	return &chanAccessor{id: id, events: events, reply: make(chan replyMsg)}
 }
 
 // Read implements program.Accessor.
 func (c *chanAccessor) Read(item string) (state.Value, error) {
-	r := &Request{TxnID: c.id, Action: txn.ActionRead, Entity: item, reply: make(chan replyMsg)}
-	c.events <- event{req: r}
-	rep := <-r.reply
+	c.req = Request{TxnID: c.id, Action: txn.ActionRead, Entity: item, reply: c.reply}
+	c.events <- event{req: &c.req}
+	rep := <-c.reply
 	return rep.value, rep.err
 }
 
 // Write implements program.Accessor.
 func (c *chanAccessor) Write(item string, v state.Value) error {
-	r := &Request{TxnID: c.id, Action: txn.ActionWrite, Entity: item, Value: v, reply: make(chan replyMsg)}
-	c.events <- event{req: r}
-	rep := <-r.reply
+	c.req = Request{TxnID: c.id, Action: txn.ActionWrite, Entity: item, Value: v, reply: c.reply}
+	c.events <- event{req: &c.req}
+	rep := <-c.reply
 	return rep.err
 }
 
@@ -441,7 +481,7 @@ func Run(cfg Config) (*Result, error) {
 	events := make(chan event)
 	spawn := func(id int) {
 		go func(id int, p *program.Program) {
-			err := interp.Run(p, &chanAccessor{id: id, events: events})
+			err := interp.Run(p, newChanAccessor(id, events))
 			events <- event{done: true, id: id, err: err}
 		}(id, cfg.Programs[id])
 	}
@@ -588,6 +628,12 @@ func Run(cfg Config) (*Result, error) {
 		return nil
 	}
 
+	// Per-tick scratch, reused across scheduling steps: the sorted
+	// pending-request view handed to the policy. The slices are only
+	// valid during the Pick call (policies must not retain them).
+	list := make([]*Request, 0, len(ids))
+	pids := make([]int, 0, len(ids))
+
 	for len(v.Live) > 0 {
 		// Gather one request per live transaction.
 		for len(pending) < len(v.Live) {
@@ -611,12 +657,11 @@ func Run(cfg Config) (*Result, error) {
 			break
 		}
 
-		list := make([]*Request, 0, len(pending))
-		pids := make([]int, 0, len(pending))
+		list, pids = list[:0], pids[:0]
 		for id := range pending {
 			pids = append(pids, id)
 		}
-		sort.Ints(pids)
+		slices.Sort(pids)
 		for _, id := range pids {
 			list = append(list, pending[id])
 		}
@@ -627,7 +672,7 @@ func Run(cfg Config) (*Result, error) {
 		for choice == PassTick {
 			v.Clock++
 			metrics.Ticks++
-			for id := range pending {
+			for _, id := range pids {
 				metrics.PerTxn[id].Waits++
 				metrics.Waits++
 			}
@@ -712,7 +757,10 @@ func Run(cfg Config) (*Result, error) {
 		ops = append(ops, op)
 		v.Clock++
 		metrics.Ticks++
-		for id := range pending {
+		for _, id := range pids {
+			if id == granted.TxnID {
+				continue
+			}
 			metrics.PerTxn[id].Waits++
 			metrics.Waits++
 		}
@@ -728,6 +776,12 @@ func Run(cfg Config) (*Result, error) {
 		metrics.ReclaimedTxns = st.ReclaimedTxns
 		metrics.ReclaimedOps = st.ReclaimedOps
 		metrics.LiveTxns = st.LiveTxns
+	}
+	if pr, ok := cfg.Policy.(ProbeReporter); ok {
+		st := pr.ProbeStats()
+		metrics.ProbeHits = st.Hits
+		metrics.ProbeMisses = st.Misses
+		metrics.ProbeInvalidations = st.Invalidations
 	}
 	return &Result{
 		Schedule: txn.NewSchedule(ops...),

@@ -82,7 +82,7 @@ func TestRepairedNecessityHasNoViolations(t *testing.T) {
 }
 
 func TestCampaignTableRender(t *testing.T) {
-	c, err := RunValidation(Theorem1, 5, 1)
+	c, err := RunValidation(Theorem1, 25, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pwsr/internal/core"
+	"pwsr/internal/sim"
+	"pwsr/internal/state"
+	"pwsr/internal/txn"
+)
+
+// HotPathRecord is one pass of the PERF8 hot-path study, in the
+// machine-readable shape cmd/pwsrbench writes to BENCH_hotpath.json:
+// one monitor variant (single or sharded) driven through an identical
+// scheduler-tick admission workload with the probe cache on or off.
+type HotPathRecord struct {
+	// Variant names the certifier: "monitor" or "sharded-<n>".
+	Variant string `json:"variant"`
+	// Regime is the workload shape: "steady" (no aborts — the
+	// denied-heavy re-probe loop the cache was built for) or "churn"
+	// (periodic victim retraction, the optimistic gates' stall
+	// resolution, which keeps invalidating cached verdicts).
+	Regime string `json:"regime"`
+	// Cached reports whether the generation-invalidated probe cache was
+	// enabled for the pass.
+	Cached bool `json:"cached"`
+	// Ticks and Ops are the scheduler ticks driven and operations
+	// admitted (identical across all passes — the cache and the shard
+	// count change cost, never decisions; the study re-checks this).
+	Ticks int `json:"ticks"`
+	Ops   int `json:"ops"`
+	// Probes counts Admissible calls; Retracts the abort-rollback calls
+	// the workload injected.
+	Probes   int64 `json:"probes"`
+	Retracts int   `json:"retracts"`
+	// WallNs is the pass's wall-clock time; NsPerProbe normalizes it by
+	// the probe count (the tick loop is probe-dominated).
+	WallNs     int64   `json:"wall_ns"`
+	NsPerProbe float64 `json:"ns_per_probe"`
+	// Probe-cache counters (zero for uncached passes).
+	ProbeHits          int64   `json:"probe_hits"`
+	ProbeMisses        int64   `json:"probe_misses"`
+	ProbeInvalidations int64   `json:"probe_invalidations"`
+	HitRate            float64 `json:"hit_rate"`
+}
+
+// hotMonitor is the certifier surface the study drives (Monitor and
+// ShardedMonitor both satisfy it).
+type hotMonitor interface {
+	Observe(o txn.Op) *core.Violation
+	Admissible(o txn.Op) bool
+	Retract(txnID int)
+	Commit(txnID int)
+	SetAutoCompact(n int) int
+	ProbeStats() core.ProbeStats
+	SetProbeCache(on bool) bool
+}
+
+// hotPathOutcome is a pass's decision trace summary, compared across
+// passes to certify that neither the cache nor the shard count changed
+// a single admission decision.
+type hotPathOutcome struct {
+	ops      int
+	probes   int64
+	retracts int
+	denied   int64
+}
+
+// hotPathPass drives the scheduler-tick admission loop the
+// certification gates run: window transactions each hold one pending
+// operation; every tick probes the whole pending set (the gates'
+// admissibility mask), grants one admissible request, and keeps denied
+// requests pending — so a denied request is re-probed every tick until
+// the certification state it depends on moves, which is exactly the
+// redundancy the probe cache absorbs. A transaction that exhausts its
+// budget commits and a fresh one takes its slot; a fully-denied tick
+// sacrifices a victim (Retract), the optimistic gates' stall
+// resolution, keeping invalidation churn in the mix.
+func hotPathPass(m hotMonitor, totalTicks, window, churnEvery int, partition []state.ItemSet, items [][]string, seed int64) (hotPathOutcome, time.Duration) {
+	rng := rand.New(rand.NewSource(seed))
+	m.SetAutoCompact(4 * window)
+	const lifetime = 12
+	type slot struct {
+		id      int
+		budget  int
+		pending txn.Op
+	}
+	conjunctOf := func(id int) int { return id % len(partition) }
+	nextOp := func(id int) txn.Op {
+		c := conjunctOf(id)
+		if rng.Intn(8) == 0 {
+			c = rng.Intn(len(partition))
+		}
+		item := items[c][rng.Intn(len(items[c]))]
+		if rng.Intn(2) == 0 {
+			return txn.R(id, item, 0)
+		}
+		return txn.W(id, item, 0)
+	}
+	open := make([]slot, window)
+	nextID := 1
+	for i := range open {
+		open[i] = slot{id: nextID, budget: lifetime, pending: nextOp(nextID)}
+		nextID++
+	}
+	var out hotPathOutcome
+	start := time.Now()
+	for tick := 0; tick < totalTicks; tick++ {
+		if churnEvery > 0 && tick%churnEvery == churnEvery-1 {
+			// Periodic abort churn (an optimistic gate sacrificing a
+			// victim): rolls a live transaction out of certification
+			// state, exercising the cache's removal-generation
+			// invalidations alongside the frontier ones.
+			i := rng.Intn(window)
+			m.Retract(open[i].id)
+			out.retracts++
+			open[i] = slot{id: nextID, budget: lifetime, pending: nextOp(nextID)}
+			nextID++
+		}
+		granted := -1
+		for k := 0; k < window; k++ {
+			i := (tick + k) % window
+			out.probes++
+			if m.Admissible(open[i].pending) {
+				if granted < 0 {
+					granted = i
+				}
+			} else {
+				out.denied++
+			}
+		}
+		if granted < 0 {
+			// Fully denied tick: sacrifice the rotation's victim.
+			i := tick % window
+			m.Retract(open[i].id)
+			out.retracts++
+			open[i] = slot{id: nextID, budget: lifetime, pending: nextOp(nextID)}
+			nextID++
+			continue
+		}
+		s := &open[granted]
+		if v := m.Observe(s.pending); v != nil {
+			panic(fmt.Sprintf("experiments: certified admission violated: %v", v))
+		}
+		out.ops++
+		s.budget--
+		if s.budget <= 0 {
+			m.Commit(s.id)
+			*s = slot{id: nextID, budget: lifetime}
+			nextID++
+		}
+		s.pending = nextOp(s.id)
+	}
+	return out, time.Since(start)
+}
+
+// HotPathStudy is the PERF8 experiment: the same scheduler-tick
+// admission workload through the single Monitor and ShardedMonitors,
+// each with the probe cache on and off. It returns the rendered table
+// plus the machine-readable records, and errors out if any pass made a
+// different admission decision (the cache and the shard count are
+// decision-invariant; only cost may move).
+func HotPathStudy(totalTicks, window int, seed int64) (*sim.Table, []HotPathRecord, error) {
+	const conjuncts, itemsPer = 8, 4
+	partition := make([]state.ItemSet, conjuncts)
+	items := make([][]string, conjuncts)
+	for c := range partition {
+		partition[c] = state.NewItemSet()
+		for i := 0; i < itemsPer; i++ {
+			name := fmt.Sprintf("c%d_x%d", c, i)
+			partition[c].Add(name)
+			items[c] = append(items[c], name)
+		}
+	}
+	type variant struct {
+		name string
+		mk   func() hotMonitor
+	}
+	variants := []variant{
+		{"monitor", func() hotMonitor { return core.NewMonitor(partition) }},
+		{"sharded-2", func() hotMonitor { return core.NewShardedMonitor(partition, 2) }},
+		{"sharded-4", func() hotMonitor { return core.NewShardedMonitor(partition, 4) }},
+		{"sharded-8", func() hotMonitor { return core.NewShardedMonitor(partition, 8) }},
+	}
+
+	t := &sim.Table{
+		Title: "PERF8 — zero-allocation admission hot path: probe caching on the scheduler-tick loop",
+		Columns: []string{
+			"regime", "variant", "cache", "admitted", "probes", "retracts",
+			"hit rate", "wall ms", "ns/probe", "speedup",
+		},
+		Notes: []string{
+			fmt.Sprintf("workload: %d scheduler ticks, %d-transaction window over %d conjuncts × %d items; every tick probes the whole pending set, denied requests stay pending",
+				totalTicks, window, conjuncts, itemsPer),
+			"identical admission decisions in every pass (probe cache and shard count are decision-invariant; the study verifies this)",
+		},
+	}
+	var records []HotPathRecord
+	regimes := []struct {
+		name       string
+		churnEvery int
+	}{
+		{"steady", 0},
+		{"churn", 64},
+	}
+	for _, reg := range regimes {
+		var baseline *hotPathOutcome
+		for _, v := range variants {
+			var uncachedNs float64
+			for _, cached := range []bool{false, true} {
+				m := v.mk()
+				m.SetProbeCache(cached)
+				out, wall := hotPathPass(m, totalTicks, window, reg.churnEvery, partition, items, seed)
+				if baseline == nil {
+					o := out
+					baseline = &o
+				} else if out != *baseline {
+					return nil, nil, fmt.Errorf("experiments: hot-path pass diverged: %s %s cached=%v made %+v, baseline %+v",
+						reg.name, v.name, cached, out, *baseline)
+				}
+				st := m.ProbeStats()
+				nsPerProbe := float64(wall.Nanoseconds()) / float64(out.probes)
+				rec := HotPathRecord{
+					Variant:            v.name,
+					Regime:             reg.name,
+					Cached:             cached,
+					Ticks:              totalTicks,
+					Ops:                out.ops,
+					Probes:             out.probes,
+					Retracts:           out.retracts,
+					WallNs:             wall.Nanoseconds(),
+					NsPerProbe:         nsPerProbe,
+					ProbeHits:          st.Hits,
+					ProbeMisses:        st.Misses,
+					ProbeInvalidations: st.Invalidations,
+					HitRate:            st.HitRate(),
+				}
+				records = append(records, rec)
+				speedup := "—"
+				if !cached {
+					uncachedNs = nsPerProbe
+				} else if nsPerProbe > 0 {
+					speedup = fmt.Sprintf("%.2fx", uncachedNs/nsPerProbe)
+				}
+				cacheLabel := "off"
+				if cached {
+					cacheLabel = "on"
+				}
+				t.AddRow(
+					reg.name, v.name, cacheLabel,
+					fmt.Sprintf("%d", out.ops),
+					fmt.Sprintf("%d", out.probes),
+					fmt.Sprintf("%d", out.retracts),
+					fmt.Sprintf("%.1f%%", 100*rec.HitRate),
+					fmt.Sprintf("%.1f", float64(wall.Microseconds())/1000),
+					fmt.Sprintf("%.0f", nsPerProbe),
+					speedup,
+				)
+			}
+		}
+	}
+	return t, records, nil
+}

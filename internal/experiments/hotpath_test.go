@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+// TestHotPathStudySmall runs a reduced PERF8 study: the decision-
+// identity cross-check (cache × shard count) is inside HotPathStudy
+// itself, so the test asserts it completes, produces both regimes, and
+// that cached passes actually hit.
+func TestHotPathStudySmall(t *testing.T) {
+	tab, records, err := HotPathStudy(1500, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab == nil || len(records) != 16 {
+		t.Fatalf("want 16 records (2 regimes × 4 variants × cache on/off), got %d", len(records))
+	}
+	regimes := map[string]bool{}
+	for _, r := range records {
+		regimes[r.Regime] = true
+		if r.Cached && r.HitRate == 0 {
+			t.Fatalf("cached pass %s/%s never hit the cache", r.Regime, r.Variant)
+		}
+		if !r.Cached && r.ProbeHits+r.ProbeMisses+r.ProbeInvalidations != 0 {
+			t.Fatalf("uncached pass %s/%s recorded probe traffic", r.Regime, r.Variant)
+		}
+		if r.Ops == 0 || r.Probes == 0 {
+			t.Fatalf("vacuous pass %+v", r)
+		}
+	}
+	if !regimes["steady"] || !regimes["churn"] {
+		t.Fatalf("missing regimes: %v", regimes)
+	}
+}

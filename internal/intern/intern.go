@@ -5,34 +5,100 @@
 // become integer equality instead of string hashing.
 package intern
 
+import "hash/maphash"
+
 // Strings interns string keys to dense int32 ids in first-seen order.
-// The zero value is not usable; call NewStrings.
+// The lookup path is an open-addressing table over (hash, id+1) pairs
+// rather than a Go map: the monitor pays one string lookup per
+// observed operation, and the flat probe — one maphash, one slot load,
+// one 64-bit hash compare, one string compare — shaves the map's
+// generic bucket machinery off that per-op cost. The zero value is not
+// usable; call NewStrings.
 type Strings struct {
-	ids   map[string]int32
+	seed  maphash.Seed
+	slots []stringSlot
 	names []string
+}
+
+// stringSlot is one open-addressing entry: the key's full hash (so
+// collisions rarely reach the string compare) and the dense id + 1
+// (0 = empty slot).
+type stringSlot struct {
+	hash uint64
+	id   int32
 }
 
 // NewStrings returns an empty string interner.
 func NewStrings() *Strings {
-	return &Strings{ids: make(map[string]int32)}
+	return &Strings{seed: maphash.MakeSeed()}
 }
 
 // ID returns the dense id for s, assigning the next free id when s has
 // not been seen before. Ids are consecutive from 0 in first-seen order.
 func (t *Strings) ID(s string) int32 {
-	if id, ok := t.ids[s]; ok {
-		return id
+	h := maphash.String(t.seed, s)
+	if len(t.slots) != 0 {
+		mask := len(t.slots) - 1
+		for i := int(h) & mask; ; i = (i + 1) & mask {
+			sl := t.slots[i]
+			if sl.id == 0 {
+				break
+			}
+			if sl.hash == h && t.names[sl.id-1] == s {
+				return sl.id - 1
+			}
+		}
 	}
 	id := int32(len(t.names))
-	t.ids[s] = id
 	t.names = append(t.names, s)
+	t.insert(h, id)
 	return id
 }
 
 // Lookup returns the dense id for s without interning it.
 func (t *Strings) Lookup(s string) (int32, bool) {
-	id, ok := t.ids[s]
-	return id, ok
+	if len(t.slots) == 0 {
+		return 0, false
+	}
+	h := maphash.String(t.seed, s)
+	mask := len(t.slots) - 1
+	for i := int(h) & mask; ; i = (i + 1) & mask {
+		sl := t.slots[i]
+		if sl.id == 0 {
+			return 0, false
+		}
+		if sl.hash == h && t.names[sl.id-1] == s {
+			return sl.id - 1, true
+		}
+	}
+}
+
+// insert places an id in the table, growing at 50% load.
+func (t *Strings) insert(h uint64, id int32) {
+	if 2*(len(t.names)+1) > len(t.slots) {
+		old := t.slots
+		n := 2 * len(old)
+		if n < 64 {
+			n = 64
+		}
+		t.slots = make([]stringSlot, n)
+		for _, sl := range old {
+			if sl.id != 0 {
+				t.place(sl)
+			}
+		}
+	}
+	t.place(stringSlot{hash: h, id: id + 1})
+}
+
+// place inserts into the first free slot of the probe run.
+func (t *Strings) place(sl stringSlot) {
+	mask := len(t.slots) - 1
+	i := int(sl.hash) & mask
+	for t.slots[i].id != 0 {
+		i = (i + 1) & mask
+	}
+	t.slots[i] = sl
 }
 
 // Name returns the string interned as id.

@@ -26,6 +26,13 @@ type Certify struct {
 	// Inner picks among the admissible requests.
 	Inner exec.Policy
 	mon   *core.Monitor
+
+	// Per-tick scratch, reused across Pick calls so the steady-state
+	// admission loop allocates nothing: the hoisted requestOp
+	// conversions plus the admissible-candidate buffers.
+	ops     []txn.Op
+	allowed []*exec.Request
+	idx     []int
 }
 
 // NewCertify returns a certifying gate over the conjunct partition
@@ -39,28 +46,35 @@ func (c *Certify) Monitor() *core.Monitor { return c.mon }
 
 // Pick implements exec.Policy: filter the pending requests through the
 // certifier, let the inner policy choose among the admissible ones, and
-// commit the choice to the monitor.
+// commit the choice to the monitor. The conversions and candidate
+// buffers are hoisted into reused scratch; a request denied on a
+// previous tick re-probes through the monitor's generation-invalidated
+// cache, so the steady-state tick costs hash lookups rather than
+// reachability searches.
 func (c *Certify) Pick(pending []*exec.Request, v *exec.View) int {
-	allowed := make([]*exec.Request, 0, len(pending))
-	idx := make([]int, 0, len(pending))
+	c.ops = c.ops[:0]
+	c.allowed = c.allowed[:0]
+	c.idx = c.idx[:0]
 	for i, r := range pending {
-		if c.mon.Admissible(requestOp(r)) {
-			allowed = append(allowed, r)
-			idx = append(idx, i)
+		c.ops = append(c.ops, requestOp(r))
+		if c.mon.Admissible(c.ops[i]) {
+			c.allowed = append(c.allowed, r)
+			c.idx = append(c.idx, i)
 		}
 	}
-	if len(allowed) == 0 {
+	if len(c.allowed) == 0 {
 		return -1
 	}
-	inner := c.Inner.Pick(allowed, v)
+	inner := c.Inner.Pick(c.allowed, v)
 	if inner == exec.PassTick {
 		return exec.PassTick
 	}
-	if inner < 0 || inner >= len(allowed) {
+	if inner < 0 || inner >= len(c.allowed) {
 		return -1
 	}
-	c.mon.Observe(requestOp(allowed[inner]))
-	return idx[inner]
+	pick := c.idx[inner]
+	c.mon.Observe(c.ops[pick])
+	return pick
 }
 
 // TxnFinished implements exec.Policy: the finished transaction is
@@ -78,6 +92,23 @@ func (c *Certify) TxnFinished(id int, v *exec.View) {
 // lifecycle counters, surfaced in the engine's run metrics.
 func (c *Certify) CompactionStats() exec.CompactStats {
 	return compactionStats(c.mon)
+}
+
+// ProbeStats implements exec.ProbeReporter: the certifier's probe-cache
+// counters, surfaced in the engine's run metrics.
+func (c *Certify) ProbeStats() exec.ProbeStats {
+	return probeStats(c.mon)
+}
+
+// probeStats converts a certifier's probe-cache counters to the
+// engine's metrics shape (shared by every certification gate).
+func probeStats(mon Certifier) exec.ProbeStats {
+	st := mon.ProbeStats()
+	return exec.ProbeStats{
+		Hits:          st.Hits,
+		Misses:        st.Misses,
+		Invalidations: st.Invalidations,
+	}
 }
 
 // compactionStats converts a certifier's lifecycle counters to the

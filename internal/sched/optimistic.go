@@ -4,6 +4,7 @@ import (
 	"pwsr/internal/core"
 	"pwsr/internal/exec"
 	"pwsr/internal/state"
+	"pwsr/internal/txn"
 )
 
 // VictimPolicy selects which transaction an optimistic certifier
@@ -126,6 +127,19 @@ type OptimisticCertify struct {
 	// solo is the escalated transaction currently granted exclusively
 	// (0 = none).
 	solo int
+
+	// Per-tick scratch, reused across Pick calls so the steady-state
+	// admission loop allocates nothing: the hoisted requestOp
+	// conversions, the admissibility mask, and the candidate buffers.
+	// A request denied on a previous tick stays in the pending set and
+	// is re-probed every tick; the monitor's generation-invalidated
+	// probe cache makes that re-probe a hash lookup until some item
+	// generation it depends on actually moves — the cache is the
+	// gate's denied-set.
+	ops     []txn.Op
+	adm     []bool
+	allowed []*exec.Request
+	idx     []int
 }
 
 // NewOptimisticCertify returns an abort-capable certification gate over
@@ -157,16 +171,33 @@ func (c *OptimisticCertify) Monitor() Certifier { return c.mon }
 // engine accumulates durably.
 func (c *OptimisticCertify) Aborts() map[int]int { return c.aborts }
 
+// prepareTick sizes the per-tick scratch for the pending set and
+// hoists the requestOp conversions (shared with ParallelCertify's
+// fanned-out Pick).
+func (c *OptimisticCertify) prepareTick(pending []*exec.Request) {
+	c.ops = c.ops[:0]
+	for _, r := range pending {
+		c.ops = append(c.ops, requestOp(r))
+	}
+	if cap(c.adm) < len(pending) {
+		c.adm = make([]bool, len(pending))
+	}
+	c.adm = c.adm[:len(pending)]
+	for i := range c.adm {
+		c.adm[i] = false
+	}
+}
+
 // Pick implements exec.Policy like Certify.Pick, with the cascadeless
 // discipline layered in: a request must pass both the delayed-read
 // rule and the certifier before the inner policy may choose it; the
 // choice is committed to the monitor.
 func (c *OptimisticCertify) Pick(pending []*exec.Request, v *exec.View) int {
-	adm := make([]bool, len(pending))
+	c.prepareTick(pending)
 	for i, r := range pending {
-		adm[i] = c.gateable(r, v) && c.mon.Admissible(requestOp(r))
+		c.adm[i] = c.gateable(r, v) && c.mon.Admissible(c.ops[i])
 	}
-	return c.pickAdmitted(pending, v, adm)
+	return c.pickAdmitted(pending, v)
 }
 
 // gateable applies the gates that precede certification: solo
@@ -179,34 +210,36 @@ func (c *OptimisticCertify) gateable(r *exec.Request, v *exec.View) bool {
 }
 
 // pickAdmitted lets the inner policy choose among the requests the
-// admissibility mask passed, and commits the choice to the monitor.
-// Split from Pick so ParallelCertify can compute the mask with
-// concurrent probes and share the rest of the gate.
-func (c *OptimisticCertify) pickAdmitted(pending []*exec.Request, v *exec.View, adm []bool) int {
-	allowed := make([]*exec.Request, 0, len(pending))
-	idx := make([]int, 0, len(pending))
+// admissibility mask (c.adm, filled by the caller) passed, and commits
+// the choice to the monitor. Split from Pick so ParallelCertify can
+// compute the mask with concurrent probes and share the rest of the
+// gate.
+func (c *OptimisticCertify) pickAdmitted(pending []*exec.Request, v *exec.View) int {
+	c.allowed = c.allowed[:0]
+	c.idx = c.idx[:0]
 	for i, r := range pending {
-		if adm[i] {
-			allowed = append(allowed, r)
-			idx = append(idx, i)
+		if c.adm[i] {
+			c.allowed = append(c.allowed, r)
+			c.idx = append(c.idx, i)
 		}
 	}
-	if len(allowed) == 0 {
+	if len(c.allowed) == 0 {
 		return -1
 	}
-	inner := c.Inner.Pick(allowed, v)
+	inner := c.Inner.Pick(c.allowed, v)
 	if inner == exec.PassTick {
 		return exec.PassTick
 	}
-	if inner < 0 || inner >= len(allowed) {
+	if inner < 0 || inner >= len(c.allowed) {
 		return -1
 	}
-	c.mon.Observe(requestOp(allowed[inner]))
+	pick := c.idx[inner]
+	c.mon.Observe(c.ops[pick])
 	// A grant ends the current sacrifice phase.
 	for id := range c.phase {
 		delete(c.phase, id)
 	}
-	return idx[inner]
+	return pick
 }
 
 // pickVictim runs the configured selection over the eligible
@@ -331,4 +364,10 @@ func (c *OptimisticCertify) TxnFinished(id int, v *exec.View) {
 // lifecycle counters, surfaced in the engine's run metrics.
 func (c *OptimisticCertify) CompactionStats() exec.CompactStats {
 	return compactionStats(c.mon)
+}
+
+// ProbeStats implements exec.ProbeReporter: the certifier's probe-cache
+// counters, surfaced in the engine's run metrics.
+func (c *OptimisticCertify) ProbeStats() exec.ProbeStats {
+	return probeStats(c.mon)
 }

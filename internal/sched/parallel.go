@@ -33,6 +33,13 @@ type Certifier interface {
 	// SetAutoCompact sets the automatic compaction threshold (passes
 	// per n commits; n ≤ 0 disables), returning the previous value.
 	SetAutoCompact(n int) int
+	// ProbeStats snapshots the Admissible probe-cache counters.
+	ProbeStats() core.ProbeStats
+	// SetProbeCache enables or disables the Admissible probe cache,
+	// returning the previous setting (the cached and uncached paths
+	// are verdict-identical; the switch exists for differentials and
+	// measurement).
+	SetProbeCache(on bool) bool
 	// PWSR reports whether everything observed so far is PWSR.
 	PWSR() bool
 	// Violation returns the first violation, or nil.
@@ -118,11 +125,13 @@ const parallelProbeThreshold = 4
 
 // Pick implements exec.Policy: compute the admissibility mask with one
 // concurrent probe per pending request (the sharded monitor is safe
-// for concurrent probes; disjoint-shard probes run in parallel), then
-// run the shared gate logic on the mask. Small pending sets probe
-// inline — see parallelProbeThreshold.
+// for concurrent probes; disjoint-shard probes run in parallel, and
+// each shard's inner monitor answers re-probes from its
+// generation-invalidated cache under the shard lock), then run the
+// shared gate logic on the mask. Small pending sets probe inline —
+// see parallelProbeThreshold.
 func (c *ParallelCertify) Pick(pending []*exec.Request, v *exec.View) int {
-	adm := make([]bool, len(pending))
+	c.prepareTick(pending)
 	if len(pending) >= parallelProbeThreshold && c.smon.Shards() > 1 {
 		var wg sync.WaitGroup
 		for i, r := range pending {
@@ -130,16 +139,16 @@ func (c *ParallelCertify) Pick(pending []*exec.Request, v *exec.View) int {
 				continue
 			}
 			wg.Add(1)
-			go func(i int, r *exec.Request) {
+			go func(i int) {
 				defer wg.Done()
-				adm[i] = c.smon.Admissible(requestOp(r))
-			}(i, r)
+				c.adm[i] = c.smon.Admissible(c.ops[i])
+			}(i)
 		}
 		wg.Wait()
 	} else {
 		for i, r := range pending {
-			adm[i] = c.gateable(r, v) && c.smon.Admissible(requestOp(r))
+			c.adm[i] = c.gateable(r, v) && c.smon.Admissible(c.ops[i])
 		}
 	}
-	return c.pickAdmitted(pending, v, adm)
+	return c.pickAdmitted(pending, v)
 }
