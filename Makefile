@@ -26,6 +26,7 @@ bench:
 	$(GO) run ./cmd/pwsrbench -section sharded -cpu 1,2,4,8 -benchout BENCH_sharded.json
 	$(GO) run ./cmd/pwsrbench -section compact -compactout BENCH_compact.json
 	$(MAKE) bench-hotpath
+	$(MAKE) bench-wal
 
 # bench-hotpath regenerates the PERF8 admission hot-path study alone:
 # the scheduler-tick probe loop with the generation-invalidated probe
@@ -34,6 +35,24 @@ bench:
 .PHONY: bench-hotpath
 bench-hotpath:
 	$(GO) run ./cmd/pwsrbench -section hotpath -hotpathout BENCH_hotpath.json
+
+# bench-wal regenerates the PERF9 durability study alone: the gated
+# admission stream unjournaled and write-ahead journaled across
+# backends and group-commit windows, plus a recovery of every written
+# log, writing the machine-readable BENCH_wal.json.
+.PHONY: bench-wal
+bench-wal:
+	$(GO) run ./cmd/pwsrbench -section wal -walout BENCH_wal.json
+
+# crash-matrix is the durability differential: the wal package's
+# crash-recovery tests — TestCrashMatrix kills the log at every byte
+# offset and recovers each prefix — under the race detector at pinned
+# GOMAXPROCS=1 and 8, plus the journaled-gate tests in sched.
+.PHONY: crash-matrix
+crash-matrix:
+	GOMAXPROCS=1 $(GO) test -race -count=1 ./internal/wal
+	GOMAXPROCS=8 $(GO) test -race -count=1 ./internal/wal
+	$(GO) test -race -count=1 -run 'TestDurableGate|TestOptimisticDurableGate|TestResumeCertify|TestJournalFailStop' ./internal/sched
 
 # bench-cpu is the PERF6 scaling sweep: the sharded-monitor and
 # lock-free-intern families across GOMAXPROCS widths, plus the
@@ -73,8 +92,8 @@ test:
 check:
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
-	GOMAXPROCS=1 $(GO) test -race -short -count=1 ./internal/core ./internal/sched ./internal/exec
-	GOMAXPROCS=8 $(GO) test -race -short -count=1 ./internal/core ./internal/sched ./internal/exec
+	GOMAXPROCS=1 $(GO) test -race -short -count=1 ./internal/core ./internal/sched ./internal/exec ./internal/wal
+	GOMAXPROCS=8 $(GO) test -race -short -count=1 ./internal/core ./internal/sched ./internal/exec ./internal/wal
 	$(GO) test -run 'TestZeroAlloc' -count=1 ./internal/core
 
 # soak is the long-run bounded-memory test: ≥ 1M operations through a

@@ -21,7 +21,12 @@
 //     loop with the generation-invalidated probe cache on and off,
 //     across monitor variants and abort-churn regimes (section
 //     "hotpath"; `-hotpathout` writes the machine-readable
-//     BENCH_hotpath.json records).
+//     BENCH_hotpath.json records),
+//   - PERF9   — durable certification study: the same admission
+//     stream unjournaled and write-ahead-journaled across backends
+//     and group-commit windows, plus the recovery cost of each
+//     written log (section "wal"; `-walout` writes the
+//     machine-readable BENCH_wal.json records).
 //
 // Usage:
 //
@@ -29,6 +34,7 @@
 //	          [-cpu 1,2,4,8] [-benchout BENCH_sharded.json]
 //	          [-compactout BENCH_compact.json]
 //	          [-hotpathout BENCH_hotpath.json]
+//	          [-walout BENCH_wal.json]
 package main
 
 import (
@@ -51,11 +57,12 @@ func main() {
 		seed       = flag.Int64("seed", 1, "base seed")
 		quick      = flag.Bool("quick", false, "smaller sweeps and campaigns")
 		figures    = flag.Bool("figures", true, "print the worked figure illustrations")
-		section    = flag.String("section", "all", "one of: all, examples, theorems, exhaustive, figures, perf, sharded, compact, hotpath")
+		section    = flag.String("section", "all", "one of: all, examples, theorems, exhaustive, figures, perf, sharded, compact, hotpath, wal")
 		cpu        = flag.String("cpu", "1,2,4,8", "comma-separated GOMAXPROCS widths for the PERF6 sweep")
 		benchout   = flag.String("benchout", "", "write the PERF6 records as JSON to this file")
 		compactout = flag.String("compactout", "", "write the PERF7 records as JSON to this file")
 		hotpathout = flag.String("hotpathout", "", "write the PERF8 records as JSON to this file")
+		walout     = flag.String("walout", "", "write the PERF9 records as JSON to this file")
 	)
 	flag.Parse()
 
@@ -67,7 +74,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pwsrbench:", err)
 		os.Exit(1)
 	}
-	if err := run(*trials, *seed, *figures, *section, *quick, cpus, *benchout, *compactout, *hotpathout); err != nil {
+	if err := run(*trials, *seed, *figures, *section, *quick, cpus, *benchout, *compactout, *hotpathout, *walout); err != nil {
 		fmt.Fprintln(os.Stderr, "pwsrbench:", err)
 		os.Exit(1)
 	}
@@ -111,6 +118,19 @@ type hotpathBenchFile struct {
 	Records  []experiments.HotPathRecord `json:"records"`
 }
 
+// walBenchFile is the JSON record set written for the PERF9 durable
+// certification study: write-ahead journal overhead and recovery cost
+// per backend and group-commit window.
+type walBenchFile struct {
+	Go       string                  `json:"go"`
+	GOOS     string                  `json:"goos"`
+	GOARCH   string                  `json:"goarch"`
+	HostCPUs int                     `json:"host_cpus"`
+	Seed     int64                   `json:"seed"`
+	Steps    int                     `json:"steps"`
+	Records  []experiments.WalRecord `json:"records"`
+}
+
 // compactBenchFile is the JSON curve written for the PERF7 memory
 // study: the compacting vs baseline live-transaction and heap
 // trajectories over the sampled stream.
@@ -125,7 +145,7 @@ type compactBenchFile struct {
 	Records  []experiments.CompactionRecord `json:"records"`
 }
 
-func run(trials int, seed int64, withFigures bool, section string, quick bool, cpus []int, benchout, compactout, hotpathout string) error {
+func run(trials int, seed int64, withFigures bool, section string, quick bool, cpus []int, benchout, compactout, hotpathout, walout string) error {
 	all := section == "all"
 
 	if all || section == "examples" {
@@ -318,6 +338,35 @@ func run(trials int, seed int64, withFigures bool, section string, quick bool, c
 				return err
 			}
 			fmt.Printf("wrote %d PERF8 records to %s\n", len(records), hotpathout)
+		}
+	}
+	if all || section == "wal" {
+		steps := 150_000
+		if quick {
+			steps = 30_000
+		}
+		tab, records, err := experiments.WalStudy(steps, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		if walout != "" {
+			data, err := json.MarshalIndent(walBenchFile{
+				Go:       runtime.Version(),
+				GOOS:     runtime.GOOS,
+				GOARCH:   runtime.GOARCH,
+				HostCPUs: runtime.NumCPU(),
+				Seed:     seed,
+				Steps:    steps,
+				Records:  records,
+			}, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(walout, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d PERF9 records to %s\n", len(records), walout)
 		}
 	}
 	return nil

@@ -54,7 +54,17 @@
 //     independent monitor shards so admission scales with cores
 //     (internal/core, internal/intern; the intern tables' concurrent
 //     variant reads lock-free so shards never serialize on the shared
-//     route table).
+//     route table),
+//   - a crash-safe durability layer: both certifiers mirror their
+//     lifecycle stream (Observe/Retract/Commit/Compact) to a pluggable
+//     sink, and internal/wal is the reference sink — a framed,
+//     CRC-protected, group-committed write-ahead log whose snapshots
+//     ride the compactor's low watermark, with recovery that rebuilds
+//     a verdict-identical monitor from whatever durable prefix
+//     survives a crash (a kill-at-every-byte-offset differential
+//     asserts this), fail-stop semantics when the device dies, and
+//     Resume to continue a certifier across a restart
+//     (internal/wal; sched.ResumeCertify wires it to a gate).
 //
 // The certification gates embody the two classic stances: pessimistic
 // blocking (pwsr.NewCertify — inadmissible operations wait, infeasible
@@ -95,12 +105,15 @@
 // family and BenchmarkShardedMonitor plus `make bench-cpu` for the
 // PERF6 GOMAXPROCS sweep); EXPERIMENTS.md records their outputs, and
 // `make bench` checks the machine-readable trajectories into
-// BENCH_monitor.json, BENCH_sharded.json, BENCH_compact.json, and
-// BENCH_hotpath.json (`make bench-hotpath` regenerates the PERF8
-// hot-path study alone). `make check` runs `go vet` plus the full
-// suite under the race detector, then the concurrency-sensitive
-// packages again at GOMAXPROCS=1 and 8, then the zero-allocation
-// hot-path pins (TestZeroAlloc*) without the race detector.
+// BENCH_monitor.json, BENCH_sharded.json, BENCH_compact.json,
+// BENCH_hotpath.json, and BENCH_wal.json (`make bench-hotpath` and
+// `make bench-wal` regenerate the PERF8 hot-path and PERF9 durability
+// studies alone). `make check` runs `go vet` plus the full suite
+// under the race detector, then the concurrency-sensitive packages
+// again at GOMAXPROCS=1 and 8, then the zero-allocation hot-path pins
+// (TestZeroAlloc*) without the race detector; `make crash-matrix`
+// runs the wal crash differential under the race detector at both
+// pinned widths.
 //
 // # Quick start
 //

@@ -58,6 +58,11 @@ func (m *Monitor) Commit(txnID int) {
 			g.nodes[n].committed = true
 		}
 	}
+	// The commit is reported before any compaction it triggers, so a
+	// lifecycle sink sees the stream in application order.
+	if m.sink != nil {
+		m.sink.LogCommit(txnID)
+	}
 	m.commitsSince++
 	if m.autoEvery > 0 && m.commitsSince >= m.autoEvery {
 		m.Compact()
@@ -86,9 +91,14 @@ func (m *Monitor) Commit(txnID int) {
 // a cycle a live transaction closes.
 //
 // A pass rebuilds the monitor-level transaction interner around the
-// survivors and drops the probe cache: verdicts for live transactions
-// are preserved, but reclaimed dense ids are recycled, so stale cache
-// keys must not alias fresh transactions.
+// survivors and prunes the probe cache instead of dropping it:
+// entries of committed transactions are discarded (their nodes may
+// have left individual graphs, and a reclaimed dense id must never
+// alias a fresh transaction), while entries of live transactions are
+// rekeyed through the same dense-id remap the interner rebuild uses —
+// see pruneProbe for why the surviving verdicts remain exact. A
+// snapshot+recover cycle therefore resumes with the live working
+// set's verdicts warm (TestProbeCacheWarmAcrossCompact).
 //
 // Compaction is idempotent between commits and runs automatically
 // every SetAutoCompact commits. After a violation it is a no-op — the
@@ -102,10 +112,6 @@ func (m *Monitor) Compact() int {
 	for _, g := range m.graphs {
 		m.reclaimedOps += g.compact()
 	}
-	// Node removal changed graph structure without moving the probe
-	// generations; the cache must not answer from pre-compaction
-	// stamps (and reclaimed dense ids must not alias).
-	clear(m.probe)
 
 	// A committed transaction gone from every graph is reclaimed at
 	// the monitor level too.
@@ -117,6 +123,10 @@ func (m *Monitor) Compact() int {
 		}
 	}
 	if removed == 0 {
+		m.pruneProbe(nil)
+		if m.sink != nil {
+			m.sink.LogCompact(nil, m.CompactStats(), m.ops)
+		}
 		return 0
 	}
 	// Rebuild the interner and the dense per-txn tables around the
@@ -127,9 +137,16 @@ func (m *Monitor) Compact() int {
 	newResident := make([]bool, 0, n-removed)
 	newCommitted := make([]bool, 0, n-removed)
 	newTxnConjuncts := make([][]int32, 0, n-removed)
+	var reclaimedIDs []int
+	if m.sink != nil {
+		reclaimedIDs = make([]int, 0, removed)
+	}
 	for d := int32(0); int(d) < n; d++ {
 		if m.committedB[d] && !m.inAnyGraph(d) {
 			remap[d] = -1
+			if m.sink != nil {
+				reclaimedIDs = append(reclaimedIDs, m.txns.Orig(d))
+			}
 			if m.resident[d] {
 				m.liveTxns--
 			}
@@ -141,6 +158,9 @@ func (m *Monitor) Compact() int {
 		newCommitted = append(newCommitted, m.committedB[d])
 		newTxnConjuncts = append(newTxnConjuncts, m.txnConjuncts[d])
 	}
+	// Rekey the probe cache before the dense tables are replaced: the
+	// prune consults the pre-compaction committed marks.
+	m.pruneProbe(remap)
 	m.txns = newTxns
 	m.opsBy, m.resident, m.committedB = newOpsBy, newResident, newCommitted
 	m.txnConjuncts = newTxnConjuncts
@@ -160,7 +180,48 @@ func (m *Monitor) Compact() int {
 		g.remapDense(remap, newTxns)
 	}
 	m.reclaimedTxns += removed
+	if m.sink != nil {
+		m.sink.LogCompact(reclaimedIDs, m.CompactStats(), m.ops)
+	}
 	return removed
+}
+
+// pruneProbe rebuilds the probe cache across a compaction pass.
+// Entries keyed by committed transactions are discarded: a committed
+// transaction's node may have been removed from individual graphs (so
+// its cached verdicts can go stale without a generation move), and
+// once reclaimed its dense id will be recycled. Entries keyed by live
+// transactions are kept, rekeyed through the compaction remap when
+// the interner was rebuilt (remap non-nil).
+//
+// Keeping them is sound because compaction is removal-only and bumps
+// no generation, so a kept entry revalidates against an unchanged
+// stamp and must still equal the uncached verdict: an admissible
+// verdict survives because removing nodes and edges can only shrink
+// the reachable set (no cycle can appear), and a denied verdict for a
+// live transaction t survives because its witness path t ⇝ frontier
+// runs entirely through descendants of t — t is an uncommitted
+// ancestor of every node on it, so none of them is reclaimable and
+// the path is intact. TestProbeCacheDifferential exercises cached
+// against uncached verdicts across compaction interleavings;
+// TestProbeCacheWarmAcrossCompact pins the preservation itself.
+func (m *Monitor) pruneProbe(remap []int32) {
+	if len(m.probe) == 0 {
+		return
+	}
+	old := m.probe
+	m.probe = make(map[uint64]probeEntry, len(old))
+	for key, ent := range old {
+		d := int32(key >> 33)
+		if m.committedB[d] {
+			continue
+		}
+		nd := d
+		if remap != nil {
+			nd = remap[d]
+		}
+		m.probe[uint64(uint32(nd))<<33|key&(1<<33-1)] = ent
+	}
 }
 
 // inAnyGraph reports whether the dense transaction id still has a node

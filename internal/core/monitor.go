@@ -107,6 +107,10 @@ type Monitor struct {
 	probeMisses        int64
 	probeInvalidations int64
 
+	// sink, when non-nil, observes the applied lifecycle stream (see
+	// LifecycleSink); internal/wal persists it for crash recovery.
+	sink LifecycleSink
+
 	// autoEvery is the automatic compaction threshold: a Compact pass
 	// runs once this many Commit calls accumulate since the last pass
 	// (≤ 0 disables automatic compaction).
@@ -228,18 +232,28 @@ func (m *Monitor) touch(d int32, e int32) {
 // Observe returns the same violation. Operations on items outside every
 // conjunct are ignored, mirroring Definition 2.
 //
-// Observe panics for a transaction already marked finished by Commit:
-// the compactor relies on committed transactions issuing no further
-// operations (an id reclaimed by a past compaction is no longer
-// detectable, so ids must not be reused — see Commit).
+// Observe panics with a *LifecycleError for a transaction already
+// marked finished by Commit: the compactor relies on committed
+// transactions issuing no further operations (an id reclaimed by a
+// past compaction is no longer detectable, so ids must not be reused
+// — see Commit). CheckedObserve returns the error instead.
 func (m *Monitor) Observe(o txn.Op) *Violation { return m.observe(&o) }
 
 // observe is the pointer-based body of Observe: an operation is 72
 // bytes, so the batch paths feed schedule entries without copying.
 func (m *Monitor) observe(o *txn.Op) *Violation {
+	v := m.admit(o)
+	if m.sink != nil {
+		m.sink.LogObserve(*o)
+	}
+	return v
+}
+
+// admit applies one operation without consulting the lifecycle sink.
+func (m *Monitor) admit(o *txn.Op) *Violation {
 	d := m.txnID(o.Txn)
 	if m.committedB[d] {
-		panic(fmt.Sprintf("core: Observe(%v) for committed transaction T%d", *o, o.Txn))
+		panic(&LifecycleError{Verb: "Observe", Txn: o.Txn, Reason: "operation for a committed transaction"})
 	}
 	m.ops++
 	m.opsBy[d]++
@@ -364,18 +378,20 @@ func (m *Monitor) admissibleAll(dense int32, action txn.Action, item int32, cs [
 // of conjuncts the transaction actually touched are visited.
 //
 // Retracting a transaction the monitor has never seen is a no-op.
-// Retract panics after a violation: the monitor is sticky and its
-// post-violation graphs are not maintained.
+// Retract panics (with a *LifecycleError) after a violation — the
+// monitor is sticky and its post-violation graphs are not maintained
+// — and for a committed transaction; CheckedRetract returns the
+// error instead.
 func (m *Monitor) Retract(txnID int) {
 	if m.violation != nil {
-		panic("core: Retract on a violated monitor")
+		panic(&LifecycleError{Verb: "Retract", Txn: txnID, Reason: "retraction on a violated monitor"})
 	}
 	d, ok := m.txnLookup(txnID)
 	if !ok {
 		return
 	}
 	if m.committedB[d] {
-		panic(fmt.Sprintf("core: Retract of committed transaction T%d", txnID))
+		panic(&LifecycleError{Verb: "Retract", Txn: txnID, Reason: "retraction of a committed transaction"})
 	}
 	// The touched-conjunct list survives retraction: the graphs keep
 	// the (emptied) node, and a later Commit must still reach it to
@@ -388,6 +404,9 @@ func (m *Monitor) Retract(txnID int) {
 	if m.resident[d] {
 		m.resident[d] = false
 		m.liveTxns--
+	}
+	if m.sink != nil {
+		m.sink.LogRetract(txnID)
 	}
 }
 
@@ -414,10 +433,14 @@ func (m *Monitor) ConflictEdges(e int) [][2]int {
 // nil. Wide partitions on long schedules are sharded: each conjunct's
 // projection is fed to its graph on its own goroutine and the earliest
 // violation wins, which is observationally identical to the sequential
-// feed (the monitor is sticky after the first violation).
+// feed (the monitor is sticky after the first violation). With a
+// lifecycle sink attached the feed stays sequential: the fan-out stops
+// at the first violation without deciding which later operations were
+// applied, so only the one-at-a-time path yields the exact stream the
+// sink must record.
 func (m *Monitor) ObserveAll(s *txn.Schedule) *Violation {
 	ops := s.Ops()
-	if len(m.partition) > 1 && len(ops) >= observeParallelThreshold && m.violation == nil {
+	if len(m.partition) > 1 && len(ops) >= observeParallelThreshold && m.violation == nil && m.sink == nil {
 		return m.observeSharded(ops)
 	}
 	for i := range ops {
@@ -448,7 +471,7 @@ func (m *Monitor) observeSharded(ops txn.Seq) *Violation {
 		o := &ops[i]
 		d := m.txnID(o.Txn)
 		if m.committedB[d] {
-			panic(fmt.Sprintf("core: Observe(%v) for committed transaction T%d", *o, o.Txn))
+			panic(&LifecycleError{Verb: "Observe", Txn: o.Txn, Reason: "operation for a committed transaction"})
 		}
 		denseIDs[i] = d
 		item := m.itemID(o.Entity)

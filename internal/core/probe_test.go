@@ -242,3 +242,82 @@ func TestProbeCacheDisabledIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestProbeCacheWarmAcrossCompact locks the compaction pruning
+// contract (Monitor.pruneProbe): a compaction pass drops the cached
+// verdicts of committed transactions but rekeys live transactions'
+// verdicts through the dense-id remap, so the live working set's
+// probes stay warm — a re-probe after Compact is a Hit, not a Miss —
+// and the surviving verdicts remain exact.
+func TestProbeCacheWarmAcrossCompact(t *testing.T) {
+	partition := []state.ItemSet{
+		state.NewItemSet("a", "b"),
+		state.NewItemSet("b", "c", "d"),
+	}
+	m := core.NewMonitor(partition)
+	m.SetAutoCompact(0)
+
+	// Transactions 1 and 2 commit and will be reclaimed; 3 and 4 stay
+	// live with established conflict state.
+	m.Observe(txn.W(1, "a", 1))
+	m.Observe(txn.R(2, "a", 1))
+	m.Observe(txn.W(3, "c", 1))
+	m.Observe(txn.R(4, "c", 1))
+	m.Observe(txn.W(4, "d", 1))
+	m.Commit(1)
+	m.Commit(2)
+
+	// Warm the cache for the live transactions (and the committed
+	// ones, whose entries must be dropped by the pass).
+	probes := []txn.Op{
+		txn.W(3, "d", 1), // denied: 3→4 edge exists via c, d write would close 4→3
+		txn.R(3, "c", 1),
+		txn.W(4, "c", 1),
+		txn.R(4, "d", 1),
+		txn.W(1, "a", 1),
+	}
+	warm := make([]bool, len(probes))
+	for i, o := range probes {
+		warm[i] = m.Admissible(o)
+	}
+	before := m.ProbeStats()
+	// Every probe is now cached: re-probing is all hits.
+	for i, o := range probes {
+		if got := m.Admissible(o); got != warm[i] {
+			t.Fatalf("verdict flipped before compact: %v", o)
+		}
+	}
+	mid := m.ProbeStats()
+	if mid.Hits-before.Hits != int64(len(probes)) {
+		t.Fatalf("warm re-probe: %d hits, want %d", mid.Hits-before.Hits, len(probes))
+	}
+
+	if reclaimed := m.Compact(); reclaimed == 0 {
+		t.Fatal("compaction reclaimed nothing; the scenario needs a dense-id remap")
+	}
+
+	// Live transactions' verdicts survive the remap as cache hits with
+	// unchanged answers; the committed transaction's entry is gone (its
+	// re-probe is a fresh computation, not a stale hit).
+	after := m.ProbeStats()
+	for i, o := range probes[:4] {
+		if got := m.Admissible(o); got != warm[i] {
+			t.Fatalf("verdict flipped across compact: %v", o)
+		}
+	}
+	post := m.ProbeStats()
+	if hits := post.Hits - after.Hits; hits != 4 {
+		t.Fatalf("live probes after compact: %d hits, want 4 (cache went cold)", hits)
+	}
+	if post.Misses != after.Misses {
+		t.Fatalf("live probes after compact recomputed: %d new misses", post.Misses-after.Misses)
+	}
+
+	// The reclaimed transaction's dense id may be recycled by a future
+	// transaction; its old entry must not answer for the newcomer.
+	preFresh := m.ProbeStats()
+	m.Admissible(txn.W(1, "a", 1))
+	if got := m.ProbeStats(); got.Hits != preFresh.Hits {
+		t.Fatal("reclaimed transaction's cached verdict answered a fresh probe")
+	}
+}

@@ -1,8 +1,8 @@
 package core
 
 import (
-	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -83,6 +83,13 @@ type ShardedMonitor struct {
 	watermark     atomic.Int64
 	compactions   atomic.Int64
 	reclaimedTxns atomic.Int64
+
+	// sink, when non-nil, observes the applied lifecycle stream. In
+	// multi-shard mode the sharded level emits (one record per logical
+	// event, not per shard fan-out) and requires a single-goroutine
+	// feed; in single-shard mode the inner monitor carries the sink.
+	// See LifecycleSink and SetSink.
+	sink LifecycleSink
 
 	// single short-circuits the one-shard configuration: routing is
 	// pointless (the shard's Monitor routes over the whole partition
@@ -336,6 +343,9 @@ func (m *ShardedMonitor) Observe(o txn.Op) *Violation {
 	}
 	c := m.countOp(o)
 	if v := m.violation.Load(); v != nil {
+		if m.sink != nil {
+			m.sink.LogObserve(o)
+		}
 		return v
 	}
 	r := m.routeFor(o.Entity)
@@ -347,8 +357,14 @@ func (m *ShardedMonitor) Observe(o txn.Op) *Violation {
 		v := sh.mon.Observe(o)
 		sh.mu.Unlock()
 		if v != nil {
+			if m.sink != nil {
+				m.sink.LogObserve(o)
+			}
 			return m.globalViolation(sh, v)
 		}
+	}
+	if m.sink != nil {
+		m.sink.LogObserve(o)
 	}
 	return nil
 }
@@ -404,7 +420,7 @@ func (m *ShardedMonitor) Admissible(o txn.Op) bool {
 // Monitor.Retract.
 func (m *ShardedMonitor) Retract(txnID int) {
 	if m.violation.Load() != nil {
-		panic("core: Retract on a violated sharded monitor")
+		panic(&LifecycleError{Verb: "Retract", Txn: txnID, Reason: "retraction on a violated monitor"})
 	}
 	if m.single {
 		sh := m.shards[0]
@@ -417,13 +433,18 @@ func (m *ShardedMonitor) Retract(txnID int) {
 	committed := m.committed[txnID]
 	m.routeMu.Unlock()
 	if committed {
-		panic(fmt.Sprintf("core: Retract of committed transaction T%d", txnID))
+		panic(&LifecycleError{Verb: "Retract", Txn: txnID, Reason: "retraction of a committed transaction"})
 	}
 	cur := *m.txnOps.Load()
 	c, ok := cur[txnID]
 	if !ok {
 		return // never observed: nothing to roll back anywhere
 	}
+	defer func() {
+		if m.sink != nil {
+			m.sink.LogRetract(txnID)
+		}
+	}()
 	mask := c.shards.Load()
 	if len(m.shards) > 64 {
 		mask = ^uint64(0)
@@ -490,7 +511,8 @@ func (m *ShardedMonitor) Commit(txnID int) {
 		sh.mu.Unlock()
 	}
 	m.routeMu.Lock()
-	if !m.committed[txnID] {
+	first := !m.committed[txnID]
+	if first {
 		m.committed[txnID] = true
 		m.commitsSince++
 	}
@@ -499,6 +521,12 @@ func (m *ShardedMonitor) Commit(txnID int) {
 		m.commitsSince = 0
 	}
 	m.routeMu.Unlock()
+	// Only the effective (first) commit is reported, mirroring
+	// Monitor.Commit's no-op on a double commit — and before any
+	// compaction the commit triggers, preserving stream order.
+	if first && m.sink != nil {
+		m.sink.LogCommit(txnID)
+	}
 	if trigger {
 		m.Compact()
 	}
@@ -559,6 +587,9 @@ func (m *ShardedMonitor) Compact() int {
 			gone = append(gone, id)
 		}
 	}
+	// ids came from map iteration; a deterministic reclamation order
+	// keeps the emitted lifecycle stream byte-stable across runs.
+	slices.Sort(gone)
 	if len(gone) > 0 {
 		m.routeMu.Lock()
 		cur := *m.txnOps.Load()
@@ -573,6 +604,9 @@ func (m *ShardedMonitor) Compact() int {
 		m.txnOps.Store(&next)
 		m.routeMu.Unlock()
 		m.reclaimedTxns.Add(int64(len(gone)))
+	}
+	if m.sink != nil {
+		m.sink.LogCompact(gone, m.CompactStats(), m.Ops())
 	}
 	return len(gone)
 }
@@ -690,7 +724,7 @@ func (m *ShardedMonitor) ObserveAll(s *txn.Schedule) *Violation {
 		return nil
 	}
 	ops := s.Ops()
-	if len(m.shards) > 1 && len(ops) >= shardedBatchThreshold && m.violation.Load() == nil {
+	if len(m.shards) > 1 && len(ops) >= shardedBatchThreshold && m.violation.Load() == nil && m.sink == nil {
 		for start := 0; start < len(ops); start += shardedEpochSize {
 			end := min(start+shardedEpochSize, len(ops))
 			if v := m.observeEpoch(ops[start:end]); v != nil {

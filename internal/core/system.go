@@ -68,13 +68,40 @@
 // delGen (or frontier) movement and survives pure insertions. A
 // verdict is stamped with the sum of its relevant generations over
 // the item's member conjuncts — monotone counters make the sum change
-// exactly when some component changes — and compaction, which removes
-// nodes without touching the generations (it provably preserves live
-// verdicts but recycles dense ids), drops the cache wholesale.
+// exactly when some component changes. Compaction removes nodes
+// without touching the generations: entries keyed by committed
+// transactions are discarded (their dense ids may be recycled), while
+// entries keyed by live transactions are rekeyed through the
+// compaction remap and stay warm — removal-only passes provably
+// preserve live verdicts (see Compact and pruneProbe;
+// TestProbeCacheWarmAcrossCompact pins the surviving hits).
 // TestProbeCacheDifferential replays cached against uncached verdicts
 // over random Observe/Retract/Commit/Compact interleavings, and
 // sched's TestGateDecisionIdentityCachedVsUncached proves the
 // certification gates' decisions identical with the cache on and off.
+//
+// # Lifecycle logging, snapshots, and recovery
+//
+// Both certifiers accept a LifecycleSink (SetSink): every Observe,
+// Retract, Commit, and Compact is mirrored to the sink after it is
+// applied, which is all a write-ahead journal needs to make
+// certification state durable (internal/wal is the reference sink;
+// the certification gates acknowledge an admission only after the
+// sink's barrier). Recover rebuilds a monitor from a Snapshot — the
+// surviving lifecycle stream a compaction pass left behind — plus the
+// suffix of events logged after the cut, and the rebuild is
+// verdict-identical to the monitor that emitted the stream: PWSR
+// flag, surviving ops, live set, conflict edges, and lifecycle
+// counters all match (sched's requireSameCertState, wal's
+// TestCrashMatrix). The one shape constraint is that a snapshot must
+// be a compact-point cut — captured immediately after a compaction
+// pass — because replaying a surviving stream and then normalizing
+// with one pass is only guaranteed to reconverge from that shape
+// ("committed with no live ancestor" never un-satisfies, so the
+// normalizing pass reclaims exactly what the original pass already
+// had). wal.Writer cuts snapshots only inside LogCompact and
+// wal.Resume runs one pass before cutting its baseline, so every
+// snapshot the system writes has the required shape.
 package core
 
 import (

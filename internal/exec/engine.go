@@ -302,6 +302,35 @@ type ProbeReporter interface {
 	ProbeStats() ProbeStats
 }
 
+// LogStats is a journaled certifying policy's durability counters, as
+// reported by a gate whose certifier writes a write-ahead lifecycle
+// log (sched.AttachJournal over internal/wal).
+type LogStats struct {
+	// Records is the number of lifecycle records appended.
+	Records int64
+	// LogBytes counts every byte handed to the log backend.
+	LogBytes int64
+	// Fsyncs counts the backend syncs (group commit amortizes these
+	// across records).
+	Fsyncs int64
+	// Snapshots counts completed snapshot cuts.
+	Snapshots int64
+	// Retries counts retried backend writes and syncs.
+	Retries int64
+	// RecoveryReplays is the number of lifecycle events replayed to
+	// rebuild the certifier before this run (0 for a fresh log).
+	RecoveryReplays int64
+}
+
+// LogReporter is an optional Policy extension: a certifying policy
+// with an attached write-ahead journal reports its durability
+// counters, which the engine copies into Metrics at the end of a run.
+type LogReporter interface {
+	Policy
+	// LogStats snapshots the durability counters.
+	LogStats() LogStats
+}
+
 // Metrics aggregates virtual-clock measurements of a run. The clock
 // ticks once per granted operation.
 type Metrics struct {
@@ -341,6 +370,10 @@ type Metrics struct {
 	ProbeHits          int64
 	ProbeMisses        int64
 	ProbeInvalidations int64
+	// Log reports the certifier's write-ahead journal counters at the
+	// end of the run when the policy implements LogReporter; zero
+	// otherwise (including a journaled gate with no journal attached).
+	Log LogStats
 }
 
 // TxnMetrics is per-transaction timing.
@@ -782,6 +815,9 @@ func Run(cfg Config) (*Result, error) {
 		metrics.ProbeHits = st.Hits
 		metrics.ProbeMisses = st.Misses
 		metrics.ProbeInvalidations = st.Invalidations
+	}
+	if lr, ok := cfg.Policy.(LogReporter); ok {
+		metrics.Log = lr.LogStats()
 	}
 	return &Result{
 		Schedule: txn.NewSchedule(ops...),

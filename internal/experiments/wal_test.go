@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+// TestWalStudySmall runs a reduced PERF9 study: the decision-identity
+// and recovery cross-checks are inside WalStudy itself, so the test
+// asserts it completes, journaled passes actually log and recover, and
+// group commit amortizes fsyncs relative to sync-every-record.
+func TestWalStudySmall(t *testing.T) {
+	tab, records, err := WalStudy(4000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab == nil || len(records) != 6 {
+		t.Fatalf("want 6 records, got %d", len(records))
+	}
+	byName := map[string]WalRecord{}
+	for _, r := range records {
+		byName[r.Variant] = r
+		if r.Ops == 0 {
+			t.Fatalf("vacuous pass %+v", r)
+		}
+		if r.Variant == "no-journal" {
+			if r.LogBytes != 0 || r.Fsyncs != 0 {
+				t.Fatalf("baseline pass logged: %+v", r)
+			}
+			continue
+		}
+		if r.LogBytes == 0 || r.Events == 0 {
+			t.Fatalf("journaled pass %s wrote nothing", r.Variant)
+		}
+		if r.RecoveredSeq == 0 || r.RecoveryReplays == 0 {
+			t.Fatalf("journaled pass %s did not recover: %+v", r.Variant, r)
+		}
+		if r.Snapshots == 0 {
+			t.Fatalf("journaled pass %s cut no snapshots: %+v", r.Variant, r)
+		}
+	}
+	if byName["mem-g64"].Fsyncs >= byName["mem-g1"].Fsyncs {
+		t.Fatalf("group commit did not amortize fsyncs: g64=%d, g1=%d",
+			byName["mem-g64"].Fsyncs, byName["mem-g1"].Fsyncs)
+	}
+}

@@ -27,6 +27,11 @@ type Certify struct {
 	Inner exec.Policy
 	mon   *core.Monitor
 
+	// jn carries the optional write-ahead journal (see AttachJournal):
+	// lifecycle events reach it through the monitor's sink, and the
+	// gate barriers before acknowledging each grant.
+	jn journaled
+
 	// Per-tick scratch, reused across Pick calls so the steady-state
 	// admission loop allocates nothing: the hoisted requestOp
 	// conversions plus the admissible-candidate buffers.
@@ -52,6 +57,9 @@ func (c *Certify) Monitor() *core.Monitor { return c.mon }
 // cache, so the steady-state tick costs hash lookups rather than
 // reachability searches.
 func (c *Certify) Pick(pending []*exec.Request, v *exec.View) int {
+	if c.jn.jerr != nil {
+		return -1 // journal fail-stop: certify nothing further
+	}
 	c.ops = c.ops[:0]
 	c.allowed = c.allowed[:0]
 	c.idx = c.idx[:0]
@@ -74,6 +82,9 @@ func (c *Certify) Pick(pending []*exec.Request, v *exec.View) int {
 	}
 	pick := c.idx[inner]
 	c.mon.Observe(c.ops[pick])
+	if !c.jn.ack() {
+		return -1 // grant not durable: refuse it and freeze the gate
+	}
 	return pick
 }
 
@@ -85,6 +96,7 @@ func (c *Certify) Pick(pending []*exec.Request, v *exec.View) int {
 // and a long-lived gate's memory would grow with the stream.
 func (c *Certify) TxnFinished(id int, v *exec.View) {
 	c.mon.Commit(id)
+	c.jn.ack()
 	c.Inner.TxnFinished(id, v)
 }
 

@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"pwsr/internal/core"
+	"pwsr/internal/exec"
+	"pwsr/internal/state"
+	"pwsr/internal/wal"
+)
+
+// Journal is the durability hook a certification gate writes ahead of
+// acknowledging grants: a lifecycle sink that receives every monitor
+// event plus a Barrier that reports whether everything acknowledged so
+// far can still be made durable. wal.Writer is the production
+// implementation; Barrier's contract is the write-ahead discipline —
+// a gate calls it after feeding a granted operation to the certifier
+// and refuses the grant when it fails.
+type Journal interface {
+	core.LifecycleSink
+	// Barrier returns nil while the journal is healthy and the sticky
+	// fail-stop error once it is not.
+	Barrier() error
+}
+
+var _ Journal = (*wal.Writer)(nil)
+
+// journalStatter is the optional Journal extension the gates use to
+// surface durability counters in run metrics (wal.Writer implements
+// it).
+type journalStatter interface {
+	Stats() wal.Stats
+}
+
+// journaled is the state a certification gate keeps per attached
+// journal, shared by Certify and OptimisticCertify.
+type journaled struct {
+	journal Journal
+	jerr    error
+}
+
+// attach wires the journal to the certifier's lifecycle sink. The
+// sink emission order is the monitor's application order, so the log
+// is a faithful replay script; the gate's Barrier calls establish the
+// write-ahead contract on top (see ack).
+func (j *journaled) attach(mon Certifier, journal Journal) {
+	mon.SetSink(journal)
+	j.journal = journal
+	j.jerr = nil
+}
+
+// ack is the write-ahead barrier a gate runs after mutating the
+// certifier and before acknowledging the mutation to the engine: it
+// returns false — and latches the sticky error — when the journal can
+// no longer make the acknowledged prefix durable. After a failed ack
+// the gate is fail-stop: the certifier may hold events the engine
+// never saw acknowledged, which is harmless because the gate never
+// grants again (the run surfaces exec.ErrStall) — a certifier that
+// cannot log must not admit.
+func (j *journaled) ack() bool {
+	if j.jerr != nil {
+		return false
+	}
+	if j.journal == nil {
+		return true
+	}
+	if err := j.journal.Barrier(); err != nil {
+		j.jerr = err
+		return false
+	}
+	return true
+}
+
+// logStats surfaces the attached journal's counters (zero without a
+// stats-reporting journal).
+func (j *journaled) logStats() exec.LogStats {
+	s, ok := j.journal.(journalStatter)
+	if !ok {
+		return exec.LogStats{}
+	}
+	st := s.Stats()
+	return exec.LogStats{
+		Records:         st.Records,
+		LogBytes:        st.LogBytes,
+		Fsyncs:          st.Fsyncs,
+		Snapshots:       st.Snapshots,
+		Retries:         st.Retries,
+		RecoveryReplays: st.RecoveryReplays,
+	}
+}
+
+// AttachJournal wires a write-ahead journal to the blocking gate:
+// every lifecycle event the monitor applies is logged, and a granted
+// operation is acknowledged only after the journal's barrier passes.
+// On journal failure the gate stops granting and the run stalls
+// (exec.ErrStall) instead of acknowledging grants that cannot be made
+// durable. Attach before the first Pick.
+func (c *Certify) AttachJournal(j Journal) { c.jn.attach(c.mon, j) }
+
+// Journal returns the attached journal, or nil (close it when the run
+// is over — the gate barriers but never closes).
+func (c *Certify) Journal() Journal { return c.jn.journal }
+
+// JournalErr returns the sticky journal error that froze the gate, or
+// nil.
+func (c *Certify) JournalErr() error { return c.jn.jerr }
+
+// LogStats implements exec.LogReporter: the journal's durability
+// counters, surfaced in the engine's run metrics.
+func (c *Certify) LogStats() exec.LogStats { return c.jn.logStats() }
+
+// AttachJournal wires a write-ahead journal to the abort-capable gate:
+// grants, retractions, and commits are all logged and barriered before
+// the engine proceeds on them. On journal failure the gate stops
+// granting and sacrificing, so the run stalls rather than acknowledge
+// non-durable state. Attach before the first Pick.
+func (c *OptimisticCertify) AttachJournal(j Journal) { c.jn.attach(c.mon, j) }
+
+// Journal returns the attached journal, or nil (close it when the run
+// is over — the gate barriers but never closes).
+func (c *OptimisticCertify) Journal() Journal { return c.jn.journal }
+
+// JournalErr returns the sticky journal error that froze the gate, or
+// nil.
+func (c *OptimisticCertify) JournalErr() error { return c.jn.jerr }
+
+// LogStats implements exec.LogReporter: the journal's durability
+// counters, surfaced in the engine's run metrics.
+func (c *OptimisticCertify) LogStats() exec.LogStats { return c.jn.logStats() }
+
+// NewCertifyOver returns the blocking certification gate over an
+// explicit monitor — the recovery path: rebuild the monitor with
+// wal.Resume, then gate new traffic over it with the resumed journal
+// attached.
+func NewCertifyOver(mon *core.Monitor, inner exec.Policy) *Certify {
+	return &Certify{Inner: inner, mon: mon}
+}
+
+// NewOptimisticCertifyOver returns the abort-capable certification
+// gate over an explicit certifier — the recovery path twin of
+// NewCertifyOver. victim selects the sacrifice policy (nil =
+// VictimYoungest).
+func NewOptimisticCertifyOver(mon Certifier, inner exec.Policy, victim VictimPolicy) *OptimisticCertify {
+	return newOptimisticCertify(mon, inner, victim)
+}
+
+// ResumeCertify recovers a journaled blocking gate from the log on b:
+// the monitor is rebuilt to the durable prefix's exact verdict state,
+// the journal resumes with a fresh baseline snapshot, and the
+// returned gate continues certification where the crashed gate's
+// durable prefix ended. Returns recovery info for inspection.
+func ResumeCertify(b wal.Backend, partition []state.ItemSet, opts wal.Options, inner exec.Policy) (*Certify, *wal.Info, error) {
+	mon, w, info, err := wal.Resume(b, partition, opts)
+	if err != nil {
+		return nil, info, err
+	}
+	gate := NewCertifyOver(mon, inner)
+	gate.AttachJournal(w)
+	return gate, info, nil
+}

@@ -128,6 +128,12 @@ type OptimisticCertify struct {
 	// (0 = none).
 	solo int
 
+	// jn carries the optional write-ahead journal (see AttachJournal):
+	// lifecycle events reach it through the certifier's sink, and the
+	// gate barriers before acknowledging grants, retractions, and
+	// commits.
+	jn journaled
+
 	// Per-tick scratch, reused across Pick calls so the steady-state
 	// admission loop allocates nothing: the hoisted requestOp
 	// conversions, the admissibility mask, and the candidate buffers.
@@ -215,6 +221,9 @@ func (c *OptimisticCertify) gateable(r *exec.Request, v *exec.View) bool {
 // compute the mask with concurrent probes and share the rest of the
 // gate.
 func (c *OptimisticCertify) pickAdmitted(pending []*exec.Request, v *exec.View) int {
+	if c.jn.jerr != nil {
+		return -1 // journal fail-stop: certify nothing further
+	}
 	c.allowed = c.allowed[:0]
 	c.idx = c.idx[:0]
 	for i, r := range pending {
@@ -235,6 +244,9 @@ func (c *OptimisticCertify) pickAdmitted(pending []*exec.Request, v *exec.View) 
 	}
 	pick := c.idx[inner]
 	c.mon.Observe(c.ops[pick])
+	if !c.jn.ack() {
+		return -1 // grant not durable: refuse it and freeze the gate
+	}
 	// A grant ends the current sacrifice phase.
 	for id := range c.phase {
 		delete(c.phase, id)
@@ -258,6 +270,9 @@ func (c *OptimisticCertify) pickVictim(pending []*exec.Request, v *exec.View, ca
 // sparing the immune (most-aborted) transaction until it is the only
 // choice left.
 func (c *OptimisticCertify) Victim(pending []*exec.Request, v *exec.View) int {
+	if c.jn.jerr != nil {
+		return -1 // journal fail-stop: no sacrifice can be made durable
+	}
 	immune := c.immune(v)
 	pick := func(includePhase bool) int {
 		candidates := make([]int, 0, len(pending))
@@ -330,6 +345,7 @@ func (c *OptimisticCertify) immune(v *exec.View) int {
 // the surviving schedule.
 func (c *OptimisticCertify) TxnAborted(id int, v *exec.View) {
 	c.mon.Retract(id)
+	c.jn.ack()
 	c.aborts[id]++
 	c.phase[id] = true
 	threshold := c.SoloThreshold
@@ -355,6 +371,7 @@ func (c *OptimisticCertify) TxnFinished(id int, v *exec.View) {
 		c.solo = 0
 	}
 	c.mon.Commit(id)
+	c.jn.ack()
 	delete(c.aborts, id)
 	delete(c.phase, id)
 	c.Inner.TxnFinished(id, v)

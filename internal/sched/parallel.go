@@ -48,6 +48,22 @@ type Certifier interface {
 	Ops() int
 	// ConflictEdges returns conjunct e's conflict edges, sorted.
 	ConflictEdges(e int) [][2]int
+	// SetSink installs the lifecycle sink receiving every applied
+	// event (the write-ahead journal hook), returning the previous
+	// sink.
+	SetSink(s core.LifecycleSink) core.LifecycleSink
+	// CheckedObserve is Observe with lifecycle-contract panics
+	// converted to errors — the replay-facing entry point: a malformed
+	// log record surfaces as a typed error a recovering gate can
+	// reject instead of crashing on.
+	CheckedObserve(o txn.Op) (*core.Violation, error)
+	// CheckedRetract is Retract with contract panics as errors.
+	CheckedRetract(txnID int) error
+	// CheckedCommit is Commit with contract panics as errors.
+	CheckedCommit(txnID int) error
+	// LiveTxnIDs returns the sorted ids of the monitor-resident
+	// transactions that are not committed.
+	LiveTxnIDs() []int
 }
 
 var (

@@ -1,0 +1,247 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Backend abstracts the storage a log lives on: a directory of
+// segment files (FileBackend), an in-memory fault-injecting store
+// (MemBackend), or any future remote/object store. Segment names are
+// flat (no path separators); List returns them in unspecified order.
+type Backend interface {
+	// Create creates (truncating) a segment open for appending.
+	Create(name string) (File, error)
+	// Open opens a segment for reading.
+	Open(name string) (io.ReadCloser, error)
+	// List returns the existing segment names.
+	List() ([]string, error)
+	// Remove deletes a segment.
+	Remove(name string) error
+}
+
+// File is an append-only segment handle. Sync must not return until
+// previously written bytes are durable (the backend's fsync).
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FileBackend stores segments as files in a directory.
+type FileBackend struct {
+	// Dir is the log directory; it must exist.
+	Dir string
+}
+
+// NewFileBackend returns a backend over dir, creating it if needed.
+func NewFileBackend(dir string) (*FileBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create log dir: %w", err)
+	}
+	return &FileBackend{Dir: dir}, nil
+}
+
+// Create implements Backend.
+func (b *FileBackend) Create(name string) (File, error) {
+	return os.OpenFile(filepath.Join(b.Dir, name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+// Open implements Backend.
+func (b *FileBackend) Open(name string) (io.ReadCloser, error) {
+	return os.Open(filepath.Join(b.Dir, name))
+}
+
+// List implements Backend, returning the directory's .wal entries.
+func (b *FileBackend) List() ([]string, error) {
+	entries, err := os.ReadDir(b.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), segSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// Remove implements Backend.
+func (b *FileBackend) Remove(name string) error {
+	return os.Remove(filepath.Join(b.Dir, name))
+}
+
+// MemBackend is the in-memory backend the crash matrix and the fault
+// tests run against: segments are byte slices, and the WriteHook /
+// SyncHook knobs inject short writes, write errors, and fsync errors
+// at exact points. A "crash" is simulated by copying the stored bytes
+// (possibly truncated at an arbitrary offset) into a fresh backend
+// and recovering from it — the model in which an OS crash preserves
+// an arbitrary durable prefix of what was written.
+type MemBackend struct {
+	mu    sync.Mutex
+	files map[string][]byte
+
+	// WriteHook, when non-nil, intercepts every write: it receives the
+	// segment name, the current segment length, and the chunk, and
+	// returns how many bytes to accept plus an error to surface. n <
+	// len(p) with a non-nil error models a short write; the accepted
+	// prefix is still stored, exactly like a torn OS write.
+	WriteHook func(name string, off int, p []byte) (int, error)
+	// SyncHook, when non-nil, intercepts every sync; a non-nil return
+	// models an fsync failure.
+	SyncHook func(name string) error
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend {
+	return &MemBackend{files: make(map[string][]byte)}
+}
+
+// Create implements Backend.
+func (b *MemBackend) Create(name string) (File, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.files[name] = nil
+	return &memFile{b: b, name: name}, nil
+}
+
+// Open implements Backend.
+func (b *MemBackend) Open(name string) (io.ReadCloser, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	data, ok := b.files[name]
+	if !ok {
+		return nil, fmt.Errorf("wal: open %s: %w", name, os.ErrNotExist)
+	}
+	return &memReader{data: data}, nil
+}
+
+// List implements Backend (sorted for determinism).
+func (b *MemBackend) List() ([]string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	names := make([]string, 0, len(b.files))
+	for name := range b.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove implements Backend.
+func (b *MemBackend) Remove(name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.files[name]; !ok {
+		return fmt.Errorf("wal: remove %s: %w", name, os.ErrNotExist)
+	}
+	delete(b.files, name)
+	return nil
+}
+
+// Bytes returns a copy of a stored segment (nil when absent).
+func (b *MemBackend) Bytes(name string) []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	data, ok := b.files[name]
+	if !ok {
+		return nil
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out
+}
+
+// Put stores a segment verbatim (test setup: crafted and truncated
+// logs).
+func (b *MemBackend) Put(name string, data []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.files[name] = cp
+}
+
+// Snapshot deep-copies the backend's current contents — the "durable
+// state at this instant" the crash matrix truncates and recovers
+// from.
+func (b *MemBackend) Snapshot() map[string][]byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string][]byte, len(b.files))
+	for name, data := range b.files {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		out[name] = cp
+	}
+	return out
+}
+
+type memFile struct {
+	b      *MemBackend
+	name   string
+	closed bool
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.b.mu.Lock()
+	hook := f.b.WriteHook
+	off := len(f.b.files[f.name])
+	f.b.mu.Unlock()
+	n := len(p)
+	var err error
+	if hook != nil {
+		n, err = hook(f.name, off, p)
+		if n < 0 {
+			n = 0
+		}
+		if n > len(p) {
+			n = len(p)
+		}
+	}
+	f.b.mu.Lock()
+	f.b.files[f.name] = append(f.b.files[f.name], p[:n]...)
+	f.b.mu.Unlock()
+	if err == nil && n < len(p) {
+		err = io.ErrShortWrite
+	}
+	return n, err
+}
+
+func (f *memFile) Sync() error {
+	f.b.mu.Lock()
+	hook := f.b.SyncHook
+	f.b.mu.Unlock()
+	if hook != nil {
+		return hook(f.name)
+	}
+	return nil
+}
+
+func (f *memFile) Close() error {
+	f.closed = true
+	return nil
+}
+
+type memReader struct {
+	data []byte
+	off  int
+}
+
+func (r *memReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func (r *memReader) Close() error { return nil }

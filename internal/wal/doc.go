@@ -1,0 +1,88 @@
+// Package wal is the crash-safe durability layer for the online PWSR
+// certifier: it persists a monitor's Observe/Commit/Retract/Compact
+// lifecycle stream (core.LifecycleSink) as a framed append-only log,
+// cuts snapshots at the compaction low watermark, and rebuilds a
+// monitor with bit-identical verdict state from whatever prefix of
+// the log survived a crash.
+//
+// # Log format
+//
+// A log is a set of segment files named 00000000.wal, 00000001.wal, …
+// inside a Backend. Each segment starts with an 8-byte magic header
+// and then holds framed records:
+//
+//	uvarint payloadLen | crc32c(payload) LE32 | payload
+//
+// Every payload begins with a kind byte and the event's sequence
+// number (a uvarint, global and monotone across segments and process
+// restarts), so any record maps back to its position in the logical
+// lifecycle stream. Observe records carry the operation (transaction,
+// action, position, value, entity); compact records additionally
+// carry the ids the pass reclaimed, which recovery cross-checks
+// against its own deterministic replay. A segment other than the
+// first begins with a snapshot section — snapshot-begin, the live
+// lifecycle events surviving at the cut, snapshot-end — after which
+// the segment's ordinary records are the suffix to replay on top.
+//
+// # Write-ahead contract and group commit
+//
+// The Writer is a core.LifecycleSink: each lifecycle event is framed
+// and appended as the monitor applies it. Durability is established
+// by Sync barriers, not by append order: a certification gate calls
+// Barrier after observing a granted operation and before
+// acknowledging the grant (see sched.AttachJournal), which is the
+// write-ahead contract for a volatile state machine — the in-memory
+// mutation may precede the log write because a crash loses the memory
+// anyway; what matters is that no grant is externally acknowledged
+// before its record is durable. With Options.GroupEvery = n the
+// writer fsyncs once per n records (group commit), trading a bounded
+// durability lag (at most n−1 acknowledged grants can be lost to a
+// crash) for amortizing the fsync across the group; Barrier reports
+// only backend failure, it does not force an early sync.
+//
+// # Snapshots and retention
+//
+// Every Options.SnapshotEvery compaction passes the writer cuts a
+// snapshot: it syncs the active segment (so the cut point is
+// durable), creates the next segment, and writes the surviving
+// lifecycle stream — maintained incrementally from the sinked events,
+// filtered on every retract and reclamation — as the new segment's
+// snapshot section, then syncs and (unless Options.Retain) deletes
+// the older segments. Recovery replays the snapshot instead of the
+// whole history, so log replay work is bounded by the live working
+// set plus one snapshot interval, mirroring the monitor's own
+// bounded-memory compaction argument. A crash mid-cut is harmless:
+// the torn snapshot segment is ignored and recovery falls back to the
+// previous segment, whose suffix records are still complete.
+//
+// # Recovery
+//
+// Recover scans the segments, picks the newest one whose snapshot
+// section is complete (or the genesis segment), decodes records until
+// the first torn or corrupt frame (a short tail, a CRC mismatch, a
+// truncated header — all are treated as the end of the durable
+// prefix, never an error), and hands the snapshot and suffix to
+// core.Recover. The result is verdict-identical to the monitor that
+// wrote the prefix: same admissibility verdicts, conflict edges,
+// sticky violation (cycle witness included), live-transaction set,
+// and lifecycle counters. TestCrashMatrix proves this by killing the
+// log at every byte offset (plus torn and corrupted tail variants)
+// and lockstep-comparing the recovered monitor against an
+// uninterrupted reference. Resume additionally returns a Writer
+// positioned to continue the log: it cuts a fresh baseline snapshot
+// so the recovered state is immediately durable in one self-contained
+// segment.
+//
+// # Failure handling
+//
+// Backend write and sync errors are retried with bounded backoff
+// (Options.MaxRetries, Options.RetryBackoff); a short write retries
+// the remaining bytes, which can only leave a torn tail that recovery
+// already tolerates. Once retries are exhausted the writer goes
+// fail-stop: the error is sticky (Err, Barrier), every further append
+// is a no-op, and a certification gate wired through
+// sched.AttachJournal stops granting, so the engine surfaces
+// exec.ErrStall rather than acknowledging grants that can no longer
+// be made durable. The degradation is deliberate: a certifier that
+// cannot log must not admit.
+package wal

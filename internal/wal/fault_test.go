@@ -1,0 +1,220 @@
+package wal_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pwsr/internal/core"
+	"pwsr/internal/txn"
+	"pwsr/internal/wal"
+)
+
+// TestTransientSyncErrorsRetried pins the bounded-retry path: fsync
+// failures under the retry budget are absorbed (counted in Retries),
+// the writer stays healthy, and the log recovers in full.
+func TestTransientSyncErrorsRetried(t *testing.T) {
+	b := wal.NewMemBackend()
+	fails := 0
+	b.SyncHook = func(name string) error {
+		if fails < 2 {
+			fails++
+			return errors.New("injected fsync error")
+		}
+		return nil
+	}
+	w, err := wal.NewWriter(b, wal.Options{GroupEvery: 1, SnapshotEvery: -1, MaxRetries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewMonitor(walPartition())
+	applied := runWorkload(t, m, w, workloadCfg{seed: 5, nTxns: 4, steps: 30, gated: true, commitPct: 10})
+	if err := w.Err(); err != nil {
+		t.Fatalf("transient sync errors went fail-stop: %v", err)
+	}
+	if st := w.Stats(); st.Retries < 2 {
+		t.Fatalf("Retries=%d, want >= 2", st.Retries)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, info, err := wal.Recover(b, walPartition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.LastSeq != uint64(len(applied)) {
+		t.Fatalf("LastSeq=%d, want %d", info.LastSeq, len(applied))
+	}
+	compareMonitors(t, "transient sync", rec, m, 4)
+}
+
+// TestPersistentSyncErrorFailStop pins the fail-stop degradation: once
+// the retry budget is exhausted the error is sticky, Barrier reports
+// it, and every further append is a no-op — the writer never
+// acknowledges what it cannot make durable.
+func TestPersistentSyncErrorFailStop(t *testing.T) {
+	b := wal.NewMemBackend()
+	b.SyncHook = func(name string) error { return errors.New("device gone") }
+	w, err := wal.NewWriter(b, wal.Options{GroupEvery: 1, SnapshotEvery: -1, MaxRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.LogObserve(txn.W(1, "x0", 1))
+	if err := w.Err(); err == nil {
+		t.Fatal("persistent sync failure did not go fail-stop")
+	} else if !strings.Contains(err.Error(), "fail-stop") {
+		t.Fatalf("error %q does not mark fail-stop", err)
+	}
+	if err := w.Barrier(); err == nil {
+		t.Fatal("Barrier reported healthy after fail-stop")
+	}
+	records := w.Stats().Records
+	w.LogObserve(txn.W(1, "x1", 1))
+	w.LogCommit(1)
+	w.LogCompact(nil, core.CompactStats{}, 2)
+	if got := w.Stats().Records; got != records {
+		t.Fatalf("appends after fail-stop recorded: %d -> %d", records, got)
+	}
+	if got := w.Stats().Retries; got != 2 {
+		t.Fatalf("Retries=%d, want 2", got)
+	}
+}
+
+// TestShortWritesRetried pins torn-write handling on the happy path: a
+// backend that accepts only part of each chunk forces the writer to
+// retry the remainder, and the finished log must still decode and
+// recover byte-for-byte.
+func TestShortWritesRetried(t *testing.T) {
+	b := wal.NewMemBackend()
+	b.WriteHook = func(name string, off int, p []byte) (int, error) {
+		if len(p) > 3 {
+			return (len(p) + 1) / 2, nil // accept half, signal short write
+		}
+		return len(p), nil
+	}
+	w, err := wal.NewWriter(b, wal.Options{GroupEvery: 2, SnapshotEvery: 1, MaxRetries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewMonitor(walPartition())
+	applied := runWorkload(t, m, w, workloadCfg{
+		seed: 17, nTxns: 4, steps: 60, gated: true, commitPct: 12, retractPct: 4, compactEvery: 9,
+	})
+	if err := w.Err(); err != nil {
+		t.Fatalf("short writes went fail-stop: %v", err)
+	}
+	if st := w.Stats(); st.Retries == 0 {
+		t.Fatal("short writes were never retried")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, info, err := wal.Recover(b, walPartition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.LastSeq != uint64(len(applied)) {
+		t.Fatalf("LastSeq=%d, want %d", info.LastSeq, len(applied))
+	}
+	compareMonitors(t, "short writes", rec, m, 4)
+}
+
+// TestHardWriteErrorFailStop pins the other fail-stop trigger: a write
+// that keeps failing past the retry budget. The torn tail it leaves
+// must still recover to a consistent durable prefix.
+func TestHardWriteErrorFailStop(t *testing.T) {
+	b := wal.NewMemBackend()
+	wrote := 0
+	b.WriteHook = func(name string, off int, p []byte) (int, error) {
+		wrote++
+		if wrote > 10 {
+			// Accept a byte then die: leaves a torn frame behind.
+			if len(p) > 1 {
+				return 1, errors.New("injected write error")
+			}
+			return 0, errors.New("injected write error")
+		}
+		return len(p), nil
+	}
+	w, err := wal.NewWriter(b, wal.Options{GroupEvery: 1, SnapshotEvery: -1, MaxRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewMonitor(walPartition())
+	m.SetAutoCompact(0)
+	m.SetSink(w)
+	steps := 0
+	for i := 0; w.Err() == nil && i < 100; i++ {
+		m.Observe(txn.W(1+i%3, walItems[i%len(walItems)], 1))
+		steps++
+	}
+	m.SetSink(nil)
+	if err := w.Err(); err == nil {
+		t.Fatal("hard write errors never went fail-stop")
+	}
+	// The backend holds a durable prefix with a torn tail; recovery
+	// must land on a consistent prefix of what was appended.
+	rec, info, err := wal.Recover(b, walPartition())
+	if err != nil {
+		t.Fatalf("recover after fail-stop: %v", err)
+	}
+	if !info.Torn {
+		t.Fatal("fail-stop tail not reported torn")
+	}
+	if info.LastSeq >= uint64(steps) {
+		t.Fatalf("LastSeq=%d, want < %d appended events", info.LastSeq, steps)
+	}
+	ref := core.NewMonitor(walPartition())
+	ref.SetAutoCompact(0)
+	for i := 0; i < int(info.LastSeq); i++ {
+		ref.Observe(txn.W(1+i%3, walItems[i%len(walItems)], 1))
+	}
+	compareMonitors(t, "fail-stop prefix", rec, ref, 3)
+}
+
+// TestSnapshotCutFailureContinues pins the cut-abandonment path: a
+// fresh segment that cannot be written abandons the snapshot
+// (CutFailures), the writer continues on the old segment without
+// fail-stop, and the log still recovers in full from the genesis
+// segment.
+func TestSnapshotCutFailureContinues(t *testing.T) {
+	b := wal.NewMemBackend()
+	b.WriteHook = func(name string, off int, p []byte) (int, error) {
+		if name != "00000000.wal" {
+			return 0, errors.New("no space for a new segment")
+		}
+		return len(p), nil
+	}
+	w, err := wal.NewWriter(b, wal.Options{GroupEvery: 1, SnapshotEvery: 1, MaxRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewMonitor(walPartition())
+	applied := runWorkload(t, m, w, workloadCfg{
+		seed: 23, nTxns: 4, steps: 60, gated: true, commitPct: 15, compactEvery: 8,
+	})
+	if err := w.Err(); err != nil {
+		t.Fatalf("cut failure escalated to fail-stop: %v", err)
+	}
+	st := w.Stats()
+	if st.CutFailures == 0 {
+		t.Fatal("no cut failure recorded")
+	}
+	if st.Snapshots != 0 {
+		t.Fatalf("Snapshots=%d with a failing fresh segment", st.Snapshots)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, info, err := wal.Recover(b, walPartition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Segment != 0 {
+		t.Fatalf("recovered from segment %d, want genesis", info.Segment)
+	}
+	if info.LastSeq != uint64(len(applied)) {
+		t.Fatalf("LastSeq=%d, want %d", info.LastSeq, len(applied))
+	}
+	compareMonitors(t, "cut failure", rec, m, 4)
+}

@@ -1,0 +1,332 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"pwsr/internal/core"
+	"pwsr/internal/state"
+	"pwsr/internal/txn"
+)
+
+// segMagic is the 8-byte segment header. The trailing digit versions
+// the record encoding.
+const segMagic = "PWSRWAL1"
+
+// Record kinds (the first payload byte). Read and write observations
+// use distinct kinds so the hot observe record spends no byte on the
+// action.
+const (
+	recRead      byte = 1 // seq | zigzag txn | zigzag pos | value | entity (tail)
+	recWrite     byte = 2 // same layout as recRead
+	recCommit    byte = 3 // seq | zigzag txn
+	recRetract   byte = 4 // seq | zigzag txn
+	recCompact   byte = 5 // seq | uvarint n | zigzag reclaimed id × n
+	recSnapBegin byte = 6 // cutSeq | zigzag ops/compactions/reclaimedTxns/reclaimedOps | uvarint eventCount
+	recSnapEnd   byte = 7 // cutSeq
+)
+
+// Value payload tags inside observe records.
+const (
+	valInt byte = 0 // zigzag int64
+	valStr byte = 1 // uvarint len | bytes
+)
+
+// maxRecordLen bounds a frame's declared payload length; a frame
+// claiming more is treated as corruption (it would otherwise make a
+// flipped length byte look like a gigantic allocation request).
+const maxRecordLen = 1 << 24
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on
+// amd64/arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// record is one decoded log record: a lifecycle event tagged with its
+// global sequence number, or a snapshot boundary.
+type record struct {
+	kind byte
+	seq  uint64 // event seq, or cutSeq for snapshot boundaries
+	ev   core.Event
+	// reclaimed is recCompact's recorded reclamation set.
+	reclaimed []int
+	// snap holds recSnapBegin's counters.
+	snap snapHeader
+}
+
+// snapHeader is the counter block of a snapshot-begin record.
+type snapHeader struct {
+	ops           int
+	compactions   int
+	reclaimedTxns int
+	reclaimedOps  int
+	eventCount    int
+}
+
+// appendFrame appends the framed record (length, CRC, payload) to dst.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+	return append(dst, payload...)
+}
+
+// appendObserve encodes one observation payload.
+func appendObserve(dst []byte, seq uint64, o txn.Op) []byte {
+	kind := recRead
+	if o.Action == txn.ActionWrite {
+		kind = recWrite
+	}
+	dst = append(dst, kind)
+	dst = binary.AppendUvarint(dst, seq)
+	dst = binary.AppendVarint(dst, int64(o.Txn))
+	dst = binary.AppendVarint(dst, int64(o.Pos))
+	if o.Value.IsInt() {
+		dst = append(dst, valInt)
+		dst = binary.AppendVarint(dst, o.Value.AsInt())
+	} else {
+		s := o.Value.AsString()
+		dst = append(dst, valStr)
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	return append(dst, o.Entity...)
+}
+
+// appendTxnRecord encodes a commit or retract payload.
+func appendTxnRecord(dst []byte, kind byte, seq uint64, txnID int) []byte {
+	dst = append(dst, kind)
+	dst = binary.AppendUvarint(dst, seq)
+	return binary.AppendVarint(dst, int64(txnID))
+}
+
+// appendCompact encodes a compaction payload with its reclamation set.
+func appendCompact(dst []byte, seq uint64, reclaimed []int) []byte {
+	dst = append(dst, recCompact)
+	dst = binary.AppendUvarint(dst, seq)
+	dst = binary.AppendUvarint(dst, uint64(len(reclaimed)))
+	for _, id := range reclaimed {
+		dst = binary.AppendVarint(dst, int64(id))
+	}
+	return dst
+}
+
+// appendSnapBegin encodes a snapshot-begin payload.
+func appendSnapBegin(dst []byte, cutSeq uint64, h snapHeader) []byte {
+	dst = append(dst, recSnapBegin)
+	dst = binary.AppendUvarint(dst, cutSeq)
+	dst = binary.AppendVarint(dst, int64(h.ops))
+	dst = binary.AppendVarint(dst, int64(h.compactions))
+	dst = binary.AppendVarint(dst, int64(h.reclaimedTxns))
+	dst = binary.AppendVarint(dst, int64(h.reclaimedOps))
+	return binary.AppendUvarint(dst, uint64(h.eventCount))
+}
+
+// appendSnapEnd encodes a snapshot-end payload.
+func appendSnapEnd(dst []byte, cutSeq uint64) []byte {
+	dst = append(dst, recSnapEnd)
+	return binary.AppendUvarint(dst, cutSeq)
+}
+
+// decoder walks a byte slice of framed records.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+// corruptError marks a frame or payload the decoder rejects; recovery
+// treats it as the end of the durable prefix.
+type corruptError struct {
+	off    int
+	reason string
+}
+
+func (e *corruptError) Error() string {
+	return fmt.Sprintf("wal: corrupt record at offset %d: %s", e.off, e.reason)
+}
+
+// next decodes the next record. It returns (nil, nil) at a clean end
+// of the buffer and a *corruptError for a torn or damaged frame.
+func (d *decoder) next() (*record, error) {
+	if d.off >= len(d.buf) {
+		return nil, nil
+	}
+	start := d.off
+	length, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return nil, &corruptError{off: start, reason: "torn frame length"}
+	}
+	if length > maxRecordLen {
+		return nil, &corruptError{off: start, reason: "frame length out of range"}
+	}
+	d.off += n
+	if len(d.buf)-d.off < 4 {
+		return nil, &corruptError{off: start, reason: "torn frame checksum"}
+	}
+	sum := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	if uint64(len(d.buf)-d.off) < length {
+		return nil, &corruptError{off: start, reason: "torn frame payload"}
+	}
+	payload := d.buf[d.off : d.off+int(length)]
+	d.off += int(length)
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, &corruptError{off: start, reason: "checksum mismatch"}
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		return nil, &corruptError{off: start, reason: err.Error()}
+	}
+	return rec, nil
+}
+
+// payloadReader consumes a record payload field by field.
+type payloadReader struct {
+	buf []byte
+	off int
+}
+
+func (p *payloadReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(p.buf[p.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("truncated uvarint")
+	}
+	p.off += n
+	return v, nil
+}
+
+func (p *payloadReader) varint() (int64, error) {
+	v, n := binary.Varint(p.buf[p.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("truncated varint")
+	}
+	p.off += n
+	return v, nil
+}
+
+func (p *payloadReader) byte() (byte, error) {
+	if p.off >= len(p.buf) {
+		return 0, fmt.Errorf("truncated byte")
+	}
+	b := p.buf[p.off]
+	p.off++
+	return b, nil
+}
+
+func (p *payloadReader) take(n uint64) ([]byte, error) {
+	if uint64(len(p.buf)-p.off) < n {
+		return nil, fmt.Errorf("truncated bytes")
+	}
+	b := p.buf[p.off : p.off+int(n)]
+	p.off += int(n)
+	return b, nil
+}
+
+// decodePayload parses one CRC-verified payload into a record. Any
+// structural defect is an error: a CRC-clean payload that fails to
+// parse means an encoder/decoder mismatch or a deliberate corruption
+// the checksum happened to survive, and recovery must stop there
+// rather than guess.
+func decodePayload(payload []byte) (*record, error) {
+	p := &payloadReader{buf: payload}
+	kind, err := p.byte()
+	if err != nil {
+		return nil, err
+	}
+	rec := &record{kind: kind}
+	if rec.seq, err = p.uvarint(); err != nil {
+		return nil, err
+	}
+	switch kind {
+	case recRead, recWrite:
+		t, err := p.varint()
+		if err != nil {
+			return nil, err
+		}
+		pos, err := p.varint()
+		if err != nil {
+			return nil, err
+		}
+		tag, err := p.byte()
+		if err != nil {
+			return nil, err
+		}
+		var v state.Value
+		switch tag {
+		case valInt:
+			i, err := p.varint()
+			if err != nil {
+				return nil, err
+			}
+			v = state.Int(i)
+		case valStr:
+			n, err := p.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			b, err := p.take(n)
+			if err != nil {
+				return nil, err
+			}
+			v = state.Str(string(b))
+		default:
+			return nil, fmt.Errorf("unknown value tag %d", tag)
+		}
+		entity := string(payload[p.off:])
+		action := txn.ActionRead
+		if kind == recWrite {
+			action = txn.ActionWrite
+		}
+		rec.ev = core.Event{Kind: core.EventObserve, Op: txn.Op{
+			Txn: int(t), Action: action, Entity: entity, Value: v, Pos: int(pos),
+		}}
+	case recCommit, recRetract:
+		t, err := p.varint()
+		if err != nil {
+			return nil, err
+		}
+		k := core.EventCommit
+		if kind == recRetract {
+			k = core.EventRetract
+		}
+		rec.ev = core.Event{Kind: k, Txn: int(t)}
+	case recCompact:
+		n, err := p.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > maxRecordLen {
+			return nil, fmt.Errorf("reclamation count out of range")
+		}
+		rec.reclaimed = make([]int, 0, n)
+		for i := uint64(0); i < n; i++ {
+			id, err := p.varint()
+			if err != nil {
+				return nil, err
+			}
+			rec.reclaimed = append(rec.reclaimed, int(id))
+		}
+		rec.ev = core.Event{Kind: core.EventCompact}
+	case recSnapBegin:
+		fields := [4]*int{&rec.snap.ops, &rec.snap.compactions, &rec.snap.reclaimedTxns, &rec.snap.reclaimedOps}
+		for _, f := range fields {
+			v, err := p.varint()
+			if err != nil {
+				return nil, err
+			}
+			*f = int(v)
+		}
+		n, err := p.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > maxRecordLen {
+			return nil, fmt.Errorf("snapshot event count out of range")
+		}
+		rec.snap.eventCount = int(n)
+	case recSnapEnd:
+		// cutSeq only; already parsed.
+	default:
+		return nil, fmt.Errorf("unknown record kind %d", kind)
+	}
+	return rec, nil
+}

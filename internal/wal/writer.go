@@ -1,0 +1,490 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pwsr/internal/core"
+	"pwsr/internal/txn"
+)
+
+// segSuffix is the segment file extension.
+const segSuffix = ".wal"
+
+// segName formats a segment index as its file name.
+func segName(idx int) string { return fmt.Sprintf("%08d%s", idx, segSuffix) }
+
+// Options configures a Writer. The zero value is a safe default:
+// sync on every record, snapshot at every compaction pass, three
+// bounded retries, delete superseded segments.
+type Options struct {
+	// GroupEvery is the group-commit window: the writer fsyncs once
+	// per this many appended records (≤ 1 syncs every record). A
+	// larger window amortizes the fsync at the cost of a bounded
+	// durability lag — a crash can lose up to GroupEvery−1 acknowledged
+	// grants.
+	GroupEvery int
+	// GroupWindow, when positive, bounds the group-commit latency: an
+	// append also syncs when this much time passed since the last
+	// sync, so a quiet stream does not hold records unsynced
+	// indefinitely.
+	GroupWindow time.Duration
+	// SnapshotEvery cuts a snapshot segment every this many compaction
+	// passes (0 = every pass; negative = never cut, the log grows as
+	// one segment).
+	SnapshotEvery int
+	// MaxRetries bounds the retry attempts for a failed backend write
+	// or sync before the writer goes fail-stop (0 = default 3;
+	// negative = no retries).
+	MaxRetries int
+	// RetryBackoff is the sleep between retry attempts (scaled
+	// linearly by the attempt number).
+	RetryBackoff time.Duration
+	// Retain keeps superseded segments instead of deleting them after
+	// a successful snapshot cut (the crash matrix uses this to sweep
+	// crash points across the whole history).
+	Retain bool
+}
+
+// groupEvery returns the normalized group-commit window.
+func (o Options) groupEvery() int {
+	if o.GroupEvery < 1 {
+		return 1
+	}
+	return o.GroupEvery
+}
+
+// maxRetries returns the normalized retry bound.
+func (o Options) maxRetries() int {
+	switch {
+	case o.MaxRetries == 0:
+		return 3
+	case o.MaxRetries < 0:
+		return 0
+	default:
+		return o.MaxRetries
+	}
+}
+
+// Stats are the Writer's cumulative durability counters.
+type Stats struct {
+	// Records is the number of lifecycle records appended (snapshot
+	// sections not included).
+	Records int64
+	// LogBytes counts every byte handed to the backend, snapshot
+	// sections included.
+	LogBytes int64
+	// Fsyncs counts successful Sync calls on the backend.
+	Fsyncs int64
+	// Snapshots counts completed snapshot cuts.
+	Snapshots int64
+	// Retries counts retried backend writes and syncs.
+	Retries int64
+	// CutFailures counts snapshot cuts abandoned on a fresh-segment
+	// error (the writer continues on the old segment; see doc.go).
+	CutFailures int64
+	// RecoveryReplays is the number of events replayed to build this
+	// writer's monitor (set by Resume; 0 for a fresh log).
+	RecoveryReplays int64
+}
+
+// liveEvent is one entry of the writer's surviving lifecycle stream,
+// tagged with its original sequence number so a snapshot re-encodes
+// it verbatim.
+type liveEvent struct {
+	seq uint64
+	ev  core.Event
+}
+
+// eventTxn returns the transaction a lifecycle event belongs to.
+func eventTxn(ev core.Event) int {
+	if ev.Kind == core.EventObserve {
+		return ev.Op.Txn
+	}
+	return ev.Txn
+}
+
+// Writer is the durable lifecycle sink: attach it to a monitor with
+// SetSink (or a gate with sched.AttachJournal) and every lifecycle
+// event is framed, CRC'd, and appended to the backend, with group
+// commit, snapshot cuts at the compaction low watermark, bounded
+// retry, and fail-stop degradation as described in the package
+// comment. Methods are safe for concurrent use, but the lifecycle
+// stream itself must be fed from one goroutine at a time (see
+// core.LifecycleSink).
+type Writer struct {
+	mu   sync.Mutex
+	b    Backend
+	opts Options
+
+	seg      File
+	segIndex int
+	seq      uint64
+	pending  int
+	lastSync time.Time
+	err      error
+	stats    Stats
+
+	// live is the surviving lifecycle stream (observes and commits of
+	// transactions not yet retracted or reclaimed, in application
+	// order): what the next snapshot cut writes.
+	live []liveEvent
+	// counters is the monitor's counter block as of the last compact
+	// record — the snapshot header of the next cut.
+	counters snapHeader
+	// compactsSinceCut drives the SnapshotEvery cadence.
+	compactsSinceCut int
+
+	// payload/frame are encoding scratch, reused across records.
+	payload []byte
+	frame   []byte
+}
+
+// NewWriter creates a fresh log on the backend and returns its
+// writer. The backend must hold no segments (recover an existing log
+// with Resume).
+func NewWriter(b Backend, opts Options) (*Writer, error) {
+	names, err := b.List()
+	if err != nil {
+		return nil, fmt.Errorf("wal: list segments: %w", err)
+	}
+	if len(names) > 0 {
+		return nil, fmt.Errorf("wal: backend already holds %d segment(s); use Resume", len(names))
+	}
+	w := &Writer{b: b, opts: opts, segIndex: -1, lastSync: time.Now()}
+	f, err := b.Create(segName(0))
+	if err != nil {
+		return nil, fmt.Errorf("wal: create genesis segment: %w", err)
+	}
+	if err := w.writeAllTo(f, []byte(segMagic)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: write genesis header: %w", err)
+	}
+	w.seg = f
+	w.segIndex = 0
+	return w, nil
+}
+
+// Err returns the sticky fail-stop error, or nil.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Stats snapshots the cumulative durability counters.
+func (w *Writer) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// Seq returns the sequence number of the last appended event.
+func (w *Writer) Seq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// LogObserve implements core.LifecycleSink.
+func (w *Writer) LogObserve(o txn.Op) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	w.seq++
+	w.payload = appendObserve(w.payload[:0], w.seq, o)
+	w.appendLocked(w.payload)
+	if w.err == nil {
+		w.live = append(w.live, liveEvent{seq: w.seq, ev: core.Event{Kind: core.EventObserve, Op: o}})
+	}
+}
+
+// LogCommit implements core.LifecycleSink.
+func (w *Writer) LogCommit(txnID int) {
+	w.logTxn(recCommit, core.EventCommit, txnID)
+}
+
+// LogRetract implements core.LifecycleSink.
+func (w *Writer) LogRetract(txnID int) {
+	w.logTxn(recRetract, core.EventRetract, txnID)
+}
+
+func (w *Writer) logTxn(kind byte, evKind core.EventKind, txnID int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	w.seq++
+	w.payload = appendTxnRecord(w.payload[:0], kind, w.seq, txnID)
+	w.appendLocked(w.payload)
+	if w.err != nil {
+		return
+	}
+	if evKind == core.EventRetract {
+		// A retracted transaction's history is as if it never ran: its
+		// events leave the surviving stream (only observes — a
+		// committed transaction cannot be retracted).
+		w.dropLive(func(id int) bool { return id == txnID })
+	} else {
+		w.live = append(w.live, liveEvent{seq: w.seq, ev: core.Event{Kind: evKind, Txn: txnID}})
+	}
+}
+
+// LogCompact implements core.LifecycleSink: the pass is logged, the
+// reclaimed transactions leave the surviving stream, the counter
+// block is latched for the next snapshot header, and — on the
+// SnapshotEvery cadence — a snapshot segment is cut.
+func (w *Writer) LogCompact(reclaimed []int, stats core.CompactStats, ops int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	w.seq++
+	w.payload = appendCompact(w.payload[:0], w.seq, reclaimed)
+	w.appendLocked(w.payload)
+	if w.err != nil {
+		return
+	}
+	if len(reclaimed) > 0 {
+		gone := make(map[int]bool, len(reclaimed))
+		for _, id := range reclaimed {
+			gone[id] = true
+		}
+		w.dropLive(func(id int) bool { return gone[id] })
+	}
+	w.counters = snapHeader{
+		ops:           ops,
+		compactions:   stats.Compactions,
+		reclaimedTxns: stats.ReclaimedTxns,
+		reclaimedOps:  stats.ReclaimedOps,
+	}
+	w.compactsSinceCut++
+	every := w.opts.SnapshotEvery
+	if every == 0 {
+		every = 1
+	}
+	if every > 0 && w.compactsSinceCut >= every {
+		w.cutLocked()
+	}
+}
+
+// dropLive filters the surviving stream in place.
+func (w *Writer) dropLive(gone func(txnID int) bool) {
+	kept := w.live[:0]
+	for _, le := range w.live {
+		if !gone(eventTxn(le.ev)) {
+			kept = append(kept, le)
+		}
+	}
+	clear(w.live[len(kept):])
+	w.live = kept
+}
+
+// Barrier reports whether everything acknowledged so far can still be
+// made durable: nil while the writer is healthy, the sticky
+// fail-stop error once the backend has failed past the retry bound.
+// It does not force a sync — group commit's bounded durability lag is
+// the configured trade (use Sync for a hard flush point).
+func (w *Writer) Barrier() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Sync forces the pending group to the backend now.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	w.syncLocked()
+	return w.err
+}
+
+// Close flushes and closes the active segment. The writer must not be
+// used afterwards.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err == nil {
+		w.syncLocked()
+	}
+	err := w.err
+	if w.seg != nil {
+		if cerr := w.seg.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		w.seg = nil
+	}
+	return err
+}
+
+// appendLocked frames the payload and appends it to the active
+// segment, applying the group-commit policy. On unrecoverable backend
+// failure the writer goes fail-stop (w.err set).
+func (w *Writer) appendLocked(payload []byte) {
+	w.frame = appendFrame(w.frame[:0], payload)
+	if err := w.writeAllTo(w.seg, w.frame); err != nil {
+		w.failLocked(fmt.Errorf("append record: %w", err))
+		return
+	}
+	w.stats.Records++
+	w.stats.LogBytes += int64(len(w.frame))
+	w.pending++
+	if w.pending >= w.opts.groupEvery() ||
+		(w.opts.GroupWindow > 0 && time.Since(w.lastSync) >= w.opts.GroupWindow) {
+		w.syncLocked()
+	}
+}
+
+// syncLocked syncs the active segment with bounded retries; on
+// exhaustion the writer goes fail-stop.
+func (w *Writer) syncLocked() {
+	for attempt := 0; ; attempt++ {
+		err := w.seg.Sync()
+		if err == nil {
+			w.stats.Fsyncs++
+			w.pending = 0
+			w.lastSync = time.Now()
+			return
+		}
+		if attempt >= w.opts.maxRetries() {
+			w.failLocked(fmt.Errorf("sync: %w", err))
+			return
+		}
+		w.stats.Retries++
+		w.backoff(attempt)
+	}
+}
+
+// writeAllTo writes p to f completely, retrying the remainder of a
+// short or failed write with bounded backoff. A final failure can
+// leave a torn tail on f — exactly the state recovery tolerates.
+func (w *Writer) writeAllTo(f File, p []byte) error {
+	for attempt := 0; ; attempt++ {
+		n, err := f.Write(p)
+		if n < 0 {
+			n = 0
+		}
+		p = p[n:]
+		if len(p) == 0 {
+			return nil
+		}
+		if err == nil {
+			err = fmt.Errorf("short write (%d bytes left)", len(p))
+		}
+		if attempt >= w.opts.maxRetries() {
+			return err
+		}
+		w.stats.Retries++
+		w.backoff(attempt)
+	}
+}
+
+// backoff sleeps between retry attempts (linear in the attempt
+// number; zero RetryBackoff retries immediately).
+func (w *Writer) backoff(attempt int) {
+	if w.opts.RetryBackoff > 0 {
+		time.Sleep(w.opts.RetryBackoff * time.Duration(attempt+1))
+	}
+}
+
+// failLocked records the sticky fail-stop error: every further append
+// is a no-op and Barrier reports the failure, so a journaled gate
+// stops granting.
+func (w *Writer) failLocked(err error) {
+	if w.err == nil {
+		w.err = fmt.Errorf("wal: fail-stop: %w", err)
+	}
+}
+
+// cutLocked cuts a snapshot: the active segment is synced (the cut
+// boundary must be durable before anything supersedes it), the next
+// segment is created and seeded with the surviving stream between
+// snapshot-begin/end records, synced, and the superseded segments are
+// deleted (unless Options.Retain). A failure on the fresh segment
+// abandons the cut and continues on the active segment — the old
+// log is intact, so losing a snapshot is losing an optimization, not
+// durability; only active-segment failures are fail-stop.
+func (w *Writer) cutLocked() {
+	w.compactsSinceCut = 0
+	if w.seg != nil {
+		w.syncLocked()
+		if w.err != nil {
+			return
+		}
+	}
+	newIdx := w.segIndex + 1
+	name := segName(newIdx)
+	f, err := w.b.Create(name)
+	if err != nil {
+		w.stats.CutFailures++
+		return
+	}
+	buf := make([]byte, 0, 64+len(w.live)*24)
+	buf = append(buf, segMagic...)
+	hdr := w.counters
+	hdr.eventCount = len(w.live)
+	w.payload = appendSnapBegin(w.payload[:0], w.seq, hdr)
+	buf = appendFrame(buf, w.payload)
+	for _, le := range w.live {
+		switch le.ev.Kind {
+		case core.EventObserve:
+			w.payload = appendObserve(w.payload[:0], le.seq, le.ev.Op)
+		case core.EventCommit:
+			w.payload = appendTxnRecord(w.payload[:0], recCommit, le.seq, le.ev.Txn)
+		}
+		buf = appendFrame(buf, w.payload)
+	}
+	w.payload = appendSnapEnd(w.payload[:0], w.seq)
+	buf = appendFrame(buf, w.payload)
+	if err := w.writeAllTo(f, buf); err != nil {
+		f.Close()
+		w.b.Remove(name)
+		w.stats.CutFailures++
+		return
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		w.b.Remove(name)
+		w.stats.CutFailures++
+		return
+	}
+	w.stats.Fsyncs++
+	w.stats.LogBytes += int64(len(buf))
+	w.stats.Snapshots++
+	if w.seg != nil {
+		w.seg.Close()
+	}
+	w.seg = f
+	oldIdx := w.segIndex
+	w.segIndex = newIdx
+	w.pending = 0
+	w.lastSync = time.Now()
+	if !w.opts.Retain {
+		names, err := w.b.List()
+		if err != nil {
+			return // retention is best-effort
+		}
+		for _, n := range names {
+			if idx, ok := segIndexOf(n); ok && idx <= oldIdx {
+				w.b.Remove(n)
+			}
+		}
+	}
+}
+
+// segIndexOf parses a segment file name back to its index.
+func segIndexOf(name string) (int, bool) {
+	var idx int
+	if _, err := fmt.Sscanf(name, "%08d"+segSuffix, &idx); err != nil {
+		return 0, false
+	}
+	return idx, true
+}
