@@ -47,9 +47,24 @@ func NewFileBackend(dir string) (*FileBackend, error) {
 	return &FileBackend{Dir: dir}, nil
 }
 
-// Create implements Backend.
+// Create implements Backend. The directory is fsynced before
+// returning, so the new segment's directory entry is durable before
+// any caller can treat the segment as written: cutLocked deletes
+// superseded segments only after Create + data sync have succeeded,
+// and without the directory sync an OS crash could persist those
+// unlinks while losing the new segment's entry — leaving no complete
+// snapshot and no genesis segment to recover from.
 func (b *FileBackend) Create(name string) (File, error) {
-	return os.OpenFile(filepath.Join(b.Dir, name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := os.OpenFile(filepath.Join(b.Dir, name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.syncDir(); err != nil {
+		f.Close()
+		os.Remove(filepath.Join(b.Dir, name))
+		return nil, fmt.Errorf("wal: sync log dir after create %s: %w", name, err)
+	}
+	return f, nil
 }
 
 // Open implements Backend.
@@ -72,9 +87,29 @@ func (b *FileBackend) List() ([]string, error) {
 	return names, nil
 }
 
-// Remove implements Backend.
+// Remove implements Backend, fsyncing the directory so the unlink is
+// durable (a resurrected stale segment is harmless to recovery —
+// newest complete snapshot wins — but keeping deletes durable stops
+// superseded segments accumulating across crash/restart cycles).
 func (b *FileBackend) Remove(name string) error {
-	return os.Remove(filepath.Join(b.Dir, name))
+	if err := os.Remove(filepath.Join(b.Dir, name)); err != nil {
+		return err
+	}
+	return b.syncDir()
+}
+
+// syncDir fsyncs the log directory, making pending create/unlink
+// entries durable.
+func (b *FileBackend) syncDir() error {
+	d, err := os.Open(b.Dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // MemBackend is the in-memory backend the crash matrix and the fault

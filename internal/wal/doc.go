@@ -48,7 +48,12 @@
 // lifecycle stream — maintained incrementally from the sinked events,
 // filtered on every retract and reclamation — as the new segment's
 // snapshot section, then syncs and (unless Options.Retain) deletes
-// the older segments. Recovery replays the snapshot instead of the
+// the older segments. On FileBackend the cut's delete-after-create
+// ordering is durable, not just issued: Create fsyncs the log
+// directory before returning, so the new segment's directory entry is
+// on disk before any superseded segment is unlinked — an OS crash
+// cannot persist the deletes while losing the snapshot that justified
+// them (Remove fsyncs the directory too, keeping unlinks durable). Recovery replays the snapshot instead of the
 // whole history, so log replay work is bounded by the live working
 // set plus one snapshot interval, mirroring the monitor's own
 // bounded-memory compaction argument. A crash mid-cut is harmless:
@@ -78,7 +83,10 @@
 // Backend write and sync errors are retried with bounded backoff
 // (Options.MaxRetries, Options.RetryBackoff); a short write retries
 // the remaining bytes, which can only leave a torn tail that recovery
-// already tolerates. Once retries are exhausted the writer goes
+// already tolerates. Retry sleeps happen under the writer's mutex, so
+// during an outage the feeding goroutine and the inspection methods
+// (Barrier, Err, Stats, Seq) stall for at most the bounded total
+// retry latency before fail-stop; see Options.RetryBackoff. Once retries are exhausted the writer goes
 // fail-stop: the error is sticky (Err, Barrier), every further append
 // is a no-op, and a certification gate wired through
 // sched.AttachJournal stops granting, so the engine surfaces

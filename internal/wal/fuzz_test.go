@@ -3,6 +3,7 @@ package wal_test
 import (
 	"encoding/binary"
 	"hash/crc32"
+	"strings"
 	"testing"
 
 	"pwsr/internal/txn"
@@ -44,6 +45,12 @@ func fuzzSeeds() [][]byte {
 	sb = binary.AppendUvarint(sb, 2)
 	se := []byte{7}
 	se = binary.AppendUvarint(se, 2)
+	// compact claiming a huge reclamation set with no ids in the
+	// payload — CRC-clean, must be rejected before sizing an
+	// allocation to the claimed count.
+	hugeCompact := []byte{5}
+	hugeCompact = binary.AppendUvarint(hugeCompact, 1)
+	hugeCompact = binary.AppendUvarint(hugeCompact, 1<<20)
 
 	valid := fuzzFrame(fuzzFrame(append([]byte{}, magic...), obs), com)
 	torn := append(append([]byte{}, valid...), valid[len(magic):len(magic)+5]...)
@@ -61,6 +68,32 @@ func fuzzSeeds() [][]byte {
 		torn,      // torn tail after a healthy prefix
 		badCRC,    // checksum mismatch on the last frame
 		snapOnly,  // snapshot section and nothing else
+		fuzzFrame(append([]byte{}, magic...), hugeCompact), // oversized reclamation count
+	}
+}
+
+// TestCompactCountBounded pins the decode-side allocation bound: a
+// CRC-clean compact record declaring more reclaimed ids than its
+// payload could hold (each id is ≥ 1 varint byte) is rejected as
+// corrupt — ending the durable prefix there — instead of sizing an
+// allocation to the claimed count.
+func TestCompactCountBounded(t *testing.T) {
+	seeds := fuzzSeeds()
+	data := seeds[len(seeds)-1]
+	b := wal.NewMemBackend()
+	b.Put("00000000.wal", data)
+	m, info, err := wal.Recover(b, walPartition())
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if !info.Torn || info.TailErr == nil {
+		t.Fatalf("oversized reclamation count not rejected: %+v", info)
+	}
+	if !strings.Contains(info.TailErr.Error(), "reclamation count exceeds payload") {
+		t.Fatalf("unexpected tail error: %v", info.TailErr)
+	}
+	if info.LastSeq != 0 || m.Ops() != 0 {
+		t.Fatalf("corrupt record admitted state: LastSeq=%d ops=%d", info.LastSeq, m.Ops())
 	}
 }
 

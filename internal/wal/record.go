@@ -294,8 +294,12 @@ func decodePayload(payload []byte) (*record, error) {
 		if err != nil {
 			return nil, err
 		}
-		if n > maxRecordLen {
-			return nil, fmt.Errorf("reclamation count out of range")
+		// Each reclaimed id is at least one varint byte, so a count
+		// exceeding the remaining payload cannot be satisfied — reject
+		// before sizing the allocation to an attacker-chosen (or
+		// bit-flipped-but-CRC-clean) count.
+		if n > uint64(len(p.buf)-p.off) {
+			return nil, fmt.Errorf("reclamation count exceeds payload")
 		}
 		rec.reclaimed = make([]int, 0, n)
 		for i := uint64(0); i < n; i++ {
@@ -319,6 +323,10 @@ func decodePayload(payload []byte) (*record, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The counted events live in later frames, so no payload bound
+		// applies; the count drives no allocation (readSegment appends
+		// events one decoded frame at a time and stops at the first torn
+		// or missing one), so the generic range check suffices.
 		if n > maxRecordLen {
 			return nil, fmt.Errorf("snapshot event count out of range")
 		}

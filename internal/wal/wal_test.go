@@ -371,6 +371,43 @@ func TestNewWriterRefusesExistingLog(t *testing.T) {
 	}
 }
 
+// TestForeignFileUntouched pins segIndexOf's strict-name validation:
+// a foreign file whose name merely ends in .wal (here
+// "00000001.wal.wal", which passes List's suffix filter and which a
+// bare Sscanf would parse as segment 1) must be neither scanned by
+// recovery nor deleted by the retention sweep.
+func TestForeignFileUntouched(t *testing.T) {
+	partition := walPartition()
+	b := wal.NewMemBackend()
+	w, err := wal.NewWriter(b, wal.Options{GroupEvery: 1, SnapshotEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := []byte("not a wal segment")
+	b.Put("00000001.wal.wal", foreign)
+	m := core.NewMonitor(partition)
+	applied := runWorkload(t, m, w, workloadCfg{
+		seed: 7, nTxns: 4, steps: 80, gated: true, commitPct: 15, retractPct: 5, compactEvery: 7,
+	})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Stats().Snapshots == 0 {
+		t.Fatal("workload cut no snapshots; retention sweep never ran")
+	}
+	if got := b.Bytes("00000001.wal.wal"); !reflect.DeepEqual(got, foreign) {
+		t.Fatalf("retention sweep disturbed the foreign file: %q", got)
+	}
+	rec, info, err := wal.Recover(b, partition)
+	if err != nil {
+		t.Fatalf("recover with foreign file present: %v", err)
+	}
+	if info.LastSeq != uint64(len(applied)) {
+		t.Fatalf("LastSeq=%d, want %d", info.LastSeq, len(applied))
+	}
+	compareMonitors(t, "foreign file", rec, m, 5)
+}
+
 // TestFileBackendRoundTrip runs the round trip through real files —
 // the FileBackend path the production configuration uses.
 func TestFileBackendRoundTrip(t *testing.T) {

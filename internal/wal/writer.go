@@ -39,7 +39,13 @@ type Options struct {
 	// negative = no retries).
 	MaxRetries int
 	// RetryBackoff is the sleep between retry attempts (scaled
-	// linearly by the attempt number).
+	// linearly by the attempt number). The sleep happens while the
+	// writer's mutex is held: during a backend outage the feeding
+	// goroutine — and Barrier, Err, Stats, Seq from any goroutine —
+	// blocks for at most the total retry latency,
+	// MaxRetries·(MaxRetries+1)/2 × RetryBackoff per failed
+	// write/sync, before the writer goes fail-stop. Size MaxRetries ×
+	// RetryBackoff for the stall the admission path can tolerate.
 	RetryBackoff time.Duration
 	// Retain keeps superseded segments instead of deleting them after
 	// a successful snapshot cut (the crash matrix uses this to sweep
@@ -388,7 +394,11 @@ func (w *Writer) writeAllTo(f File, p []byte) error {
 }
 
 // backoff sleeps between retry attempts (linear in the attempt
-// number; zero RetryBackoff retries immediately).
+// number; zero RetryBackoff retries immediately). It runs with w.mu
+// held — deliberately: releasing the lock mid-record would let Close
+// retire the segment under a partially written frame. The stall this
+// imposes on the feeder and the inspection methods is bounded; see
+// Options.RetryBackoff.
 func (w *Writer) backoff(attempt int) {
 	if w.opts.RetryBackoff > 0 {
 		time.Sleep(w.opts.RetryBackoff * time.Duration(attempt+1))
@@ -480,10 +490,17 @@ func (w *Writer) cutLocked() {
 	}
 }
 
-// segIndexOf parses a segment file name back to its index.
+// segIndexOf parses a segment file name back to its index. Only exact
+// writer-produced names qualify: Sscanf alone would accept trailing
+// garbage (e.g. "00000001.wal.wal", which passes List's suffix
+// filter), and a foreign file must be neither scanned by recovery nor
+// deleted by the retention sweep.
 func segIndexOf(name string) (int, bool) {
 	var idx int
 	if _, err := fmt.Sscanf(name, "%08d"+segSuffix, &idx); err != nil {
+		return 0, false
+	}
+	if idx < 0 || name != segName(idx) {
 		return 0, false
 	}
 	return idx, true
