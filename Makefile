@@ -44,6 +44,28 @@ bench-hotpath:
 bench-wal:
 	$(GO) run ./cmd/pwsrbench -section wal -walout BENCH_wal.json
 
+# bench-parallel regenerates the PERF10 block-parallel scaling study:
+# the exec.ParallelEngine worker sweep across conflict rates, every
+# batch certified through ParallelCertify and checked identical to the
+# serial reference, writing the machine-readable BENCH_parallel.json.
+# Record the baseline on the machine that will gate against it — the
+# file carries host_cpus/gomaxprocs so a mismatch is visible.
+.PHONY: bench-parallel
+bench-parallel:
+	$(GO) run ./cmd/pwsrbench -section parallel -cpu 1,2,4,8 -parallelout BENCH_parallel.json
+
+# check-parallel is the CI leg for the parallel engine: the
+# batch-differential and retry-exhaustion tests under the race detector
+# at pinned GOMAXPROCS=1 and 8, then the PERF10 sweep gated against the
+# checked-in baseline (>10% throughput regression on the uncontended
+# scaling curve fails; on a ≥4-CPU host the 4-worker speedup must clear
+# 1.5×).
+.PHONY: check-parallel
+check-parallel:
+	GOMAXPROCS=1 $(GO) test -race -count=1 -run 'TestParallelEngine' ./internal/exec
+	GOMAXPROCS=8 $(GO) test -race -count=1 -run 'TestParallelEngine' ./internal/exec
+	$(GO) run ./cmd/pwsrbench -section parallel -cpu 1,2,4,8 -baseline BENCH_parallel.json -maxregress 10 -minspeedup 1.5 -parallelout BENCH_parallel.ci.json
+
 # crash-matrix is the durability differential: the wal package's
 # crash-recovery tests — TestCrashMatrix kills the log at every byte
 # offset and recovers each prefix — under the race detector at pinned

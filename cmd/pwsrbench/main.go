@@ -26,7 +26,21 @@
 //     stream unjournaled and write-ahead-journaled across backends
 //     and group-commit windows, plus the recovery cost of each
 //     written log (section "wal"; `-walout` writes the
-//     machine-readable BENCH_wal.json records).
+//     machine-readable BENCH_wal.json records),
+//   - PERF10  — block-parallel batch execution scaling: the
+//     exec.ParallelEngine worker sweep (widths from `-cpu`, GOMAXPROCS
+//     matched to each width) across conflict rates, every batch
+//     certified through sched.ParallelCertify and checked identical to
+//     the serial reference (section "parallel"; `-parallelout` writes
+//     the machine-readable BENCH_parallel.json records, and `-baseline`
+//     gates the run against a checked-in file: >`-maxregress`%%
+//     throughput regression fails, as does a 4-worker 0%%-conflict
+//     speedup under `-minspeedup` when the host has ≥4 CPUs).
+//
+// Every machine-readable file carries the host fingerprint — go
+// version, GOOS/GOARCH, host_cpus (runtime.NumCPU) and gomaxprocs at
+// process start — so a scaling claim can always be traced to the
+// parallelism it was actually measured at.
 //
 // Usage:
 //
@@ -35,6 +49,8 @@
 //	          [-compactout BENCH_compact.json]
 //	          [-hotpathout BENCH_hotpath.json]
 //	          [-walout BENCH_wal.json]
+//	          [-parallelout BENCH_parallel.json]
+//	          [-baseline BENCH_parallel.json] [-maxregress 10] [-minspeedup 1.5]
 package main
 
 import (
@@ -53,16 +69,20 @@ import (
 
 func main() {
 	var (
-		trials     = flag.Int("trials", 200, "trials per randomized campaign")
-		seed       = flag.Int64("seed", 1, "base seed")
-		quick      = flag.Bool("quick", false, "smaller sweeps and campaigns")
-		figures    = flag.Bool("figures", true, "print the worked figure illustrations")
-		section    = flag.String("section", "all", "one of: all, examples, theorems, exhaustive, figures, perf, sharded, compact, hotpath, wal")
-		cpu        = flag.String("cpu", "1,2,4,8", "comma-separated GOMAXPROCS widths for the PERF6 sweep")
-		benchout   = flag.String("benchout", "", "write the PERF6 records as JSON to this file")
-		compactout = flag.String("compactout", "", "write the PERF7 records as JSON to this file")
-		hotpathout = flag.String("hotpathout", "", "write the PERF8 records as JSON to this file")
-		walout     = flag.String("walout", "", "write the PERF9 records as JSON to this file")
+		trials      = flag.Int("trials", 200, "trials per randomized campaign")
+		seed        = flag.Int64("seed", 1, "base seed")
+		quick       = flag.Bool("quick", false, "smaller sweeps and campaigns")
+		figures     = flag.Bool("figures", true, "print the worked figure illustrations")
+		section     = flag.String("section", "all", "one of: all, examples, theorems, exhaustive, figures, perf, sharded, compact, hotpath, wal, parallel")
+		cpu         = flag.String("cpu", "1,2,4,8", "comma-separated widths: GOMAXPROCS for the PERF6 sweep, worker counts for PERF10")
+		benchout    = flag.String("benchout", "", "write the PERF6 records as JSON to this file")
+		compactout  = flag.String("compactout", "", "write the PERF7 records as JSON to this file")
+		hotpathout  = flag.String("hotpathout", "", "write the PERF8 records as JSON to this file")
+		walout      = flag.String("walout", "", "write the PERF9 records as JSON to this file")
+		parallelout = flag.String("parallelout", "", "write the PERF10 records as JSON to this file")
+		baseline    = flag.String("baseline", "", "checked-in PERF10 JSON to gate this run against")
+		maxregress  = flag.Float64("maxregress", 10, "fail if PERF10 throughput regresses more than this percent vs -baseline")
+		minspeedup  = flag.Float64("minspeedup", 1.5, "fail if the 4-worker 0%-conflict PERF10 speedup is below this (hosts with >=4 CPUs only)")
 	)
 	flag.Parse()
 
@@ -74,10 +94,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pwsrbench:", err)
 		os.Exit(1)
 	}
-	if err := run(*trials, *seed, *figures, *section, *quick, cpus, *benchout, *compactout, *hotpathout, *walout); err != nil {
+	opts := benchOpts{
+		trials: *trials, seed: *seed, figures: *figures, section: *section,
+		quick: *quick, cpus: cpus,
+		benchout: *benchout, compactout: *compactout, hotpathout: *hotpathout,
+		walout: *walout, parallelout: *parallelout,
+		baseline: *baseline, maxregress: *maxregress, minspeedup: *minspeedup,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "pwsrbench:", err)
 		os.Exit(1)
 	}
+}
+
+// benchOpts carries the parsed command line into run.
+type benchOpts struct {
+	trials      int
+	seed        int64
+	figures     bool
+	section     string
+	quick       bool
+	cpus        []int
+	benchout    string
+	compactout  string
+	hotpathout  string
+	walout      string
+	parallelout string
+	baseline    string
+	maxregress  float64
+	minspeedup  float64
 }
 
 // parseCPUList parses the -cpu flag ("1,2,4,8").
@@ -93,59 +138,82 @@ func parseCPUList(s string) ([]int, error) {
 	return cpus, nil
 }
 
+// hostMeta is the host fingerprint stamped into every machine-readable
+// benchmark file: toolchain, platform, host_cpus (runtime.NumCPU) and
+// the process's starting GOMAXPROCS. Scaling numbers are meaningless
+// without the parallelism they were measured at — a "4-worker" row
+// recorded on a 1-core host measures goroutine multiplexing, not
+// speedup — so the fingerprint travels with the records.
+type hostMeta struct {
+	Go         string `json:"go"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	HostCPUs   int    `json:"host_cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// currentHostMeta fingerprints the running process.
+func currentHostMeta() hostMeta {
+	return hostMeta{
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		HostCPUs:   runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
 // shardedBenchFile is the JSON trajectory written for the PERF6 sweep:
 // enough host context to compare runs, plus the per-width records.
 type shardedBenchFile struct {
-	Go       string                             `json:"go"`
-	GOOS     string                             `json:"goos"`
-	GOARCH   string                             `json:"goarch"`
-	HostCPUs int                                `json:"host_cpus"`
-	Seed     int64                              `json:"seed"`
-	Records  []experiments.ShardedScalingRecord `json:"records"`
+	hostMeta
+	Seed    int64                              `json:"seed"`
+	Records []experiments.ShardedScalingRecord `json:"records"`
 }
 
 // hotpathBenchFile is the JSON record set written for the PERF8
 // admission hot-path study: probe-cache on/off passes per monitor
 // variant and workload regime.
 type hotpathBenchFile struct {
-	Go       string                      `json:"go"`
-	GOOS     string                      `json:"goos"`
-	GOARCH   string                      `json:"goarch"`
-	HostCPUs int                         `json:"host_cpus"`
-	Seed     int64                       `json:"seed"`
-	Ticks    int                         `json:"ticks"`
-	Window   int                         `json:"window"`
-	Records  []experiments.HotPathRecord `json:"records"`
+	hostMeta
+	Seed    int64                       `json:"seed"`
+	Ticks   int                         `json:"ticks"`
+	Window  int                         `json:"window"`
+	Records []experiments.HotPathRecord `json:"records"`
 }
 
 // walBenchFile is the JSON record set written for the PERF9 durable
 // certification study: write-ahead journal overhead and recovery cost
 // per backend and group-commit window.
 type walBenchFile struct {
-	Go       string                  `json:"go"`
-	GOOS     string                  `json:"goos"`
-	GOARCH   string                  `json:"goarch"`
-	HostCPUs int                     `json:"host_cpus"`
-	Seed     int64                   `json:"seed"`
-	Steps    int                     `json:"steps"`
-	Records  []experiments.WalRecord `json:"records"`
+	hostMeta
+	Seed    int64                   `json:"seed"`
+	Steps   int                     `json:"steps"`
+	Records []experiments.WalRecord `json:"records"`
 }
 
 // compactBenchFile is the JSON curve written for the PERF7 memory
 // study: the compacting vs baseline live-transaction and heap
 // trajectories over the sampled stream.
 type compactBenchFile struct {
-	Go       string                         `json:"go"`
-	GOOS     string                         `json:"goos"`
-	GOARCH   string                         `json:"goarch"`
-	HostCPUs int                            `json:"host_cpus"`
+	hostMeta
 	Seed     int64                          `json:"seed"`
 	TotalOps int                            `json:"total_ops"`
 	Window   int                            `json:"window"`
 	Records  []experiments.CompactionRecord `json:"records"`
 }
 
-func run(trials int, seed int64, withFigures bool, section string, quick bool, cpus []int, benchout, compactout, hotpathout, walout string) error {
+// parallelBenchFile is the JSON record set written for the PERF10
+// block-parallel scaling sweep.
+type parallelBenchFile struct {
+	hostMeta
+	Seed    int64                               `json:"seed"`
+	Records []experiments.ParallelScalingRecord `json:"records"`
+}
+
+func run(o benchOpts) error {
+	trials, seed, withFigures, section, quick, cpus := o.trials, o.seed, o.figures, o.section, o.quick, o.cpus
+	benchout, compactout, hotpathout, walout := o.benchout, o.compactout, o.hotpathout, o.walout
 	all := section == "all"
 
 	if all || section == "examples" {
@@ -263,10 +331,7 @@ func run(trials int, seed int64, withFigures bool, section string, quick bool, c
 		fmt.Println(tab.Render())
 		if benchout != "" {
 			data, err := json.MarshalIndent(shardedBenchFile{
-				Go:       runtime.Version(),
-				GOOS:     runtime.GOOS,
-				GOARCH:   runtime.GOARCH,
-				HostCPUs: runtime.NumCPU(),
+				hostMeta: currentHostMeta(),
 				Seed:     seed,
 				Records:  records,
 			}, "", "  ")
@@ -292,10 +357,7 @@ func run(trials int, seed int64, withFigures bool, section string, quick bool, c
 		fmt.Println(tab.Render())
 		if compactout != "" {
 			data, err := json.MarshalIndent(compactBenchFile{
-				Go:       runtime.Version(),
-				GOOS:     runtime.GOOS,
-				GOARCH:   runtime.GOARCH,
-				HostCPUs: runtime.NumCPU(),
+				hostMeta: currentHostMeta(),
 				Seed:     seed,
 				TotalOps: totalOps,
 				Window:   window,
@@ -322,10 +384,7 @@ func run(trials int, seed int64, withFigures bool, section string, quick bool, c
 		fmt.Println(tab.Render())
 		if hotpathout != "" {
 			data, err := json.MarshalIndent(hotpathBenchFile{
-				Go:       runtime.Version(),
-				GOOS:     runtime.GOOS,
-				GOARCH:   runtime.GOARCH,
-				HostCPUs: runtime.NumCPU(),
+				hostMeta: currentHostMeta(),
 				Seed:     seed,
 				Ticks:    ticks,
 				Window:   window,
@@ -352,10 +411,7 @@ func run(trials int, seed int64, withFigures bool, section string, quick bool, c
 		fmt.Println(tab.Render())
 		if walout != "" {
 			data, err := json.MarshalIndent(walBenchFile{
-				Go:       runtime.Version(),
-				GOOS:     runtime.GOOS,
-				GOARCH:   runtime.GOARCH,
-				HostCPUs: runtime.NumCPU(),
+				hostMeta: currentHostMeta(),
 				Seed:     seed,
 				Steps:    steps,
 				Records:  records,
@@ -369,5 +425,94 @@ func run(trials int, seed int64, withFigures bool, section string, quick bool, c
 			fmt.Printf("wrote %d PERF9 records to %s\n", len(records), walout)
 		}
 	}
+	if all || section == "parallel" {
+		tab, records, err := experiments.ParallelScalingStudy(cpus, seed, quick)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		if o.parallelout != "" {
+			data, err := json.MarshalIndent(parallelBenchFile{
+				hostMeta: currentHostMeta(),
+				Seed:     seed,
+				Records:  records,
+			}, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(o.parallelout, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d PERF10 records to %s\n", len(records), o.parallelout)
+		}
+		if o.baseline != "" {
+			if err := gateParallel(records, o.baseline, o.maxregress, o.minspeedup); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// gateParallel compares a fresh PERF10 run against a checked-in
+// baseline file and fails the process on regression. Only the
+// 0%-conflict cells are gated: they are the engine hot-path scaling
+// claim, while the contended cells' retry counts (and so their
+// throughput) swing with scheduling nondeterminism and would make the
+// gate flaky. Absolute throughput is only compared when the baseline
+// was recorded on a host with the same CPU count — across hosts only
+// the speedup shape is comparable — and the minimum-speedup bar (the
+// honest-scaling acceptance: ≥ minSpeedup at 4 workers, 0% conflict)
+// is enforced only when the running host actually has 4 CPUs to scale
+// onto.
+func gateParallel(records []experiments.ParallelScalingRecord, baselinePath string, maxRegressPct, minSpeedup float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("parallel baseline: %w", err)
+	}
+	var base parallelBenchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parallel baseline %s: %w", baselinePath, err)
+	}
+	sameHostShape := base.HostCPUs == runtime.NumCPU()
+	baseByCell := make(map[[2]int]experiments.ParallelScalingRecord, len(base.Records))
+	for _, r := range base.Records {
+		baseByCell[[2]int{r.Workers, r.ConflictPct}] = r
+	}
+	var failures []string
+	for _, r := range records {
+		if r.ConflictPct != 0 {
+			continue
+		}
+		b, ok := baseByCell[[2]int{r.Workers, r.ConflictPct}]
+		if !ok {
+			continue
+		}
+		if sameHostShape {
+			floor := b.TxnsPerSec * (1 - maxRegressPct/100)
+			if r.TxnsPerSec < floor {
+				failures = append(failures, fmt.Sprintf(
+					"workers=%d conflict=%d%%: %.0f txns/s vs baseline %.0f (-%.1f%%, allowed %.1f%%)",
+					r.Workers, r.ConflictPct, r.TxnsPerSec, b.TxnsPerSec,
+					100*(1-r.TxnsPerSec/b.TxnsPerSec), maxRegressPct))
+			}
+		} else if b.Speedup > 0 {
+			floor := b.Speedup * (1 - maxRegressPct/100)
+			if r.Speedup < floor {
+				failures = append(failures, fmt.Sprintf(
+					"workers=%d conflict=%d%%: speedup %.2f× vs baseline %.2f× (host CPU count differs: %d vs %d, comparing shape only)",
+					r.Workers, r.ConflictPct, r.Speedup, b.Speedup, runtime.NumCPU(), base.HostCPUs))
+			}
+		}
+		if r.Workers == 4 && r.ConflictPct == 0 && runtime.NumCPU() >= 4 && r.Speedup < minSpeedup {
+			failures = append(failures, fmt.Sprintf(
+				"workers=4 conflict=0%%: speedup %.2f× under the %.2f× bar on a %d-CPU host",
+				r.Speedup, minSpeedup, runtime.NumCPU()))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("parallel regression gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("parallel regression gate passed vs %s (max regression %.1f%%)\n", baselinePath, maxRegressPct)
 	return nil
 }

@@ -78,11 +78,26 @@
 // goroutines, so operations on disjoint shards certify concurrently
 // while the gate's decisions stay exactly NewOptimisticCertify's.
 // pwsr.RunMany drives independent engine runs concurrently for
-// fleet-style throughput. All three gates commit finished
-// transactions to their certifier, whose compactor keeps the resident
-// population bounded across arbitrarily long streams; the engine
-// surfaces the lifecycle counters through
+// fleet-style throughput (each run gets its own clone of a cloneable
+// policy; a non-cloneable policy instance aliased across configs is
+// rejected with ErrSharedPolicy before anything executes). All three
+// gates commit finished transactions to their certifier, whose
+// compactor keeps the resident population bounded across arbitrarily
+// long streams; the engine surfaces the lifecycle counters through
 // Metrics.Compactions/ReclaimedOps/LiveTxns.
+//
+// Within a single batch, exec.ParallelEngine parallelizes execution
+// itself: workers run independent programs speculatively against a
+// shared versioned store (every read records the item's version
+// stamp), transactions commit strictly in ascending-id order, and a
+// commit whose reads went stale is re-executed authoritatively at its
+// commit turn against the frozen store — so retry livelock is bounded
+// and the result is deterministic, byte-identical in schedule and
+// final state to the serial run at any worker count. Each commit is
+// admitted as a whole transaction through the certification gate
+// (sched's AdmitTxn over the sharded monitor's AdmitSequence), making
+// the committed schedule PWSR by construction; EXPERIMENTS.md PERF10
+// records the per-core scaling study and its CI regression gate.
 //
 // The admission hot path is allocation-free in steady state: the
 // monitor interns transactions once into dense tables, keeps edge
@@ -106,14 +121,19 @@
 // PERF6 GOMAXPROCS sweep); EXPERIMENTS.md records their outputs, and
 // `make bench` checks the machine-readable trajectories into
 // BENCH_monitor.json, BENCH_sharded.json, BENCH_compact.json,
-// BENCH_hotpath.json, and BENCH_wal.json (`make bench-hotpath` and
-// `make bench-wal` regenerate the PERF8 hot-path and PERF9 durability
-// studies alone). `make check` runs `go vet` plus the full suite
-// under the race detector, then the concurrency-sensitive packages
-// again at GOMAXPROCS=1 and 8, then the zero-allocation hot-path pins
-// (TestZeroAlloc*) without the race detector; `make crash-matrix`
-// runs the wal crash differential under the race detector at both
-// pinned widths.
+// BENCH_hotpath.json, and BENCH_wal.json (`make bench-hotpath`,
+// `make bench-wal`, and `make bench-parallel` regenerate the PERF8
+// hot-path, PERF9 durability, and PERF10 parallel-scaling studies
+// alone; every file opens with the host's go/goos/goarch/host_cpus/
+// gomaxprocs fingerprint so scaling rows can't be mistaken for
+// measurements at a parallelism they never ran at). `make check` runs
+// `go vet` plus the full suite under the race detector, then the
+// concurrency-sensitive packages again at GOMAXPROCS=1 and 8, then
+// the zero-allocation hot-path pins (TestZeroAlloc*) without the race
+// detector; `make crash-matrix` runs the wal crash differential under
+// the race detector at both pinned widths, and `make check-parallel`
+// runs the parallel-engine differentials raced at both widths plus
+// the PERF10 regression gate against the checked-in baseline.
 //
 // # Quick start
 //

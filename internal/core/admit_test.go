@@ -1,0 +1,265 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pwsr/internal/core"
+	"pwsr/internal/state"
+	"pwsr/internal/txn"
+)
+
+// admitSequenceRef is the reference semantics of AdmitSequence,
+// expressed through the public per-op entry points on an independent
+// certifier: probe each operation, observe it on success, and on the
+// first denial retract the observed prefix.
+func admitSequenceRef(m *core.Monitor, ops []txn.Op) (bool, *core.Violation) {
+	if v := m.Violation(); v != nil {
+		return false, v
+	}
+	for i, o := range ops {
+		if !m.Admissible(o) {
+			if i > 0 {
+				m.Retract(ops[0].Txn)
+			}
+			return false, nil
+		}
+		if v := m.Observe(o); v != nil {
+			return false, v
+		}
+	}
+	return true, nil
+}
+
+// TestAdmitSequenceDifferential interleaves whole-transaction
+// sequences with per-operation traffic — the mixed regime a shared
+// gate produces — and asserts Monitor.AdmitSequence and
+// ShardedMonitor.AdmitSequence at shard counts 1..6 agree with the
+// per-op reference loop on every certifier: same verdicts, same
+// violations, same surviving op counts, and same per-conjunct conflict
+// edges after every step. Sequences of fresh transactions are never
+// denied (the commit-order serial-equivalence argument in the
+// AdmitSequence doc), so the interleaved per-op traffic is what
+// supplies violations; once one trips, the sequence path must surface
+// the sticky verdict on every certifier. The test asserts both regimes
+// actually occurred.
+func TestAdmitSequenceDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	accepts, stickyDenials := 0, 0
+	for trial := 0; trial < 150; trial++ {
+		nItems := 2 + rng.Intn(6)
+		items := make([]string, nItems)
+		for i := range items {
+			items[i] = fmt.Sprintf("x%d", i)
+		}
+		partition := randomPartition(rng, items, trial%3 == 0)
+
+		ref := core.NewMonitor(partition)
+		mon := core.NewMonitor(partition)
+		var sharded []*core.ShardedMonitor
+		for shards := 1; shards <= 6; shards++ {
+			sharded = append(sharded, core.NewShardedMonitor(partition, shards))
+		}
+		randOp := func(id int) txn.Op {
+			entity := items[rng.Intn(len(items))]
+			if rng.Intn(2) == 0 {
+				return txn.R(id, entity, int64(rng.Intn(8)))
+			}
+			return txn.W(id, entity, int64(rng.Intn(8)))
+		}
+
+		// Interactive transactions fed per-op (ids 50+), interleaved
+		// with batch transactions fed as whole sequences (ids 1+).
+		// The loop keeps running for a few steps after a violation so
+		// the sequence path meets the sticky verdict too.
+		violated := false
+		nextBatch := 1
+		steps := 12 + rng.Intn(20)
+		for step := 0; step < steps; step++ {
+			if rng.Intn(2) == 0 {
+				// One per-op observation of an interactive transaction:
+				// this is the traffic that can close cycles.
+				o := randOp(50 + rng.Intn(4))
+				wantV := ref.Observe(o)
+				gotV := mon.Observe(o)
+				sameViolation(t, trial, gotV, wantV)
+				for _, sm := range sharded {
+					sameViolation(t, trial, sm.Observe(o), wantV)
+				}
+				violated = wantV != nil
+			} else {
+				id := nextBatch
+				nextBatch++
+				seq := make([]txn.Op, 1+rng.Intn(5))
+				for i := range seq {
+					seq[i] = randOp(id)
+				}
+				wantOK, wantV := admitSequenceRef(ref, seq)
+				gotOK, gotV := mon.AdmitSequence(seq)
+				if gotOK != wantOK {
+					t.Fatalf("trial %d T%d: Monitor.AdmitSequence %v, reference %v", trial, id, gotOK, wantOK)
+				}
+				sameViolation(t, trial, gotV, wantV)
+				for _, sm := range sharded {
+					smOK, smV := sm.AdmitSequence(seq)
+					if smOK != wantOK {
+						t.Fatalf("trial %d T%d shards=%d: sharded %v, reference %v", trial, id, sm.Shards(), smOK, wantOK)
+					}
+					sameViolation(t, trial, smV, wantV)
+				}
+				switch {
+				case wantOK:
+					accepts++
+					if rng.Intn(3) == 0 {
+						ref.Commit(id)
+						mon.Commit(id)
+						for _, sm := range sharded {
+							sm.Commit(id)
+						}
+					}
+				case wantV != nil:
+					stickyDenials++
+					violated = true
+				default:
+					t.Fatalf("trial %d T%d: fresh sequence denied without a violation", trial, id)
+				}
+			}
+			if mon.Ops() != ref.Ops() {
+				t.Fatalf("trial %d: Monitor ops %d vs reference %d", trial, mon.Ops(), ref.Ops())
+			}
+			for _, sm := range sharded {
+				if sm.Ops() != ref.Ops() {
+					t.Fatalf("trial %d shards=%d: sharded ops %d vs reference %d", trial, sm.Shards(), sm.Ops(), ref.Ops())
+				}
+				if !violated {
+					sameEdges(t, trial, len(partition), sm, ref)
+				}
+			}
+		}
+	}
+	if accepts == 0 || stickyDenials == 0 {
+		t.Fatalf("differential missed a regime: %d sequence accepts, %d sticky-verdict denials", accepts, stickyDenials)
+	}
+}
+
+// TestAdmitSequenceConcurrent drives AdmitSequence from concurrent
+// goroutines — transactions over disjoint conjuncts, so every sequence
+// must be admitted — and asserts the final state matches a sequential
+// feed of the same sequences. Under -race this pins the lock protocol
+// (route resolution before the ascending union lock round).
+func TestAdmitSequenceConcurrent(t *testing.T) {
+	const conjuncts, txnsPer, opsPer = 8, 12, 6
+	partition := make([]state.ItemSet, 0, conjuncts)
+	type job struct {
+		id  int
+		seq []txn.Op
+	}
+	var jobs []job
+	rng := rand.New(rand.NewSource(131))
+	for e := 0; e < conjuncts; e++ {
+		items := make([]string, 4)
+		d := state.NewItemSet()
+		for i := range items {
+			items[i] = fmt.Sprintf("c%d_x%d", e, i)
+			d.Add(items[i])
+		}
+		partition = append(partition, d)
+		// Filter each conjunct's sequences through a private monitor so
+		// every job is admissible regardless of interleaving (conjuncts
+		// are disjoint, so admissibility is per-conjunct).
+		filter := core.NewMonitor([]state.ItemSet{d})
+		for k := 0; k < txnsPer; k++ {
+			id := 100*e + k + 1
+			var seq []txn.Op
+			for len(seq) < opsPer {
+				o := txn.R(id, items[rng.Intn(len(items))], 0)
+				if rng.Intn(2) == 0 {
+					o = txn.W(id, o.Entity, 1)
+				}
+				seq = append(seq, o)
+			}
+			if ok, v := filter.AdmitSequence(seq); !ok || v != nil {
+				continue // skip inadmissible sequences
+			}
+			filter.Commit(id)
+			jobs = append(jobs, job{id: id, seq: seq})
+		}
+	}
+
+	for _, shards := range []int{2, 4, 8} {
+		sm := core.NewShardedMonitor(partition, shards)
+		var wg sync.WaitGroup
+		for _, j := range jobs {
+			wg.Add(1)
+			go func(j job) {
+				defer wg.Done()
+				ok, v := sm.AdmitSequence(j.seq)
+				if !ok || v != nil {
+					t.Errorf("shards=%d T%d: disjoint sequence denied (ok=%v, v=%v)", shards, j.id, ok, v)
+					return
+				}
+				sm.Commit(j.id)
+			}(j)
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+		want := 0
+		for _, j := range jobs {
+			want += len(j.seq)
+		}
+		if sm.Ops() != want {
+			t.Fatalf("shards=%d: %d surviving ops, want %d", shards, sm.Ops(), want)
+		}
+		if !sm.PWSR() {
+			t.Fatalf("shards=%d: violation on disjoint sequences: %v", shards, sm.Violation())
+		}
+	}
+}
+
+// TestAdmitSequenceContract pins the lifecycle panics: mixed
+// transactions, sequences for a committed transaction, and sequences
+// for a transaction already holding observed operations are
+// programming errors on both certifiers.
+func TestAdmitSequenceContract(t *testing.T) {
+	partition := []state.ItemSet{state.NewItemSet("a", "b")}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	build := func(shards int) interface {
+		AdmitSequence([]txn.Op) (bool, *core.Violation)
+		Observe(txn.Op) *core.Violation
+		Commit(int)
+	} {
+		if shards == 0 {
+			return core.NewMonitor(partition)
+		}
+		return core.NewShardedMonitor(partition, shards)
+	}
+	for _, shards := range []int{0, 1, 2} {
+		name := fmt.Sprintf("shards=%d", shards)
+		mustPanic(name+"/mixed", func() {
+			build(shards).AdmitSequence([]txn.Op{txn.R(1, "a", 0), txn.W(2, "b", 1)})
+		})
+		mustPanic(name+"/committed", func() {
+			m := build(shards)
+			m.Observe(txn.R(1, "a", 0))
+			m.Commit(1)
+			m.AdmitSequence([]txn.Op{txn.W(1, "b", 1)})
+		})
+		mustPanic(name+"/resident", func() {
+			m := build(shards)
+			m.Observe(txn.R(1, "a", 0))
+			m.AdmitSequence([]txn.Op{txn.W(1, "b", 1)})
+		})
+	}
+}

@@ -45,6 +45,7 @@ package exec
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"runtime"
 	"slices"
 	"sort"
@@ -374,6 +375,15 @@ type Metrics struct {
 	// end of the run when the policy implements LogReporter; zero
 	// otherwise (including a journaled gate with no journal attached).
 	Log LogStats
+	// Retries counts program re-executions in a ParallelEngine batch:
+	// speculative retries after failed version validations plus the
+	// at-most-one authoritative re-execution at each commit turn.
+	// Always zero under Run.
+	Retries int
+	// Conflicts counts failed version validations in a ParallelEngine
+	// batch — each one is a conflicting commit the optimistic check
+	// caught. Always zero under Run.
+	Conflicts int
 }
 
 // TxnMetrics is per-transaction timing.
@@ -800,25 +810,7 @@ func Run(cfg Config) (*Result, error) {
 		granted.reply <- rep
 	}
 
-	if sr, ok := cfg.Policy.(ShardReporter); ok {
-		metrics.Shards = sr.ShardStats()
-	}
-	if cr, ok := cfg.Policy.(CompactionReporter); ok {
-		st := cr.CompactionStats()
-		metrics.Compactions = st.Compactions
-		metrics.ReclaimedTxns = st.ReclaimedTxns
-		metrics.ReclaimedOps = st.ReclaimedOps
-		metrics.LiveTxns = st.LiveTxns
-	}
-	if pr, ok := cfg.Policy.(ProbeReporter); ok {
-		st := pr.ProbeStats()
-		metrics.ProbeHits = st.Hits
-		metrics.ProbeMisses = st.Misses
-		metrics.ProbeInvalidations = st.Invalidations
-	}
-	if lr, ok := cfg.Policy.(LogReporter); ok {
-		metrics.Log = lr.LogStats()
-	}
+	harvestReporters(cfg.Policy, &metrics)
 	return &Result{
 		Schedule: txn.NewSchedule(ops...),
 		Final:    v.Store,
@@ -826,31 +818,128 @@ func Run(cfg Config) (*Result, error) {
 	}, nil
 }
 
+// harvestReporters copies the optional reporter extensions' counters
+// from a policy or batch gate into m. The reporter interfaces embed
+// Policy, so only certifying policies match; a nil or plain value
+// leaves m untouched.
+func harvestReporters(p any, m *Metrics) {
+	if sr, ok := p.(ShardReporter); ok {
+		m.Shards = sr.ShardStats()
+	}
+	if cr, ok := p.(CompactionReporter); ok {
+		st := cr.CompactionStats()
+		m.Compactions = st.Compactions
+		m.ReclaimedTxns = st.ReclaimedTxns
+		m.ReclaimedOps = st.ReclaimedOps
+		m.LiveTxns = st.LiveTxns
+	}
+	if pr, ok := p.(ProbeReporter); ok {
+		st := pr.ProbeStats()
+		m.ProbeHits = st.Hits
+		m.ProbeMisses = st.Misses
+		m.ProbeInvalidations = st.Invalidations
+	}
+	if lr, ok := p.(LogReporter); ok {
+		m.Log = lr.LogStats()
+	}
+}
+
+// PolicyCloner is an optional Policy extension: a policy that can
+// produce an independent instance equivalent to a freshly constructed
+// one — the decision-relevant configuration (seeds, partitions, inner
+// policies, tuning knobs) is carried over, accumulated run state is
+// reset, and nothing mutable is shared with the original. ClonePolicy
+// returns nil when this particular value cannot be cloned (say, a
+// wrapper whose inner policy is not cloneable, or a gate resumed over
+// an external certifier); RunMany then falls back to aliasing
+// detection. The sched policies and certification gates implement it.
+type PolicyCloner interface {
+	Policy
+	// ClonePolicy returns the fresh equivalent instance, or nil.
+	ClonePolicy() Policy
+}
+
+// TryClonePolicy clones p when it implements PolicyCloner and the
+// clone succeeds.
+func TryClonePolicy(p Policy) (Policy, bool) {
+	pc, ok := p.(PolicyCloner)
+	if !ok {
+		return nil, false
+	}
+	c := pc.ClonePolicy()
+	if c == nil {
+		return nil, false
+	}
+	return c, true
+}
+
+// ErrSharedPolicy reports that one non-cloneable Policy value was
+// handed to more than one Config of a RunMany call. Policies are
+// stateful; sharing one across concurrent runs silently corrupts every
+// decision stream involved, so the aliased runs are rejected instead
+// of executed.
+var ErrSharedPolicy = errors.New("exec: Policy instance shared across Configs")
+
 // RunMany executes independently configured runs concurrently, at most
-// workers at a time (workers ≤ 0 selects GOMAXPROCS). Each Config must
-// carry its own Policy instance — policies are stateful and runs do
-// not share them — and the configs must not share mutable state (give
-// each run its own Initial; Run clones it, but a DB handed to two
-// configs is still read concurrently). Results and errors are indexed
-// like cfgs. This is the engine entry point for driving many admission
-// streams at once: a fleet of workloads saturating a sharded certifier
-// scales with cores because each run's policy probes only its own
-// monitor shards.
+// workers at a time (workers ≤ 0 selects GOMAXPROCS). Policies are
+// stateful and runs must not share them, so RunMany enforces the rule
+// instead of trusting callers: a policy implementing PolicyCloner is
+// cloned per run (the caller's instance is left untouched, so the same
+// cfgs slice can be passed to RunMany again), and a non-cloneable
+// policy value appearing in more than one Config fails those runs with
+// ErrSharedPolicy rather than corrupting their decision streams. The
+// configs must still not share other mutable state (give each run its
+// own Initial; Run clones it, but a DB handed to two configs is still
+// read concurrently). Results and errors are indexed like cfgs. This
+// is the engine entry point for driving many admission streams at
+// once: a fleet of workloads saturating a sharded certifier scales
+// with cores because each run's policy probes only its own monitor
+// shards.
 func RunMany(cfgs []Config, workers int) ([]*Result, []error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	results := make([]*Result, len(cfgs))
 	errs := make([]error, len(cfgs))
+	run := make([]Config, len(cfgs))
+	seen := make(map[Policy]int, len(cfgs))
+	for i := range cfgs {
+		run[i] = cfgs[i]
+		p := cfgs[i].Policy
+		if p == nil {
+			continue
+		}
+		if clone, ok := TryClonePolicy(p); ok {
+			run[i].Policy = clone
+			continue
+		}
+		// Uncomparable policy values (rare: policies are normally
+		// pointers) cannot be aliasing-checked; they pass through on the
+		// caller's honor as before.
+		if !reflect.TypeOf(p).Comparable() {
+			continue
+		}
+		if j, dup := seen[p]; dup {
+			if errs[j] == nil {
+				errs[j] = fmt.Errorf("%w: %T handed to Configs %d and %d", ErrSharedPolicy, p, j, i)
+			}
+			errs[i] = fmt.Errorf("%w: %T handed to Configs %d and %d", ErrSharedPolicy, p, j, i)
+			continue
+		}
+		seen[p] = i
+	}
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
-	for i := range cfgs {
+	for i := range run {
+		if errs[i] != nil {
+			continue
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = Run(cfgs[i])
+			results[i], errs[i] = Run(run[i])
 		}(i)
 	}
 	wg.Wait()

@@ -1,0 +1,344 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"pwsr/internal/program"
+	"pwsr/internal/state"
+	"pwsr/internal/txn"
+)
+
+// ErrGateDenied reports that a batch gate refused a transaction's
+// operation sequence. For an engine-owned gate this is unreachable —
+// AdmitSequence of a fresh transaction cannot be denied (see
+// core.Monitor.AdmitSequence) — so seeing it means the gate is shared
+// with traffic that violated the fresh-transaction contract.
+var ErrGateDenied = errors.New("exec: batch admission denied by the certification gate")
+
+// BatchGate is the admission interface the block-parallel batch
+// executor drives: one call certifies and commits a finished
+// transaction's whole operation sequence atomically. The sched gates
+// implement it (Certify, OptimisticCertify, ParallelCertify) over
+// core.Monitor / core.ShardedMonitor, so a batch admitted through a
+// gate carries the same PWSR proof obligation as a ticked schedule.
+type BatchGate interface {
+	// AdmitTxn atomically certifies one transaction's complete,
+	// position-stamped operation sequence and commits the transaction
+	// on success. A nil error means the sequence is certified, durable
+	// (if a journal is attached), and committed. ErrGateDenied (or an
+	// error wrapping it) means the admission was refused and rolled
+	// back. Any other error is fatal gate state: a certifier violation
+	// or journal fail-stop.
+	AdmitTxn(ops []txn.Op) error
+}
+
+// ParallelConfig configures a ParallelEngine.
+type ParallelConfig struct {
+	// Initial is the starting database state (copied).
+	Initial state.DB
+	// Gate admits every transaction before its writes reach the store.
+	// The engine submits whole transactions in commit order, so the
+	// certified schedule is conflict-equivalent to that serial order —
+	// PWSR by construction. The gate must be owned by this engine: its
+	// transaction ids must be fresh on the gate's certifier. A nil Gate
+	// skips certification (useful for pure throughput measurement).
+	Gate BatchGate
+	// Workers is the worker-pool size; ≤ 0 selects GOMAXPROCS.
+	Workers int
+	// MaxRetries bounds the speculative re-executions of one
+	// transaction after failed version validations, before its commit
+	// turn. 0 selects the default of 2; negative disables speculative
+	// retries. The bound never threatens liveness: a transaction whose
+	// budget is exhausted (or whose validation fails at its turn) is
+	// re-executed once more at its commit turn while the store is
+	// frozen, where it cannot conflict.
+	MaxRetries int
+	// Interp configures program execution; nil means NewInterp().
+	Interp *program.Interp
+}
+
+// ParallelEngine is the block-parallel batch executor: a worker pool
+// runs independent programs speculatively against a shared
+// VersionedStore, and a serialized commit step validates each
+// transaction's read stamps in ascending transaction-id order,
+// re-executing stale attempts before admitting the final operation
+// sequence through the gate and applying the writes.
+//
+// The commit pipeline makes the execution deterministic: every
+// committed transaction observed exactly the store produced by the
+// transactions before it in id order, so the schedule, final state,
+// and certifier verdict are identical to a serial run of the same
+// programs — the property TestParallelEngineDifferential pins.
+// Speculation only moves work off the critical path; Metrics.Retries
+// and Metrics.Conflicts report how much of it was wasted.
+//
+// An engine is safe for sequential reuse: successive ExecuteBatch
+// calls run against the store state the previous batch left behind
+// (batch transaction ids must remain unique across the engine's
+// lifetime when a gate is attached).
+type ParallelEngine struct {
+	store      *VersionedStore
+	gate       BatchGate
+	workers    int
+	maxRetries int
+	interp     *program.Interp
+
+	// batchMu serializes ExecuteBatch calls; the worker pool and commit
+	// pipeline inside one batch have their own synchronization.
+	batchMu sync.Mutex
+}
+
+// NewParallelEngine builds an engine over a fresh store initialized
+// from cfg.Initial.
+func NewParallelEngine(cfg ParallelConfig) *ParallelEngine {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	retries := cfg.MaxRetries
+	switch {
+	case retries == 0:
+		retries = 2
+	case retries < 0:
+		retries = 0
+	}
+	in := cfg.Interp
+	if in == nil {
+		in = program.NewInterp()
+	}
+	return &ParallelEngine{
+		store:      NewVersionedStore(cfg.Initial),
+		gate:       cfg.Gate,
+		workers:    workers,
+		maxRetries: retries,
+		interp:     in,
+	}
+}
+
+// Store exposes the engine's versioned store for inspection.
+func (e *ParallelEngine) Store() *VersionedStore { return e.store }
+
+// RunParallel executes one batch of programs on a fresh engine — the
+// batch-mode counterpart of Run.
+func RunParallel(cfg ParallelConfig, programs map[int]*program.Program) (*Result, error) {
+	return NewParallelEngine(cfg).ExecuteBatch(programs)
+}
+
+// attempt is one completed speculative execution of a program: the
+// operation sequence it would contribute to the schedule, the version
+// stamps it read (the validation set), and the write set it would
+// apply.
+type attempt struct {
+	ops    []txn.Op
+	reads  map[string]uint64
+	writes map[string]state.Value
+	err    error
+}
+
+// batchState is the commit pipeline's shared state, guarded by mu.
+type batchState struct {
+	mu     sync.Mutex
+	next   int // index into ids of the next transaction to commit
+	ops    []txn.Op
+	perTxn map[int]*TxnMetrics
+	err    error
+	failed atomic.Bool // lock-free mirror of err != nil for worker bail-out
+}
+
+// ExecuteBatch runs one batch of independent programs to completion
+// and returns the combined result: the schedule in ascending
+// transaction-id (= commit) order, the final store state, and metrics
+// (Ticks counts granted operations as in Run; Retries/Conflicts count
+// the speculation cost; gate reporter counters are harvested as in
+// Run). On a program error or fatal gate error the batch stops: the
+// error is returned, transactions already committed stay committed in
+// the store and on the gate, and the rest of the batch is discarded.
+func (e *ParallelEngine) ExecuteBatch(programs map[int]*program.Program) (*Result, error) {
+	e.batchMu.Lock()
+	defer e.batchMu.Unlock()
+
+	ids := make([]int, 0, len(programs))
+	for id := range programs {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+
+	bs := &batchState{perTxn: make(map[int]*TxnMetrics, len(ids))}
+	slots := make([]atomic.Pointer[attempt], len(ids))
+	var claim, retries, conflicts atomic.Int64
+
+	workers := min(e.workers, len(ids))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if bs.failed.Load() {
+					return
+				}
+				i := int(claim.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				id := ids[i]
+				a := e.execute(id, programs[id])
+				// Speculative retry loop: re-execute on a program error or
+				// stale reads, within budget. Errors here are not yet
+				// authoritative — a torn cross-item read can make a program
+				// fail spuriously; the commit turn re-executes against a
+				// frozen store before believing any error.
+				for r := 0; r < e.maxRetries; r++ {
+					if a.err == nil && e.store.validate(a.reads) {
+						break
+					}
+					if a.err == nil {
+						conflicts.Add(1)
+					}
+					retries.Add(1)
+					if bs.failed.Load() {
+						return
+					}
+					a = e.execute(id, programs[id])
+				}
+				slots[i].Store(a)
+				// Drain after every deposit: the worker that deposits the
+				// transaction at the commit frontier advances it, so by the
+				// time the pool drains, every deposited attempt has been
+				// committed or discarded.
+				e.drain(bs, slots, ids, programs, &retries, &conflicts)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if bs.err != nil {
+		return nil, bs.err
+	}
+	m := Metrics{
+		Ticks:     len(bs.ops),
+		PerTxn:    bs.perTxn,
+		Retries:   int(retries.Load()),
+		Conflicts: int(conflicts.Load()),
+	}
+	harvestReporters(e.gate, &m)
+	return &Result{
+		Schedule: txn.NewSchedule(bs.ops...),
+		Final:    e.store.Snapshot(),
+		Metrics:  m,
+	}, nil
+}
+
+// drain advances the commit frontier: while the next transaction in id
+// order has a deposited attempt, validate its read stamps, re-execute
+// it authoritatively if stale or errored (the store is frozen while
+// bs.mu is held — commits happen nowhere else — so the re-execution
+// observes exactly the committed prefix and cannot conflict; this is
+// what bounds retry livelock), certify the final sequence through the
+// gate, and apply the writes.
+func (e *ParallelEngine) drain(bs *batchState, slots []atomic.Pointer[attempt], ids []int, programs map[int]*program.Program, retries, conflicts *atomic.Int64) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	for bs.err == nil && bs.next < len(ids) {
+		a := slots[bs.next].Load()
+		if a == nil {
+			return
+		}
+		id := ids[bs.next]
+		if a.err != nil || !e.store.validate(a.reads) {
+			if a.err == nil {
+				conflicts.Add(1)
+			}
+			retries.Add(1)
+			a = e.execute(id, programs[id])
+			if a.err != nil {
+				// Authoritative: the program failed against the exact
+				// serial-prefix state, so a serial run fails here too.
+				bs.err = fmt.Errorf("exec: T%d: %w", id, a.err)
+				bs.failed.Store(true)
+				return
+			}
+		}
+		base := len(bs.ops)
+		for k := range a.ops {
+			a.ops[k].Pos = base + k
+		}
+		if e.gate != nil {
+			if err := e.gate.AdmitTxn(a.ops); err != nil {
+				bs.err = fmt.Errorf("exec: T%d: %w", id, err)
+				bs.failed.Store(true)
+				return
+			}
+		}
+		e.store.commit(a.writes)
+		bs.ops = append(bs.ops, a.ops...)
+		bs.perTxn[id] = &TxnMetrics{Start: base, End: base + len(a.ops), Ops: len(a.ops)}
+		bs.next++
+	}
+}
+
+// execute runs one program speculatively against the current store and
+// packages the outcome as an attempt.
+func (e *ParallelEngine) execute(id int, p *program.Program) *attempt {
+	acc := &versionedAccessor{store: e.store, id: id}
+	err := e.interp.Run(p, acc)
+	return &attempt{ops: acc.ops, reads: acc.reads, writes: acc.writes, err: err}
+}
+
+// versionedAccessor adapts a VersionedStore to program.Accessor for
+// one speculative execution: reads record the version stamp they saw
+// (the validation set), writes buffer locally, and every access is
+// appended to the operation sequence the transaction will submit at
+// commit. Interp.Run wraps it in a program.Discipline, which serves
+// repeat reads and read-after-own-write from its cache — so each item
+// reaches Read at most once and before any write, exactly the
+// first-read/first-write stream the schedule records.
+type versionedAccessor struct {
+	store  *VersionedStore
+	id     int
+	ops    []txn.Op
+	reads  map[string]uint64
+	vals   map[string]state.Value
+	writes map[string]state.Value
+}
+
+// Read implements program.Accessor.
+func (a *versionedAccessor) Read(item string) (state.Value, error) {
+	// Own-write and repeat-read fallbacks keep a bare accessor coherent
+	// even though the Discipline cache makes them unreachable in Run.
+	if v, ok := a.writes[item]; ok {
+		a.ops = append(a.ops, txn.Op{Txn: a.id, Action: txn.ActionRead, Entity: item, Value: v, Pos: -1})
+		return v, nil
+	}
+	if v, ok := a.vals[item]; ok {
+		a.ops = append(a.ops, txn.Op{Txn: a.id, Action: txn.ActionRead, Entity: item, Value: v, Pos: -1})
+		return v, nil
+	}
+	val, ver, ok := a.store.Get(item)
+	if !ok {
+		return state.Value{}, fmt.Errorf("exec: data item %q has no value", item)
+	}
+	if a.reads == nil {
+		a.reads = make(map[string]uint64)
+		a.vals = make(map[string]state.Value)
+	}
+	a.reads[item] = ver
+	a.vals[item] = val
+	a.ops = append(a.ops, txn.Op{Txn: a.id, Action: txn.ActionRead, Entity: item, Value: val, Pos: -1})
+	return val, nil
+}
+
+// Write implements program.Accessor.
+func (a *versionedAccessor) Write(item string, v state.Value) error {
+	if a.writes == nil {
+		a.writes = make(map[string]state.Value)
+	}
+	a.writes[item] = v
+	a.ops = append(a.ops, txn.Op{Txn: a.id, Action: txn.ActionWrite, Entity: item, Value: v, Pos: -1})
+	return nil
+}

@@ -1,6 +1,7 @@
 package exec_test
 
 import (
+	"errors"
 	"testing"
 
 	"pwsr/internal/exec"
@@ -12,7 +13,10 @@ import (
 // independently configured runs executed workers-at-a-time must
 // produce, run for run, exactly what serial Run produces — the engine
 // shares nothing across runs, so concurrency cannot change outcomes.
-// Run under -race this also exercises the fleet path for data races.
+// The configs are built once and reused across every workers value:
+// RunMany clones each cloneable policy per run, so the caller's
+// instances stay fresh. Run under -race this also exercises the fleet
+// path for data races.
 func TestRunMany(t *testing.T) {
 	const fleet = 12
 	mkCfg := func(i int) (exec.Config, *gen.Workload) {
@@ -37,8 +41,8 @@ func TestRunMany(t *testing.T) {
 			t.Fatalf("serial run %d: %v", i, err)
 		}
 		want[i] = res
-		// Fresh policy instance for the concurrent pass: policies are
-		// stateful and must not be shared across runs.
+		// Fresh policy instance for the concurrent passes: Run (unlike
+		// RunMany) uses the policy in place and dirties it.
 		cfgs[i], _ = mkCfg(i)
 	}
 
@@ -61,10 +65,51 @@ func TestRunMany(t *testing.T) {
 				t.Fatalf("workers=%d run %d: no shard stats", workers, i)
 			}
 		}
-		// RunMany reuses the policies only within one pass; rebuild for
-		// the next workers value.
-		for i := 0; i < fleet; i++ {
-			cfgs[i], _ = mkCfg(i)
+	}
+}
+
+// opaquePolicy is a deliberately non-cloneable stateful policy: it
+// grants the first pending request and counts its decisions.
+type opaquePolicy struct{ picks int }
+
+func (p *opaquePolicy) Pick(pending []*exec.Request, v *exec.View) int {
+	p.picks++
+	return 0
+}
+
+func (p *opaquePolicy) TxnFinished(int, *exec.View) {}
+
+// TestRunManySharedPolicy pins the policy-aliasing guard: one
+// non-cloneable policy value handed to two Configs fails exactly those
+// runs with ErrSharedPolicy — before either executes, so neither
+// decision stream is corrupted — while configs with their own policies
+// run normally.
+func TestRunManySharedPolicy(t *testing.T) {
+	mkCfg := func(i int, p exec.Policy) exec.Config {
+		w := gen.MustGenerate(gen.Config{
+			Conjuncts: 2, Programs: 3, MovesPerProgram: 2, Seed: int64(500 + i),
+		})
+		return exec.Config{Programs: w.Programs, Initial: w.Initial, Policy: p, DataSets: w.DataSets}
+	}
+	shared := &opaquePolicy{}
+	cfgs := []exec.Config{
+		mkCfg(0, shared),
+		mkCfg(1, &opaquePolicy{}),
+		mkCfg(2, shared),
+	}
+	results, errs := exec.RunMany(cfgs, 2)
+	for _, i := range []int{0, 2} {
+		if !errors.Is(errs[i], exec.ErrSharedPolicy) {
+			t.Fatalf("run %d: err = %v, want ErrSharedPolicy", i, errs[i])
 		}
+		if results[i] != nil {
+			t.Fatalf("run %d: got a result despite the shared policy", i)
+		}
+	}
+	if errs[1] != nil || results[1] == nil {
+		t.Fatalf("run 1 (own policy): result=%v err=%v", results[1], errs[1])
+	}
+	if shared.picks != 0 {
+		t.Fatalf("shared policy was driven %d times; rejection must precede execution", shared.picks)
 	}
 }

@@ -1,0 +1,90 @@
+package exec
+
+import (
+	"sync"
+
+	"pwsr/internal/state"
+)
+
+// VersionedStore is the shared database of the block-parallel batch
+// executor (ParallelEngine): a state.DB whose items each carry a
+// version stamp, bumped when a committing transaction's writes are
+// applied. Speculative executions read values with their stamps under
+// a read lock; at commit time the committer revalidates the stamps it
+// read against the current ones — the optimistic concurrency check
+// that detects a conflicting commit having slipped in between read and
+// commit. Reads are safe for concurrent use; writes happen only
+// through the engine's serialized commit step.
+type VersionedStore struct {
+	mu    sync.RWMutex
+	items map[string]versionedItem
+	// stamp is the monotone version source: each committing
+	// transaction's writes share one fresh stamp, so a stamp identifies
+	// the commit that produced the value.
+	stamp uint64
+}
+
+// versionedItem is one item's current value and the stamp of the
+// commit that wrote it (0 = initial state).
+type versionedItem struct {
+	val state.Value
+	ver uint64
+}
+
+// NewVersionedStore returns a store initialized from ds (copied; the
+// caller's DB is not retained). Initial values carry version 0.
+func NewVersionedStore(ds state.DB) *VersionedStore {
+	items := make(map[string]versionedItem, len(ds))
+	for k, v := range ds {
+		items[k] = versionedItem{val: v}
+	}
+	return &VersionedStore{items: items}
+}
+
+// Get returns the item's current value and version stamp.
+func (s *VersionedStore) Get(item string) (state.Value, uint64, bool) {
+	s.mu.RLock()
+	it, ok := s.items[item]
+	s.mu.RUnlock()
+	return it.val, it.ver, ok
+}
+
+// Snapshot returns a state.DB copy of the current values.
+func (s *VersionedStore) Snapshot() state.DB {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db := make(state.DB, len(s.items))
+	for k, it := range s.items {
+		db[k] = it.val
+	}
+	return db
+}
+
+// validate reports whether every read stamp still matches the store —
+// no conflicting commit has overwritten an item this execution read.
+func (s *VersionedStore) validate(reads map[string]uint64) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for item, ver := range reads {
+		if it, ok := s.items[item]; !ok || it.ver != ver {
+			return false
+		}
+	}
+	return true
+}
+
+// commit applies one transaction's write set under a single fresh
+// stamp. Only the engine's serialized commit step calls it, so stamps
+// are assigned in commit order and the store's history is exactly the
+// serial history of the committed prefix.
+func (s *VersionedStore) commit(writes map[string]state.Value) {
+	if len(writes) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stamp++
+	for item, v := range writes {
+		s.items[item] = versionedItem{val: v, ver: s.stamp}
+	}
+}

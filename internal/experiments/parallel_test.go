@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParallelScalingStudy smoke-tests the PERF10 sweep in quick mode:
+// every (conflict, workers) cell must produce a record whose batch was
+// verified identical to the serial reference inside the study, and the
+// records must carry the honesty metadata (gomaxprocs) and sane
+// speedup baselines.
+func TestParallelScalingStudy(t *testing.T) {
+	workers := []int{1, 2}
+	tab, recs, err := ParallelScalingStudy(workers, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// quick mode: 2 conflict rates × 2 widths.
+	if len(recs) != 4 {
+		t.Fatalf("records = %d, want 4", len(recs))
+	}
+	if len(tab.Rows) != len(recs) {
+		t.Fatalf("table rows = %d, records = %d", len(tab.Rows), len(recs))
+	}
+	for _, r := range recs {
+		if r.GOMAXPROCS != r.Workers {
+			t.Fatalf("record %+v: gomaxprocs must equal workers", r)
+		}
+		if r.TxnsPerSec <= 0 || r.NsPerTxn <= 0 || r.Speedup <= 0 {
+			t.Fatalf("record %+v: non-positive measurement", r)
+		}
+		if r.Workers == workers[0] && r.Speedup != 1 {
+			t.Fatalf("record %+v: baseline width must have speedup 1", r)
+		}
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "PERF10") || !strings.Contains(out, "conflict%") {
+		t.Fatalf("Render:\n%s", out)
+	}
+}

@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"fmt"
+
+	"pwsr/internal/exec"
+	"pwsr/internal/txn"
+)
+
+// The certification gates implement exec.BatchGate: whole-transaction
+// admission for the block-parallel batch executor.
+var (
+	_ exec.BatchGate = (*Certify)(nil)
+	_ exec.BatchGate = (*OptimisticCertify)(nil)
+	_ exec.BatchGate = (*ParallelCertify)(nil)
+)
+
+// admitTxn is the shared body of the gates' AdmitTxn: certify the
+// whole sequence atomically, then commit the transaction, barriering
+// the journal (when one is attached) before acknowledging — the same
+// write-ahead discipline the tick path applies per grant.
+func admitTxn(mon Certifier, jn *journaled, ops []txn.Op) error {
+	if jn.jerr != nil {
+		return fmt.Errorf("sched: batch admission refused: %w", jn.jerr)
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	ok, v := mon.AdmitSequence(ops)
+	if v != nil {
+		return fmt.Errorf("sched: batch admission on a violated certifier: %v", v)
+	}
+	if !ok {
+		jn.ack() // flush the net-zero observe/retract prefix
+		return exec.ErrGateDenied
+	}
+	mon.Commit(ops[0].Txn)
+	if !jn.ack() {
+		return fmt.Errorf("sched: batch admission not durable: %w", jn.jerr)
+	}
+	return nil
+}
+
+// AdmitTxn implements exec.BatchGate on the blocking gate: certify and
+// commit one finished transaction's whole operation sequence
+// atomically. The sequence must follow core.Monitor.AdmitSequence's
+// fresh-transaction contract; under it a denial cannot arise on a
+// healthy certifier, so a non-nil error means a violated certifier,
+// a journal fail-stop, or a caller outside the contract.
+func (c *Certify) AdmitTxn(ops []txn.Op) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return admitTxn(c.mon, &c.jn, ops)
+}
+
+// AdmitTxn implements exec.BatchGate on the abort-capable gate (and,
+// by embedding, on ParallelCertify): certify and commit one finished
+// transaction's whole operation sequence atomically, with
+// Certify.AdmitTxn's contract. The gate mutex serializes admissions
+// with the tick path; a ParallelEngine's commit pipeline is itself
+// serial, so the lock adds no contention there.
+func (c *OptimisticCertify) AdmitTxn(ops []txn.Op) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return admitTxn(c.mon, &c.jn, ops)
+}

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"sync"
+
 	"pwsr/internal/core"
 	"pwsr/internal/exec"
 	"pwsr/internal/state"
@@ -27,6 +29,18 @@ type Certify struct {
 	Inner exec.Policy
 	mon   *core.Monitor
 
+	// mu serializes the gate's mutating entry points (Pick, TxnFinished,
+	// AdmitTxn) so batch admissions from a ParallelEngine's committers
+	// interleave safely with an engine's tick loop. A single-engine run
+	// takes it uncontended.
+	mu sync.Mutex
+
+	// partition is the construction-time conjunct partition, kept so
+	// ClonePolicy can rebuild an equivalent fresh gate; nil for gates
+	// built over an external certifier (NewCertifyOver, ResumeCertify),
+	// which are therefore not cloneable.
+	partition []state.ItemSet
+
 	// jn carries the optional write-ahead journal (see AttachJournal):
 	// lifecycle events reach it through the monitor's sink, and the
 	// gate barriers before acknowledging each grant.
@@ -43,7 +57,7 @@ type Certify struct {
 // NewCertify returns a certifying gate over the conjunct partition
 // wrapping the inner policy.
 func NewCertify(partition []state.ItemSet, inner exec.Policy) *Certify {
-	return &Certify{Inner: inner, mon: core.NewMonitor(partition)}
+	return &Certify{Inner: inner, mon: core.NewMonitor(partition), partition: partition}
 }
 
 // Monitor exposes the gate's certifier (for inspection after a run).
@@ -57,6 +71,8 @@ func (c *Certify) Monitor() *core.Monitor { return c.mon }
 // cache, so the steady-state tick costs hash lookups rather than
 // reachability searches.
 func (c *Certify) Pick(pending []*exec.Request, v *exec.View) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.jn.jerr != nil {
 		return -1 // journal fail-stop: certify nothing further
 	}
@@ -95,6 +111,8 @@ func (c *Certify) Pick(pending []*exec.Request, v *exec.View) int {
 // signal the monitor would retain every finished transaction forever
 // and a long-lived gate's memory would grow with the stream.
 func (c *Certify) TxnFinished(id int, v *exec.View) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.mon.Commit(id)
 	c.jn.ack()
 	c.Inner.TxnFinished(id, v)

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"sync"
+
 	"pwsr/internal/core"
 	"pwsr/internal/exec"
 	"pwsr/internal/state"
@@ -134,6 +136,17 @@ type OptimisticCertify struct {
 	// commits.
 	jn journaled
 
+	// mu serializes the gate's mutating entry points (Pick, Victim,
+	// TxnAborted, TxnFinished, AdmitTxn) so batch admissions from a
+	// ParallelEngine's committers interleave safely with an engine's
+	// tick loop. A single-engine run takes it uncontended.
+	mu sync.Mutex
+
+	// partition is the construction-time conjunct partition, kept so
+	// ClonePolicy can rebuild an equivalent fresh gate; nil for gates
+	// built over an external certifier, which are not cloneable.
+	partition []state.ItemSet
+
 	// Per-tick scratch, reused across Pick calls so the steady-state
 	// admission loop allocates nothing: the hoisted requestOp
 	// conversions, the admissibility mask, and the candidate buffers.
@@ -152,7 +165,9 @@ type OptimisticCertify struct {
 // the conjunct partition. victim selects the sacrifice policy (nil =
 // VictimYoungest).
 func NewOptimisticCertify(partition []state.ItemSet, inner exec.Policy, victim VictimPolicy) *OptimisticCertify {
-	return newOptimisticCertify(core.NewMonitor(partition), inner, victim)
+	c := newOptimisticCertify(core.NewMonitor(partition), inner, victim)
+	c.partition = partition
+	return c
 }
 
 // newOptimisticCertify builds the gate over an explicit certifier
@@ -199,6 +214,8 @@ func (c *OptimisticCertify) prepareTick(pending []*exec.Request) {
 // rule and the certifier before the inner policy may choose it; the
 // choice is committed to the monitor.
 func (c *OptimisticCertify) Pick(pending []*exec.Request, v *exec.View) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.prepareTick(pending)
 	for i, r := range pending {
 		c.adm[i] = c.gateable(r, v) && c.mon.Admissible(c.ops[i])
@@ -270,6 +287,8 @@ func (c *OptimisticCertify) pickVictim(pending []*exec.Request, v *exec.View, ca
 // sparing the immune (most-aborted) transaction until it is the only
 // choice left.
 func (c *OptimisticCertify) Victim(pending []*exec.Request, v *exec.View) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.jn.jerr != nil {
 		return -1 // journal fail-stop: no sacrifice can be made durable
 	}
@@ -344,6 +363,8 @@ func (c *OptimisticCertify) immune(v *exec.View) int {
 // of certification state so the monitor again equals a fresh replay of
 // the surviving schedule.
 func (c *OptimisticCertify) TxnAborted(id int, v *exec.View) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.mon.Retract(id)
 	c.jn.ack()
 	c.aborts[id]++
@@ -367,6 +388,8 @@ func (c *OptimisticCertify) TxnAborted(id int, v *exec.View) {
 // transaction is durable: it can never be a victim again, so keeping
 // its counters would only leak memory across a long stream.
 func (c *OptimisticCertify) TxnFinished(id int, v *exec.View) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if id == c.solo {
 		c.solo = 0
 	}

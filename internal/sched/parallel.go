@@ -19,6 +19,11 @@ type Certifier interface {
 	// Admissible reports whether admitting o now would keep every
 	// conjunct's projection serializable, without recording it.
 	Admissible(o txn.Op) bool
+	// AdmitSequence atomically admits one fresh transaction's whole
+	// operation sequence — all observed or none (see
+	// core.Monitor.AdmitSequence for the contract and the
+	// commit-order serial-equivalence argument).
+	AdmitSequence(ops []txn.Op) (bool, *core.Violation)
 	// Retract rolls every observed operation of the transaction out of
 	// certification state.
 	Retract(txnID int)
@@ -97,6 +102,9 @@ var (
 type ParallelCertify struct {
 	*OptimisticCertify
 	smon *core.ShardedMonitor
+	// shardArg is the construction-time shards argument (not the
+	// resolved count), kept so ClonePolicy reproduces the construction.
+	shardArg int
 }
 
 // NewParallelCertify returns the sharded abort-capable certification
@@ -105,9 +113,12 @@ type ParallelCertify struct {
 // policy (nil = VictimYoungest).
 func NewParallelCertify(partition []state.ItemSet, shards int, inner exec.Policy, victim VictimPolicy) *ParallelCertify {
 	smon := core.NewShardedMonitor(partition, shards)
+	oc := newOptimisticCertify(smon, inner, victim)
+	oc.partition = partition
 	return &ParallelCertify{
-		OptimisticCertify: newOptimisticCertify(smon, inner, victim),
+		OptimisticCertify: oc,
 		smon:              smon,
+		shardArg:          shards,
 	}
 }
 
@@ -147,6 +158,8 @@ const parallelProbeThreshold = 4
 // shared gate logic on the mask. Small pending sets probe inline —
 // see parallelProbeThreshold.
 func (c *ParallelCertify) Pick(pending []*exec.Request, v *exec.View) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.prepareTick(pending)
 	if len(pending) >= parallelProbeThreshold && c.smon.Shards() > 1 {
 		var wg sync.WaitGroup

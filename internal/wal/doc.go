@@ -83,10 +83,12 @@
 // Backend write and sync errors are retried with bounded backoff
 // (Options.MaxRetries, Options.RetryBackoff); a short write retries
 // the remaining bytes, which can only leave a torn tail that recovery
-// already tolerates. Retry sleeps happen under the writer's mutex, so
-// during an outage the feeding goroutine and the inspection methods
-// (Barrier, Err, Stats, Seq) stall for at most the bounded total
-// retry latency before fail-stop; see Options.RetryBackoff. Once retries are exhausted the writer goes
+// already tolerates. Retry sleeps happen off the writer's state lock:
+// during an outage only the feeding goroutine (and mutators queued
+// behind the operation lock) stalls, for at most the bounded total
+// retry latency before fail-stop, while the inspection methods
+// (Barrier, Err, Stats, Seq) stay responsive throughout; see
+// Options.RetryBackoff. Once retries are exhausted the writer goes
 // fail-stop: the error is sticky (Err, Barrier), every further append
 // is a no-op, and a certification gate wired through
 // sched.AttachJournal stops granting, so the engine surfaces

@@ -3,7 +3,9 @@ package wal_test
 import (
 	"errors"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"pwsr/internal/core"
 	"pwsr/internal/txn"
@@ -217,4 +219,67 @@ func TestSnapshotCutFailureContinues(t *testing.T) {
 		t.Fatalf("LastSeq=%d, want %d", info.LastSeq, len(applied))
 	}
 	compareMonitors(t, "cut failure", rec, m, 4)
+}
+
+// TestBackoffDoesNotBlockInspection is the regression test for the
+// under-lock retry sleep: during a backend outage the feeder sits in
+// its bounded backoff (two rounds here, 200ms + 400ms), and the
+// inspection methods — Err, Stats, Seq, Barrier — must answer from
+// the state lock immediately instead of queueing behind the sleeping
+// operation for the full retry latency, which is what stalled a
+// journaled gate's admission path before the sleep moved off the lock.
+func TestBackoffDoesNotBlockInspection(t *testing.T) {
+	const backoff = 200 * time.Millisecond
+	b := wal.NewMemBackend()
+	entered := make(chan struct{})
+	var once sync.Once
+	fails := 0
+	b.SyncHook = func(name string) error {
+		if fails < 2 {
+			fails++
+			once.Do(func() { close(entered) })
+			return errors.New("injected outage")
+		}
+		return nil
+	}
+	w, err := wal.NewWriter(b, wal.Options{GroupEvery: 1, SnapshotEvery: -1, MaxRetries: 3, RetryBackoff: backoff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.LogObserve(txn.R(1, "a", 0))
+	}()
+	<-entered
+	start := time.Now()
+	if err := w.Err(); err != nil {
+		t.Errorf("Err during outage: %v", err)
+	}
+	w.Stats()
+	w.Seq()
+	if err := w.Barrier(); err != nil {
+		t.Errorf("Barrier during outage: %v", err)
+	}
+	elapsed := time.Since(start)
+	<-done
+	// The old under-lock sleep made inspection wait out the whole
+	// 600ms retry latency; off the lock it only ever contends with
+	// microsecond-scale critical sections. One backoff unit is a
+	// generous threshold that still separates the two regimes.
+	if elapsed >= backoff {
+		t.Fatalf("inspection blocked %v during backoff; want well under %v", elapsed, backoff)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatalf("transient outage went fail-stop: %v", err)
+	}
+	if st := w.Stats(); st.Retries < 2 {
+		t.Fatalf("Retries=%d, want >= 2", st.Retries)
+	}
+	if got := w.Seq(); got != 1 {
+		t.Fatalf("Seq=%d, want 1", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
 }

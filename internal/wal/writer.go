@@ -39,12 +39,13 @@ type Options struct {
 	// negative = no retries).
 	MaxRetries int
 	// RetryBackoff is the sleep between retry attempts (scaled
-	// linearly by the attempt number). The sleep happens while the
-	// writer's mutex is held: during a backend outage the feeding
-	// goroutine — and Barrier, Err, Stats, Seq from any goroutine —
-	// blocks for at most the total retry latency,
+	// linearly by the attempt number). The sleep happens off the
+	// writer's state lock: during a backend outage only the feeding
+	// goroutine (and any concurrent mutator, which queues behind the
+	// operation lock) stalls for the total retry latency,
 	// MaxRetries·(MaxRetries+1)/2 × RetryBackoff per failed
-	// write/sync, before the writer goes fail-stop. Size MaxRetries ×
+	// write/sync, before the writer goes fail-stop; Barrier, Err,
+	// Stats, and Seq stay responsive throughout. Size MaxRetries ×
 	// RetryBackoff for the stall the admission path can tolerate.
 	RetryBackoff time.Duration
 	// Retain keeps superseded segments instead of deleting them after
@@ -120,6 +121,15 @@ func eventTxn(ev core.Event) int {
 // stream itself must be fed from one goroutine at a time (see
 // core.LifecycleSink).
 type Writer struct {
+	// opMu serializes the mutating entry points (the lifecycle sink
+	// methods, Sync, Close) and is always acquired before mu. Holding
+	// it across a whole operation is what lets backoff release mu and
+	// sleep off the state lock: no other mutator can retire the segment
+	// under a partially written frame, while the inspection methods
+	// (Err, Stats, Seq, Barrier), which take only mu, stay responsive
+	// during a backend outage.
+	opMu sync.Mutex
+	// mu guards the writer state below.
 	mu   sync.Mutex
 	b    Backend
 	opts Options
@@ -163,9 +173,14 @@ func NewWriter(b Backend, opts Options) (*Writer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: create genesis segment: %w", err)
 	}
-	if err := w.writeAllTo(f, []byte(segMagic)); err != nil {
+	// writeAllTo's backoff drops and reacquires mu, so mu must be held
+	// even though the writer has not escaped yet.
+	w.mu.Lock()
+	werr := w.writeAllTo(f, []byte(segMagic))
+	w.mu.Unlock()
+	if werr != nil {
 		f.Close()
-		return nil, fmt.Errorf("wal: write genesis header: %w", err)
+		return nil, fmt.Errorf("wal: write genesis header: %w", werr)
 	}
 	w.seg = f
 	w.segIndex = 0
@@ -195,6 +210,8 @@ func (w *Writer) Seq() uint64 {
 
 // LogObserve implements core.LifecycleSink.
 func (w *Writer) LogObserve(o txn.Op) {
+	w.opMu.Lock()
+	defer w.opMu.Unlock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err != nil {
@@ -219,6 +236,8 @@ func (w *Writer) LogRetract(txnID int) {
 }
 
 func (w *Writer) logTxn(kind byte, evKind core.EventKind, txnID int) {
+	w.opMu.Lock()
+	defer w.opMu.Unlock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err != nil {
@@ -245,6 +264,8 @@ func (w *Writer) logTxn(kind byte, evKind core.EventKind, txnID int) {
 // block is latched for the next snapshot header, and — on the
 // SnapshotEvery cadence — a snapshot segment is cut.
 func (w *Writer) LogCompact(reclaimed []int, stats core.CompactStats, ops int) {
+	w.opMu.Lock()
+	defer w.opMu.Unlock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err != nil {
@@ -304,6 +325,8 @@ func (w *Writer) Barrier() error {
 
 // Sync forces the pending group to the backend now.
 func (w *Writer) Sync() error {
+	w.opMu.Lock()
+	defer w.opMu.Unlock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err != nil {
@@ -316,6 +339,8 @@ func (w *Writer) Sync() error {
 // Close flushes and closes the active segment. The writer must not be
 // used afterwards.
 func (w *Writer) Close() error {
+	w.opMu.Lock()
+	defer w.opMu.Unlock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err == nil {
@@ -394,15 +419,22 @@ func (w *Writer) writeAllTo(f File, p []byte) error {
 }
 
 // backoff sleeps between retry attempts (linear in the attempt
-// number; zero RetryBackoff retries immediately). It runs with w.mu
-// held — deliberately: releasing the lock mid-record would let Close
-// retire the segment under a partially written frame. The stall this
-// imposes on the feeder and the inspection methods is bounded; see
-// Options.RetryBackoff.
+// number; zero RetryBackoff retries immediately). The sleep happens
+// with w.mu released — the inspection methods must stay responsive
+// during a backend outage — while the caller's hold on opMu keeps
+// every other mutator out, so nothing can retire the segment under
+// the partially written frame, and w.err cannot be set by anyone
+// else: fail-stop ordering (error latched before the operation
+// returns) is preserved. Callers must hold mu (and, once the writer
+// is shared, opMu).
 func (w *Writer) backoff(attempt int) {
-	if w.opts.RetryBackoff > 0 {
-		time.Sleep(w.opts.RetryBackoff * time.Duration(attempt+1))
+	if w.opts.RetryBackoff <= 0 {
+		return
 	}
+	d := w.opts.RetryBackoff * time.Duration(attempt+1)
+	w.mu.Unlock()
+	time.Sleep(d)
+	w.mu.Lock()
 }
 
 // failLocked records the sticky fail-stop error: every further append

@@ -329,10 +329,44 @@ func NewParallelCertify(partition []ItemSet, shards int, inner Policy, victim Vi
 }
 
 // RunMany executes independently configured runs concurrently, at
-// most workers at a time (workers ≤ 0 selects GOMAXPROCS). Each
-// config must carry its own policy instance.
+// most workers at a time (workers ≤ 0 selects GOMAXPROCS). Cloneable
+// policies (every policy this package constructs) are cloned per run,
+// so configs may share a policy value; a non-cloneable policy
+// instance aliased across configs fails exactly those runs with
+// exec.ErrSharedPolicy before anything executes.
 func RunMany(cfgs []RunConfig, workers int) ([]*RunResult, []error) {
 	return exec.RunMany(cfgs, workers)
+}
+
+// ParallelRunConfig configures a block-parallel batch execution (see
+// RunParallel).
+type ParallelRunConfig = exec.ParallelConfig
+
+// BatchGate admits whole transactions at the parallel engine's commit
+// point.
+type BatchGate = exec.BatchGate
+
+// AsBatchGate reports whether a policy can certify batch commits for
+// RunParallel; the certification gates (NewCertify,
+// NewOptimisticCertify, NewParallelCertify) can.
+func AsBatchGate(p Policy) (BatchGate, bool) {
+	g, ok := p.(BatchGate)
+	return g, ok
+}
+
+// RunParallel executes a batch of independent programs with the
+// block-parallel engine: workers run programs speculatively against a
+// shared versioned store, commits land strictly in ascending-id order
+// (stale reads trigger bounded retry and, at the commit turn, one
+// authoritative re-execution), and each committing transaction is
+// admitted whole through the configured certification gate — a
+// NewCertify/NewOptimisticCertify/NewParallelCertify value — so the
+// committed schedule is PWSR by construction. The result is
+// deterministic: identical schedule and final state to the serial
+// ascending-id run at any worker count. See EXPERIMENTS.md PERF10 for
+// the scaling study.
+func RunParallel(cfg ParallelRunConfig, programs map[int]*Program) (*RunResult, error) {
+	return exec.RunParallel(cfg, programs)
 }
 
 // Saga is a transaction program decomposed into per-conjunct

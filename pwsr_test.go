@@ -68,6 +68,54 @@ func TestPublicAPIConcurrentRun(t *testing.T) {
 	}
 }
 
+// TestPublicAPIParallelRun drives the block-parallel batch engine
+// through the facade: a certified parallel run must land exactly the
+// serial ascending-id result, whatever the worker count.
+func TestPublicAPIParallelRun(t *testing.T) {
+	programs := make(map[int]*pwsr.Program, 6)
+	initial := pwsr.Ints(map[string]int64{
+		"x1": 0, "x2": 0, "x3": 0, "x4": 0, "x5": 0, "x6": 0, "h": 0,
+	})
+	for i := 1; i <= 6; i++ {
+		programs[i] = pwsr.MustParseProgram(
+			"program T" + string(rune('0'+i)) + " {\n" +
+				"  x" + string(rune('0'+i)) + " := x" + string(rune('0'+i)) + " + 1;\n" +
+				"  h := h + 1;\n}")
+	}
+	partition := []pwsr.ItemSet{
+		pwsr.NewItemSet("x1", "x2", "x3", "x4", "x5", "x6"),
+		pwsr.NewItemSet("h"),
+	}
+	mkGate := func() pwsr.BatchGate {
+		gate, ok := pwsr.AsBatchGate(pwsr.NewParallelCertify(partition, 2, pwsr.NewSerialPolicy(), nil))
+		if !ok {
+			t.Fatal("NewParallelCertify must be usable as a batch gate")
+		}
+		return gate
+	}
+	want, err := pwsr.RunParallel(pwsr.ParallelRunConfig{
+		Initial: initial, Gate: mkGate(), Workers: 1,
+	}, programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pwsr.RunParallel(pwsr.ParallelRunConfig{
+		Initial: initial, Gate: mkGate(), Workers: 4,
+	}, programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.String() != want.Schedule.String() {
+		t.Fatalf("parallel schedule diverged:\n%s\nvs\n%s", res.Schedule, want.Schedule)
+	}
+	if !res.Final.Equal(want.Final) {
+		t.Fatal("parallel final state diverged from the 1-worker run")
+	}
+	if v, ok := res.Final.Get("h"); !ok || v.AsInt() != 6 {
+		t.Fatalf("h = %v, want 6", v)
+	}
+}
+
 // TestPublicAPIBalanceRepair repairs the Example 2 program and shows the
 // violating grant order no longer yields a PWSR-and-incorrect schedule.
 func TestPublicAPIBalanceRepair(t *testing.T) {
