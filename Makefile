@@ -74,7 +74,24 @@ check-parallel:
 crash-matrix:
 	GOMAXPROCS=1 $(GO) test -race -count=1 ./internal/wal
 	GOMAXPROCS=8 $(GO) test -race -count=1 ./internal/wal
-	$(GO) test -race -count=1 -run 'TestDurableGate|TestOptimisticDurableGate|TestResumeCertify|TestJournalFailStop' ./internal/sched
+	$(GO) test -race -count=1 -run 'TestDurableGate|TestOptimisticDurableGate|TestResumeCertify|TestJournalFailStop|TestDegrade|TestTickInjection' ./internal/sched
+
+# chaos is the fault-injection differential (ROBUST1): ≥100 seeded
+# randomized fault plans over the full pipeline — gate, journal,
+# failover chain, and block-parallel engine — under the race detector
+# at pinned GOMAXPROCS=1 and 8, each trial lockstep-compared against
+# its uninjected twin. A violated obligation dumps the failing
+# fault.Plan as chaos-failed-<seed>.json for exact replay.
+.PHONY: chaos
+chaos:
+	GOMAXPROCS=1 $(GO) test -race -count=1 -run 'TestChaos' ./internal/experiments
+	GOMAXPROCS=8 $(GO) test -race -count=1 -run 'TestChaos' ./internal/experiments
+
+# bench-chaos regenerates the ROBUST1 record: the 200-plan chaos
+# differential with per-trial outcomes written to BENCH_chaos.json.
+.PHONY: bench-chaos
+bench-chaos:
+	$(GO) run ./cmd/pwsrbench -section chaos -chaosout BENCH_chaos.json
 
 # bench-cpu is the PERF6 scaling sweep: the sharded-monitor and
 # lock-free-intern families across GOMAXPROCS widths, plus the
@@ -110,6 +127,9 @@ test:
 # detector (whose instrumentation allocates, so the pins self-skip
 # under -race): an allocation regression on the steady-state
 # Observe/Admissible hot path fails CI here, not just benchmarks.
+# The chaos smoke (a fixed 40-seed band of the ROBUST1 fault
+# differential, deterministic by construction) also rides in the raced
+# `./...` pass; the full randomized matrix lives in `make chaos`.
 .PHONY: check
 check:
 	$(GO) vet ./...

@@ -50,6 +50,7 @@
 //	          [-hotpathout BENCH_hotpath.json]
 //	          [-walout BENCH_wal.json]
 //	          [-parallelout BENCH_parallel.json]
+//	          [-chaosout BENCH_chaos.json]
 //	          [-baseline BENCH_parallel.json] [-maxregress 10] [-minspeedup 1.5]
 package main
 
@@ -73,13 +74,14 @@ func main() {
 		seed        = flag.Int64("seed", 1, "base seed")
 		quick       = flag.Bool("quick", false, "smaller sweeps and campaigns")
 		figures     = flag.Bool("figures", true, "print the worked figure illustrations")
-		section     = flag.String("section", "all", "one of: all, examples, theorems, exhaustive, figures, perf, sharded, compact, hotpath, wal, parallel")
+		section     = flag.String("section", "all", "one of: all, examples, theorems, exhaustive, figures, perf, sharded, compact, hotpath, wal, parallel, chaos")
 		cpu         = flag.String("cpu", "1,2,4,8", "comma-separated widths: GOMAXPROCS for the PERF6 sweep, worker counts for PERF10")
 		benchout    = flag.String("benchout", "", "write the PERF6 records as JSON to this file")
 		compactout  = flag.String("compactout", "", "write the PERF7 records as JSON to this file")
 		hotpathout  = flag.String("hotpathout", "", "write the PERF8 records as JSON to this file")
 		walout      = flag.String("walout", "", "write the PERF9 records as JSON to this file")
 		parallelout = flag.String("parallelout", "", "write the PERF10 records as JSON to this file")
+		chaosout    = flag.String("chaosout", "", "write the ROBUST1 records as JSON to this file")
 		baseline    = flag.String("baseline", "", "checked-in PERF10 JSON to gate this run against")
 		maxregress  = flag.Float64("maxregress", 10, "fail if PERF10 throughput regresses more than this percent vs -baseline")
 		minspeedup  = flag.Float64("minspeedup", 1.5, "fail if the 4-worker 0%-conflict PERF10 speedup is below this (hosts with >=4 CPUs only)")
@@ -98,7 +100,7 @@ func main() {
 		trials: *trials, seed: *seed, figures: *figures, section: *section,
 		quick: *quick, cpus: cpus,
 		benchout: *benchout, compactout: *compactout, hotpathout: *hotpathout,
-		walout: *walout, parallelout: *parallelout,
+		walout: *walout, parallelout: *parallelout, chaosout: *chaosout,
 		baseline: *baseline, maxregress: *maxregress, minspeedup: *minspeedup,
 	}
 	if err := run(opts); err != nil {
@@ -120,6 +122,7 @@ type benchOpts struct {
 	hotpathout  string
 	walout      string
 	parallelout string
+	chaosout    string
 	baseline    string
 	maxregress  float64
 	minspeedup  float64
@@ -209,6 +212,15 @@ type parallelBenchFile struct {
 	hostMeta
 	Seed    int64                               `json:"seed"`
 	Records []experiments.ParallelScalingRecord `json:"records"`
+}
+
+// chaosBenchFile is the JSON record set written for the ROBUST1 chaos
+// differential: one record per seeded fault plan.
+type chaosBenchFile struct {
+	hostMeta
+	Seed    int64                     `json:"seed"`
+	Trials  int                       `json:"trials"`
+	Records []experiments.ChaosRecord `json:"records"`
 }
 
 func run(o benchOpts) error {
@@ -449,6 +461,32 @@ func run(o benchOpts) error {
 			if err := gateParallel(records, o.baseline, o.maxregress, o.minspeedup); err != nil {
 				return err
 			}
+		}
+	}
+	if all || section == "chaos" {
+		chaosTrials := 200
+		if quick {
+			chaosTrials = 50
+		}
+		tab, records, err := experiments.ChaosStudy(chaosTrials, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		if o.chaosout != "" {
+			data, err := json.MarshalIndent(chaosBenchFile{
+				hostMeta: currentHostMeta(),
+				Seed:     seed,
+				Trials:   chaosTrials,
+				Records:  records,
+			}, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(o.chaosout, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d ROBUST1 records to %s\n", len(records), o.chaosout)
 		}
 	}
 	return nil

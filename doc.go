@@ -135,6 +135,39 @@
 // runs the parallel-engine differentials raced at both widths plus
 // the PERF10 regression gate against the checked-in baseline.
 //
+// # Degradation modes and failover
+//
+// A journaled gate's behaviour when its storage dies is a policy, not
+// an accident. sched.AttachJournal defaults to fail-stop — the gate
+// stops granting and the engine surfaces exec.ErrJournalDown — and
+// accepts options for two softer stances: sched.DegradeShed keeps the
+// run's error typed (exec.ErrDegraded) and the refusal queryable
+// through Health, and sched.DegradeBuffer bridges transient outages
+// by acknowledging grants against a bounded in-memory queue that
+// drains through Writer.Heal, tripping to shed if the outage outlasts
+// the cap or deadline. In every mode the write-ahead invariant holds:
+// no grant is ever acknowledged whose record cannot reach the log.
+// All three errors (ErrStall, ErrJournalDown, ErrDegraded) are
+// errors.Is-distinguishable, and the gate's live posture — mode,
+// queue depth, shed/buffered/dropped counters, failover promotions,
+// heals — surfaces through Health() and the engine's Metrics.Health.
+//
+// Below the gate, wal.FailoverBackend chains ordered backends behind
+// one Backend: when the writer exhausts its retry budget the chain
+// promotes the next standby and the writer resynchronizes it from its
+// byte-exact segment mirror, so sequence numbers continue without a
+// gap and recovery reads the survivor like any other log. The
+// internal/fault package is the deterministic injection plane that
+// tests all of this: seeded, occurrence-counted fault plans (JSON
+// round-trippable, replayable) fire at backend writes and syncs,
+// journal barriers, gate ticks, and parallel-engine commit turns.
+// `make chaos` runs the ROBUST1 differential — randomized fault plans
+// over the full pipeline, each trial lockstep-compared against its
+// uninjected twin for schedule, verdict, and durable-prefix equality
+// — under the race detector at pinned GOMAXPROCS=1 and 8; a failing
+// trial dumps its plan as a replayable chaos-failed-<seed>.json
+// artifact.
+//
 // # Quick start
 //
 //	sys := pwsr.NewSystem(pwsr.MustParseICFromConjuncts("a > 0 -> b > 0", "c > 0"),

@@ -102,6 +102,18 @@
 // had). wal.Writer cuts snapshots only inside LogCompact and
 // wal.Resume runs one pass before cutting its baseline, so every
 // snapshot the system writes has the required shape.
+//
+// What happens when the sink's storage fails is the gate's policy,
+// not the certifier's: the monitor keeps applying events and
+// mirroring them; the gate decides whether to stop granting
+// (fail-stop), shed with a typed error, or buffer admissions against
+// a bounded queue until the journal heals or fails over — see
+// sched.AttachJournal's degradation modes and the wal package comment
+// on failover. The certifier's contribution to that story is that its
+// event stream is replayable: any durable prefix of the mirrored
+// stream rebuilds a verdict-identical monitor, which is the oracle
+// the chaos differential (internal/experiments, `make chaos`) checks
+// after every injected outage.
 package core
 
 import (

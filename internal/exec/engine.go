@@ -371,6 +371,10 @@ type Metrics struct {
 	ProbeHits          int64
 	ProbeMisses        int64
 	ProbeInvalidations int64
+	// Health reports the gate's degradation/failover state at the end
+	// of the run when the policy implements HealthReporter; zero
+	// otherwise.
+	Health Health
 	// Log reports the certifier's write-ahead journal counters at the
 	// end of the run when the policy implements LogReporter; zero
 	// otherwise (including a journaled gate with no journal attached).
@@ -721,7 +725,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 			passes++
 			if passes > maxConsecutivePasses {
-				runErr = fmt.Errorf("%w: policy passed %d consecutive ticks", ErrStall, passes)
+				runErr = stallCause(cfg.Policy, fmt.Errorf("%w: policy passed %d consecutive ticks", ErrStall, passes))
 				abort()
 				return nil, runErr
 			}
@@ -734,19 +738,19 @@ func Run(cfg Config) (*Result, error) {
 			if ra, isRestarter := cfg.Policy.(Restarter); isRestarter {
 				if vi := ra.Victim(list, v); vi >= 0 && vi < len(list) {
 					if metrics.Aborts >= maxAborts {
-						runErr = fmt.Errorf("%w: abort budget (%d) exhausted", ErrStall, maxAborts)
+						runErr = stallCause(cfg.Policy, fmt.Errorf("%w: abort budget (%d) exhausted", ErrStall, maxAborts))
 						abort()
 						return nil, runErr
 					}
 					if err := abortAndRestart(list[vi].TxnID); err != nil {
-						runErr = fmt.Errorf("%w: %v", ErrStall, err)
+						runErr = stallCause(cfg.Policy, fmt.Errorf("%w: %v", ErrStall, err))
 						abort()
 						return nil, runErr
 					}
 					continue
 				}
 			}
-			runErr = fmt.Errorf("%w: pending %v", ErrStall, list)
+			runErr = stallCause(cfg.Policy, fmt.Errorf("%w: pending %v", ErrStall, list))
 			abort()
 			return nil, runErr
 		}
@@ -841,6 +845,9 @@ func harvestReporters(p any, m *Metrics) {
 	}
 	if lr, ok := p.(LogReporter); ok {
 		m.Log = lr.LogStats()
+	}
+	if hr, ok := p.(HealthReporter); ok {
+		m.Health = hr.Health()
 	}
 }
 

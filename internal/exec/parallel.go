@@ -7,7 +7,9 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"pwsr/internal/fault"
 	"pwsr/internal/program"
 	"pwsr/internal/state"
 	"pwsr/internal/txn"
@@ -91,6 +93,25 @@ type ParallelEngine struct {
 	// batchMu serializes ExecuteBatch calls; the worker pool and commit
 	// pipeline inside one batch have their own synchronization.
 	batchMu sync.Mutex
+
+	// inj, when set, is consulted once per commit turn (fault.OpCommit
+	// at injSite): injected latency stalls the commit pipeline, an
+	// injected error discards the deposited speculative attempt and
+	// forces the authoritative re-execution — a lost-work fault, never a
+	// verdict change (the re-execution observes the exact committed
+	// prefix, like any failed validation).
+	inj     *fault.Injector
+	injSite string
+}
+
+// SetFaultInjector registers the deterministic fault injector the
+// engine consults at each commit turn (site tags the injection point,
+// e.g. "engine"). Call before ExecuteBatch; nil detaches.
+func (e *ParallelEngine) SetFaultInjector(inj *fault.Injector, site string) {
+	e.batchMu.Lock()
+	defer e.batchMu.Unlock()
+	e.inj = inj
+	e.injSite = site
 }
 
 // NewParallelEngine builds an engine over a fresh store initialized
@@ -250,8 +271,16 @@ func (e *ParallelEngine) drain(bs *batchState, slots []atomic.Pointer[attempt], 
 			return
 		}
 		id := ids[bs.next]
-		if a.err != nil || !e.store.validate(a.reads) {
-			if a.err == nil {
+		forced := false
+		if e.inj != nil {
+			d := e.inj.Eval(fault.Point{Site: e.injSite, Op: fault.OpCommit})
+			if d.Latency > 0 {
+				time.Sleep(d.Latency)
+			}
+			forced = d.Err != nil
+		}
+		if forced || a.err != nil || !e.store.validate(a.reads) {
+			if !forced && a.err == nil {
 				conflicts.Add(1)
 			}
 			retries.Add(1)

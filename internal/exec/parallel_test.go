@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"pwsr/internal/exec"
+	"pwsr/internal/fault"
 	"pwsr/internal/gen"
 	"pwsr/internal/program"
 	"pwsr/internal/sched"
@@ -159,5 +160,44 @@ func TestParallelEngineProgramError(t *testing.T) {
 	}
 	if v, _, ok := eng.Store().Get("a"); !ok || v.AsInt() != 1 {
 		t.Fatalf("committed prefix lost: a = %v", v)
+	}
+}
+
+// TestParallelEngineCommitInjection pins the commit-turn injection
+// point's contract: injected commit faults (lost speculative attempts
+// and latency) cost only retries — the injected run produces the exact
+// schedule, final state, and certifier verdict of the uninjected twin.
+func TestParallelEngineCommitInjection(t *testing.T) {
+	w := gen.MustGenerate(gen.Config{
+		Conjuncts: 2, Programs: 6, MovesPerProgram: 3, Style: gen.StyleFixed, Seed: 905,
+	})
+	want, refGate := serialReference(t, w, 4)
+	inj := fault.NewInjector(fault.Plan{Rules: []fault.Rule{
+		{Site: "engine", Op: fault.OpCommit, From: 2, Count: 3, Kind: fault.KindError, Msg: "lost attempt"},
+		{Site: "engine", Op: fault.OpCommit, From: 1, Count: 2, Kind: fault.KindLatency, Latency: 100},
+	}})
+	gate := sched.NewParallelCertify(w.DataSets, 4, &sched.Serial{}, nil)
+	eng := exec.NewParallelEngine(exec.ParallelConfig{Initial: w.Initial, Gate: gate, Workers: 4})
+	eng.SetFaultInjector(inj, "engine")
+	res, err := eng.ExecuteBatch(w.Programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Fired() == 0 {
+		t.Fatal("commit plan never fired")
+	}
+	if res.Metrics.Retries == 0 {
+		t.Fatal("injected commit faults cost no retries")
+	}
+	if res.Schedule.String() != want.Schedule.String() {
+		t.Fatalf("commit faults changed the schedule\ninjected: %s\nserial:   %s", res.Schedule, want.Schedule)
+	}
+	if !res.Final.Equal(want.Final) {
+		t.Fatal("commit faults changed the final state")
+	}
+	sm := gate.ShardedMonitor()
+	if !sm.PWSR() || sm.Ops() != refGate.ShardedMonitor().Ops() {
+		t.Fatalf("commit faults changed the certifier state: PWSR=%v ops=%d want %d",
+			sm.PWSR(), sm.Ops(), refGate.ShardedMonitor().Ops())
 	}
 }

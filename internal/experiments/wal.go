@@ -156,7 +156,7 @@ func WalStudy(steps int, seed int64) (*sim.Table, []WalRecord, error) {
 	type variant struct {
 		name  string
 		group int
-		steps int // 0 = the full step count
+		steps int                              // 0 = the full step count
 		mk    func(i int) (wal.Backend, error) // nil = no journal
 	}
 	memBk := func(int) (wal.Backend, error) { return wal.NewMemBackend(), nil }

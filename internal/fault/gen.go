@@ -1,0 +1,94 @@
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// SitePoint pairs a site label with the operation class injectable
+// there — the vocabulary RandomPlan draws rules from. The chaos
+// campaign enumerates its pipeline's points (backend writes/syncs per
+// chain member, gate ticks, commit turns) and hands them here.
+type SitePoint struct {
+	Site string
+	Op   Op
+}
+
+// GenOptions shapes RandomPlan.
+type GenOptions struct {
+	// Points are the candidate injection points (required).
+	Points []SitePoint
+	// MaxRules bounds the rule count (≤ 0 = 3); every plan has ≥ 1.
+	MaxRules int
+	// TransientOnly forbids persistent rules — the resulting plan
+	// satisfies Plan.Transient, so liveness (the run drains) must hold.
+	TransientOnly bool
+	// AllowTorn permits torn-write rules on OpWrite points.
+	AllowTorn bool
+	// MaxLatency bounds injected delays (0 disables latency rules).
+	MaxLatency time.Duration
+	// MaxFrom bounds the first firing occurrence (≤ 0 = 24).
+	MaxFrom int64
+	// MaxCount bounds a transient rule's firing window (≤ 0 = 3).
+	MaxCount int64
+	// PersistentPct is the percentage of failure rules made persistent
+	// when TransientOnly is false (≤ 0 = 25).
+	PersistentPct int
+}
+
+// RandomPlan derives a reproducible plan from seed: the same seed and
+// options always yield the same plan, so a chaos campaign is replayed
+// by its seed list alone.
+func RandomPlan(seed int64, opts GenOptions) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	maxRules := opts.MaxRules
+	if maxRules <= 0 {
+		maxRules = 3
+	}
+	maxFrom := opts.MaxFrom
+	if maxFrom <= 0 {
+		maxFrom = 24
+	}
+	maxCount := opts.MaxCount
+	if maxCount <= 0 {
+		maxCount = 3
+	}
+	persistentPct := opts.PersistentPct
+	if persistentPct <= 0 {
+		persistentPct = 25
+	}
+	plan := Plan{Seed: seed}
+	if len(opts.Points) == 0 {
+		return plan
+	}
+	n := 1 + rng.Intn(maxRules)
+	for i := 0; i < n; i++ {
+		pt := opts.Points[rng.Intn(len(opts.Points))]
+		r := Rule{
+			Site: pt.Site,
+			Op:   pt.Op,
+			From: 1 + rng.Int63n(maxFrom),
+		}
+		switch {
+		case opts.MaxLatency > 0 && rng.Intn(100) < 30:
+			r.Kind = KindLatency
+			r.Latency = time.Duration(1 + rng.Int63n(int64(opts.MaxLatency)))
+			r.Count = 1 + rng.Int63n(maxCount)
+		default:
+			r.Kind = KindError
+			if opts.AllowTorn && pt.Op == OpWrite && rng.Intn(100) < 30 {
+				r.Kind = KindTorn
+				if rng.Intn(2) == 0 {
+					r.TornBytes = 1 + rng.Intn(8)
+				}
+			}
+			if !opts.TransientOnly && rng.Intn(100) < persistentPct {
+				r.Count = 0 // persistent: the device stays dead
+			} else {
+				r.Count = 1 + rng.Int63n(maxCount)
+			}
+		}
+		plan.Rules = append(plan.Rules, r)
+	}
+	return plan
+}

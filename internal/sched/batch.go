@@ -20,8 +20,8 @@ var (
 // the journal (when one is attached) before acknowledging — the same
 // write-ahead discipline the tick path applies per grant.
 func admitTxn(mon Certifier, jn *journaled, ops []txn.Op) error {
-	if jn.jerr != nil {
-		return fmt.Errorf("sched: batch admission refused: %w", jn.jerr)
+	if jn.frozen() {
+		return fmt.Errorf("sched: batch admission refused: %w", jn.refusalErr())
 	}
 	if len(ops) == 0 {
 		return nil
@@ -36,7 +36,7 @@ func admitTxn(mon Certifier, jn *journaled, ops []txn.Op) error {
 	}
 	mon.Commit(ops[0].Txn)
 	if !jn.ack() {
-		return fmt.Errorf("sched: batch admission not durable: %w", jn.jerr)
+		return fmt.Errorf("sched: batch admission not durable: %w", jn.refusalErr())
 	}
 	return nil
 }

@@ -46,6 +46,10 @@ type Certify struct {
 	// gate barriers before acknowledging each grant.
 	jn journaled
 
+	// tinj is the optional deterministic fault hook consulted once per
+	// Pick (see SetFaultInjector).
+	tinj tickInjector
+
 	// Per-tick scratch, reused across Pick calls so the steady-state
 	// admission loop allocates nothing: the hoisted requestOp
 	// conversions plus the admissible-candidate buffers.
@@ -73,8 +77,11 @@ func (c *Certify) Monitor() *core.Monitor { return c.mon }
 func (c *Certify) Pick(pending []*exec.Request, v *exec.View) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.jn.jerr != nil {
-		return -1 // journal fail-stop: certify nothing further
+	if c.tinj.tick() {
+		return exec.PassTick // injected tick fault: skip, re-pick next tick
+	}
+	if c.jn.frozen() {
+		return -1 // journal fail-stop or shed: certify nothing further
 	}
 	c.ops = c.ops[:0]
 	c.allowed = c.allowed[:0]

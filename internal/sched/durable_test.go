@@ -8,6 +8,7 @@ import (
 
 	"pwsr/internal/core"
 	"pwsr/internal/exec"
+	"pwsr/internal/fault"
 	"pwsr/internal/gen"
 	"pwsr/internal/program"
 	"pwsr/internal/sched"
@@ -208,45 +209,56 @@ func TestResumeCertifyContinues(t *testing.T) {
 
 // TestJournalFailStopStalls pins the write-ahead contract's failure
 // mode: a journal that cannot make grants durable freezes the gate,
-// and the run surfaces exec.ErrStall instead of acknowledging
-// non-durable admissions — for both gate flavors.
+// and the run surfaces exec.ErrJournalDown — distinguishable from a
+// scheduling-livelock ErrStall — instead of acknowledging non-durable
+// admissions. For both gate flavors.
 func TestJournalFailStopStalls(t *testing.T) {
 	w := gen.MustGenerate(gen.Config{
 		Conjuncts: 2, Programs: 3, Style: gen.StyleFixed, Seed: 801,
 	})
 	newBroken := func(t *testing.T) *wal.Writer {
-		b := wal.NewMemBackend()
-		b.SyncHook = func(string) error { return errors.New("device gone") }
+		b := wal.NewInjectBackend(wal.NewMemBackend(),
+			fault.NewInjector(fault.Plan{Rules: []fault.Rule{
+				{Op: fault.OpSync, From: 1, Count: 0, Kind: fault.KindError, Msg: "device gone"},
+			}}), "wal")
 		jw, err := wal.NewWriter(b, wal.Options{GroupEvery: 1, SnapshotEvery: -1, MaxRetries: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
 		return jw
 	}
-	t.Run("blocking", func(t *testing.T) {
-		gate := sched.NewCertify(w.DataSets, sched.NewRandom(1))
-		gate.AttachJournal(newBroken(t))
-		_, err := exec.Run(exec.Config{
-			Programs: w.Programs, Initial: w.Initial, Policy: gate, DataSets: w.DataSets,
+	for _, flavor := range []string{"blocking", "optimistic"} {
+		t.Run(flavor, func(t *testing.T) {
+			var gate interface {
+				exec.Policy
+				JournalErr() error
+				Health() exec.Health
+			}
+			switch flavor {
+			case "blocking":
+				g := sched.NewCertify(w.DataSets, sched.NewRandom(1))
+				g.AttachJournal(newBroken(t))
+				gate = g
+			default:
+				g := sched.NewOptimisticCertify(w.DataSets, sched.NewRandom(1), nil)
+				g.AttachJournal(newBroken(t))
+				gate = g
+			}
+			_, err := exec.Run(exec.Config{
+				Programs: w.Programs, Initial: w.Initial, Policy: gate, DataSets: w.DataSets,
+			})
+			if !errors.Is(err, exec.ErrJournalDown) {
+				t.Fatalf("err=%v, want ErrJournalDown", err)
+			}
+			if errors.Is(err, exec.ErrStall) {
+				t.Fatalf("journal outage %v still conflated with ErrStall", err)
+			}
+			if gate.JournalErr() == nil {
+				t.Fatal("gate froze without recording the journal error")
+			}
+			if h := gate.Health(); !h.FailStopLatched || h.Mode != exec.ModeFailStop {
+				t.Fatalf("health = %+v, want latched fail-stop", h)
+			}
 		})
-		if !errors.Is(err, exec.ErrStall) {
-			t.Fatalf("err=%v, want ErrStall", err)
-		}
-		if gate.JournalErr() == nil {
-			t.Fatal("gate froze without recording the journal error")
-		}
-	})
-	t.Run("optimistic", func(t *testing.T) {
-		gate := sched.NewOptimisticCertify(w.DataSets, sched.NewRandom(1), nil)
-		gate.AttachJournal(newBroken(t))
-		_, err := exec.Run(exec.Config{
-			Programs: w.Programs, Initial: w.Initial, Policy: gate, DataSets: w.DataSets,
-		})
-		if !errors.Is(err, exec.ErrStall) {
-			t.Fatalf("err=%v, want ErrStall", err)
-		}
-		if gate.JournalErr() == nil {
-			t.Fatal("gate froze without recording the journal error")
-		}
-	})
+	}
 }

@@ -136,6 +136,10 @@ type OptimisticCertify struct {
 	// commits.
 	jn journaled
 
+	// tinj is the optional deterministic fault hook consulted once per
+	// Pick (see SetFaultInjector).
+	tinj tickInjector
+
 	// mu serializes the gate's mutating entry points (Pick, Victim,
 	// TxnAborted, TxnFinished, AdmitTxn) so batch admissions from a
 	// ParallelEngine's committers interleave safely with an engine's
@@ -216,6 +220,9 @@ func (c *OptimisticCertify) prepareTick(pending []*exec.Request) {
 func (c *OptimisticCertify) Pick(pending []*exec.Request, v *exec.View) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.tinj.tick() {
+		return exec.PassTick // injected tick fault: skip, re-pick next tick
+	}
 	c.prepareTick(pending)
 	for i, r := range pending {
 		c.adm[i] = c.gateable(r, v) && c.mon.Admissible(c.ops[i])
@@ -238,8 +245,8 @@ func (c *OptimisticCertify) gateable(r *exec.Request, v *exec.View) bool {
 // compute the mask with concurrent probes and share the rest of the
 // gate.
 func (c *OptimisticCertify) pickAdmitted(pending []*exec.Request, v *exec.View) int {
-	if c.jn.jerr != nil {
-		return -1 // journal fail-stop: certify nothing further
+	if c.jn.frozen() {
+		return -1 // journal fail-stop or shed: certify nothing further
 	}
 	c.allowed = c.allowed[:0]
 	c.idx = c.idx[:0]
@@ -289,8 +296,8 @@ func (c *OptimisticCertify) pickVictim(pending []*exec.Request, v *exec.View, ca
 func (c *OptimisticCertify) Victim(pending []*exec.Request, v *exec.View) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.jn.jerr != nil {
-		return -1 // journal fail-stop: no sacrifice can be made durable
+	if c.jn.frozen() {
+		return -1 // journal fail-stop or shed: no sacrifice can be made durable
 	}
 	immune := c.immune(v)
 	pick := func(includePhase bool) int {

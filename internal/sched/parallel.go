@@ -160,6 +160,9 @@ const parallelProbeThreshold = 4
 func (c *ParallelCertify) Pick(pending []*exec.Request, v *exec.View) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.tinj.tick() {
+		return exec.PassTick // injected tick fault: skip, re-pick next tick
+	}
 	c.prepareTick(pending)
 	if len(pending) >= parallelProbeThreshold && c.smon.Shards() > 1 {
 		var wg sync.WaitGroup

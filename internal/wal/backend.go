@@ -113,25 +113,16 @@ func (b *FileBackend) syncDir() error {
 }
 
 // MemBackend is the in-memory backend the crash matrix and the fault
-// tests run against: segments are byte slices, and the WriteHook /
-// SyncHook knobs inject short writes, write errors, and fsync errors
-// at exact points. A "crash" is simulated by copying the stored bytes
-// (possibly truncated at an arbitrary offset) into a fresh backend
-// and recovering from it — the model in which an OS crash preserves
-// an arbitrary durable prefix of what was written.
+// tests run against: segments are byte slices. A "crash" is simulated
+// by copying the stored bytes (possibly truncated at an arbitrary
+// offset) into a fresh backend and recovering from it — the model in
+// which an OS crash preserves an arbitrary durable prefix of what was
+// written. Short writes, write errors, and fsync errors at exact
+// points are injected by wrapping the backend in an InjectBackend
+// driving a fault.Plan.
 type MemBackend struct {
 	mu    sync.Mutex
 	files map[string][]byte
-
-	// WriteHook, when non-nil, intercepts every write: it receives the
-	// segment name, the current segment length, and the chunk, and
-	// returns how many bytes to accept plus an error to surface. n <
-	// len(p) with a non-nil error models a short write; the accepted
-	// prefix is still stored, exactly like a torn OS write.
-	WriteHook func(name string, off int, p []byte) (int, error)
-	// SyncHook, when non-nil, intercepts every sync; a non-nil return
-	// models an fsync failure.
-	SyncHook func(name string) error
 }
 
 // NewMemBackend returns an empty in-memory backend.
@@ -227,38 +218,12 @@ type memFile struct {
 
 func (f *memFile) Write(p []byte) (int, error) {
 	f.b.mu.Lock()
-	hook := f.b.WriteHook
-	off := len(f.b.files[f.name])
+	f.b.files[f.name] = append(f.b.files[f.name], p...)
 	f.b.mu.Unlock()
-	n := len(p)
-	var err error
-	if hook != nil {
-		n, err = hook(f.name, off, p)
-		if n < 0 {
-			n = 0
-		}
-		if n > len(p) {
-			n = len(p)
-		}
-	}
-	f.b.mu.Lock()
-	f.b.files[f.name] = append(f.b.files[f.name], p[:n]...)
-	f.b.mu.Unlock()
-	if err == nil && n < len(p) {
-		err = io.ErrShortWrite
-	}
-	return n, err
+	return len(p), nil
 }
 
-func (f *memFile) Sync() error {
-	f.b.mu.Lock()
-	hook := f.b.SyncHook
-	f.b.mu.Unlock()
-	if hook != nil {
-		return hook(f.name)
-	}
-	return nil
-}
+func (f *memFile) Sync() error { return nil }
 
 func (f *memFile) Close() error {
 	f.closed = true

@@ -1,0 +1,57 @@
+package wal
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryBackoffJitterCapped pins the retry-backoff contract: the
+// linear ramp is capped at RetryBackoffMax and the sleep is jittered
+// into [d/2, d] — a deep retry attempt must sleep at least half the
+// cap (time.Sleep never undershoots) and must not sleep anywhere near
+// the uncapped linear value.
+func TestRetryBackoffJitterCapped(t *testing.T) {
+	mem := NewMemBackend()
+	w, err := NewWriter(mem, Options{
+		GroupEvery:      1,
+		SnapshotEvery:   -1,
+		RetryBackoff:    20 * time.Millisecond,
+		RetryBackoffMax: 320 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	// Attempt 100 would ramp to 20ms×101 ≈ 2s uncapped; the cap holds
+	// it to [160ms, 320ms].
+	w.mu.Lock()
+	start := time.Now()
+	w.backoff(100)
+	w.mu.Unlock()
+	elapsed := time.Since(start)
+	if elapsed < 150*time.Millisecond {
+		t.Fatalf("capped backoff slept %v, want ≥ ~160ms (half the cap)", elapsed)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("capped backoff slept %v — the 320ms cap did not apply", elapsed)
+	}
+}
+
+// TestRetryBackoffMaxNormalization pins the Options.RetryBackoffMax
+// defaulting: zero selects 16× the base, negative disables the cap,
+// positive is taken as-is.
+func TestRetryBackoffMaxNormalization(t *testing.T) {
+	cases := []struct {
+		base, max, want time.Duration
+	}{
+		{10 * time.Millisecond, 0, 160 * time.Millisecond},
+		{10 * time.Millisecond, -1, 0},
+		{10 * time.Millisecond, 25 * time.Millisecond, 25 * time.Millisecond},
+	}
+	for _, c := range cases {
+		o := Options{RetryBackoff: c.base, RetryBackoffMax: c.max}
+		if got := o.retryBackoffMax(); got != c.want {
+			t.Errorf("retryBackoffMax(base=%v, max=%v) = %v, want %v", c.base, c.max, got, c.want)
+		}
+	}
+}

@@ -80,19 +80,47 @@
 //
 // # Failure handling
 //
-// Backend write and sync errors are retried with bounded backoff
-// (Options.MaxRetries, Options.RetryBackoff); a short write retries
-// the remaining bytes, which can only leave a torn tail that recovery
-// already tolerates. Retry sleeps happen off the writer's state lock:
-// during an outage only the feeding goroutine (and mutators queued
-// behind the operation lock) stalls, for at most the bounded total
-// retry latency before fail-stop, while the inspection methods
-// (Barrier, Err, Stats, Seq) stay responsive throughout; see
-// Options.RetryBackoff. Once retries are exhausted the writer goes
-// fail-stop: the error is sticky (Err, Barrier), every further append
-// is a no-op, and a certification gate wired through
-// sched.AttachJournal stops granting, so the engine surfaces
-// exec.ErrStall rather than acknowledging grants that can no longer
-// be made durable. The degradation is deliberate: a certifier that
-// cannot log must not admit.
+// Backend write and sync errors are retried with bounded backoff:
+// attempt n sleeps a uniformly jittered duration in [d/2, d] with
+// d = min(RetryBackoff×(n+1), RetryBackoffMax), so concurrent writers
+// recovering from a shared outage don't stampede the device in
+// lockstep, and a generous linear ramp cannot grow into unbounded
+// admission stalls (Options.MaxRetries, Options.RetryBackoff,
+// Options.RetryBackoffMax). A short write retries the remaining
+// bytes, which can only leave a torn tail that recovery already
+// tolerates. Retry sleeps happen off the writer's state lock: during
+// an outage only the feeding goroutine (and mutators queued behind
+// the operation lock) stalls, for at most the bounded total retry
+// latency before fail-stop, while the inspection methods (Barrier,
+// Err, Stats, Seq) stay responsive throughout. Once retries are
+// exhausted the writer goes fail-stop: the error is sticky (Err,
+// Barrier), every further append is a no-op, and a certification gate
+// wired through sched.AttachJournal stops granting by default, so the
+// engine surfaces exec.ErrJournalDown rather than acknowledging
+// grants that can no longer be made durable. The degradation is
+// deliberate: a certifier that cannot log must not admit. (The gate
+// can opt into softer policies — typed shedding or bounded buffering
+// with Heal — via sched.WithDegradeMode; the invariant that no grant
+// is acknowledged un-journaled holds in every mode.)
+//
+// # Failover and healing
+//
+// FailoverBackend chains an ordered list of backends (primary first)
+// behind the Backend interface: when the writer's retry budget is
+// exhausted against the current member, the writer asks the chain to
+// promote the next standby and resynchronizes it from its in-memory
+// mirror — a byte-exact image of the active segment — by recreating
+// the same-named segment, so sequence numbers and compact-point cuts
+// continue without a gap (strict seq continuity across promotion).
+// Promotion is latched: the chain never fails back on its own, and
+// the sticky Demoted/Promoted events are queryable through
+// FailoverBackend.Events and counted in Stats.Failovers. Writer.Heal
+// performs the same mirror rebase in place for a fail-stopped writer
+// whose device came back (counted in Stats.Heals); the buffering
+// degradation mode in sched drives it. Recovery needs no special
+// failover handling — it reads whichever backend survived, and the
+// mirror rebase guarantees the surviving log is a byte prefix of the
+// logical stream. The chaos differential (`make chaos`) exercises
+// randomized outage plans over this machinery, lockstep-comparing
+// every run against an uninjected twin.
 package wal

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"slices"
@@ -10,6 +11,15 @@ import (
 	"pwsr/internal/state"
 	"pwsr/internal/txn"
 )
+
+// ErrNoRecoveryBase is the typed failure of a log whose segments
+// offer nothing to recover from: no segment carries a complete
+// snapshot section and the genesis segment is gone (or itself lacks a
+// readable header). Callers distinguish it from I/O errors with
+// errors.Is — it means the log's history is lost, not that the
+// backend is misbehaving — and must refuse to admit rather than start
+// from silently empty state.
+var ErrNoRecoveryBase = errors.New("wal: no recovery base")
 
 // Info reports what recovery found and replayed.
 type Info struct {
@@ -40,15 +50,15 @@ type Info struct {
 
 // segScan is one scanned segment.
 type segScan struct {
-	idx     int
-	hasSnap bool // a snapshot section begins the segment
-	snapOK  bool // … and it is complete
-	cutSeq  uint64
-	snap    *core.Snapshot
+	idx      int
+	hasSnap  bool // a snapshot section begins the segment
+	snapOK   bool // … and it is complete
+	cutSeq   uint64
+	snap     *core.Snapshot
 	snapSeqs []uint64 // original seqs of the snapshot events
-	suffix  []*record
-	torn    bool
-	tailErr error
+	suffix   []*record
+	torn     bool
+	tailErr  error
 }
 
 // readSegment reads and scans one segment.
@@ -190,7 +200,7 @@ func scanBackend(b Backend) (base *segScan, maxIdx int, err error) {
 	if genesis != nil {
 		return genesis, maxIdx, nil
 	}
-	return nil, -1, fmt.Errorf("wal: unrecoverable log: no segment with a complete snapshot and no genesis segment")
+	return nil, -1, fmt.Errorf("%w: no segment with a complete snapshot and no genesis segment", ErrNoRecoveryBase)
 }
 
 // reclaimTap is the replay sink recovery attaches to cross-check the

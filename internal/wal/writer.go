@@ -38,16 +38,24 @@ type Options struct {
 	// or sync before the writer goes fail-stop (0 = default 3;
 	// negative = no retries).
 	MaxRetries int
-	// RetryBackoff is the sleep between retry attempts (scaled
-	// linearly by the attempt number). The sleep happens off the
-	// writer's state lock: during a backend outage only the feeding
-	// goroutine (and any concurrent mutator, which queues behind the
-	// operation lock) stalls for the total retry latency,
-	// MaxRetries·(MaxRetries+1)/2 × RetryBackoff per failed
-	// write/sync, before the writer goes fail-stop; Barrier, Err,
+	// RetryBackoff is the base sleep between retry attempts: attempt n
+	// sleeps a uniformly jittered duration in [d/2, d], where
+	// d = min(RetryBackoff×(n+1), RetryBackoffMax). The jitter
+	// decorrelates the retry schedules of independent writers pounding
+	// a shared failing device (a synchronized retry storm re-spikes the
+	// device exactly when it is trying to come back), while the d/2
+	// floor keeps the total retry latency predictable to within 2×.
+	// The sleep happens off the writer's state lock: during a backend
+	// outage only the feeding goroutine (and any concurrent mutator,
+	// which queues behind the operation lock) stalls, and Barrier, Err,
 	// Stats, and Seq stay responsive throughout. Size MaxRetries ×
 	// RetryBackoff for the stall the admission path can tolerate.
 	RetryBackoff time.Duration
+	// RetryBackoffMax caps a single backoff sleep, so a generous
+	// MaxRetries cannot grow the linear schedule into multi-second
+	// admission stalls (0 = default 16×RetryBackoff; negative =
+	// uncapped).
+	RetryBackoffMax time.Duration
 	// Retain keeps superseded segments instead of deleting them after
 	// a successful snapshot cut (the crash matrix uses this to sweep
 	// crash points across the whole history).
@@ -74,6 +82,18 @@ func (o Options) maxRetries() int {
 	}
 }
 
+// retryBackoffMax returns the normalized backoff cap (0 = uncapped).
+func (o Options) retryBackoffMax() time.Duration {
+	switch {
+	case o.RetryBackoffMax == 0:
+		return 16 * o.RetryBackoff
+	case o.RetryBackoffMax < 0:
+		return 0
+	default:
+		return o.RetryBackoffMax
+	}
+}
+
 // Stats are the Writer's cumulative durability counters.
 type Stats struct {
 	// Records is the number of lifecycle records appended (snapshot
@@ -91,6 +111,14 @@ type Stats struct {
 	// CutFailures counts snapshot cuts abandoned on a fresh-segment
 	// error (the writer continues on the old segment; see doc.go).
 	CutFailures int64
+	// Failovers counts successful promotions onto a standby backend:
+	// the active segment was re-established (mirror replay + sync) on
+	// the next chain member after the previous target failed past the
+	// retry bound (see FailoverBackend).
+	Failovers int64
+	// Heals counts fail-stops cleared by Heal — the backend came back
+	// and the active segment was rebuilt on it from the mirror.
+	Heals int64
 	// RecoveryReplays is the number of events replayed to build this
 	// writer's monitor (set by Resume; 0 for a fresh log).
 	RecoveryReplays int64
@@ -152,6 +180,25 @@ type Writer struct {
 	// compactsSinceCut drives the SnapshotEvery cadence.
 	compactsSinceCut int
 
+	// mirror is the byte-exact in-memory image of the active segment:
+	// the genesis header or surviving snapshot it begins with, plus
+	// every frame appended since. Failover replays it onto a promoted
+	// standby, and Heal onto a recovered backend — the re-established
+	// segment is byte-identical to the one the failed target was
+	// supposed to hold, so every recovery invariant (compact-point
+	// cuts, strict sequence continuity) carries over unchanged. Its
+	// size is bounded by the snapshot cadence, like live.
+	mirror []byte
+	// mirrorSeq is the sequence number of the last event reflected in
+	// mirror (what LoggedSeq reports); Heal rolls the writer's seq back
+	// to it, since an event whose append never landed was never
+	// acknowledged.
+	mirrorSeq uint64
+	// rng is the splitmix64 state behind backoff jitter (timing-only;
+	// a fixed seed keeps the writer allocation-free and deterministic
+	// to construct).
+	rng uint64
+
 	// payload/frame are encoding scratch, reused across records.
 	payload []byte
 	frame   []byte
@@ -184,6 +231,7 @@ func NewWriter(b Backend, opts Options) (*Writer, error) {
 	}
 	w.seg = f
 	w.segIndex = 0
+	w.mirror = append(w.mirror, segMagic...)
 	return w, nil
 }
 
@@ -357,14 +405,23 @@ func (w *Writer) Close() error {
 }
 
 // appendLocked frames the payload and appends it to the active
-// segment, applying the group-commit policy. On unrecoverable backend
-// failure the writer goes fail-stop (w.err set).
+// segment, applying the group-commit policy. A write that fails past
+// the retry bound attempts a failover (the frame is re-appended on the
+// promoted target after the mirror resync); only when no standby can
+// take over does the writer go fail-stop (w.err set).
 func (w *Writer) appendLocked(payload []byte) {
 	w.frame = appendFrame(w.frame[:0], payload)
-	if err := w.writeAllTo(w.seg, w.frame); err != nil {
-		w.failLocked(fmt.Errorf("append record: %w", err))
-		return
+	for {
+		err := w.writeAllTo(w.seg, w.frame)
+		if err == nil {
+			break
+		}
+		if !w.failoverLocked(fmt.Errorf("append record: %w", err)) {
+			return
+		}
 	}
+	w.mirror = append(w.mirror, w.frame...)
+	w.mirrorSeq = w.seq
 	w.stats.Records++
 	w.stats.LogBytes += int64(len(w.frame))
 	w.pending++
@@ -375,7 +432,10 @@ func (w *Writer) appendLocked(payload []byte) {
 }
 
 // syncLocked syncs the active segment with bounded retries; on
-// exhaustion the writer goes fail-stop.
+// exhaustion it attempts a failover — the mirror already holds every
+// pending frame, so a successful rebase writes and syncs them on the
+// promoted target and there is nothing left to flush — and goes
+// fail-stop only when that too is impossible.
 func (w *Writer) syncLocked() {
 	for attempt := 0; ; attempt++ {
 		err := w.seg.Sync()
@@ -386,7 +446,7 @@ func (w *Writer) syncLocked() {
 			return
 		}
 		if attempt >= w.opts.maxRetries() {
-			w.failLocked(fmt.Errorf("sync: %w", err))
+			w.failoverLocked(fmt.Errorf("sync: %w", err))
 			return
 		}
 		w.stats.Retries++
@@ -418,20 +478,36 @@ func (w *Writer) writeAllTo(f File, p []byte) error {
 	}
 }
 
-// backoff sleeps between retry attempts (linear in the attempt
-// number; zero RetryBackoff retries immediately). The sleep happens
-// with w.mu released — the inspection methods must stay responsive
-// during a backend outage — while the caller's hold on opMu keeps
-// every other mutator out, so nothing can retire the segment under
-// the partially written frame, and w.err cannot be set by anyone
-// else: fail-stop ordering (error latched before the operation
-// returns) is preserved. Callers must hold mu (and, once the writer
-// is shared, opMu).
+// backoff sleeps between retry attempts: linear in the attempt
+// number, capped at Options.RetryBackoffMax, jittered into [d/2, d]
+// (zero RetryBackoff retries immediately). The sleep happens with
+// w.mu released — the inspection methods must stay responsive during
+// a backend outage — while the caller's hold on opMu keeps every
+// other mutator out, so nothing can retire the segment under the
+// partially written frame, and w.err cannot be set by anyone else:
+// fail-stop ordering (error latched before the operation returns) is
+// preserved. Callers must hold mu (and, once the writer is shared,
+// opMu).
 func (w *Writer) backoff(attempt int) {
 	if w.opts.RetryBackoff <= 0 {
 		return
 	}
 	d := w.opts.RetryBackoff * time.Duration(attempt+1)
+	if max := w.opts.retryBackoffMax(); max > 0 && d > max {
+		d = max
+	}
+	// splitmix64 step; timing-only randomness, so the fixed seed is
+	// deliberate.
+	w.rng += 0x9e3779b97f4a7c15
+	z := w.rng
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	if half := d / 2; half > 0 {
+		d = half + time.Duration(z%uint64(half+1))
+	}
 	w.mu.Unlock()
 	time.Sleep(d)
 	w.mu.Lock()
@@ -505,6 +581,8 @@ func (w *Writer) cutLocked() {
 		w.seg.Close()
 	}
 	w.seg = f
+	w.mirror = buf
+	w.mirrorSeq = w.seq
 	oldIdx := w.segIndex
 	w.segIndex = newIdx
 	w.pending = 0

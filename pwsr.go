@@ -255,6 +255,27 @@ type (
 // Run executes programs concurrently under a policy.
 func Run(cfg RunConfig) (*RunResult, error) { return exec.Run(cfg) }
 
+// Typed run-failure causes, errors.Is-distinguishable so callers can
+// tell scheduling livelock from storage failure.
+var (
+	// ErrStall is a scheduling stall: no pending request is grantable
+	// and the policy cannot resolve it.
+	ErrStall = exec.ErrStall
+	// ErrJournalDown is a latched journal fail-stop under the default
+	// fail-stop degradation mode: the gate refuses to acknowledge
+	// grants it cannot make durable.
+	ErrJournalDown = exec.ErrJournalDown
+	// ErrDegraded is a gate shedding admissions by policy (DegradeShed,
+	// or DegradeBuffer after its bounded queue tripped).
+	ErrDegraded = exec.ErrDegraded
+)
+
+// Health is a journaled gate's live degradation posture: current mode,
+// queue depth, shed/buffered/dropped admission counts, failover
+// promotions, and heals. Policies that journal expose it (and it rides
+// in Metrics.Health).
+type Health = exec.Health
+
 // NewScript returns the scripted policy (fixed grant order).
 func NewScript(order ...int) Policy { return sched.NewScript(order...) }
 
