@@ -93,6 +93,43 @@ chaos:
 bench-chaos:
 	$(GO) run ./cmd/pwsrbench -section chaos -chaosout BENCH_chaos.json
 
+# bench-mvread regenerates the PERF11 multiversion-read study: a mixed
+# batch of hot-item writers and scan readers, each conflict cell
+# measured with the readers certified through the gate and again
+# declared read-only and served from pinned snapshots, every bypass
+# run re-proved PWSR, writing the machine-readable BENCH_mvread.json.
+.PHONY: bench-mvread
+bench-mvread:
+	$(GO) run ./cmd/pwsrbench -section mvread -mvreadout BENCH_mvread.json
+
+# check-mvread is the CI leg for the multiversion read path: the
+# bypass differentials (RW-projection identity, combined-schedule PWSR
+# and value-consistent replay, zero reader denials/aborts) and the
+# store unit tests under the race detector at pinned GOMAXPROCS=1 and
+# 8, then the pwsrfuzz corpus + randomized sweep.
+.PHONY: check-mvread
+check-mvread:
+	GOMAXPROCS=1 $(GO) test -race -count=1 -run 'TestMVRead|TestVersionedStore' ./internal/exec
+	GOMAXPROCS=8 $(GO) test -race -count=1 -run 'TestMVRead|TestVersionedStore' ./internal/exec
+	$(GO) run ./cmd/pwsrfuzz -mode mvread -trials 200 -seed 7
+
+# bench-refresh regenerates every checked-in machine-readable
+# benchmark artifact (PERF6–PERF11 plus the monitor stream and the
+# ROBUST1 chaos band) and prints a fingerprint line per file — sha256
+# and the recorded host_cpus — so a refresh PR shows at a glance what
+# was re-recorded and at what parallelism. Run it on multi-core
+# hardware and check the results in to turn the parallel baseline
+# gate's speedup-shape fallback into absolute-throughput gating; the
+# bench-refresh CI job does exactly this on runners with ≥4 CPUs and
+# uploads the files as an artifact.
+.PHONY: bench-refresh
+bench-refresh: bench bench-parallel bench-chaos bench-mvread
+	@echo "--- BENCH_*.json fingerprints ---"
+	@for f in BENCH_*.json; do \
+		cpus=$$(grep -m1 -o '"host_cpus": *[0-9]*' $$f | grep -o '[0-9]*' || echo '?'); \
+		printf '%s  host_cpus=%s\n' "$$(sha256sum $$f)" "$$cpus"; \
+	done
+
 # bench-cpu is the PERF6 scaling sweep: the sharded-monitor and
 # lock-free-intern families across GOMAXPROCS widths, plus the
 # pwsrbench sweep that rewrites BENCH_sharded.json.

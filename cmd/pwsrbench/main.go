@@ -35,7 +35,17 @@
 //     the machine-readable BENCH_parallel.json records, and `-baseline`
 //     gates the run against a checked-in file: >`-maxregress`%%
 //     throughput regression fails, as does a 4-worker 0%%-conflict
-//     speedup under `-minspeedup` when the host has ≥4 CPUs).
+//     speedup under `-minspeedup` when the host has ≥4 CPUs; a
+//     baseline recorded on a host with a different CPU count triggers
+//     a loud stderr warning that only the speedup shape is being
+//     gated),
+//   - PERF11  — multiversion snapshot reads: a mixed batch of hot-item
+//     writers and scan readers, each conflict cell measured with the
+//     readers certified through the gate and again declared read-only
+//     and served from pinned snapshots that bypass certification
+//     entirely, every bypass run re-proved PWSR (section "mvread";
+//     `-mvreadout` writes the machine-readable BENCH_mvread.json
+//     records).
 //
 // Every machine-readable file carries the host fingerprint — go
 // version, GOOS/GOARCH, host_cpus (runtime.NumCPU) and gomaxprocs at
@@ -51,6 +61,7 @@
 //	          [-walout BENCH_wal.json]
 //	          [-parallelout BENCH_parallel.json]
 //	          [-chaosout BENCH_chaos.json]
+//	          [-mvreadout BENCH_mvread.json]
 //	          [-baseline BENCH_parallel.json] [-maxregress 10] [-minspeedup 1.5]
 package main
 
@@ -74,7 +85,7 @@ func main() {
 		seed        = flag.Int64("seed", 1, "base seed")
 		quick       = flag.Bool("quick", false, "smaller sweeps and campaigns")
 		figures     = flag.Bool("figures", true, "print the worked figure illustrations")
-		section     = flag.String("section", "all", "one of: all, examples, theorems, exhaustive, figures, perf, sharded, compact, hotpath, wal, parallel, chaos")
+		section     = flag.String("section", "all", "one of: all, examples, theorems, exhaustive, figures, perf, sharded, compact, hotpath, wal, parallel, chaos, mvread")
 		cpu         = flag.String("cpu", "1,2,4,8", "comma-separated widths: GOMAXPROCS for the PERF6 sweep, worker counts for PERF10")
 		benchout    = flag.String("benchout", "", "write the PERF6 records as JSON to this file")
 		compactout  = flag.String("compactout", "", "write the PERF7 records as JSON to this file")
@@ -82,6 +93,7 @@ func main() {
 		walout      = flag.String("walout", "", "write the PERF9 records as JSON to this file")
 		parallelout = flag.String("parallelout", "", "write the PERF10 records as JSON to this file")
 		chaosout    = flag.String("chaosout", "", "write the ROBUST1 records as JSON to this file")
+		mvreadout   = flag.String("mvreadout", "", "write the PERF11 records as JSON to this file")
 		baseline    = flag.String("baseline", "", "checked-in PERF10 JSON to gate this run against")
 		maxregress  = flag.Float64("maxregress", 10, "fail if PERF10 throughput regresses more than this percent vs -baseline")
 		minspeedup  = flag.Float64("minspeedup", 1.5, "fail if the 4-worker 0%-conflict PERF10 speedup is below this (hosts with >=4 CPUs only)")
@@ -101,7 +113,8 @@ func main() {
 		quick: *quick, cpus: cpus,
 		benchout: *benchout, compactout: *compactout, hotpathout: *hotpathout,
 		walout: *walout, parallelout: *parallelout, chaosout: *chaosout,
-		baseline: *baseline, maxregress: *maxregress, minspeedup: *minspeedup,
+		mvreadout: *mvreadout,
+		baseline:  *baseline, maxregress: *maxregress, minspeedup: *minspeedup,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "pwsrbench:", err)
@@ -123,6 +136,7 @@ type benchOpts struct {
 	walout      string
 	parallelout string
 	chaosout    string
+	mvreadout   string
 	baseline    string
 	maxregress  float64
 	minspeedup  float64
@@ -221,6 +235,15 @@ type chaosBenchFile struct {
 	Seed    int64                     `json:"seed"`
 	Trials  int                       `json:"trials"`
 	Records []experiments.ChaosRecord `json:"records"`
+}
+
+// mvreadBenchFile is the JSON record set written for the PERF11
+// multiversion-read study: gate vs bypass reader throughput per
+// conflict cell.
+type mvreadBenchFile struct {
+	hostMeta
+	Seed    int64                      `json:"seed"`
+	Records []experiments.MVReadRecord `json:"records"`
 }
 
 func run(o benchOpts) error {
@@ -489,6 +512,27 @@ func run(o benchOpts) error {
 			fmt.Printf("wrote %d ROBUST1 records to %s\n", len(records), o.chaosout)
 		}
 	}
+	if all || section == "mvread" {
+		tab, records, err := experiments.MVReadStudy(seed, quick)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		if o.mvreadout != "" {
+			data, err := json.MarshalIndent(mvreadBenchFile{
+				hostMeta: currentHostMeta(),
+				Seed:     seed,
+				Records:  records,
+			}, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(o.mvreadout, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d PERF11 records to %s\n", len(records), o.mvreadout)
+		}
+	}
 	return nil
 }
 
@@ -513,6 +557,13 @@ func gateParallel(records []experiments.ParallelScalingRecord, baselinePath stri
 		return fmt.Errorf("parallel baseline %s: %w", baselinePath, err)
 	}
 	sameHostShape := base.HostCPUs == runtime.NumCPU()
+	if !sameHostShape {
+		fmt.Fprintf(os.Stderr,
+			"pwsrbench: WARNING: baseline %s was recorded on a %d-CPU host; this host has %d.\n"+
+				"pwsrbench: WARNING: absolute txns/s are NOT comparable across hosts — gating on the speedup SHAPE only.\n"+
+				"pwsrbench: WARNING: re-record the baseline on this host (make bench-parallel) to restore absolute-throughput gating.\n",
+			baselinePath, base.HostCPUs, runtime.NumCPU())
+	}
 	baseByCell := make(map[[2]int]experiments.ParallelScalingRecord, len(base.Records))
 	for _, r := range base.Records {
 		baseByCell[[2]int{r.Workers, r.ConflictPct}] = r
@@ -551,6 +602,10 @@ func gateParallel(records []experiments.ParallelScalingRecord, baselinePath stri
 	if len(failures) > 0 {
 		return fmt.Errorf("parallel regression gate failed:\n  %s", strings.Join(failures, "\n  "))
 	}
-	fmt.Printf("parallel regression gate passed vs %s (max regression %.1f%%)\n", baselinePath, maxRegressPct)
+	if sameHostShape {
+		fmt.Printf("parallel regression gate passed vs %s (max regression %.1f%%)\n", baselinePath, maxRegressPct)
+	} else {
+		fmt.Printf("parallel regression gate passed vs %s (SPEEDUP SHAPE ONLY — see warning above; max regression %.1f%%)\n", baselinePath, maxRegressPct)
+	}
 	return nil
 }

@@ -33,7 +33,18 @@
 //	            counts, live populations, lifecycle counters, and
 //	            live-edge sets; then randomized lifecycle scripts fuzz
 //	            the same differential (FuzzCommitCompact is the native
-//	            testing.F harness over the same corpus).
+//	            testing.F harness over the same corpus);
+//	mvread      the multiversion read path: the checked-in corpus under
+//	            testdata/mvread (generator config + gate shape + reader
+//	            begin ticks, covering the aborting optimistic fixture,
+//	            sharded gates, and begins at 0 and beyond the run), then
+//	            randomized mixed workloads; each case runs with and
+//	            without declared read-only scans and must keep every
+//	            bypass obligation — readers never denied or aborted,
+//	            the read-write projection identical to the reader-free
+//	            run, the combined spliced schedule PWSR, and its replay
+//	            value-consistent (so no snapshot ever exposes an
+//	            aborted writer's effects).
 //
 // Parser/round-trip fuzzing lives in the native testing.F harnesses
 // (txn.FuzzParseSchedule, constraint.FuzzParseIC and friends, with
@@ -64,7 +75,7 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "example2", "example2 | fixed | dr | ordered | optimistic | sharded | compact")
+		mode    = flag.String("mode", "example2", "example2 | fixed | dr | ordered | optimistic | sharded | compact | mvread")
 		trials  = flag.Int("trials", 500, "number of seeded trials")
 		seed    = flag.Int64("seed", 7, "base seed")
 		verbose = flag.Bool("v", false, "print each violation's schedule and programs")
@@ -96,6 +107,9 @@ func run(mode string, trials int, baseSeed int64, verbose bool) (int, error) {
 	}
 	if mode == "compact" {
 		return runCompact(trials, baseSeed, verbose)
+	}
+	if mode == "mvread" {
+		return runMVRead(trials, baseSeed, verbose)
 	}
 	found := 0
 	for i := 0; i < trials; i++ {

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -61,5 +62,64 @@ func TestCompactCorpusReplays(t *testing.T) {
 	}
 	if found != 0 {
 		t.Fatalf("%d differential divergences in a population that guarantees zero", found)
+	}
+}
+
+// FuzzMVRead fuzzes the multiversion read-path differential at the
+// corpus-file granularity: any parseable case — generator config, gate
+// shape, reader begin ticks — must keep every bypass obligation
+// (readers never denied or aborted, read-write projection identical to
+// the reader-free run, combined schedule PWSR and value-consistent).
+// The checked-in testdata/mvread corpus seeds the fuzzer, so plain
+// `go test` replays the named scenarios as regression cases.
+func FuzzMVRead(f *testing.F) {
+	corpus, err := filepath.Glob(filepath.Join(mvreadCorpusDir, "*.txt"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(corpus) == 0 {
+		f.Fatalf("no seed corpus under %s", mvreadCorpusDir)
+	}
+	for _, path := range corpus {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<12 {
+			t.Skip("oversized input")
+		}
+		c, err := parseMVReadCase(data)
+		if err != nil {
+			t.Skip() // unparseable input
+		}
+		if c.cfg.Conjuncts > 4 || c.cfg.Programs > 6 || c.cfg.MovesPerProgram > 4 || len(c.begins) > 8 {
+			t.Skip("oversized case")
+		}
+		diag, err := mvreadDifferential(c)
+		if err != nil {
+			if strings.Contains(err.Error(), "generate:") {
+				t.Skip() // config the workload generator rejects
+			}
+			t.Fatalf("mvread differential: %v\ninput:\n%s", err, data)
+		}
+		if diag != "" {
+			t.Fatalf("mvread differential: %s\ninput:\n%s", diag, data)
+		}
+	})
+}
+
+// TestMVReadCorpusReplays pins the corpus through the -mode mvread
+// entry point itself (glob fallback included), so the command-level
+// harness stays wired.
+func TestMVReadCorpusReplays(t *testing.T) {
+	found, err := runMVRead(25, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found != 0 {
+		t.Fatalf("%d bypass-obligation violations in a population that guarantees zero", found)
 	}
 }

@@ -144,6 +144,9 @@ func (m *Monitor) Compact() int {
 	for d := int32(0); int(d) < n; d++ {
 		if m.committedB[d] && !m.inAnyGraph(d) {
 			remap[d] = -1
+			if orig := m.txns.Orig(d); orig > m.compactWM {
+				m.compactWM = orig
+			}
 			if m.sink != nil {
 				reclaimedIDs = append(reclaimedIDs, m.txns.Orig(d))
 			}
@@ -240,6 +243,18 @@ func (m *Monitor) inAnyGraph(d int32) bool {
 // compaction. Under a steady commit stream this is what stays bounded
 // by the concurrent window while Ops() grows.
 func (m *Monitor) LiveTxns() int { return m.liveTxns }
+
+// CompactWatermark returns the highest original transaction id a
+// Compact pass has physically reclaimed, 0 before any reclamation.
+// Under an id-ordered commit discipline (the block-parallel engine's
+// ascending-id pipeline) it is a true low-watermark: every
+// transaction at or below it is committed, reclaimed, and outside any
+// future conflict cycle — the same ancestor-closed region the Compact
+// soundness argument removes. Consumers anchoring their own retention
+// to the certifier (the multiversion store's version GC) advance
+// their floor to this mark. Without id-ordered commits it is only the
+// maximum reclaimed id, not a prefix bound.
+func (m *Monitor) CompactWatermark() int { return m.compactWM }
 
 // CompactStats snapshots the lifecycle counters.
 func (m *Monitor) CompactStats() CompactStats {

@@ -120,6 +120,12 @@ type Monitor struct {
 	compactions   int
 	reclaimedTxns int
 	reclaimedOps  int
+	// compactWM is the highest original transaction id a Compact pass
+	// has physically reclaimed (0 before any reclamation) — the
+	// monitor's low-watermark, exported through CompactWatermark for
+	// consumers that tie their own retention to the certifier's (the
+	// multiversion store's version GC).
+	compactWM int
 }
 
 // NewMonitor builds a monitor over the conjunct partition. Automatic

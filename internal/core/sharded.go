@@ -81,6 +81,7 @@ type ShardedMonitor struct {
 	autoEvery     int
 	compactMu     sync.Mutex
 	watermark     atomic.Int64
+	compactWM     atomic.Int64
 	compactions   atomic.Int64
 	reclaimedTxns atomic.Int64
 
@@ -604,6 +605,12 @@ func (m *ShardedMonitor) Compact() int {
 		m.txnOps.Store(&next)
 		m.routeMu.Unlock()
 		m.reclaimedTxns.Add(int64(len(gone)))
+		// gone is sorted, so its last element is the pass's highest
+		// reclaimed id; Compact passes are serialized by compactMu, so
+		// a plain max-update cannot race another writer.
+		if hi := int64(gone[len(gone)-1]); hi > m.compactWM.Load() {
+			m.compactWM.Store(hi)
+		}
 	}
 	if m.sink != nil {
 		m.sink.LogCompact(gone, m.CompactStats(), m.Ops())
@@ -674,6 +681,21 @@ func (m *ShardedMonitor) SetAutoCompact(n int) int {
 // a violation the watermark is meaningless along with the rest of the
 // frozen lifecycle state.
 func (m *ShardedMonitor) Watermark() int { return int(m.watermark.Load()) }
+
+// CompactWatermark returns the highest transaction id a Compact pass
+// has physically reclaimed (0 before any reclamation), mirroring
+// Monitor.CompactWatermark: under an id-ordered commit discipline it
+// is the certifier's retention low-watermark, the anchor consumers
+// such as the multiversion store's version GC advance their floor to.
+func (m *ShardedMonitor) CompactWatermark() int {
+	if m.single {
+		sh := m.shards[0]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		return sh.mon.CompactWatermark()
+	}
+	return int(m.compactWM.Load())
+}
 
 // ConflictEdges returns conjunct e's current conflict edges as
 // original transaction-id pairs, sorted, by delegating to the owning

@@ -388,6 +388,17 @@ type Metrics struct {
 	// batch — each one is a conflicting commit the optimistic check
 	// caught. Always zero under Run.
 	Conflicts int
+	// ROTxns counts declared read-only transactions served from
+	// multiversion snapshots (never denied, never aborted); ROOps
+	// counts the snapshot reads they performed. Snapshot reads do not
+	// consume clock ticks: Ticks keeps counting read-write grants (and
+	// passed ticks under Run) only.
+	ROTxns int
+	ROOps  int
+	// MV is the multiversion store's retention accounting at the end
+	// of the run, populated by the engines that run one (ParallelEngine
+	// always, Run when read-only transactions are declared).
+	MV VersionStats
 }
 
 // TxnMetrics is per-transaction timing.
@@ -431,6 +442,28 @@ type Config struct {
 	// engine gives up with ErrStall (a livelock backstop for Restarter
 	// policies); 0 means the default of 65536.
 	MaxAborts int
+	// ReadOnly declares transactions served from multiversion
+	// snapshots instead of the tick loop: a declared transaction never
+	// requests grants, never reaches the Policy (or the certification
+	// gate inside it), and can neither be denied, blocked, nor
+	// aborted. It reads, atomically, the state produced by the
+	// engine's sealed committed prefix — the longest prefix of the
+	// recorded schedule all of whose operations belong to finished
+	// transactions that lie entirely inside it — and its operations
+	// are spliced into the result schedule at that prefix's offset
+	// (see mvread.go for the combined-schedule PWSR argument). A
+	// declared program whose text writes a shared item fails the run
+	// with ErrReadOnlyWrite before anything executes. Each id must
+	// name a Programs entry.
+	ReadOnly map[int]bool
+	// ROBegin optionally schedules when each declared read-only
+	// transaction acquires its snapshot, in clock ticks: the reader is
+	// served at the first scheduling round whose clock has reached its
+	// begin tick (missing or ≤ 0 means at run start; a tick beyond the
+	// run's end means after the last writer finishes). Spreading begin
+	// ticks lets tests and workloads exercise snapshots of mid-run
+	// prefixes.
+	ROBegin map[int]int
 }
 
 // Result is the outcome of a concurrent run.
@@ -506,6 +539,15 @@ func Run(cfg Config) (*Result, error) {
 		interp = program.NewInterp()
 	}
 
+	roList, err := roIDs(cfg.ReadOnly, cfg.Programs)
+	if err != nil {
+		return nil, err
+	}
+	isRO := make(map[int]bool, len(roList))
+	for _, id := range roList {
+		isRO[id] = true
+	}
+
 	access := make(map[int]AccessDecl, len(cfg.Programs))
 	for id, p := range cfg.Programs {
 		if a, ok := cfg.Access[id]; ok {
@@ -534,6 +576,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	ids := make([]int, 0, len(cfg.Programs))
 	for id := range cfg.Programs {
+		if isRO[id] {
+			continue // served from snapshots, never ticked
+		}
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
@@ -542,8 +587,11 @@ func Run(cfg Config) (*Result, error) {
 		spawn(id)
 	}
 
-	metrics := Metrics{PerTxn: make(map[int]*TxnMetrics, len(ids))}
+	metrics := Metrics{PerTxn: make(map[int]*TxnMetrics, len(cfg.Programs))}
 	for _, id := range ids {
+		metrics.PerTxn[id] = &TxnMetrics{Start: -1}
+	}
+	for _, id := range roList {
 		metrics.PerTxn[id] = &TxnMetrics{Start: -1}
 	}
 	pending := make(map[int]*Request, len(ids))
@@ -560,6 +608,97 @@ func Run(cfg Config) (*Result, error) {
 	writeHist := make(map[string][]writeRec)
 	readsFrom := make(map[int]map[int]bool)
 	writesOf := make(map[int][]string)
+
+	// Multiversion read-path state (allocated only when read-only
+	// transactions are declared): mv is the snapshot source, mvQ the
+	// operation count of the sealed committed prefix published into it,
+	// and roResults the completed readers awaiting the end-of-run
+	// splice. The sealed prefix is immutable: its owners are finished,
+	// finished transactions are never aborted (View.AbortClosure pins
+	// them), and expunging a live transaction's operations can only
+	// touch positions at or beyond mvQ — a live transaction's first
+	// operation bounds every seal.
+	var mv *VersionedStore
+	var mvQ int
+	var roResults []roResult
+	roServed := make(map[int]bool, len(roList))
+	if len(roList) > 0 {
+		mv = NewVersionedStore(cfg.Initial)
+	}
+
+	// advanceMV seals the longest transaction-closed finished prefix
+	// of the recorded schedule and publishes its writes into the
+	// multiversion store as one fresh stamp: the snapshot at that
+	// stamp is exactly the replay of ops[0:mvQ) — committed state no
+	// abort can retract.
+	advanceMV := func() {
+		lastPos := make(map[int]int, len(metrics.PerTxn))
+		for i, o := range ops {
+			lastPos[o.Txn] = i
+		}
+		maxPos, cut := -1, mvQ
+		for i := mvQ; i < len(ops); i++ {
+			o := ops[i]
+			if !v.Finished[o.Txn] {
+				break // a live owner's operation bounds every seal
+			}
+			if p := lastPos[o.Txn]; p > maxPos {
+				maxPos = p
+			}
+			if maxPos <= i {
+				cut = i + 1
+			}
+		}
+		if cut == mvQ {
+			return
+		}
+		writes := make(map[string]state.Value)
+		for _, o := range ops[mvQ:cut] {
+			if o.Action == txn.ActionWrite {
+				writes[o.Entity] = o.Value
+			}
+		}
+		mv.commit(writes)
+		mvQ = cut
+	}
+
+	// serveRO runs one declared reader to completion against a pinned
+	// snapshot of the sealed prefix. A program error is authoritative:
+	// the snapshot is a consistent committed state.
+	serveRO := func(id int) error {
+		advanceMV()
+		sn := mv.Acquire()
+		acc := &snapshotAccessor{sn: sn, id: id}
+		err := interp.Run(cfg.Programs[id], acc)
+		sn.Release()
+		if err != nil {
+			return fmt.Errorf("exec: T%d: %w", id, err)
+		}
+		roResults = append(roResults, roResult{id: id, anchor: mvQ, order: len(roResults), ops: acc.ops})
+		tm := metrics.PerTxn[id]
+		tm.Start, tm.End, tm.Ops = v.Clock, v.Clock, len(acc.ops)
+		metrics.ROTxns++
+		metrics.ROOps += len(acc.ops)
+		return nil
+	}
+
+	// serveDueROs serves every not-yet-served reader whose begin tick
+	// the clock has reached (all of them when final).
+	serveDueROs := func(final bool) error {
+		for _, id := range roList {
+			if roServed[id] {
+				continue
+			}
+			if !final && cfg.ROBegin[id] > v.Clock {
+				continue
+			}
+			roServed[id] = true
+			if err := serveRO(id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 
 	// abort cancels all outstanding work after an error: pending
 	// requests get error replies; remaining events are drained until
@@ -682,6 +821,14 @@ func Run(cfg Config) (*Result, error) {
 	pids := make([]int, 0, len(ids))
 
 	for len(v.Live) > 0 {
+		// Serve declared readers whose begin tick has arrived: they
+		// snapshot the sealed committed prefix and complete without
+		// entering the pending set or the policy.
+		if err := serveDueROs(false); err != nil {
+			runErr = err
+			abort()
+			return nil, runErr
+		}
 		// Gather one request per live transaction.
 		for len(pending) < len(v.Live) {
 			ev := <-events
@@ -812,6 +959,17 @@ func Run(cfg Config) (*Result, error) {
 			metrics.Waits++
 		}
 		granted.reply <- rep
+	}
+
+	// Readers whose begin tick lies beyond the run snapshot the full
+	// final prefix (every writer has finished, so the seal reaches the
+	// end of the schedule).
+	if err := serveDueROs(true); err != nil {
+		return nil, err
+	}
+	if mv != nil {
+		ops = spliceRO(ops, roResults)
+		metrics.MV = mv.VersionStats()
 	}
 
 	harvestReporters(cfg.Policy, &metrics)

@@ -3,6 +3,7 @@ package exec
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // ErrJournalDown is returned by Run — instead of, and distinguishable
@@ -82,6 +83,11 @@ type Health struct {
 	Dropped int64
 	// Queued is the current depth of the admission buffer.
 	Queued int
+	// OutageAge is how long the current journal outage has been
+	// running (zero while healthy): the age of the sticky error a
+	// frozen gate latched, or of the outage a buffering gate is
+	// bridging.
+	OutageAge time.Duration
 }
 
 // HealthReporter is an optional Policy extension: a journaled gate
@@ -97,7 +103,12 @@ type HealthReporter interface {
 // frozen by a journal fail-stop surfaces ErrJournalDown, a shedding
 // gate ErrDegraded — neither wraps ErrStall, so callers can
 // errors.Is-distinguish a storage outage from a scheduling livelock.
-// A healthy (or health-less) policy keeps the original stall error.
+// A stall while the gate is buffering through an outage keeps the
+// ErrStall identity (the gate is still admitting; the stall is a
+// scheduling condition) but carries the outage posture — queue depth
+// and outage age — so the operator sees the journal is down instead
+// of a bare stall. A healthy (or health-less) policy keeps the
+// original stall error.
 func stallCause(p Policy, stall error) error {
 	hr, ok := p.(HealthReporter)
 	if !ok {
@@ -108,6 +119,9 @@ func stallCause(p Policy, stall error) error {
 		return fmt.Errorf("%w: %v", ErrJournalDown, h.JournalErr)
 	case ModeShed:
 		return fmt.Errorf("%w: %v", ErrDegraded, h.JournalErr)
+	case ModeBuffering:
+		return fmt.Errorf("%w (journal outage in progress: buffering, %d queued, down %v: %v)",
+			stall, h.Queued, h.OutageAge.Round(time.Millisecond), h.JournalErr)
 	}
 	return stall
 }

@@ -62,6 +62,16 @@ type ParallelConfig struct {
 	MaxRetries int
 	// Interp configures program execution; nil means NewInterp().
 	Interp *program.Interp
+	// ReadOnly declares transactions served from pinned multiversion
+	// snapshots instead of the speculate/validate/commit pipeline: a
+	// declared transaction acquires a snapshot of the committed prefix
+	// at begin, reads it without validation, never enters the Gate,
+	// and can neither be denied nor aborted (a batch whose declared
+	// program writes a shared item is rejected with ErrReadOnlyWrite
+	// before anything runs). Its operations are spliced into the
+	// result schedule at the snapshot's committed-prefix offset — see
+	// mvread.go for why the combined schedule stays PWSR.
+	ReadOnly map[int]bool
 }
 
 // ParallelEngine is the block-parallel batch executor: a worker pool
@@ -89,6 +99,16 @@ type ParallelEngine struct {
 	workers    int
 	maxRetries int
 	interp     *program.Interp
+	readOnly   map[int]bool
+
+	// wmr is the gate's optional Compact-watermark hook. When present
+	// the store runs with a manual retention floor anchored at the
+	// certifier's Compact watermark: wmQueue records (txn, stamp)
+	// pairs in commit order, and the floor advances to the stamp of
+	// the last commit at or below the reported watermark — version GC
+	// and certifier GC follow the same low-watermark argument.
+	wmr     WatermarkReporter
+	wmQueue []txnStamp
 
 	// batchMu serializes ExecuteBatch calls; the worker pool and commit
 	// pipeline inside one batch have their own synchronization.
@@ -132,13 +152,36 @@ func NewParallelEngine(cfg ParallelConfig) *ParallelEngine {
 	if in == nil {
 		in = program.NewInterp()
 	}
-	return &ParallelEngine{
+	e := &ParallelEngine{
 		store:      NewVersionedStore(cfg.Initial),
 		gate:       cfg.Gate,
 		workers:    workers,
 		maxRetries: retries,
 		interp:     in,
 	}
+	if len(cfg.ReadOnly) > 0 {
+		e.readOnly = make(map[int]bool, len(cfg.ReadOnly))
+		for id, on := range cfg.ReadOnly {
+			if on {
+				e.readOnly[id] = true
+			}
+		}
+	}
+	if wmr, ok := cfg.Gate.(WatermarkReporter); ok {
+		e.wmr = wmr
+		// Anchor retention at the certifier's Compact watermark from
+		// the start: the floor begins at 0 (everything retained) and
+		// advances only as the certifier reclaims.
+		e.store.SetRetainFloor(0)
+	}
+	return e
+}
+
+// txnStamp pairs a committed transaction with the store stamp its
+// commit produced, for Compact-watermark floor advancement.
+type txnStamp struct {
+	txn   int
+	stamp uint64
 }
 
 // Store exposes the engine's versioned store for inspection.
@@ -169,31 +212,67 @@ type batchState struct {
 	perTxn map[int]*TxnMetrics
 	err    error
 	failed atomic.Bool // lock-free mirror of err != nil for worker bail-out
+
+	// Read-only bypass state: completed reader results awaiting the
+	// end-of-batch splice, and the begin-order counter that breaks
+	// anchor ties.
+	ro    []roResult
+	roSeq int
+}
+
+// fail records the batch's first error under bs.mu.
+func (bs *batchState) fail(err error) {
+	if bs.err == nil {
+		bs.err = err
+		bs.failed.Store(true)
+	}
 }
 
 // ExecuteBatch runs one batch of independent programs to completion
 // and returns the combined result: the schedule in ascending
 // transaction-id (= commit) order, the final store state, and metrics
-// (Ticks counts granted operations as in Run; Retries/Conflicts count
-// the speculation cost; gate reporter counters are harvested as in
-// Run). On a program error or fatal gate error the batch stops: the
-// error is returned, transactions already committed stay committed in
-// the store and on the gate, and the rest of the batch is discarded.
+// (Ticks counts committed read-write operations as in Run;
+// Retries/Conflicts count the speculation cost; gate reporter
+// counters are harvested as in Run). On a program error or fatal gate
+// error the batch stops: the error is returned, transactions already
+// committed stay committed in the store and on the gate, and the rest
+// of the batch is discarded.
+//
+// Transactions declared read-only (ParallelConfig.ReadOnly) skip the
+// pipeline: each acquires a pinned snapshot — atomically with the
+// commit step, so the snapshot is exactly a committed prefix — reads
+// it without validation or gate admission, and its operations are
+// spliced into the result schedule at that prefix's offset. Readers
+// are never denied and never abort; Metrics.ROTxns/ROOps count them.
+// Their placement depends on when workers reach them, so with
+// declared readers the schedule's reader positions (never the
+// read-write sub-schedule, its state, or its verdict) may vary across
+// runs and worker counts.
 func (e *ParallelEngine) ExecuteBatch(programs map[int]*program.Program) (*Result, error) {
 	e.batchMu.Lock()
 	defer e.batchMu.Unlock()
 
+	batchRO := make(map[int]bool)
 	ids := make([]int, 0, len(programs))
 	for id := range programs {
+		if e.readOnly[id] {
+			batchRO[id] = true
+			continue
+		}
 		ids = append(ids, id)
 	}
 	slices.Sort(ids)
+	roList, err := roIDs(batchRO, programs)
+	if err != nil {
+		return nil, err
+	}
 
-	bs := &batchState{perTxn: make(map[int]*TxnMetrics, len(ids))}
+	bs := &batchState{perTxn: make(map[int]*TxnMetrics, len(programs))}
 	slots := make([]atomic.Pointer[attempt], len(ids))
 	var claim, retries, conflicts atomic.Int64
+	tasks := len(ids) + len(roList)
 
-	workers := min(e.workers, len(ids))
+	workers := min(e.workers, tasks)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -204,8 +283,12 @@ func (e *ParallelEngine) ExecuteBatch(programs map[int]*program.Program) (*Resul
 					return
 				}
 				i := int(claim.Add(1)) - 1
-				if i >= len(ids) {
+				if i >= tasks {
 					return
+				}
+				if i >= len(ids) {
+					e.executeRO(bs, roList[i-len(ids)], programs)
+					continue
 				}
 				id := ids[i]
 				a := e.execute(id, programs[id])
@@ -241,18 +324,70 @@ func (e *ParallelEngine) ExecuteBatch(programs map[int]*program.Program) (*Resul
 	if bs.err != nil {
 		return nil, bs.err
 	}
+	roOps := 0
+	for _, r := range bs.ro {
+		roOps += len(r.ops)
+	}
+	merged := spliceRO(bs.ops, bs.ro)
+	if len(bs.ro) > 0 {
+		// Re-derive per-transaction spans in merged-schedule
+		// coordinates (the splice shifts read-write positions past
+		// each insertion). Transactions without operations keep their
+		// deposit-time spans.
+		seen := make(map[int]bool, len(bs.perTxn))
+		for _, o := range merged {
+			tm := bs.perTxn[o.Txn]
+			if !seen[o.Txn] {
+				seen[o.Txn] = true
+				tm.Start = o.Pos
+			}
+			tm.End = o.Pos + 1
+		}
+	}
 	m := Metrics{
 		Ticks:     len(bs.ops),
 		PerTxn:    bs.perTxn,
 		Retries:   int(retries.Load()),
 		Conflicts: int(conflicts.Load()),
+		ROTxns:    len(bs.ro),
+		ROOps:     roOps,
+		MV:        e.store.VersionStats(),
 	}
 	harvestReporters(e.gate, &m)
 	return &Result{
-		Schedule: txn.NewSchedule(bs.ops...),
+		Schedule: txn.NewSchedule(merged...),
 		Final:    e.store.Snapshot(),
 		Metrics:  m,
 	}, nil
+}
+
+// executeRO serves one declared read-only transaction: pin a snapshot
+// atomically with the commit step (bs.mu is the commit lock, so
+// len(bs.ops) is exactly the operation count of the committed prefix
+// the snapshot captures), run the program against the frozen view off
+// the lock, and deposit the result for the end-of-batch splice. A
+// program error is authoritative — the snapshot is a consistent
+// committed state, so a serial run fails identically.
+func (e *ParallelEngine) executeRO(bs *batchState, id int, programs map[int]*program.Program) {
+	bs.mu.Lock()
+	sn := e.store.Acquire()
+	anchor := len(bs.ops)
+	order := bs.roSeq
+	bs.roSeq++
+	bs.mu.Unlock()
+
+	acc := &snapshotAccessor{sn: sn, id: id}
+	err := e.interp.Run(programs[id], acc)
+	sn.Release()
+
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if err != nil {
+		bs.fail(fmt.Errorf("exec: T%d: %w", id, err))
+		return
+	}
+	bs.ro = append(bs.ro, roResult{id: id, anchor: anchor, order: order, ops: acc.ops})
+	bs.perTxn[id] = &TxnMetrics{Start: anchor, End: anchor, Ops: len(acc.ops)}
 }
 
 // drain advances the commit frontier: while the next transaction in id
@@ -308,6 +443,34 @@ func (e *ParallelEngine) drain(bs *batchState, slots []atomic.Pointer[attempt], 
 		bs.ops = append(bs.ops, a.ops...)
 		bs.perTxn[id] = &TxnMetrics{Start: base, End: base + len(a.ops), Ops: len(a.ops)}
 		bs.next++
+		e.advanceFloor(id)
+	}
+}
+
+// advanceFloor chases the certifier's Compact watermark after a
+// commit: record the committed transaction's stamp, then raise the
+// store's retention floor to the stamp of the last commit at or below
+// the reported watermark. Commits land in ascending id order, so the
+// watermark is a true prefix bound and the queue drains in order.
+// Called with bs.mu held (the commit step).
+func (e *ParallelEngine) advanceFloor(id int) {
+	if e.wmr == nil {
+		return
+	}
+	e.wmQueue = append(e.wmQueue, txnStamp{txn: id, stamp: e.store.Stamp()})
+	w := e.wmr.CompactWatermark()
+	var floor uint64
+	drop := 0
+	for _, ts := range e.wmQueue {
+		if ts.txn > w {
+			break
+		}
+		floor = ts.stamp
+		drop++
+	}
+	if drop > 0 {
+		e.wmQueue = append(e.wmQueue[:0], e.wmQueue[drop:]...)
+		e.store.SetRetainFloor(floor)
 	}
 }
 

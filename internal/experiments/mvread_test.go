@@ -1,0 +1,47 @@
+package experiments
+
+import "testing"
+
+// TestMVReadStudy smoke-tests the PERF11 sweep in quick mode: every
+// conflict cell must produce a gate and a bypass record (the bypass
+// runs re-proved PWSR and value-consistent inside the study), bypass
+// rows must account for every declared reader, and gate rows must
+// never leak a reader past the pipeline.
+func TestMVReadStudy(t *testing.T) {
+	tab, recs, err := MVReadStudy(7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// quick mode: 2 conflict rates × 2 modes.
+	if len(recs) != 4 {
+		t.Fatalf("records = %d, want 4", len(recs))
+	}
+	if len(tab.Rows) != len(recs) {
+		t.Fatalf("table rows = %d, records = %d", len(tab.Rows), len(recs))
+	}
+	for i, r := range recs {
+		wantMode := []string{"gate", "bypass"}[i%2]
+		if r.Mode != wantMode {
+			t.Fatalf("record %d mode = %q, want %q", i, r.Mode, wantMode)
+		}
+		if r.TxnsPerSec <= 0 || r.ReadersPerSec <= 0 || r.NsPerTxn <= 0 {
+			t.Fatalf("record %+v: non-positive measurement", r)
+		}
+		switch r.Mode {
+		case "gate":
+			if r.ROTxns != 0 {
+				t.Fatalf("gate record %+v: readers leaked past the pipeline", r)
+			}
+			if r.ROSpeedup != 1 {
+				t.Fatalf("gate record %+v: speedup baseline must be 1", r)
+			}
+		case "bypass":
+			if r.ROTxns != r.Readers {
+				t.Fatalf("bypass record %+v: ROTxns != Readers", r)
+			}
+			if r.ROSpeedup <= 0 {
+				t.Fatalf("bypass record %+v: non-positive RO speedup", r)
+			}
+		}
+	}
+}

@@ -432,6 +432,9 @@ func (j *journaled) health() exec.Health {
 		Dropped:  j.dropped,
 		Queued:   len(j.queue),
 	}
+	if !j.downSince.IsZero() {
+		h.OutageAge = time.Since(j.downSince)
+	}
 	switch {
 	case j.degraded:
 		h.Mode = exec.ModeShed
@@ -440,9 +443,17 @@ func (j *journaled) health() exec.Health {
 		h.Mode = exec.ModeFailStop
 		h.FailStopLatched = true
 		h.JournalErr = j.jerr
-	case j.journal != nil && (len(j.queue) > 0 || j.journal.Barrier() != nil):
-		h.Mode = exec.ModeBuffering
-		h.JournalErr = j.journal.Barrier()
+	case j.journal != nil:
+		// Probe the barrier exactly once: the mode decision and the
+		// reported error must come from the same observation, or a
+		// writer failing between two probes yields a ModeBuffering
+		// report with a nil JournalErr (or vice versa).
+		if berr := j.journal.Barrier(); len(j.queue) > 0 || berr != nil {
+			h.Mode = exec.ModeBuffering
+			h.JournalErr = berr
+		} else {
+			h.Mode = exec.ModeOK
+		}
 	default:
 		h.Mode = exec.ModeOK
 	}

@@ -35,6 +35,11 @@ type Certifier interface {
 	Compact() int
 	// CompactStats snapshots the lifecycle counters.
 	CompactStats() core.CompactStats
+	// CompactWatermark returns the highest transaction id a Compact
+	// pass has physically reclaimed (0 before any) — the certifier's
+	// retention low-watermark under an id-ordered commit discipline
+	// (see core.Monitor.CompactWatermark).
+	CompactWatermark() int
 	// SetAutoCompact sets the automatic compaction threshold (passes
 	// per n commits; n ≤ 0 disables), returning the previous value.
 	SetAutoCompact(n int) int

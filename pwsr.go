@@ -252,7 +252,13 @@ type (
 	Workload = gen.Workload
 )
 
-// Run executes programs concurrently under a policy.
+// Run executes programs concurrently under a policy. Transactions
+// declared read-only (RunConfig.ReadOnly, optionally scheduled by
+// RunConfig.ROBegin) are served from multiversion snapshots of the
+// committed prefix: they bypass the policy and any certification gate
+// entirely, can neither be denied nor aborted, and their operations
+// are spliced into the recorded schedule at their snapshot's prefix —
+// the combined schedule stays PWSR (see internal/exec/mvread.go).
 func Run(cfg RunConfig) (*RunResult, error) { return exec.Run(cfg) }
 
 // Typed run-failure causes, errors.Is-distinguishable so callers can
@@ -268,6 +274,15 @@ var (
 	// ErrDegraded is a gate shedding admissions by policy (DegradeShed,
 	// or DegradeBuffer after its bounded queue tripped).
 	ErrDegraded = exec.ErrDegraded
+	// ErrReadOnlyWrite is a transaction declared read-only
+	// (RunConfig.ReadOnly / ParallelRunConfig.ReadOnly) whose program
+	// writes a shared item — the declaration is a contract and the run
+	// is rejected before anything executes.
+	ErrReadOnlyWrite = exec.ErrReadOnlyWrite
+	// ErrSnapshotRetired is a multiversion snapshot request below the
+	// store's retention floor: the certifier's Compact watermark
+	// already reclaimed those versions.
+	ErrSnapshotRetired = exec.ErrSnapshotRetired
 )
 
 // Health is a journaled gate's live degradation posture: current mode,
@@ -384,8 +399,12 @@ func AsBatchGate(p Policy) (BatchGate, bool) {
 // NewCertify/NewOptimisticCertify/NewParallelCertify value — so the
 // committed schedule is PWSR by construction. The result is
 // deterministic: identical schedule and final state to the serial
-// ascending-id run at any worker count. See EXPERIMENTS.md PERF10 for
-// the scaling study.
+// ascending-id run at any worker count. Transactions declared
+// read-only (ParallelRunConfig.ReadOnly) skip the pipeline: each
+// acquires a pinned snapshot of the committed prefix, is never denied
+// or aborted, and never enters the gate — reader throughput decouples
+// from writer contention (EXPERIMENTS.md PERF11). See EXPERIMENTS.md
+// PERF10 for the scaling study.
 func RunParallel(cfg ParallelRunConfig, programs map[int]*Program) (*RunResult, error) {
 	return exec.RunParallel(cfg, programs)
 }
