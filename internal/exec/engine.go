@@ -622,8 +622,14 @@ func Run(cfg Config) (*Result, error) {
 	var mvQ int
 	var roResults []roResult
 	roServed := make(map[int]bool, len(roList))
+	// lastPos maps each transaction to its newest operation's position
+	// in ops. It is maintained incrementally — updated as operations
+	// are appended and rebuilt when an abort expunges and renumbers the
+	// schedule — so advanceMV never rescans the whole schedule.
+	var lastPos map[int]int
 	if len(roList) > 0 {
 		mv = NewVersionedStore(cfg.Initial)
+		lastPos = make(map[int]int, len(cfg.Programs))
 	}
 
 	// advanceMV seals the longest transaction-closed finished prefix
@@ -632,10 +638,6 @@ func Run(cfg Config) (*Result, error) {
 	// stamp is exactly the replay of ops[0:mvQ) — committed state no
 	// abort can retract.
 	advanceMV := func() {
-		lastPos := make(map[int]int, len(metrics.PerTxn))
-		for i, o := range ops {
-			lastPos[o.Txn] = i
-		}
 		maxPos, cut := -1, mvQ
 		for i := mvQ; i < len(ops); i++ {
 			o := ops[i]
@@ -769,6 +771,15 @@ func Run(cfg Config) (*Result, error) {
 		}
 		ops = kept
 		v.Ops = ops
+		// The expunge renumbered every surviving operation at or beyond
+		// the victims' positions; rebuild the last-position index (the
+		// abort already paid an O(n) schedule rewrite).
+		if mv != nil {
+			clear(lastPos)
+			for i, o := range ops {
+				lastPos[o.Txn] = i
+			}
+		}
 		// Undo their store effects: peel their write-history layers and
 		// restore each touched item's surviving top.
 		for _, id := range closure {
@@ -947,6 +958,9 @@ func Run(cfg Config) (*Result, error) {
 			v.Store.Set(granted.Entity, granted.Value)
 			v.LastWriter[granted.Entity] = granted.TxnID
 			op.Value = granted.Value
+		}
+		if mv != nil {
+			lastPos[op.Txn] = len(ops)
 		}
 		ops = append(ops, op)
 		v.Clock++

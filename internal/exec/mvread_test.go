@@ -494,3 +494,45 @@ func TestMVReadRetentionFollowsCompactWatermark(t *testing.T) {
 		t.Fatalf("AcquireAt beyond newest: err = %v, want a non-retired error", err)
 	}
 }
+
+// TestMVReadCrossBatchIDDiscipline pins the guard protecting the
+// watermark queue: advanceFloor drains (txn, stamp) pairs against the
+// certifier's Compact watermark by raw id comparison, so a
+// watermark-anchored engine must reject a batch whose ids are not
+// above every prior batch's — a reused lower id would drain stale
+// queue entries and advance the retention floor past versions the
+// certifier has not reclaimed.
+func TestMVReadCrossBatchIDDiscipline(t *testing.T) {
+	partition := []state.ItemSet{state.NewItemSet("x")}
+	gate := sched.NewCertify(partition, &sched.Serial{})
+	eng := exec.NewParallelEngine(exec.ParallelConfig{
+		Initial: state.Ints(map[string]int64{"x": 0}),
+		Gate:    gate,
+	})
+	batch := func(ids ...int) map[int]*program.Program {
+		ps := make(map[int]*program.Program, len(ids))
+		for _, id := range ids {
+			ps[id] = program.MustParse(fmt.Sprintf("program T%d {\n  x := x + 1;\n}\n", id))
+		}
+		return ps
+	}
+	if _, err := eng.ExecuteBatch(batch(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Ascending ids across batches are fine.
+	if _, err := eng.ExecuteBatch(batch(4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// A batch whose lowest id does not exceed every prior id is
+	// rejected before anything runs.
+	if _, err := eng.ExecuteBatch(batch(5, 6)); err == nil {
+		t.Fatal("ExecuteBatch accepted a reused transaction id on a watermark-anchored engine")
+	}
+	// The rejection leaves the engine usable: the high-water mark was
+	// not advanced by the rejected batch.
+	if res, err := eng.ExecuteBatch(batch(7)); err != nil {
+		t.Fatalf("batch after rejection: %v", err)
+	} else if v, _ := res.Final.Get("x"); v.AsInt() != 6 {
+		t.Fatalf("x = %v, want 6 (three batches of increments)", v)
+	}
+}

@@ -92,7 +92,9 @@ type ParallelConfig struct {
 // An engine is safe for sequential reuse: successive ExecuteBatch
 // calls run against the store state the previous batch left behind
 // (batch transaction ids must remain unique across the engine's
-// lifetime when a gate is attached).
+// lifetime when a gate is attached, and globally ascending when the
+// gate reports a Compact watermark — ExecuteBatch enforces the
+// latter).
 type ParallelEngine struct {
 	store      *VersionedStore
 	gate       BatchGate
@@ -109,6 +111,14 @@ type ParallelEngine struct {
 	// and certifier GC follow the same low-watermark argument.
 	wmr     WatermarkReporter
 	wmQueue []txnStamp
+	// wmMaxID is the highest read-write transaction id any prior batch
+	// submitted (valid when wmIDSeen). wmQueue persists across batches
+	// and drains by comparing raw ids against the gate's
+	// CompactWatermark, so the retention floor is only correct when ids
+	// ascend globally across an engine's batches — ExecuteBatch rejects
+	// a batch that reuses or reorders ids below this high-water mark.
+	wmMaxID  int
+	wmIDSeen bool
 
 	// batchMu serializes ExecuteBatch calls; the worker pool and commit
 	// pipeline inside one batch have their own synchronization.
@@ -262,6 +272,19 @@ func (e *ParallelEngine) ExecuteBatch(programs map[int]*program.Program) (*Resul
 		ids = append(ids, id)
 	}
 	slices.Sort(ids)
+	// Enforce the cross-batch id discipline the watermark queue relies
+	// on: advanceFloor compares raw transaction ids against the gate's
+	// CompactWatermark, so a later batch reusing lower ids would drain
+	// stale queue entries and advance the retention floor past versions
+	// the certifier has not reclaimed, breaking AcquireAt's
+	// never-denied-above-watermark contract.
+	if e.wmr != nil && len(ids) > 0 {
+		if e.wmIDSeen && ids[0] <= e.wmMaxID {
+			return nil, fmt.Errorf("exec: batch transaction id %d not above prior batch maximum %d: a watermark-anchored engine requires globally ascending ids across batches", ids[0], e.wmMaxID)
+		}
+		e.wmMaxID = ids[len(ids)-1]
+		e.wmIDSeen = true
+	}
 	roList, err := roIDs(batchRO, programs)
 	if err != nil {
 		return nil, err
@@ -450,9 +473,10 @@ func (e *ParallelEngine) drain(bs *batchState, slots []atomic.Pointer[attempt], 
 // advanceFloor chases the certifier's Compact watermark after a
 // commit: record the committed transaction's stamp, then raise the
 // store's retention floor to the stamp of the last commit at or below
-// the reported watermark. Commits land in ascending id order, so the
-// watermark is a true prefix bound and the queue drains in order.
-// Called with bs.mu held (the commit step).
+// the reported watermark. Commits land in ascending id order within a
+// batch and ExecuteBatch rejects batches whose ids are not above every
+// prior batch's, so the watermark is a true prefix bound and the queue
+// drains in order. Called with bs.mu held (the commit step).
 func (e *ParallelEngine) advanceFloor(id int) {
 	if e.wmr == nil {
 		return

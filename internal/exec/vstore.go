@@ -83,11 +83,14 @@ func NewVersionedStore(ds state.DB) *VersionedStore {
 	return &VersionedStore{items: items, autoFloor: true, pins: make(map[uint64]int)}
 }
 
-// Get returns the item's newest value and version stamp.
+// Get returns the item's newest value and version stamp. The element
+// is copied before the lock is released: pruneChainLocked compacts
+// chains in place, so the backing array may be rewritten by a
+// concurrent commit the moment the lock drops.
 func (s *VersionedStore) Get(item string) (state.Value, uint64, bool) {
 	s.mu.RLock()
+	defer s.mu.RUnlock()
 	chain := s.items[item]
-	s.mu.RUnlock()
 	if len(chain) == 0 {
 		return state.Value{}, 0, false
 	}

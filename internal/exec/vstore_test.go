@@ -8,6 +8,8 @@ package exec
 
 import (
 	"errors"
+	"runtime"
+	"sync"
 	"testing"
 
 	"pwsr/internal/state"
@@ -128,6 +130,51 @@ func TestVersionedStoreManualFloor(t *testing.T) {
 	if st := s.VersionStats(); st.Versions != 2 || st.Floor != 5 {
 		t.Fatalf("after release+commit: Versions = %d Floor = %d, want 2 at 5", st.Versions, st.Floor)
 	}
+}
+
+func TestVersionedStoreGetCommitRace(t *testing.T) {
+	// Regression: Get used to copy the chain slice header under RLock
+	// but read the last element after RUnlock. pruneChainLocked
+	// compacts chains in place (the auto floor prunes on every commit,
+	// reusing the backing array), so a concurrent committer could
+	// rewrite the element a speculative reader was loading. Readers
+	// hammer Get while commits prune; the race detector flags the torn
+	// access, and the stamp/value pairing (commit i writes x=i at
+	// stamp i) catches it even without -race.
+	s := NewVersionedStore(state.Ints(map[string]int64{"x": 0}))
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				v, ver, ok := s.Get("x")
+				if !ok {
+					t.Error("Get(x) lost the item")
+					return
+				}
+				if v.AsInt() != int64(ver) {
+					t.Errorf("torn read: value %d at stamp %d", v.AsInt(), ver)
+					return
+				}
+				// Yield with the Get still unpublished to the committer's
+				// clock, so the loops interleave even on one CPU.
+				runtime.Gosched()
+			}
+		}()
+	}
+	for i := 1; i <= 2000; i++ {
+		s.commit(map[string]state.Value{"x": state.Int(int64(i))})
+		runtime.Gosched()
+	}
+	close(done)
+	wg.Wait()
 }
 
 func TestVersionedStoreAcquireNeverDenied(t *testing.T) {
