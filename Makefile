@@ -87,6 +87,23 @@ chaos:
 	GOMAXPROCS=1 $(GO) test -race -count=1 -run 'TestChaos' ./internal/experiments
 	GOMAXPROCS=8 $(GO) test -race -count=1 -run 'TestChaos' ./internal/experiments
 
+# cancel-matrix is the cancellation differential (ROBUST2): seeded
+# trials arm one deterministic cancel point each — admission ticks,
+# journal writes and syncs, commit turns, drain steps — under the race
+# detector at pinned GOMAXPROCS=1 and 8, plus the drain-deadline and
+# pinned-snapshot-across-drain obligations and the gate/engine/wal
+# lifecycle unit tests. A violated obligation dumps the failing case
+# as cancel-failed-<seed>.json (replay with pwsrfuzz -mode cancel);
+# the checked-in corpus replays through the same differential.
+.PHONY: cancel-matrix
+cancel-matrix:
+	GOMAXPROCS=1 $(GO) test -race -count=1 -run 'TestCancel|TestDrain|TestSnapshotPinnedAcrossDrain' ./internal/experiments
+	GOMAXPROCS=8 $(GO) test -race -count=1 -run 'TestCancel|TestDrain|TestSnapshotPinnedAcrossDrain' ./internal/experiments
+	$(GO) test -race -count=1 -run 'TestDrain|TestClose|TestAdmitTxnCtx' ./internal/sched
+	$(GO) test -race -count=1 -run 'TestCancel|TestRunCtx|TestRunManyCtx|TestExecuteBatchCtx' ./internal/exec
+	$(GO) test -race -count=1 -run 'TestCloseInterruptsBackoff' ./internal/wal
+	$(GO) run ./cmd/pwsrfuzz -mode cancel -trials 60 -seed 7
+
 # bench-chaos regenerates the ROBUST1 record: the 200-plan chaos
 # differential with per-trial outcomes written to BENCH_chaos.json.
 .PHONY: bench-chaos

@@ -34,6 +34,15 @@
 //	            live-edge sets; then randomized lifecycle scripts fuzz
 //	            the same differential (FuzzCommitCompact is the native
 //	            testing.F harness over the same corpus);
+//	cancel      the cancellation differential: the checked-in corpus
+//	            under testdata/cancel (JSON cases as dumped by a failed
+//	            cancel matrix, each arming one deterministic cancel
+//	            point at an admission tick, journal write/sync, commit
+//	            turn, or drain step) is replayed first, then randomized
+//	            trials sweep fresh cancel points; no trial may produce
+//	            a partial grant, lose a journaled admission, confuse
+//	            cancellation with a denial, or fail to recover to a
+//	            verdict-identical monitor (the matrix safety bar);
 //	mvread      the multiversion read path: the checked-in corpus under
 //	            testdata/mvread (generator config + gate shape + reader
 //	            begin ticks, covering the aborting optimistic fixture,
@@ -75,7 +84,7 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "example2", "example2 | fixed | dr | ordered | optimistic | sharded | compact | mvread")
+		mode    = flag.String("mode", "example2", "example2 | fixed | dr | ordered | optimistic | sharded | compact | mvread | cancel")
 		trials  = flag.Int("trials", 500, "number of seeded trials")
 		seed    = flag.Int64("seed", 7, "base seed")
 		verbose = flag.Bool("v", false, "print each violation's schedule and programs")
@@ -110,6 +119,9 @@ func run(mode string, trials int, baseSeed int64, verbose bool) (int, error) {
 	}
 	if mode == "mvread" {
 		return runMVRead(trials, baseSeed, verbose)
+	}
+	if mode == "cancel" {
+		return runCancel(trials, baseSeed, verbose)
 	}
 	found := 0
 	for i := 0; i < trials; i++ {

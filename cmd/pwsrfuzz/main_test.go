@@ -123,3 +123,12 @@ func TestMVReadCorpusReplays(t *testing.T) {
 		t.Fatalf("%d bypass-obligation violations in a population that guarantees zero", found)
 	}
 }
+
+// TestCancelCorpusReplays pins the corpus through the -mode cancel
+// entry point itself (glob fallback included), so the command-level
+// harness stays wired and the checked-in cases keep replaying clean.
+func TestCancelCorpusReplays(t *testing.T) {
+	if _, err := runCancel(10, 7, false); err != nil {
+		t.Fatal(err)
+	}
+}

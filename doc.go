@@ -168,6 +168,44 @@
 // trial dumps its plan as a replayable chaos-failed-<seed>.json
 // artifact.
 //
+// # Lifecycle: cancellation, deadlines, and drain
+//
+// Every public entry point has a context-bounded form —
+// RunWithContext, RunManyWithContext, RunParallelWithContext, the
+// gates' AdmitTxnCtx, wal.Writer.BarrierCtx — and termination always
+// surfaces as one of two typed errors: ErrCanceled (explicit cancel)
+// or ErrDeadline (deadline expiry), errors.Is-distinguishable from
+// each other and never confused with a certification denial or a
+// storage failure. Two invariants govern what cancellation can leave
+// behind. First, never an un-journaled grant: cancellation is
+// detected between scheduling steps, so exactly the grants journaled
+// before the detection point survive — never a partial one, and
+// every journaled admission is kept. Second, cancel equals abort: a
+// cancelled run's in-flight transactions are retracted through the
+// certifier's ordinary Retract path (journaled like any other
+// retraction), so the monitor, the WAL, and the versioned store's
+// retention floor end in exactly the state a completed run that
+// aborted those transactions would have left — wal.Resume recovers a
+// verdict-identical monitor either way.
+//
+// The gates shut down in two stages. Drain (see Drainer, AsDrainer)
+// stops new admissions — refused with ErrDraining — then settles
+// in-flight transactions per the DrainPolicy (DrainWait lets them
+// finish, DrainAbort retracts them immediately), flushes the journal
+// barrier, runs a final compact pass, and cuts a recovery snapshot;
+// it always terminates within its context's deadline, retracting the
+// unfinished remainder and returning the typed error when time runs
+// out. Close is the terminal latch (ErrGateClosed) and releases the
+// journal; a closing wal.Writer interrupts any retry backoff in
+// progress rather than sleeping out the schedule. The posture —
+// Draining, Closed, plus the degradation mode and counters — rides
+// in Health(). `make cancel-matrix` runs the ROBUST2 differential:
+// seeded trials arm one deterministic cancel at every point class
+// (admission ticks, journal writes and syncs, commit turns, drain
+// steps) and verify the two invariants plus recovery, raced at
+// pinned GOMAXPROCS=1 and 8; failures dump replayable
+// cancel-failed-<seed>.json cases for pwsrfuzz -mode cancel.
+//
 // # Quick start
 //
 //	sys := pwsr.NewSystem(pwsr.MustParseICFromConjuncts("a > 0 -> b > 0", "c > 0"),

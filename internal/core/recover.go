@@ -130,6 +130,22 @@ func (m *Monitor) LiveTxnIDs() []int {
 	return out
 }
 
+// InFlightTxnIDs returns the original ids of the resident transactions
+// that have not committed, sorted. Residency alone (LiveTxnIDs) is not
+// in-flight: a committed transaction stays resident until a Compact
+// reclaims it, but its work is done. A drain waits on — or retracts —
+// exactly this set.
+func (m *Monitor) InFlightTxnIDs() []int {
+	out := make([]int, 0, m.liveTxns)
+	for d := int32(0); int(d) < m.txns.Len(); d++ {
+		if m.resident[d] && !m.committedB[d] {
+			out = append(out, m.txns.Orig(d))
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
 // LiveTxnIDs mirrors Monitor.LiveTxnIDs on the sharded certifier.
 func (m *ShardedMonitor) LiveTxnIDs() []int {
 	if m.single {
@@ -143,6 +159,28 @@ func (m *ShardedMonitor) LiveTxnIDs() []int {
 	for id := range cur {
 		out = append(out, id)
 	}
+	slices.Sort(out)
+	return out
+}
+
+// InFlightTxnIDs mirrors Monitor.InFlightTxnIDs on the sharded
+// certifier: the tracked transactions not yet marked committed.
+func (m *ShardedMonitor) InFlightTxnIDs() []int {
+	if m.single {
+		sh := m.shards[0]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		return sh.mon.InFlightTxnIDs()
+	}
+	cur := *m.txnOps.Load()
+	m.routeMu.Lock()
+	out := make([]int, 0, len(cur))
+	for id := range cur {
+		if !m.committed[id] {
+			out = append(out, id)
+		}
+	}
+	m.routeMu.Unlock()
 	slices.Sort(out)
 	return out
 }

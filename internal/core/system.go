@@ -47,6 +47,18 @@
 // (TestCompactDifferential, pwsrfuzz -mode compact, FuzzCommitCompact)
 // replay against.
 //
+// A consequence callers of the inspection surface must respect:
+// residency outlasts commitment. A committed transaction stays in
+// LiveTxnIDs until a Compact pass reclaims it; InFlightTxnIDs is the
+// resident-and-uncommitted subset — the set still able to acquire
+// edges, and therefore the set a graceful drain waits on or retracts
+// (Retract panics on a committed transaction, CheckedRetract returns
+// the typed *LifecycleError instead). Cancellation upholds the same
+// lifecycle: a cancelled run retracts its in-flight transactions
+// through the ordinary Retract path, journaled like any abort, so
+// cancel-equals-abort holds all the way down to the recovered
+// monitor.
+//
 // # Probe caching and generation invalidation
 //
 // Admissible memoizes its verdict per (transaction, item, read/write)

@@ -43,6 +43,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -529,10 +530,40 @@ func (c *chanAccessor) Write(item string, v state.Value) error {
 }
 
 // Run executes the configured programs concurrently and returns the
-// recorded schedule, final state, and metrics.
+// recorded schedule, final state, and metrics. It is RunCtx without a
+// cancellation point.
 func Run(cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with cancellation and deadline support. When ctx ends
+// mid-run the engine settles instead of killing the run: transactions
+// in flight are aborted through the same erasure machinery a policy
+// victim uses — their attempts are expunged from the schedule, their
+// writes undone, and the policy notified through Canceler.TxnCanceled
+// (falling back to Restarter.TxnAborted), so a certifying gate
+// retracts and journals each one exactly as a completed run that
+// aborted them would. The rare transaction whose written value a
+// finished transaction already consumed cannot be erased (see the
+// package comment on pinning; the cascadeless gates never produce
+// one) and is retired as committed with its partial prefix instead.
+//
+// RunCtx then returns the partial Result — the committed schedule that
+// survives, replayable against Initial — alongside a typed
+// ErrCanceled- or ErrDeadline-wrapped error. Declared read-only
+// transactions not yet served at the cancellation point are skipped.
+// Cancellation is detected between scheduling steps, so exactly the
+// grants journaled before the detection point are kept: never a
+// partial one.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(cfg.Programs) == 0 {
 		return nil, errors.New("exec: no programs")
+	}
+	if err := CancelError(ctx); err != nil {
+		return nil, err
 	}
 	interp := cfg.Interp
 	if interp == nil {
@@ -720,15 +751,15 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	// abortAndRestart erases the victim's attempt (and its cascade
-	// closure) per the package's abort semantics and respawns the
-	// programs. It must only be called at a stall, when every live
-	// transaction is parked on a pending request.
-	abortAndRestart := func(victim int) error {
-		closure, ok := v.AbortClosure(victim)
-		if !ok {
-			return fmt.Errorf("victim T%d is pinned by a finished reader", victim)
-		}
+	// eraseAttempts erases the closure members' attempts per the
+	// package's abort semantics: unwind their goroutines, expunge their
+	// operations from the schedule, undo their writes, drop their
+	// reads-from bookkeeping, and notify the policy. It must only be
+	// called when every live transaction is parked on a pending request.
+	// With byCancel set the policy is notified through
+	// Canceler.TxnCanceled when implemented (the transactions are gone,
+	// not retried); otherwise through Restarter.TxnAborted.
+	eraseAttempts := func(closure []int, byCancel bool) {
 		in := make(map[int]bool, len(closure))
 		for _, id := range closure {
 			in[id] = true
@@ -811,18 +842,135 @@ func Run(cfg Config) (*Result, error) {
 			delete(v.readersOf, id)
 		}
 		ra, _ := cfg.Policy.(Restarter)
+		cc, _ := cfg.Policy.(Canceler)
 		for _, id := range closure {
 			metrics.Aborts++
 			metrics.PerTxn[id].Aborts++
-			if ra != nil {
+			switch {
+			case byCancel && cc != nil:
+				cc.TxnCanceled(id, v)
+			case ra != nil:
 				ra.TxnAborted(id, v)
 			}
 		}
+	}
+
+	// abortAndRestart erases the victim's attempt (and its cascade
+	// closure) per the package's abort semantics and respawns the
+	// programs. It must only be called at a stall, when every live
+	// transaction is parked on a pending request.
+	abortAndRestart := func(victim int) error {
+		closure, ok := v.AbortClosure(victim)
+		if !ok {
+			return fmt.Errorf("victim T%d is pinned by a finished reader", victim)
+		}
+		eraseAttempts(closure, false)
 		for _, id := range closure {
 			spawn(id)
 			metrics.Restarts++
 		}
 		return nil
+	}
+
+	// cancelRun settles a cancelled run. It is called between
+	// scheduling steps; transactions that complete while the remaining
+	// parks are gathered commit normally (a program error still wins
+	// and takes the usual abort path). Every erasable live transaction
+	// — one whose abort closure holds — is erased like a policy victim
+	// but not respawned; a pinned one (its written value was consumed
+	// by a finished transaction) is retired as committed with its
+	// partial prefix. The surviving schedule plus the served read-only
+	// results form the partial Result returned with the typed error.
+	cancelRun := func() (*Result, error) {
+		for len(pending) < len(v.Live) {
+			ev := <-events
+			if ev.done {
+				if ev.err != nil {
+					runErr = fmt.Errorf("exec: T%d: %w", ev.id, ev.err)
+					delete(v.Live, ev.id)
+					abort()
+					return nil, runErr
+				}
+				delete(v.Live, ev.id)
+				v.Finished[ev.id] = true
+				metrics.PerTxn[ev.id].End = v.Clock
+				cfg.Policy.TxnFinished(ev.id, v)
+				continue
+			}
+			pending[ev.req.TxnID] = ev.req
+		}
+		liveIDs := make([]int, 0, len(v.Live))
+		for id := range v.Live {
+			liveIDs = append(liveIDs, id)
+		}
+		sort.Ints(liveIDs)
+		// The erasable set is closed under cascade: every live reader of
+		// an erasable transaction's write belongs to its closure, so the
+		// union of the successful closures erases cleanly in one pass.
+		erasable := make([]int, 0, len(liveIDs))
+		inErase := make(map[int]bool, len(liveIDs))
+		for _, id := range liveIDs {
+			if inErase[id] {
+				continue
+			}
+			closure, ok := v.AbortClosure(id)
+			if !ok {
+				continue
+			}
+			for _, m := range closure {
+				if !inErase[m] {
+					inErase[m] = true
+					erasable = append(erasable, m)
+				}
+			}
+		}
+		sort.Ints(erasable)
+		if len(erasable) > 0 {
+			eraseAttempts(erasable, true)
+			for _, id := range erasable {
+				delete(v.Live, id)
+				metrics.PerTxn[id].End = v.Clock
+			}
+		}
+		// Force-retire the pinned remainder: finished transactions
+		// already consumed their writes, so erasure is unsound and the
+		// only consistent terminal state is committed-with-prefix.
+		pinned := make([]int, 0, len(v.Live))
+		for id := range v.Live {
+			pinned = append(pinned, id)
+		}
+		sort.Ints(pinned)
+		for _, id := range pinned {
+			r := pending[id]
+			delete(pending, id)
+			r.reply <- replyMsg{err: errAborted}
+		}
+		for await := len(pinned); await > 0; {
+			ev := <-events
+			if ev.done {
+				await--
+				continue
+			}
+			pending[ev.req.TxnID] = ev.req // defensive; everyone is parked
+		}
+		for _, id := range pinned {
+			delete(v.Live, id)
+			v.Finished[id] = true
+			metrics.PerTxn[id].End = v.Clock
+			cfg.Policy.TxnFinished(id, v)
+		}
+		cancelErr := CancelError(ctx)
+		v.Ops = ops
+		if mv != nil {
+			ops = spliceRO(ops, roResults)
+			metrics.MV = mv.VersionStats()
+		}
+		harvestReporters(cfg.Policy, &metrics)
+		return &Result{
+			Schedule: txn.NewSchedule(ops...),
+			Final:    v.Store,
+			Metrics:  metrics,
+		}, cancelErr
 	}
 
 	// Per-tick scratch, reused across scheduling steps: the sorted
@@ -832,6 +980,12 @@ func Run(cfg Config) (*Result, error) {
 	pids := make([]int, 0, len(ids))
 
 	for len(v.Live) > 0 {
+		// Cancellation is detected here, between scheduling steps: every
+		// grant issued so far is complete and journaled, so settling now
+		// never leaves a partial one.
+		if ctx.Err() != nil {
+			return cancelRun()
+		}
 		// Serve declared readers whose begin tick has arrived: they
 		// snapshot the sealed committed prefix and complete without
 		// entering the pending set or the policy.
@@ -861,6 +1015,9 @@ func Run(cfg Config) (*Result, error) {
 		if len(v.Live) == 0 {
 			break
 		}
+		if ctx.Err() != nil {
+			return cancelRun()
+		}
 
 		list, pids = list[:0], pids[:0]
 		for id := range pending {
@@ -886,6 +1043,9 @@ func Run(cfg Config) (*Result, error) {
 				runErr = stallCause(cfg.Policy, fmt.Errorf("%w: policy passed %d consecutive ticks", ErrStall, passes))
 				abort()
 				return nil, runErr
+			}
+			if ctx.Err() != nil {
+				return cancelRun()
 			}
 			choice = cfg.Policy.Pick(list, v)
 		}
@@ -1075,6 +1235,17 @@ var ErrSharedPolicy = errors.New("exec: Policy instance shared across Configs")
 // with cores because each run's policy probes only its own monitor
 // shards.
 func RunMany(cfgs []Config, workers int) ([]*Result, []error) {
+	return RunManyCtx(context.Background(), cfgs, workers)
+}
+
+// RunManyCtx is RunMany with cancellation: ctx is threaded into every
+// run (each settles per RunCtx when it ends), and runs that have not
+// yet started when ctx ends are skipped with a typed
+// ErrCanceled/ErrDeadline error instead of being launched.
+func RunManyCtx(ctx context.Context, cfgs []Config, workers int) ([]*Result, []error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -1118,7 +1289,11 @@ func RunMany(cfgs []Config, workers int) ([]*Result, []error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = Run(run[i])
+			if err := CancelError(ctx); err != nil {
+				errs[i] = err // not started; nothing to settle
+				return
+			}
+			results[i], errs[i] = RunCtx(ctx, run[i])
 		}(i)
 	}
 	wg.Wait()

@@ -88,6 +88,13 @@ type Health struct {
 	// frozen gate latched, or of the outage a buffering gate is
 	// bridging.
 	OutageAge time.Duration
+	// Draining reports the gate's drain posture: Drain has begun,
+	// transactions already in flight may finish, and new admissions are
+	// refused with ErrDraining.
+	Draining bool
+	// Closed reports the terminal posture: the gate refuses all work
+	// with ErrGateClosed.
+	Closed bool
 }
 
 // HealthReporter is an optional Policy extension: a journaled gate
@@ -114,12 +121,24 @@ func stallCause(p Policy, stall error) error {
 	if !ok {
 		return stall
 	}
-	switch h := hr.Health(); h.Mode {
+	h := hr.Health()
+	switch h.Mode {
 	case ModeFailStop:
 		return fmt.Errorf("%w: %v", ErrJournalDown, h.JournalErr)
 	case ModeShed:
 		return fmt.Errorf("%w: %v", ErrDegraded, h.JournalErr)
-	case ModeBuffering:
+	}
+	// Lifecycle posture is checked after the outage modes: a frozen
+	// journal explains a stall regardless of drain state, but a healthy
+	// draining/closed gate refusing new work is a lifecycle condition,
+	// not a scheduling livelock.
+	switch {
+	case h.Closed:
+		return fmt.Errorf("%w: %v", ErrGateClosed, stall)
+	case h.Draining:
+		return fmt.Errorf("%w: unstarted transactions refused during drain: %v", ErrDraining, stall)
+	}
+	if h.Mode == ModeBuffering {
 		return fmt.Errorf("%w (journal outage in progress: buffering, %d queued, down %v: %v)",
 			stall, h.Queued, h.OutageAge.Round(time.Millisecond), h.JournalErr)
 	}

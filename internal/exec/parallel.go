@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -203,6 +204,12 @@ func RunParallel(cfg ParallelConfig, programs map[int]*program.Program) (*Result
 	return NewParallelEngine(cfg).ExecuteBatch(programs)
 }
 
+// RunParallelCtx is RunParallel with cancellation — the batch-mode
+// counterpart of RunCtx.
+func RunParallelCtx(ctx context.Context, cfg ParallelConfig, programs map[int]*program.Program) (*Result, error) {
+	return NewParallelEngine(cfg).ExecuteBatchCtx(ctx, programs)
+}
+
 // attempt is one completed speculative execution of a program: the
 // operation sequence it would contribute to the schedule, the version
 // stamps it read (the validation set), and the write set it would
@@ -259,6 +266,25 @@ func (bs *batchState) fail(err error) {
 // read-write sub-schedule, its state, or its verdict) may vary across
 // runs and worker counts.
 func (e *ParallelEngine) ExecuteBatch(programs map[int]*program.Program) (*Result, error) {
+	return e.ExecuteBatchCtx(context.Background(), programs)
+}
+
+// ExecuteBatchCtx is ExecuteBatch with cancellation. When ctx ends
+// mid-batch the commit pipeline stops cold: the commit turn checks the
+// context before every gate admission and store apply, so a
+// transaction is either fully admitted-and-committed or untouched —
+// never partially granted. Speculative attempts deposited but not yet
+// at the commit frontier are discarded (they touched neither the gate
+// nor the store), and the call returns the partial Result — the
+// committed prefix in id order, plus any completed declared readers —
+// alongside a typed ErrCanceled- or ErrDeadline-wrapped error. On a
+// watermark-anchored engine the batch's id window stays consumed: a
+// later batch must still use higher ids, exactly as if the cancelled
+// transactions had been aborted.
+func (e *ParallelEngine) ExecuteBatchCtx(ctx context.Context, programs map[int]*program.Program) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e.batchMu.Lock()
 	defer e.batchMu.Unlock()
 
@@ -302,7 +328,7 @@ func (e *ParallelEngine) ExecuteBatch(programs map[int]*program.Program) (*Resul
 		go func() {
 			defer wg.Done()
 			for {
-				if bs.failed.Load() {
+				if bs.failed.Load() || ctx.Err() != nil {
 					return
 				}
 				i := int(claim.Add(1)) - 1
@@ -328,7 +354,7 @@ func (e *ParallelEngine) ExecuteBatch(programs map[int]*program.Program) (*Resul
 						conflicts.Add(1)
 					}
 					retries.Add(1)
-					if bs.failed.Load() {
+					if bs.failed.Load() || ctx.Err() != nil {
 						return
 					}
 					a = e.execute(id, programs[id])
@@ -338,7 +364,7 @@ func (e *ParallelEngine) ExecuteBatch(programs map[int]*program.Program) (*Resul
 				// transaction at the commit frontier advances it, so by the
 				// time the pool drains, every deposited attempt has been
 				// committed or discarded.
-				e.drain(bs, slots, ids, programs, &retries, &conflicts)
+				e.drain(ctx, bs, slots, ids, programs, &retries, &conflicts)
 			}
 		}()
 	}
@@ -377,11 +403,13 @@ func (e *ParallelEngine) ExecuteBatch(programs map[int]*program.Program) (*Resul
 		MV:        e.store.VersionStats(),
 	}
 	harvestReporters(e.gate, &m)
+	// A cancelled batch still returns the committed prefix; CancelError
+	// is nil on the normal path.
 	return &Result{
 		Schedule: txn.NewSchedule(merged...),
 		Final:    e.store.Snapshot(),
 		Metrics:  m,
-	}, nil
+	}, CancelError(ctx)
 }
 
 // executeRO serves one declared read-only transaction: pin a snapshot
@@ -420,10 +448,13 @@ func (e *ParallelEngine) executeRO(bs *batchState, id int, programs map[int]*pro
 // observes exactly the committed prefix and cannot conflict; this is
 // what bounds retry livelock), certify the final sequence through the
 // gate, and apply the writes.
-func (e *ParallelEngine) drain(bs *batchState, slots []atomic.Pointer[attempt], ids []int, programs map[int]*program.Program, retries, conflicts *atomic.Int64) {
+func (e *ParallelEngine) drain(ctx context.Context, bs *batchState, slots []atomic.Pointer[attempt], ids []int, programs map[int]*program.Program, retries, conflicts *atomic.Int64) {
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
 	for bs.err == nil && bs.next < len(ids) {
+		if ctx.Err() != nil {
+			return
+		}
 		a := slots[bs.next].Load()
 		if a == nil {
 			return
@@ -436,6 +467,12 @@ func (e *ParallelEngine) drain(bs *batchState, slots []atomic.Pointer[attempt], 
 				time.Sleep(d.Latency)
 			}
 			forced = d.Err != nil
+		}
+		// A cancel injected at this commit turn (fault.KindCancel at
+		// OpCommit) must prevent this turn's admission: re-check after
+		// the injector fired, before the gate or store is touched.
+		if ctx.Err() != nil {
+			return
 		}
 		if forced || a.err != nil || !e.store.validate(a.reads) {
 			if !forced && a.err == nil {
@@ -496,6 +533,41 @@ func (e *ParallelEngine) advanceFloor(id int) {
 		e.wmQueue = append(e.wmQueue[:0], e.wmQueue[drop:]...)
 		e.store.SetRetainFloor(floor)
 	}
+}
+
+// Drain gracefully shuts the engine's admission path down: the gate is
+// drained (when it implements Drainer — the sched gates do), and the
+// store's retention floor is then advanced to the gate's final Compact
+// watermark, draining the watermark queue the way a further batch's
+// commits would. Pinned snapshots keep their versions readable below
+// the new floor until released (VersionedStore's keep rule), so a
+// reader holding a snapshot across the drain is never cut off. The
+// gate's typed drain error (if any) is returned; the floor sync runs
+// either way. No batch may be executing concurrently.
+func (e *ParallelEngine) Drain(ctx context.Context) error {
+	e.batchMu.Lock()
+	defer e.batchMu.Unlock()
+	var err error
+	if d, ok := e.gate.(Drainer); ok {
+		err = d.Drain(ctx)
+	}
+	if e.wmr != nil && len(e.wmQueue) > 0 {
+		w := e.wmr.CompactWatermark()
+		var floor uint64
+		drop := 0
+		for _, ts := range e.wmQueue {
+			if ts.txn > w {
+				break
+			}
+			floor = ts.stamp
+			drop++
+		}
+		if drop > 0 {
+			e.wmQueue = append(e.wmQueue[:0], e.wmQueue[drop:]...)
+			e.store.SetRetainFloor(floor)
+		}
+	}
+	return err
 }
 
 // execute runs one program speculatively against the current store and

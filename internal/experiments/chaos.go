@@ -154,6 +154,14 @@ func (r *recordingJournal) LoggedSeq() uint64 { return r.w.LoggedSeq() }
 // Stats lets the gate surface the writer's counters in run metrics.
 func (r *recordingJournal) Stats() wal.Stats { return r.w.Stats() }
 
+// CutSnapshot implements sched.SnapshotCutter, so a gate Drain over
+// the tap still cuts its final snapshot on the underlying writer.
+func (r *recordingJournal) CutSnapshot() error { return r.w.CutSnapshot() }
+
+// Close implements io.Closer, so a gate Close over the tap closes the
+// underlying writer.
+func (r *recordingJournal) Close() error { return r.w.Close() }
+
 // certState is the verdict-defining certifier surface the differential
 // compares, satisfied by *core.Monitor, core.ShardedMonitor, and the
 // gates' Certifier.
@@ -161,6 +169,7 @@ type certState interface {
 	PWSR() bool
 	Ops() int
 	LiveTxnIDs() []int
+	InFlightTxnIDs() []int
 	CompactStats() core.CompactStats
 	ConflictEdges(e int) [][2]int
 }

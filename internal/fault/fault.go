@@ -38,6 +38,9 @@ const (
 	OpTick Op = "tick"
 	// OpCommit is a block-parallel engine commit turn.
 	OpCommit Op = "commit"
+	// OpDrain is one step of a gate's Drain loop (waiting out in-flight
+	// transactions or flushing the journal).
+	OpDrain Op = "drain"
 )
 
 // Kind is what happens when a rule fires.
@@ -52,6 +55,13 @@ const (
 	// the torn-write model (meaningful only for OpWrite; other ops
 	// treat it as KindError).
 	KindTorn Kind = "torn"
+	// KindCancel invokes the injector's registered cancel callback
+	// (SetCancel) at exactly this occurrence and lets the operation
+	// proceed — the deterministic cancellation point the cancel
+	// differential sweeps across admissions, journal writes, commit
+	// turns, and drain steps. With no callback registered the rule is
+	// inert.
+	KindCancel Kind = "cancel"
 )
 
 // ErrInjected is the base error injected faults wrap, so tests can
@@ -114,8 +124,10 @@ func (r *Rule) matches(p Point, n int64) bool {
 
 // Persistent reports whether the rule models a permanent failure
 // (fires forever once reached) rather than a transient glitch.
+// Cancellation rules are never persistent: a cancel latches a context,
+// it does not keep a device down.
 func (r *Rule) Persistent() bool {
-	return r.Count <= 0 && r.Kind != KindLatency
+	return r.Count <= 0 && r.Kind != KindLatency && r.Kind != KindCancel
 }
 
 // Plan is a reproducible fault schedule: the seed that generated it
@@ -171,11 +183,40 @@ type Injector struct {
 	counts  map[Point]int64 // keyed with File stripped: occurrences per (site, op)
 	fired   int64
 	firedAt map[Point]int64 // error decisions per (site, op)
+
+	// cancel is the callback KindCancel rules invoke (see SetCancel);
+	// canceledAt counts cancel firings per (site, op).
+	cancel     func()
+	canceledAt map[Point]int64
 }
 
 // NewInjector returns an injector evaluating plan.
 func NewInjector(plan Plan) *Injector {
-	return &Injector{plan: plan, counts: make(map[Point]int64), firedAt: make(map[Point]int64)}
+	return &Injector{
+		plan:       plan,
+		counts:     make(map[Point]int64),
+		firedAt:    make(map[Point]int64),
+		canceledAt: make(map[Point]int64),
+	}
+}
+
+// SetCancel registers the callback KindCancel rules invoke when they
+// fire — typically a context.CancelFunc, so a plan can cancel a run at
+// an exact (site, op, occurrence) point. The callback must be safe to
+// invoke more than once and must not call back into the injector.
+func (in *Injector) SetCancel(fn func()) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.cancel = fn
+}
+
+// FiredCancels returns how many KindCancel rules fired at (site, op) —
+// the probe a differential uses to learn whether a cancel point was
+// ever reached.
+func (in *Injector) FiredCancels(site string, op Op) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.canceledAt[Point{Site: site, Op: op}]
 }
 
 // Plan returns the injector's plan (shared backing array; treat as
@@ -213,6 +254,7 @@ func (in *Injector) Eval(p Point) Decision {
 	in.counts[key]++
 	n := in.counts[key]
 	var d Decision
+	canceled := false
 	for i := range in.plan.Rules {
 		r := &in.plan.Rules[i]
 		if !r.matches(p, n) {
@@ -220,6 +262,12 @@ func (in *Injector) Eval(p Point) Decision {
 		}
 		if r.Latency > d.Latency {
 			d.Latency = r.Latency
+		}
+		if r.Kind == KindCancel {
+			// Cancellation is a side effect, not a failure: fire the
+			// callback and let the operation itself proceed untouched.
+			canceled = true
+			continue
 		}
 		if r.Kind == KindLatency || d.Err != nil {
 			continue // latency rules compose; the first failing rule wins
@@ -233,7 +281,13 @@ func (in *Injector) Eval(p Point) Decision {
 			}
 		}
 	}
-	if d.Err != nil || d.Latency > 0 {
+	if canceled {
+		in.canceledAt[key]++
+		if in.cancel != nil {
+			in.cancel()
+		}
+	}
+	if d.Err != nil || d.Latency > 0 || canceled {
 		in.fired++
 	}
 	if d.Err != nil {

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 
 	"pwsr/internal/exec"
@@ -19,7 +20,15 @@ var (
 // whole sequence atomically, then commit the transaction, barriering
 // the journal (when one is attached) before acknowledging — the same
 // write-ahead discipline the tick path applies per grant.
-func admitTxn(mon Certifier, jn *journaled, ops []txn.Op) error {
+func admitTxn(mon Certifier, jn *journaled, lc *lifecycle, ops []txn.Op) error {
+	if lc.closed {
+		return fmt.Errorf("sched: batch admission refused: %w", exec.ErrGateClosed)
+	}
+	if lc.draining {
+		// A batch admission is by contract a fresh transaction, so it
+		// can never be in the drain-start allowed set.
+		return fmt.Errorf("sched: batch admission refused: %w", exec.ErrDraining)
+	}
 	if jn.frozen() {
 		return fmt.Errorf("sched: batch admission refused: %w", jn.refusalErr())
 	}
@@ -50,7 +59,21 @@ func admitTxn(mon Certifier, jn *journaled, ops []txn.Op) error {
 func (c *Certify) AdmitTxn(ops []txn.Op) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return admitTxn(c.mon, &c.jn, ops)
+	return admitTxn(c.mon, &c.jn, &c.lc, ops)
+}
+
+// AdmitTxnCtx is AdmitTxn bounded by a context: a cancelled or expired
+// ctx refuses the admission with the typed exec.ErrCanceled /
+// exec.ErrDeadline before the certifier or journal is touched — a
+// refused admission leaves no trace, so cancellation here can never
+// produce a partial grant or an un-journaled one.
+func (c *Certify) AdmitTxnCtx(ctx context.Context, ops []txn.Op) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := exec.CancelError(ctx); err != nil {
+		return err
+	}
+	return admitTxn(c.mon, &c.jn, &c.lc, ops)
 }
 
 // AdmitTxn implements exec.BatchGate on the abort-capable gate (and,
@@ -62,5 +85,17 @@ func (c *Certify) AdmitTxn(ops []txn.Op) error {
 func (c *OptimisticCertify) AdmitTxn(ops []txn.Op) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return admitTxn(c.mon, &c.jn, ops)
+	return admitTxn(c.mon, &c.jn, &c.lc, ops)
+}
+
+// AdmitTxnCtx is AdmitTxn bounded by a context, with
+// Certify.AdmitTxnCtx's contract (and, by embedding, ParallelCertify's
+// batch admissions inherit it).
+func (c *OptimisticCertify) AdmitTxnCtx(ctx context.Context, ops []txn.Op) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := exec.CancelError(ctx); err != nil {
+		return err
+	}
+	return admitTxn(c.mon, &c.jn, &c.lc, ops)
 }

@@ -50,6 +50,11 @@ type Certify struct {
 	// Pick (see SetFaultInjector).
 	tinj tickInjector
 
+	// lc is the gate's lifecycle posture (see Drain and Close): while
+	// draining only transactions live at drain start receive grants,
+	// and a closed gate grants nothing.
+	lc lifecycle
+
 	// Per-tick scratch, reused across Pick calls so the steady-state
 	// admission loop allocates nothing: the hoisted requestOp
 	// conversions plus the admissible-candidate buffers.
@@ -83,11 +88,17 @@ func (c *Certify) Pick(pending []*exec.Request, v *exec.View) int {
 	if c.jn.frozen() {
 		return -1 // journal fail-stop or shed: certify nothing further
 	}
+	if c.lc.closed {
+		return -1 // closed gate: certify nothing further
+	}
 	c.ops = c.ops[:0]
 	c.allowed = c.allowed[:0]
 	c.idx = c.idx[:0]
 	for i, r := range pending {
 		c.ops = append(c.ops, requestOp(r))
+		if c.lc.blocked(r.TxnID) {
+			continue // draining: only drain-start residents proceed
+		}
 		if c.mon.Admissible(c.ops[i]) {
 			c.allowed = append(c.allowed, r)
 			c.idx = append(c.idx, i)

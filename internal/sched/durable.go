@@ -1,7 +1,9 @@
 package sched
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"pwsr/internal/core"
@@ -375,6 +377,57 @@ func (j *journaled) tryHealDrain() bool {
 	return j.journal.Barrier() == nil
 }
 
+// drainFlush settles the journal at drain time: a buffering gate
+// keeps healing and replaying its admission queue until the journal
+// has absorbed everything acknowledged so far, bounded by ctx — on
+// expiry the queue is dropped and the gate trips to shed exactly as a
+// buffer overflow would, so the drain terminates with a typed error
+// rather than waiting on Heal forever. Non-buffering modes reduce to
+// one barrier probe. The gate mutex is released while waiting so
+// Health stays responsive; callers hold it on entry and exit.
+func (j *journaled) drainFlush(ctx context.Context, mu *sync.Mutex) error {
+	if j.journal == nil {
+		return nil
+	}
+	if j.frozen() {
+		return j.refusalErr()
+	}
+	if j.mode == DegradeBuffer {
+		for len(j.queue) > 0 || j.journal.Barrier() != nil {
+			if j.tryHealDrain() {
+				break
+			}
+			if err := exec.CancelError(ctx); err != nil {
+				n := len(j.queue)
+				j.dropped += int64(n)
+				j.queue = nil
+				if j.jerr == nil {
+					j.jerr = j.journal.Barrier()
+				}
+				j.degraded = true
+				j.shed++
+				return fmt.Errorf("sched: journal flush abandoned at drain deadline (%d buffered event(s) dropped): %w", n, err)
+			}
+			mu.Unlock()
+			t := time.NewTimer(time.Millisecond)
+			select {
+			case <-ctx.Done():
+			case <-t.C:
+			}
+			t.Stop()
+			mu.Lock()
+			if j.frozen() {
+				return j.refusalErr()
+			}
+		}
+		return nil
+	}
+	if err := j.journal.Barrier(); err != nil {
+		return fmt.Errorf("%w: %v", exec.ErrJournalDown, err)
+	}
+	return nil
+}
+
 // healDue paces Heal attempts: exponential from healBase per
 // consecutive failure, capped at healMax (<= 0 selects 16x base),
 // jittered into [d/2, d]. base <= 0 heals eagerly.
@@ -507,12 +560,14 @@ func (c *Certify) JournalErr() error { return c.jn.jerr }
 // counters, surfaced in the engine's run metrics.
 func (c *Certify) LogStats() exec.LogStats { return c.jn.logStats() }
 
-// Health implements exec.HealthReporter: the gate's degradation mode
-// and durability counters.
+// Health implements exec.HealthReporter: the gate's degradation mode,
+// lifecycle posture, and durability counters.
 func (c *Certify) Health() exec.Health {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.jn.health()
+	h := c.jn.health()
+	h.Draining, h.Closed = c.lc.draining, c.lc.closed
+	return h
 }
 
 // AttachJournal wires a write-ahead journal to the abort-capable gate:
@@ -536,12 +591,14 @@ func (c *OptimisticCertify) JournalErr() error { return c.jn.jerr }
 // counters, surfaced in the engine's run metrics.
 func (c *OptimisticCertify) LogStats() exec.LogStats { return c.jn.logStats() }
 
-// Health implements exec.HealthReporter: the gate's degradation mode
-// and durability counters.
+// Health implements exec.HealthReporter: the gate's degradation mode,
+// lifecycle posture, and durability counters.
 func (c *OptimisticCertify) Health() exec.Health {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.jn.health()
+	h := c.jn.health()
+	h.Draining, h.Closed = c.lc.draining, c.lc.closed
+	return h
 }
 
 // NewCertifyOver returns the blocking certification gate over an

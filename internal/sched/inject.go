@@ -21,11 +21,16 @@ type tickInjector struct {
 }
 
 // tick evaluates this tick's occurrence; true means skip the tick.
-func (t *tickInjector) tick() bool {
+func (t *tickInjector) tick() bool { return t.at(fault.OpTick) }
+
+// at evaluates one occurrence of op at the registered site; true means
+// an injected error (skip the step). Drain uses it to plant
+// deterministic cancel points between drain steps (fault.OpDrain).
+func (t *tickInjector) at(op fault.Op) bool {
 	if t.inj == nil {
 		return false
 	}
-	d := t.inj.Eval(fault.Point{Site: t.site, Op: fault.OpTick})
+	d := t.inj.Eval(fault.Point{Site: t.site, Op: op})
 	if d.Latency > 0 {
 		time.Sleep(d.Latency)
 	}

@@ -6,6 +6,35 @@
 // transaction is done with that set, and a delayed-read (DR) gate that
 // blocks reads from transactions that have not finished (Section 3.2's
 // ACA-like restriction).
+//
+// # Lifecycle: cancellation, deadlines, and drain
+//
+// The certification gates (Certify, OptimisticCertify,
+// ParallelCertify) are context-aware at every admission boundary and
+// shut down in two stages. AdmitTxnCtx refuses work on a dead context
+// with the typed exec.ErrCanceled/exec.ErrDeadline before the
+// certifier or journal is touched, so a refused admission leaves no
+// trace. Drain stops new transactions (refusals carry
+// exec.ErrDraining), settles in-flight ones per the DrainPolicy —
+// DrainWait lets them finish, DrainAbort retracts them immediately —
+// then flushes the journal barrier, runs a final compact pass, and
+// cuts a recovery snapshot; it always terminates within its context's
+// deadline, retracting the unfinished remainder when time runs out.
+// Close is the terminal latch (exec.ErrGateClosed) and releases the
+// journal. The posture rides in Health().Draining/Closed.
+//
+// Two invariants hold throughout. Never an un-journaled grant: a
+// grant is acknowledged only after its record reaches the journal, so
+// a cancellation can never manufacture a granted-but-unlogged
+// admission or lose a logged one. Cancel equals abort: a cancelled
+// run's in-flight transactions are retracted through TxnCanceled —
+// the same journaled Retract path a policy abort takes — so the
+// monitor and the WAL end in exactly the state a completed run that
+// aborted those transactions would have left, and wal.Resume recovers
+// a verdict-identical monitor either way. Note the in-flight/resident
+// distinction: a committed transaction stays monitor-resident until a
+// compaction reclaims it, but it is not in-flight — Drain waits on
+// (and deadline-retracts) Certifier.InFlightTxnIDs only.
 package sched
 
 import (

@@ -140,6 +140,11 @@ type OptimisticCertify struct {
 	// Pick (see SetFaultInjector).
 	tinj tickInjector
 
+	// lc is the gate's lifecycle posture (see Drain and Close): while
+	// draining only transactions live at drain start receive grants,
+	// and a closed gate grants nothing.
+	lc lifecycle
+
 	// mu serializes the gate's mutating entry points (Pick, Victim,
 	// TxnAborted, TxnFinished, AdmitTxn) so batch admissions from a
 	// ParallelEngine's committers interleave safely with an engine's
@@ -230,9 +235,13 @@ func (c *OptimisticCertify) Pick(pending []*exec.Request, v *exec.View) int {
 	return c.pickAdmitted(pending, v)
 }
 
-// gateable applies the gates that precede certification: solo
-// exclusivity and the delayed-read discipline.
+// gateable applies the gates that precede certification: the
+// lifecycle posture, solo exclusivity, and the delayed-read
+// discipline.
 func (c *OptimisticCertify) gateable(r *exec.Request, v *exec.View) bool {
+	if c.lc.blocked(r.TxnID) {
+		return false // draining or closed: no new admissions
+	}
 	if c.solo != 0 && r.TxnID != c.solo {
 		return false // an escalated transaction runs alone
 	}
@@ -247,6 +256,9 @@ func (c *OptimisticCertify) gateable(r *exec.Request, v *exec.View) bool {
 func (c *OptimisticCertify) pickAdmitted(pending []*exec.Request, v *exec.View) int {
 	if c.jn.frozen() {
 		return -1 // journal fail-stop or shed: certify nothing further
+	}
+	if c.lc.closed {
+		return -1 // closed gate: certify nothing further
 	}
 	c.allowed = c.allowed[:0]
 	c.idx = c.idx[:0]

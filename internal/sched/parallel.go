@@ -72,8 +72,12 @@ type Certifier interface {
 	// CheckedCommit is Commit with contract panics as errors.
 	CheckedCommit(txnID int) error
 	// LiveTxnIDs returns the sorted ids of the monitor-resident
-	// transactions that are not committed.
+	// transactions — committed-but-unreclaimed ones included, since
+	// residency lasts until a compaction pass reclaims them.
 	LiveTxnIDs() []int
+	// InFlightTxnIDs returns the sorted ids of the resident
+	// transactions not yet committed — the set a drain waits on.
+	InFlightTxnIDs() []int
 }
 
 var (

@@ -1,8 +1,12 @@
 package wal
 
 import (
+	"errors"
 	"testing"
 	"time"
+
+	"pwsr/internal/fault"
+	"pwsr/internal/txn"
 )
 
 // TestRetryBackoffJitterCapped pins the retry-backoff contract: the
@@ -34,6 +38,58 @@ func TestRetryBackoffJitterCapped(t *testing.T) {
 	}
 	if elapsed > time.Second {
 		t.Fatalf("capped backoff slept %v — the 320ms cap did not apply", elapsed)
+	}
+}
+
+// TestCloseInterruptsBackoff pins the shutdown contract: a writer
+// sleeping out a retry schedule against a dead backend must wake the
+// moment Close is called — fail fast wrapping ErrWriterClosing — not
+// hold Close behind the remaining jittered sleeps (five retries at a
+// 2s base would otherwise stall shutdown for tens of seconds).
+func TestCloseInterruptsBackoff(t *testing.T) {
+	// From 2: write #1 is the genesis header — the device dies right
+	// after construction, before the first record flush.
+	inj := fault.NewInjector(fault.Plan{Rules: []fault.Rule{
+		{Site: "wal/dev", Op: fault.OpWrite, From: 2, Count: 0, Kind: fault.KindError, Msg: "device dead"},
+	}})
+	b := NewInjectBackend(NewMemBackend(), inj, "wal/dev")
+	w, err := NewWriter(b, Options{
+		GroupEvery:   1,
+		MaxRetries:   5,
+		RetryBackoff: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		err     error
+		elapsed time.Duration
+	}
+	done := make(chan result, 1)
+	go func() {
+		start := time.Now()
+		w.LogObserve(txn.R(1, "a", 1)) // first flush hits the dead device and enters the retry schedule
+		err := w.Barrier()
+		done <- result{err, time.Since(start)}
+	}()
+
+	time.Sleep(50 * time.Millisecond)
+	w.Close()
+
+	select {
+	case r := <-done:
+		if r.elapsed > 3*time.Second {
+			t.Fatalf("stalled write returned after %v — Close did not interrupt the backoff", r.elapsed)
+		}
+		if r.err == nil {
+			t.Fatal("write against a dead device reported success")
+		}
+		if !errors.Is(r.err, ErrWriterClosing) {
+			t.Fatalf("interrupted write error = %v, want ErrWriterClosing in the chain", r.err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stalled write never returned — Close blocked behind the full backoff schedule")
 	}
 }
 

@@ -123,4 +123,25 @@
 // logical stream. The chaos differential (`make chaos`) exercises
 // randomized outage plans over this machinery, lockstep-comparing
 // every run against an uninjected twin.
+//
+// # Lifecycle: cancellation, deadlines, and drain
+//
+// Barrier has a context-bounded form, BarrierCtx, that gives up the
+// wait with the typed exec.ErrCanceled/exec.ErrDeadline when the
+// context dies first — durability is not rolled back, only the wait
+// abandoned. Close interrupts a retry backoff in progress: the
+// stalled operation fails fast wrapping ErrWriterClosing instead of
+// holding shutdown behind the remaining jittered sleeps, and the
+// sticky fail-stop error keeps ErrWriterClosing in its chain so a
+// close-interrupted outage is errors.Is-distinguishable from one that
+// exhausted its retries. CutSnapshot forces a segment rotation whose
+// snapshot captures the current replay state; a draining gate calls
+// it last, so recovery after a clean drain collapses to the snapshot
+// alone. Because the write-ahead contract acknowledges no grant
+// before its record is logged, a cancellation at any point leaves the
+// log holding exactly the acknowledged prefix: Resume rebuilds a
+// verdict-identical monitor whether the run completed, was cancelled,
+// or crashed (the cancel matrix, `make cancel-matrix`, sweeps
+// deterministic cancel points across admissions, barriers, commit
+// turns, and drain steps to pin this).
 package wal

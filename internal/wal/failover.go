@@ -170,7 +170,10 @@ func (w *Writer) rebaseLocked() error {
 			return err
 		}
 		w.stats.Retries++
-		w.backoff(attempt)
+		if w.backoff(attempt) {
+			f.Close()
+			return fmt.Errorf("%w (%w)", err, ErrWriterClosing)
+		}
 	}
 	w.seg = f
 	w.stats.Fsyncs++

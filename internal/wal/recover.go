@@ -362,6 +362,7 @@ func Resume(b Backend, partition []state.ItemSet, opts Options) (*core.Monitor, 
 		segIndex: maxIdx,
 		seq:      info.LastSeq,
 		live:     live,
+		stopc:    make(chan struct{}),
 		counters: snapHeader{
 			ops:           m.Ops(),
 			compactions:   st.Compactions,

@@ -1,6 +1,8 @@
 package wal
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -8,6 +10,13 @@ import (
 	"pwsr/internal/core"
 	"pwsr/internal/txn"
 )
+
+// ErrWriterClosing marks operations cut short because Close interrupted
+// a retry backoff: instead of sleeping out the jittered schedule
+// against a failing backend, the writer abandons the retry immediately.
+// The sticky fail-stop error wraps it, so callers can errors.Is-tell a
+// close-interrupted outage from one that exhausted its retries.
+var ErrWriterClosing = errors.New("wal: writer closing")
 
 // segSuffix is the segment file extension.
 const segSuffix = ".wal"
@@ -199,6 +208,12 @@ type Writer struct {
 	// to construct).
 	rng uint64
 
+	// stopc is closed by Close before it queues on the operation lock,
+	// so a backoff sleeping out a backend outage wakes immediately
+	// instead of holding Close behind the full jittered schedule.
+	stopc    chan struct{}
+	stopOnce sync.Once
+
 	// payload/frame are encoding scratch, reused across records.
 	payload []byte
 	frame   []byte
@@ -215,7 +230,7 @@ func NewWriter(b Backend, opts Options) (*Writer, error) {
 	if len(names) > 0 {
 		return nil, fmt.Errorf("wal: backend already holds %d segment(s); use Resume", len(names))
 	}
-	w := &Writer{b: b, opts: opts, segIndex: -1, lastSync: time.Now()}
+	w := &Writer{b: b, opts: opts, segIndex: -1, lastSync: time.Now(), stopc: make(chan struct{})}
 	f, err := b.Create(segName(0))
 	if err != nil {
 		return nil, fmt.Errorf("wal: create genesis segment: %w", err)
@@ -384,9 +399,52 @@ func (w *Writer) Sync() error {
 	return w.err
 }
 
+// BarrierCtx is Barrier with a context gate: an expired ctx wins over
+// the barrier check, so a caller holding a per-request deadline gets
+// the context's error rather than a (possibly nil) durability verdict
+// it can no longer use. The barrier itself is non-blocking either way.
+func (w *Writer) BarrierCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return w.Barrier()
+}
+
+// CutSnapshot forces a snapshot cut now, outside the SnapshotEvery
+// cadence — the drain sequence uses it so a gate's final Compact pass
+// is followed by a snapshot the next Resume starts from. It returns
+// the sticky fail-stop error if the writer is (or goes) down, or a
+// descriptive error when the cut was abandoned on a fresh-segment
+// failure (the active segment stays intact either way).
+func (w *Writer) CutSnapshot() error {
+	w.opMu.Lock()
+	defer w.opMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	before := w.stats.Snapshots
+	w.cutLocked()
+	if w.err != nil {
+		return w.err
+	}
+	if w.stats.Snapshots == before {
+		return fmt.Errorf("wal: snapshot cut abandoned (cut failures so far: %d)", w.stats.CutFailures)
+	}
+	return nil
+}
+
 // Close flushes and closes the active segment. The writer must not be
-// used afterwards.
+// used afterwards. Closing interrupts any retry backoff in progress
+// (the stalled operation fails fast wrapping ErrWriterClosing) rather
+// than waiting a backend outage's jittered schedule out.
 func (w *Writer) Close() error {
+	w.stopOnce.Do(func() {
+		if w.stopc != nil {
+			close(w.stopc)
+		}
+	})
 	w.opMu.Lock()
 	defer w.opMu.Unlock()
 	w.mu.Lock()
@@ -450,7 +508,10 @@ func (w *Writer) syncLocked() {
 			return
 		}
 		w.stats.Retries++
-		w.backoff(attempt)
+		if w.backoff(attempt) {
+			w.failoverLocked(fmt.Errorf("sync: %w (%w)", err, ErrWriterClosing))
+			return
+		}
 	}
 }
 
@@ -474,7 +535,9 @@ func (w *Writer) writeAllTo(f File, p []byte) error {
 			return err
 		}
 		w.stats.Retries++
-		w.backoff(attempt)
+		if w.backoff(attempt) {
+			return fmt.Errorf("%w (%w)", err, ErrWriterClosing)
+		}
 	}
 }
 
@@ -488,9 +551,21 @@ func (w *Writer) writeAllTo(f File, p []byte) error {
 // fail-stop ordering (error latched before the operation returns) is
 // preserved. Callers must hold mu (and, once the writer is shared,
 // opMu).
-func (w *Writer) backoff(attempt int) {
+//
+// The sleep is interruptible: Close closes stopc before queuing on the
+// operation lock, and backoff returns true the moment it fires — the
+// caller abandons the retry (fail fast, wrapping ErrWriterClosing)
+// instead of making Close wait out the capped jittered schedule.
+func (w *Writer) backoff(attempt int) (interrupted bool) {
 	if w.opts.RetryBackoff <= 0 {
-		return
+		if w.stopc != nil {
+			select {
+			case <-w.stopc:
+				return true
+			default:
+			}
+		}
+		return false
 	}
 	d := w.opts.RetryBackoff * time.Duration(attempt+1)
 	if max := w.opts.retryBackoffMax(); max > 0 && d > max {
@@ -509,8 +584,19 @@ func (w *Writer) backoff(attempt int) {
 		d = half + time.Duration(z%uint64(half+1))
 	}
 	w.mu.Unlock()
-	time.Sleep(d)
+	if w.stopc == nil {
+		time.Sleep(d)
+	} else {
+		t := time.NewTimer(d)
+		select {
+		case <-w.stopc:
+			interrupted = true
+		case <-t.C:
+		}
+		t.Stop()
+	}
 	w.mu.Lock()
+	return interrupted
 }
 
 // failLocked records the sticky fail-stop error: every further append

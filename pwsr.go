@@ -1,6 +1,8 @@
 package pwsr
 
 import (
+	"context"
+
 	"pwsr/internal/constraint"
 	"pwsr/internal/core"
 	"pwsr/internal/exec"
@@ -284,6 +286,82 @@ var (
 	// already reclaimed those versions.
 	ErrSnapshotRetired = exec.ErrSnapshotRetired
 )
+
+// Typed lifecycle errors: cancellation, deadline expiry, and gate
+// shutdown are never confused with a certification denial or a storage
+// failure — callers route on errors.Is without ambiguity.
+var (
+	// ErrCanceled is a run, batch admission, or drain cut short by an
+	// explicit context cancel. In-flight transactions were aborted
+	// through the certifier's retraction path (cancel equals abort);
+	// any partial result holds exactly the committed prefix.
+	ErrCanceled = exec.ErrCanceled
+	// ErrDeadline is the deadline-expiry flavor of ErrCanceled, with
+	// the same abort-and-settle semantics.
+	ErrDeadline = exec.ErrDeadline
+	// ErrDraining is an admission refused because the gate is
+	// draining: in-flight transactions may finish, new ones may not.
+	ErrDraining = exec.ErrDraining
+	// ErrGateClosed is an admission refused because the gate has been
+	// closed.
+	ErrGateClosed = exec.ErrGateClosed
+)
+
+// RunWithContext is Run bounded by a context. When ctx ends mid-run
+// the engine settles instead of killing the run: in-flight
+// transactions are aborted through the policy's retraction path — a
+// certifying gate retracts and journals each exactly as a completed
+// run that aborted them would — and the partial Result (the committed
+// schedule that survives, replayable against Initial) is returned
+// alongside a typed ErrCanceled- or ErrDeadline-wrapped error.
+func RunWithContext(ctx context.Context, cfg RunConfig) (*RunResult, error) {
+	return exec.RunCtx(ctx, cfg)
+}
+
+// RunManyWithContext is RunMany bounded by a context, with
+// RunWithContext's settle semantics applied to every run.
+func RunManyWithContext(ctx context.Context, cfgs []RunConfig, workers int) ([]*RunResult, []error) {
+	return exec.RunManyCtx(ctx, cfgs, workers)
+}
+
+// RunParallelWithContext is RunParallel bounded by a context:
+// cancellation is detected between commit turns, so the batch's
+// committed prefix is kept — never a partial grant — and the typed
+// ErrCanceled/ErrDeadline error is returned alongside it.
+func RunParallelWithContext(ctx context.Context, cfg ParallelRunConfig, programs map[int]*Program) (*RunResult, error) {
+	return exec.RunParallelCtx(ctx, cfg, programs)
+}
+
+// DrainPolicy selects what a gate's Drain does with in-flight
+// transactions: DrainWait lets them finish (bounded by the drain
+// context), DrainAbort retracts them immediately.
+type DrainPolicy = sched.DrainPolicy
+
+// Drain policies for the certification gates.
+const (
+	// DrainWait lets in-flight transactions run to completion before
+	// the gate quiesces; at the drain context's deadline the
+	// unfinished remainder is retracted and a typed error returned.
+	DrainWait = sched.DrainWait
+	// DrainAbort retracts every in-flight transaction immediately.
+	DrainAbort = sched.DrainAbort
+)
+
+// Drainer is the graceful-shutdown surface of the certification
+// gates: Drain stops new admissions, settles in-flight transactions
+// per the drain policy, flushes the journal barrier, runs a final
+// compact pass, and cuts a recovery snapshot. It always terminates
+// within the context's deadline, returning nil on a complete drain or
+// a typed ErrCanceled/ErrDeadline error on the remainder.
+type Drainer = exec.Drainer
+
+// AsDrainer reports whether a policy supports graceful drain; the
+// certification gates (NewCertify, NewOptimisticCertify,
+// NewParallelCertify) do.
+func AsDrainer(p Policy) (Drainer, bool) {
+	d, ok := p.(Drainer)
+	return d, ok
+}
 
 // Health is a journaled gate's live degradation posture: current mode,
 // queue depth, shed/buffered/dropped admission counts, failover
